@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks of the pure-algorithm building blocks:
+//! ranking, top-n selection, support sets, sufficient sets, and per-event
+//! node processing. These are the per-event costs a real mote's CPU would
+//! pay, independent of the radio.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wsn_core::detector::OutlierDetector;
+use wsn_core::global::GlobalNode;
+use wsn_core::semiglobal::SemiGlobalNode;
+use wsn_core::sufficient::sufficient_set;
+use wsn_data::window::WindowConfig;
+use wsn_data::{DataPoint, Epoch, PointSet, SensorId, Timestamp};
+use wsn_ranking::function::support_of_set;
+use wsn_ranking::{top_n_outliers, KnnAverageDistance, NnDistance, RankingFunction};
+
+/// Builds a clustered dataset of `size` points with a handful of outliers,
+/// mimicking one sensor neighbourhood's [temperature, x, y] feature vectors.
+fn dataset(size: usize, seed: u64) -> PointSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..size)
+        .map(|i| {
+            let outlier = i % 97 == 0;
+            let temp = if outlier { 100.0 + rng.gen_range(0.0..10.0) } else { 21.0 + rng.gen_range(-1.0..1.0) };
+            let x = rng.gen_range(0.0..50.0);
+            let y = rng.gen_range(0.0..50.0);
+            DataPoint::new(
+                SensorId((i % 53) as u32),
+                Epoch(i as u64),
+                Timestamp::from_secs(i as u64),
+                vec![temp, x, y],
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn bench_top_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("top_n_outliers");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    for &size in &[64usize, 256, 1024] {
+        let data = dataset(size, 1);
+        group.bench_with_input(BenchmarkId::new("nn", size), &data, |b, data| {
+            b.iter(|| top_n_outliers(&NnDistance, black_box(4), data))
+        });
+        group.bench_with_input(BenchmarkId::new("knn4", size), &data, |b, data| {
+            b.iter(|| top_n_outliers(&KnnAverageDistance::new(4), black_box(4), data))
+        });
+    }
+    group.finish();
+}
+
+fn bench_support_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("support_of_set");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    for &size in &[64usize, 256, 1024] {
+        let data = dataset(size, 2);
+        let query = top_n_outliers(&NnDistance, 4, &data).to_point_set();
+        group.bench_with_input(BenchmarkId::new("nn", size), &size, |b, _| {
+            b.iter(|| support_of_set(&NnDistance, &data, &query))
+        });
+        group.bench_with_input(BenchmarkId::new("knn4", size), &size, |b, _| {
+            b.iter(|| support_of_set(&KnnAverageDistance::new(4), &data, &query))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sufficient_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sufficient_set");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    for &size in &[64usize, 256, 1024] {
+        let pi = dataset(size, 3);
+        // The neighbour already shares roughly half of P_i.
+        let known: PointSet = pi.iter().take(size / 2).cloned().collect();
+        group.bench_with_input(BenchmarkId::new("nn_empty_known", size), &size, |b, _| {
+            b.iter(|| sufficient_set(&NnDistance, 4, &pi, &PointSet::new()))
+        });
+        group.bench_with_input(BenchmarkId::new("nn_half_known", size), &size, |b, _| {
+            b.iter(|| sufficient_set(&NnDistance, 4, &pi, &known))
+        });
+        group.bench_with_input(BenchmarkId::new("knn4_half_known", size), &size, |b, _| {
+            b.iter(|| sufficient_set(&KnnAverageDistance::new(4), 4, &pi, &known))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ranking_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_single_point");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    let data = dataset(512, 4);
+    let x = data.iter().next().unwrap().clone();
+    group.bench_function("nn", |b| b.iter(|| NnDistance.rank(black_box(&x), &data)));
+    group.bench_function("knn4", |b| {
+        b.iter(|| KnnAverageDistance::new(4).rank(black_box(&x), &data))
+    });
+    group.finish();
+}
+
+fn bench_node_processing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_process_event");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    let window = WindowConfig::from_secs(1_000_000).unwrap();
+    for &size in &[64usize, 256] {
+        let points: Vec<DataPoint> = dataset(size, 5).to_vec();
+        group.bench_with_input(BenchmarkId::new("global_nn", size), &size, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut node = GlobalNode::new(SensorId(0), NnDistance, 4, window);
+                    node.add_local_points(points.clone());
+                    node
+                },
+                |mut node| node.process(&[SensorId(1), SensorId(2), SensorId(3)]),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("semiglobal_nn_d2", size), &size, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut node = SemiGlobalNode::new(SensorId(0), NnDistance, 4, 2, window);
+                    node.add_local_points(points.clone());
+                    node
+                },
+                |mut node| node.process(&[SensorId(1), SensorId(2), SensorId(3)]),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_top_n,
+    bench_support_sets,
+    bench_sufficient_set,
+    bench_ranking_functions,
+    bench_node_processing
+);
+criterion_main!(benches);

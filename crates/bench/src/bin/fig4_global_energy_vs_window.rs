@@ -1,0 +1,24 @@
+//! Figure 4: average TX and RX energy per node per sampling round versus the
+//! sliding-window size `w`, for global outlier detection (`n = 4`, `k = 4`).
+//!
+//! Series: Centralized, Global-NN, Global-KNN.
+//!
+//! Run with `--quick` for a reduced (20-node, 1-seed) sweep that preserves
+//! the qualitative shape.
+
+use wsn_bench::paper::{centralized, global_knn, global_nn, PAPER_N};
+use wsn_bench::runner::{emit, window_sweep_report, TableStyle};
+use wsn_bench::PaperScenario;
+
+fn main() {
+    let scenario = PaperScenario::from_args();
+    let report = window_sweep_report(
+        scenario,
+        "Figure 4: global detection energy vs sliding window size",
+        "53-sensor lab deployment, n=4, k=4, series: Centralized / Global-NN / Global-KNN",
+        &[centralized(), global_nn(), global_knn()],
+        PAPER_N,
+    )
+    .expect("figure 4 sweep failed");
+    emit(&report, "fig4_global_energy_vs_window", TableStyle::Energy);
+}

@@ -1,0 +1,22 @@
+//! Figure 5: minimum, average and maximum total energy consumed by a node
+//! versus the sliding-window size `w`, for global outlier detection
+//! (`n = 4`, `k = 4`).
+//!
+//! Series: Centralized, Global-NN, Global-KNN.
+
+use wsn_bench::paper::{centralized, global_knn, global_nn, PAPER_N};
+use wsn_bench::runner::{emit, window_sweep_report, TableStyle};
+use wsn_bench::PaperScenario;
+
+fn main() {
+    let scenario = PaperScenario::from_args();
+    let report = window_sweep_report(
+        scenario,
+        "Figure 5: per-node total energy range vs sliding window size",
+        "53-sensor lab deployment, n=4, k=4, series: Centralized / Global-NN / Global-KNN",
+        &[centralized(), global_nn(), global_knn()],
+        PAPER_N,
+    )
+    .expect("figure 5 sweep failed");
+    emit(&report, "fig5_energy_range_vs_window", TableStyle::Range);
+}

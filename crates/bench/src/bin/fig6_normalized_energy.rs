@@ -1,0 +1,38 @@
+//! Figure 6: the per-node energy spread of Figure 5 normalised by each
+//! algorithm's average, shown for `w ∈ {10, 20, 40}`.
+//!
+//! The paper's headline reading: at `w = 10` the most energy-hungry node of
+//! the centralized algorithm consumes nearly 3× the average, against less
+//! than 2× for both distributed algorithms.
+
+use wsn_bench::paper::{centralized, global_knn, global_nn, PAPER_N};
+use wsn_bench::report::FigureReport;
+use wsn_bench::runner::{emit, TableStyle};
+use wsn_bench::sweep::run_averaged;
+use wsn_bench::{PaperScenario, SeriesRow};
+
+fn main() {
+    let scenario = PaperScenario::from_args();
+    let windows: Vec<u64> = match scenario {
+        PaperScenario::Full => vec![10, 20, 40],
+        PaperScenario::Quick => vec![10, 40],
+    };
+    let mut report = FigureReport::new(
+        "Figure 6: normalized per-node energy spread",
+        "53-sensor lab deployment, n=4, k=4; values normalized by each algorithm's average",
+        "w",
+    );
+    for &w in &windows {
+        for algorithm in [centralized(), global_nn(), global_knn()] {
+            let config = scenario.config(algorithm, w, PAPER_N);
+            let outcome = run_averaged(&config, scenario.seeds()).expect("figure 6 run failed");
+            eprintln!(
+                "  [Figure 6] {} w={w}: max/avg = {:.2}",
+                outcome.label,
+                outcome.normalized_energy().max
+            );
+            report.push(SeriesRow::from_outcome(w as f64, &outcome));
+        }
+    }
+    emit(&report, "fig6_normalized_energy", TableStyle::Normalized);
+}

@@ -1,0 +1,22 @@
+//! Figure 7: average TX and RX energy per node per sampling round versus the
+//! sliding-window size `w`, for semi-global (hop-limited) detection with the
+//! nearest-neighbour ranking function (`n = 4`).
+//!
+//! Series: Centralized, Semi-global ε = 1, 2, 3.
+
+use wsn_bench::paper::{centralized, semi_global_nn, PAPER_N};
+use wsn_bench::runner::{emit, window_sweep_report, TableStyle};
+use wsn_bench::PaperScenario;
+
+fn main() {
+    let scenario = PaperScenario::from_args();
+    let report = window_sweep_report(
+        scenario,
+        "Figure 7: semi-global NN detection energy vs sliding window size",
+        "53-sensor lab deployment, n=4, NN ranking, series: Centralized / Semi-global epsilon=1,2,3",
+        &[centralized(), semi_global_nn(1), semi_global_nn(2), semi_global_nn(3)],
+        PAPER_N,
+    )
+    .expect("figure 7 sweep failed");
+    emit(&report, "fig7_semiglobal_nn_energy_vs_window", TableStyle::Energy);
+}

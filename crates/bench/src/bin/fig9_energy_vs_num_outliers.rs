@@ -1,0 +1,25 @@
+//! Figure 9: average TX and RX energy per node per sampling round versus the
+//! number of reported outliers `n`, for semi-global detection with the
+//! k-nearest-neighbour ranking function (`w = 20`, `k = 4`).
+//!
+//! Series: Centralized, Semi-global ε = 1, 2, 3.
+
+use wsn_bench::paper::{centralized, semi_global_knn};
+use wsn_bench::runner::{emit, n_sweep_report, TableStyle};
+use wsn_bench::PaperScenario;
+
+/// The fixed sliding-window length of Figure 9.
+const FIGURE_9_WINDOW: u64 = 20;
+
+fn main() {
+    let scenario = PaperScenario::from_args();
+    let report = n_sweep_report(
+        scenario,
+        "Figure 9: semi-global KNN detection energy vs number of reported outliers",
+        "53-sensor lab deployment, w=20, k=4, series: Centralized / Semi-global epsilon=1,2,3",
+        &[centralized(), semi_global_knn(1), semi_global_knn(2), semi_global_knn(3)],
+        FIGURE_9_WINDOW,
+    )
+    .expect("figure 9 sweep failed");
+    emit(&report, "fig9_energy_vs_num_outliers", TableStyle::Energy);
+}

@@ -1,0 +1,60 @@
+//! Network-size scaling table (§7.1).
+//!
+//! The paper also simulated a 32-node uniformly random subsample of the
+//! 53-node network and reports that "as the network size increased, the
+//! performance benefit of the distributed algorithms increased in comparison
+//! to the centralized algorithms" (trends otherwise identical, so no plots
+//! are shown). This harness prints the centralized-to-distributed energy
+//! ratio at both sizes so the claim can be checked directly.
+
+use wsn_bench::paper::{centralized, global_nn, PAPER_N};
+use wsn_bench::sweep::run_averaged;
+use wsn_bench::PaperScenario;
+
+fn main() {
+    let scenario = PaperScenario::from_args();
+    let sizes: Vec<usize> = match scenario {
+        PaperScenario::Full => vec![32, 53],
+        PaperScenario::Quick => vec![12, 20],
+    };
+    let w = 20;
+
+    println!("== Scaling with network size (w=20, n=4) ==");
+    println!(
+        "{:<10}{:>26}{:>26}{:>22}",
+        "sensors", "Centralized TX/round (J)", "Global-NN TX/round (J)", "centralized / distributed"
+    );
+    for &size in &sizes {
+        let mut cent = scenario.config(centralized(), w, PAPER_N);
+        cent.sensor_count = size;
+        let mut dist = scenario.config(global_nn(), w, PAPER_N);
+        dist.sensor_count = size;
+        // The sparser subsampled network needs a slightly wider radio range to
+        // stay connected, exactly like the paper's random 32-node subsample.
+        if size < 40 {
+            cent.transmission_range_m = cent.transmission_range_m.max(9.5);
+            dist.transmission_range_m = dist.transmission_range_m.max(9.5);
+        }
+        let centralized_outcome =
+            run_averaged(&cent, scenario.seeds()).expect("centralized scaling run failed");
+        let distributed_outcome =
+            run_averaged(&dist, scenario.seeds()).expect("distributed scaling run failed");
+        let ratio = if distributed_outcome.avg_tx_per_node_per_round > 0.0 {
+            centralized_outcome.avg_tx_per_node_per_round
+                / distributed_outcome.avg_tx_per_node_per_round
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{:<10}{:>26.4}{:>26.4}{:>22.2}",
+            size,
+            centralized_outcome.avg_tx_per_node_per_round,
+            distributed_outcome.avg_tx_per_node_per_round,
+            ratio
+        );
+    }
+    println!(
+        "\nPaper: the benefit of the distributed algorithm over the centralized one \
+         grows with the network size."
+    );
+}

@@ -1,0 +1,317 @@
+//! Plain-text tables and JSON output for the figure-reproduction binaries.
+//!
+//! Each figure binary produces a [`FigureReport`]: one row per swept
+//! parameter value and algorithm, carrying the metrics the paper plots. The
+//! report prints as an aligned text table (the "series" of the original
+//! figures) and can be written as JSON next to the human-readable output so
+//! EXPERIMENTS.md can be regenerated mechanically.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::sweep::AveragedOutcome;
+
+/// One data point of a figure: a swept parameter value, an algorithm label,
+/// and the measured metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesRow {
+    /// The swept parameter ("w" or "n") value of this row.
+    pub x: f64,
+    /// The algorithm label ("Centralized", "Global-NN", …).
+    pub label: String,
+    /// Average TX energy per node per sampling round (J).
+    pub avg_tx_per_round: f64,
+    /// Average RX energy per node per sampling round (J).
+    pub avg_rx_per_round: f64,
+    /// Minimum total energy consumed by any node over the run (J).
+    pub min_total_energy: f64,
+    /// Average total energy consumed by a node over the run (J).
+    pub avg_total_energy: f64,
+    /// Maximum total energy consumed by any node over the run (J).
+    pub max_total_energy: f64,
+    /// Detection accuracy (fraction of nodes exactly correct).
+    pub accuracy: f64,
+    /// Mean per-node recall of the true outliers.
+    pub mean_recall: f64,
+    /// Max-over-average radio-activity imbalance (§8).
+    pub traffic_imbalance: f64,
+    /// Protocol data points broadcast (distributed algorithms only).
+    pub data_points_sent: f64,
+}
+
+impl SeriesRow {
+    /// Builds a row from an averaged outcome at sweep position `x`.
+    pub fn from_outcome(x: f64, outcome: &AveragedOutcome) -> Self {
+        SeriesRow {
+            x,
+            label: outcome.label.clone(),
+            avg_tx_per_round: outcome.avg_tx_per_node_per_round,
+            avg_rx_per_round: outcome.avg_rx_per_node_per_round,
+            min_total_energy: outcome.total_energy.min,
+            avg_total_energy: outcome.total_energy.avg,
+            max_total_energy: outcome.total_energy.max,
+            accuracy: outcome.accuracy,
+            mean_recall: outcome.mean_recall,
+            traffic_imbalance: outcome.avg_traffic_imbalance,
+            data_points_sent: outcome.avg_data_points_sent,
+        }
+    }
+}
+
+/// A reproduced figure: its identity, the swept parameter, and its rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureReport {
+    /// Which figure of the paper this reproduces ("Figure 4", …).
+    pub figure: String,
+    /// Free-text description of the configuration (fixed parameters).
+    pub configuration: String,
+    /// Name of the swept parameter ("w", "n").
+    pub x_name: String,
+    /// The measured rows, grouped by series label in sweep order.
+    pub rows: Vec<SeriesRow>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(
+        figure: impl Into<String>,
+        configuration: impl Into<String>,
+        x_name: impl Into<String>,
+    ) -> Self {
+        FigureReport {
+            figure: figure.into(),
+            configuration: configuration.into(),
+            x_name: x_name.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data point.
+    pub fn push(&mut self, row: SeriesRow) {
+        self.rows.push(row);
+    }
+
+    /// The distinct series labels, in first-appearance order.
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels = Vec::new();
+        for row in &self.rows {
+            if !labels.contains(&row.label) {
+                labels.push(row.label.clone());
+            }
+        }
+        labels
+    }
+
+    /// The rows of one series, in sweep order.
+    pub fn series(&self, label: &str) -> Vec<&SeriesRow> {
+        self.rows.iter().filter(|r| r.label == label).collect()
+    }
+
+    /// Renders the energy table the paper plots: one block per metric, one
+    /// line per series, one column per swept value.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.figure);
+        let _ = writeln!(out, "{}", self.configuration);
+        let metrics: [(&str, fn(&SeriesRow) -> f64); 5] = [
+            ("Avg TX energy per node per round (J)", |r| r.avg_tx_per_round),
+            ("Avg RX energy per node per round (J)", |r| r.avg_rx_per_round),
+            ("Avg total energy per node (J)", |r| r.avg_total_energy),
+            ("Detection accuracy (exact O_n match)", |r| r.accuracy),
+            ("Mean per-node outlier recall", |r| r.mean_recall),
+        ];
+        for (name, metric) in metrics {
+            let _ = writeln!(out, "\n{name}");
+            let mut header = format!("{:<26}", self.x_name);
+            if let Some(first) = self.labels().first() {
+                for row in self.series(first) {
+                    let _ = write!(header, "{:>12}", format_x(row.x));
+                }
+            }
+            let _ = writeln!(out, "{header}");
+            for label in self.labels() {
+                let mut line = format!("{label:<26}");
+                for row in self.series(&label) {
+                    let _ = write!(line, "{:>12}", format_value(metric(row)));
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        out
+    }
+
+    /// Renders the min / average / maximum per-node total-energy table of
+    /// Figure 5.
+    pub fn to_range_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.figure);
+        let _ = writeln!(out, "{}", self.configuration);
+        let metrics: [(&str, fn(&SeriesRow) -> f64); 3] = [
+            ("Minimum total energy consumed by a node (J)", |r| r.min_total_energy),
+            ("Average total energy consumed by a node (J)", |r| r.avg_total_energy),
+            ("Maximum total energy consumed by a node (J)", |r| r.max_total_energy),
+        ];
+        for (name, metric) in metrics {
+            let _ = writeln!(out, "\n{name}");
+            let mut header = format!("{:<26}", self.x_name);
+            if let Some(first) = self.labels().first() {
+                for row in self.series(first) {
+                    let _ = write!(header, "{:>12}", format_x(row.x));
+                }
+            }
+            let _ = writeln!(out, "{header}");
+            for label in self.labels() {
+                let mut line = format!("{label:<26}");
+                for row in self.series(&label) {
+                    let _ = write!(line, "{:>12}", format_value(metric(row)));
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        out
+    }
+
+    /// Renders the normalised (divided by the per-series average) energy
+    /// spread of Figure 6, one block per swept value.
+    pub fn to_normalized_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.figure);
+        let _ = writeln!(out, "{}", self.configuration);
+        let xs: Vec<f64> = {
+            let mut xs: Vec<f64> = self.rows.iter().map(|r| r.x).collect();
+            xs.dedup();
+            xs
+        };
+        for x in xs {
+            let _ = writeln!(out, "\n{} = {}", self.x_name, format_x(x));
+            let _ = writeln!(out, "{:<26}{:>12}{:>12}{:>12}", "algorithm", "min", "avg", "max");
+            for label in self.labels() {
+                if let Some(row) =
+                    self.rows.iter().find(|r| r.label == label && (r.x - x).abs() < 1e-9)
+                {
+                    let avg = row.avg_total_energy;
+                    let (min_n, max_n) = if avg == 0.0 {
+                        (0.0, 0.0)
+                    } else {
+                        (row.min_total_energy / avg, row.max_total_energy / avg)
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{label:<26}{:>12}{:>12}{:>12}",
+                        format_value(min_n),
+                        format_value(1.0),
+                        format_value(max_n)
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialises the report as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any serialisation error from `serde_json`.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Writes the JSON form of the report to `path` (for EXPERIMENTS.md and
+    /// regression comparisons).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or serialisation errors.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = self.to_json().map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+}
+
+fn format_x(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(x: f64, label: &str, tx: f64) -> SeriesRow {
+        SeriesRow {
+            x,
+            label: label.to_string(),
+            avg_tx_per_round: tx,
+            avg_rx_per_round: tx * 2.0,
+            min_total_energy: 0.1,
+            avg_total_energy: 0.5,
+            max_total_energy: 1.0,
+            accuracy: 0.99,
+            mean_recall: 0.995,
+            traffic_imbalance: 2.0,
+            data_points_sent: 10.0,
+        }
+    }
+
+    #[test]
+    fn labels_and_series_group_rows() {
+        let mut report = FigureReport::new("Figure 4", "n=4, k=4", "w");
+        report.push(row(10.0, "Centralized", 1.0));
+        report.push(row(10.0, "Global-NN", 0.1));
+        report.push(row(20.0, "Centralized", 2.0));
+        report.push(row(20.0, "Global-NN", 0.05));
+        assert_eq!(report.labels(), vec!["Centralized", "Global-NN"]);
+        assert_eq!(report.series("Centralized").len(), 2);
+        assert_eq!(report.series("Global-NN")[1].x, 20.0);
+        assert!(report.series("Nope").is_empty());
+    }
+
+    #[test]
+    fn table_contains_every_series_and_value() {
+        let mut report = FigureReport::new("Figure 4", "n=4, k=4", "w");
+        report.push(row(10.0, "Centralized", 1.5));
+        report.push(row(40.0, "Centralized", 3.25));
+        let table = report.to_table();
+        assert!(table.contains("Figure 4"));
+        assert!(table.contains("Centralized"));
+        assert!(table.contains("1.5000"));
+        assert!(table.contains("3.2500"));
+        assert!(table.contains("Avg RX energy"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut report = FigureReport::new("Figure 9", "w=20, k=4", "n");
+        report.push(row(1.0, "Semi-global, epsilon=1", 0.01));
+        let json = report.to_json().unwrap();
+        let back: FigureReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn value_formatting_keeps_magnitudes_readable() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(123.456), "123.5");
+        assert_eq!(format_value(0.1234), "0.1234");
+        assert!(format_value(0.000123).contains('e'));
+        assert_eq!(format_x(10.0), "10");
+        assert_eq!(format_x(2.5), "2.50");
+    }
+}

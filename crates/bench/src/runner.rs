@@ -1,0 +1,138 @@
+//! Shared driver used by every figure-reproduction binary.
+//!
+//! A figure binary is a one-liner around [`window_sweep_report`] or
+//! [`n_sweep_report`] followed by [`emit`]: run every (algorithm, swept
+//! value) pair of the figure, averaged over the scenario's seeds, collect the
+//! rows, print the table, and persist the JSON next to it under `results/`.
+
+use std::path::PathBuf;
+
+use crate::paper::PaperScenario;
+use crate::report::{FigureReport, SeriesRow};
+use crate::sweep::run_averaged;
+use wsn_core::experiment::AlgorithmConfig;
+use wsn_core::CoreError;
+
+/// How a report should be rendered by [`emit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableStyle {
+    /// The per-round TX/RX energy tables of Figures 4, 7, 8 and 9.
+    Energy,
+    /// The min/avg/max per-node energy table of Figure 5.
+    Range,
+    /// The normalised energy spread of Figure 6.
+    Normalized,
+}
+
+/// Runs a sliding-window sweep (Figures 4–8): every algorithm at every `w` of
+/// the scenario, with `n` held fixed.
+///
+/// # Errors
+///
+/// Propagates the first experiment error encountered.
+pub fn window_sweep_report(
+    scenario: PaperScenario,
+    figure: &str,
+    configuration: &str,
+    algorithms: &[AlgorithmConfig],
+    n: usize,
+) -> Result<FigureReport, CoreError> {
+    let mut report = FigureReport::new(figure, configuration, "w");
+    for &w in &scenario.window_sweep() {
+        for &algorithm in algorithms {
+            let config = scenario.config(algorithm, w, n);
+            let outcome = run_averaged(&config, scenario.seeds())?;
+            eprintln!(
+                "  [{figure}] {} w={w}: tx/round={:.4} J rx/round={:.4} J accuracy={:.3}",
+                outcome.label,
+                outcome.avg_tx_per_node_per_round,
+                outcome.avg_rx_per_node_per_round,
+                outcome.accuracy
+            );
+            report.push(SeriesRow::from_outcome(w as f64, &outcome));
+        }
+    }
+    Ok(report)
+}
+
+/// Runs an outlier-count sweep (Figure 9): every algorithm at every `n` of
+/// the scenario, with `w` held fixed.
+///
+/// # Errors
+///
+/// Propagates the first experiment error encountered.
+pub fn n_sweep_report(
+    scenario: PaperScenario,
+    figure: &str,
+    configuration: &str,
+    algorithms: &[AlgorithmConfig],
+    w: u64,
+) -> Result<FigureReport, CoreError> {
+    let mut report = FigureReport::new(figure, configuration, "n");
+    for &n in &scenario.n_sweep() {
+        for &algorithm in algorithms {
+            let config = scenario.config(algorithm, w, n);
+            let outcome = run_averaged(&config, scenario.seeds())?;
+            eprintln!(
+                "  [{figure}] {} n={n}: tx/round={:.4} J rx/round={:.4} J accuracy={:.3}",
+                outcome.label,
+                outcome.avg_tx_per_node_per_round,
+                outcome.avg_rx_per_node_per_round,
+                outcome.accuracy
+            );
+            report.push(SeriesRow::from_outcome(n as f64, &outcome));
+        }
+    }
+    Ok(report)
+}
+
+/// Prints the report in the requested style and writes its JSON form to
+/// `results/<stem>.json` (best effort — a read-only filesystem only loses the
+/// JSON copy, not the printed table).
+pub fn emit(report: &FigureReport, stem: &str, style: TableStyle) {
+    let table = match style {
+        TableStyle::Energy => report.to_table(),
+        TableStyle::Range => report.to_range_table(),
+        TableStyle::Normalized => report.to_normalized_table(),
+    };
+    println!("{table}");
+    let dir = PathBuf::from("results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{stem}.json"));
+        match report.write_json(&path) {
+            Ok(()) => println!("(wrote {})", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{centralized, global_nn};
+
+    /// A miniature end-to-end sweep: one window value, two algorithms, a
+    /// scenario shrunk far below even `Quick` so the test stays fast.
+    #[test]
+    fn window_sweep_produces_one_row_per_algorithm_and_value() {
+        let scenario = PaperScenario::Quick;
+        // Shrink further: only the smallest window value, by slicing the
+        // sweep down through a custom loop.
+        let mut report = FigureReport::new("test", "cfg", "w");
+        let algorithms = [global_nn(), centralized()];
+        let w = 10;
+        for &algorithm in &algorithms {
+            let mut config = scenario.config(algorithm, w, 2);
+            config.sensor_count = 9;
+            config.transmission_range_m = 20.0;
+            config.trace.rounds = 4;
+            let outcome = run_averaged(&config, 1).unwrap();
+            report.push(SeriesRow::from_outcome(w as f64, &outcome));
+        }
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.labels(), vec!["Global-NN", "Centralized"]);
+        assert!(report.to_table().contains("Global-NN"));
+        assert!(report.to_range_table().contains("Maximum total energy"));
+        assert!(report.to_normalized_table().contains("w = 10"));
+    }
+}

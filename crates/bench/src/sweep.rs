@@ -1,0 +1,180 @@
+//! Seed-averaged experiment runs and parameter sweeps.
+//!
+//! The paper repeats every simulation four times with different random seeds
+//! and plots the averages. [`run_averaged`] does the same: it runs one
+//! [`ExperimentConfig`] under several seeds — in parallel, one thread per
+//! seed — and aggregates the per-node energy and accuracy metrics into an
+//! [`AveragedOutcome`].
+
+use wsn_core::experiment::{run_experiment, ExperimentConfig};
+use wsn_core::CoreError;
+use wsn_netsim::stats::MinAvgMax;
+
+/// Seed-averaged measurements of one experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AveragedOutcome {
+    /// The plot label of the algorithm ("Centralized", "Global-NN", …).
+    pub label: String,
+    /// Number of seeds averaged.
+    pub seeds: u64,
+    /// Average transmit energy per node per sampling round, in joules.
+    pub avg_tx_per_node_per_round: f64,
+    /// Average receive energy per node per sampling round, in joules.
+    pub avg_rx_per_node_per_round: f64,
+    /// Min / avg / max total energy consumed by a node over the run
+    /// (averaged element-wise across seeds) — the quantity of Figure 5.
+    pub total_energy: MinAvgMax,
+    /// Detection accuracy (fraction of nodes exactly correct), averaged.
+    pub accuracy: f64,
+    /// Mean per-node recall of the true outliers, averaged across seeds.
+    pub mean_recall: f64,
+    /// Fraction of seeds in which every node's estimate agreed with every
+    /// other node's (Theorem 1; global algorithm only).
+    pub agreement_rate: f64,
+    /// Fraction of seeds that reached protocol quiescence before the deadline.
+    pub quiescence_rate: f64,
+    /// Average number of protocol data points broadcast (distributed
+    /// algorithms only).
+    pub avg_data_points_sent: f64,
+    /// Average total packets transmitted in the network.
+    pub avg_packets_sent: f64,
+    /// Average max-over-average radio-activity imbalance (§8).
+    pub avg_traffic_imbalance: f64,
+}
+
+impl AveragedOutcome {
+    /// Average total energy per node per sampling round (TX + RX + idle),
+    /// divided evenly across rounds.
+    pub fn avg_total_per_node_per_round(&self, rounds: usize) -> f64 {
+        if rounds == 0 {
+            0.0
+        } else {
+            self.total_energy.avg / rounds as f64
+        }
+    }
+
+    /// The Figure 6 view: the per-node energy spread normalised by its mean.
+    pub fn normalized_energy(&self) -> MinAvgMax {
+        self.total_energy.normalized()
+    }
+}
+
+/// Runs `config` once per seed in `0..seeds` (offsetting both the simulation
+/// and trace seeds) and averages the results.
+///
+/// The runs are independent, so they execute on separate threads; the paper's
+/// four repetitions therefore cost roughly one.
+///
+/// # Errors
+///
+/// Returns the first error any run produced (invalid configuration,
+/// disconnected deployment, trace-generation failure).
+pub fn run_averaged(config: &ExperimentConfig, seeds: u64) -> Result<AveragedOutcome, CoreError> {
+    assert!(seeds > 0, "at least one seed is required");
+    let configs: Vec<ExperimentConfig> = (0..seeds)
+        .map(|s| {
+            let mut c = config.clone();
+            c.sim_seed = config.sim_seed + s;
+            c.trace_seed = config.trace_seed + s;
+            c
+        })
+        .collect();
+
+    let outcomes: Vec<Result<wsn_core::experiment::ExperimentOutcome, CoreError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = configs
+                .iter()
+                .map(|c| scope.spawn(move || run_experiment(c)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
+        });
+
+    let mut runs = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        runs.push(outcome?);
+    }
+
+    let count = runs.len() as f64;
+    let mean = |f: &dyn Fn(&wsn_core::experiment::ExperimentOutcome) -> f64| {
+        runs.iter().map(|r| f(r)).sum::<f64>() / count
+    };
+    let total_energy = MinAvgMax {
+        min: mean(&|r| r.total_energy_summary().min),
+        avg: mean(&|r| r.total_energy_summary().avg),
+        max: mean(&|r| r.total_energy_summary().max),
+    };
+
+    Ok(AveragedOutcome {
+        label: runs[0].label.clone(),
+        seeds,
+        avg_tx_per_node_per_round: mean(&|r| r.avg_tx_energy_per_node_per_round()),
+        avg_rx_per_node_per_round: mean(&|r| r.avg_rx_energy_per_node_per_round()),
+        total_energy,
+        accuracy: mean(&|r| r.accuracy()),
+        mean_recall: mean(&|r| r.mean_recall()),
+        agreement_rate: mean(&|r| if r.all_estimates_agree { 1.0 } else { 0.0 }),
+        quiescence_rate: mean(&|r| if r.quiescent { 1.0 } else { 0.0 }),
+        avg_data_points_sent: mean(&|r| r.data_points_sent as f64),
+        avg_packets_sent: mean(&|r| r.stats.total_packets_sent() as f64),
+        avg_traffic_imbalance: mean(&|r| r.stats.traffic_imbalance()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_core::experiment::{AlgorithmConfig, RankingChoice};
+
+    fn tiny() -> ExperimentConfig {
+        let mut c = ExperimentConfig::small();
+        c.trace.rounds = 4;
+        c
+    }
+
+    #[test]
+    fn averaging_a_single_seed_matches_a_direct_run() {
+        let config = tiny();
+        let direct = run_experiment(&config).unwrap();
+        let averaged = run_averaged(&config, 1).unwrap();
+        assert_eq!(averaged.label, direct.label);
+        assert!(
+            (averaged.avg_tx_per_node_per_round - direct.avg_tx_energy_per_node_per_round()).abs()
+                < 1e-12
+        );
+        assert!((averaged.accuracy - direct.accuracy()).abs() < 1e-12);
+        assert_eq!(averaged.quiescence_rate, 1.0);
+    }
+
+    #[test]
+    fn averaging_multiple_seeds_runs_them_all() {
+        let config = tiny();
+        let averaged = run_averaged(&config, 3).unwrap();
+        assert_eq!(averaged.seeds, 3);
+        assert!(averaged.avg_packets_sent > 0.0);
+        assert!(averaged.total_energy.max >= averaged.total_energy.avg);
+        assert!(averaged.total_energy.avg >= averaged.total_energy.min);
+        assert!(averaged.normalized_energy().avg == 1.0);
+        assert!(averaged.avg_total_per_node_per_round(4) > 0.0);
+        assert_eq!(averaged.avg_total_per_node_per_round(0), 0.0);
+    }
+
+    #[test]
+    fn centralized_and_distributed_share_the_interface() {
+        let distributed = run_averaged(&tiny(), 1).unwrap();
+        let centralized = run_averaged(
+            &tiny().with_algorithm(AlgorithmConfig::Centralized { ranking: RankingChoice::Nn }),
+            1,
+        )
+        .unwrap();
+        assert_eq!(centralized.label, "Centralized");
+        assert_eq!(centralized.avg_data_points_sent, 0.0);
+        assert!(distributed.avg_data_points_sent > 0.0);
+    }
+
+    #[test]
+    fn errors_propagate_out_of_the_average() {
+        let mut config = tiny();
+        config.transmission_range_m = 0.1;
+        assert!(run_averaged(&config, 2).is_err());
+    }
+}

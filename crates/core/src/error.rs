@@ -1,0 +1,69 @@
+//! Error types for the detection algorithms and experiment runner.
+
+use std::error::Error;
+use std::fmt;
+use wsn_data::DataError;
+
+/// Errors produced while configuring or running the detection algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration parameter was invalid (zero outliers requested, zero
+    /// hop diameter, empty network, …).
+    InvalidConfig(String),
+    /// An error bubbled up from the data layer (trace generation, windows).
+    Data(DataError),
+    /// The deployment's communication graph is not connected at the
+    /// configured radio range; the algorithms' correctness guarantees need a
+    /// connected network (§4.2).
+    DisconnectedNetwork,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::DisconnectedNetwork => {
+                write!(f, "the communication graph is not connected at the configured radio range")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidConfig("n must be positive".into());
+        assert!(e.to_string().contains("n must be positive"));
+        assert!(e.source().is_none());
+        let e: CoreError = DataError::EmptyWindow.into();
+        assert!(e.to_string().contains("window"));
+        assert!(e.source().is_some());
+        assert!(CoreError::DisconnectedNetwork.to_string().contains("connected"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,380 @@
+//! The global distributed outlier detection algorithm (§5, Algorithm 1).
+//!
+//! Every sensor `p_i` keeps
+//!
+//! * `P_i` — the points it currently holds (its own samples plus everything
+//!   it has received), stored in a sliding window,
+//! * `D^i_{i,j}` — the points it has sent to each neighbour `p_j`, and
+//! * `D^i_{j,i}` — the points it has received from each neighbour,
+//!
+//! and, whenever any local event fires, computes for every neighbour a
+//! *sufficient set* `Z_j` (equation (2), see [`crate::sufficient`]), sends
+//! `Z_j` minus what it already knows the neighbour has, and records the sent
+//! points. Communication stops exactly when every sensor individually finds
+//! nothing left to send; Theorems 1 and 2 guarantee that at that moment all
+//! estimates agree and equal the true `O_n(⋃_i D_i)`.
+
+use crate::detector::OutlierDetector;
+use crate::message::OutlierBroadcast;
+use crate::sufficient::sufficient_set;
+use std::collections::BTreeMap;
+use wsn_data::window::WindowConfig;
+use wsn_data::{DataPoint, PointSet, SensorId, SlidingWindow, Timestamp};
+use wsn_ranking::{top_n_outliers, OutlierEstimate, RankingFunction};
+
+/// Per-sensor state of the global algorithm.
+#[derive(Debug, Clone)]
+pub struct GlobalNode<R> {
+    id: SensorId,
+    ranking: R,
+    n: usize,
+    window: SlidingWindow,
+    sent_to: BTreeMap<SensorId, PointSet>,
+    recv_from: BTreeMap<SensorId, PointSet>,
+    points_sent: u64,
+    points_received: u64,
+}
+
+impl<R: RankingFunction> GlobalNode<R> {
+    /// Creates the state for sensor `id`, reporting the top `n` outliers
+    /// under `ranking` over a sliding window configured by `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — the paper's problem statement requires at
+    /// least one outlier to be reported.
+    pub fn new(id: SensorId, ranking: R, n: usize, window: WindowConfig) -> Self {
+        assert!(n > 0, "the number of reported outliers n must be at least 1");
+        GlobalNode {
+            id,
+            ranking,
+            n,
+            window: SlidingWindow::new(window),
+            sent_to: BTreeMap::new(),
+            recv_from: BTreeMap::new(),
+            points_sent: 0,
+            points_received: 0,
+        }
+    }
+
+    /// The ranking function in use.
+    pub fn ranking(&self) -> &R {
+        &self.ranking
+    }
+
+    /// Total data points this node has put on the air so far.
+    pub fn points_sent(&self) -> u64 {
+        self.points_sent
+    }
+
+    /// Total data points this node has accepted from neighbours so far.
+    pub fn points_received(&self) -> u64 {
+        self.points_received
+    }
+
+    /// The points this node knows it shares with `neighbor`
+    /// (`D^i_{i,j} ∪ D^i_{j,i}`).
+    pub fn known_common_with(&self, neighbor: SensorId) -> PointSet {
+        let sent = self.sent_to.get(&neighbor).cloned().unwrap_or_default();
+        let recv = self.recv_from.get(&neighbor).cloned().unwrap_or_default();
+        sent.union(&recv)
+    }
+
+    /// Convenience constructor of local observations for this node, used by
+    /// tests and examples.
+    pub fn local_point(
+        &self,
+        epoch: u64,
+        timestamp: Timestamp,
+        features: Vec<f64>,
+    ) -> Result<DataPoint, wsn_data::DataError> {
+        DataPoint::new(self.id, wsn_data::Epoch(epoch), timestamp, features)
+    }
+}
+
+impl<R: RankingFunction> OutlierDetector for GlobalNode<R> {
+    fn id(&self) -> SensorId {
+        self.id
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn add_local_points(&mut self, points: Vec<DataPoint>) {
+        for mut p in points {
+            p.hop = 0;
+            self.window.insert(p);
+        }
+    }
+
+    fn receive(&mut self, from: SensorId, points: Vec<DataPoint>) {
+        let received = self.recv_from.entry(from).or_default();
+        for p in points {
+            // Record that the neighbour holds this point whether or not it is
+            // new to us; both facts suppress future redundant sends.
+            received.insert(p.clone());
+            if self.window.insert(p) {
+                self.points_received += 1;
+            }
+        }
+    }
+
+    fn advance_time(&mut self, now: Timestamp) {
+        self.window.advance_to(now);
+        let cutoff = self.window.config().cutoff(now);
+        for set in self.sent_to.values_mut() {
+            set.evict_older_than(cutoff);
+        }
+        for set in self.recv_from.values_mut() {
+            set.evict_older_than(cutoff);
+        }
+    }
+
+    fn process(&mut self, neighbors: &[SensorId]) -> Option<OutlierBroadcast> {
+        let pi = self.window.contents().clone();
+        let mut message = OutlierBroadcast::new();
+        for &j in neighbors {
+            if j == self.id {
+                continue;
+            }
+            let known = self.known_common_with(j);
+            let z = sufficient_set(&self.ranking, self.n, &pi, &known);
+            let to_send = z.difference(&known);
+            if to_send.is_empty() {
+                continue;
+            }
+            let sent = self.sent_to.entry(j).or_default();
+            for p in to_send.iter() {
+                sent.insert(p.clone());
+            }
+            self.points_sent += to_send.len() as u64;
+            message.add_entry(j, to_send.to_vec());
+        }
+        if message.is_empty() {
+            None
+        } else {
+            Some(message)
+        }
+    }
+
+    fn estimate(&self) -> OutlierEstimate {
+        top_n_outliers(&self.ranking, self.n, self.window.contents())
+    }
+
+    fn held_points(&self) -> &PointSet {
+        self.window.contents()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_data::Epoch;
+    use wsn_ranking::{KnnAverageDistance, NnDistance};
+
+    fn pt(origin: u32, epoch: u64, v: f64) -> DataPoint {
+        DataPoint::new(SensorId(origin), Epoch(epoch), Timestamp::from_secs(1), vec![v]).unwrap()
+    }
+
+    fn window() -> WindowConfig {
+        WindowConfig::from_secs(1_000).unwrap()
+    }
+
+    fn section_5_1_nodes(a: u64, b: u64) -> (GlobalNode<NnDistance>, GlobalNode<NnDistance>) {
+        let mut pi = GlobalNode::new(SensorId(1), NnDistance, 1, window());
+        let mut di = vec![0.5, 3.0, 6.0];
+        di.extend((10..=a).map(|v| v as f64));
+        pi.add_local_points(di.iter().enumerate().map(|(e, v)| pt(1, e as u64, *v)).collect());
+
+        let mut pj = GlobalNode::new(SensorId(2), NnDistance, 1, window());
+        let mut dj = vec![4.0, 5.0, 7.0, 8.0, 9.0];
+        dj.extend((a + 1..=a + b).map(|v| v as f64));
+        pj.add_local_points(dj.iter().enumerate().map(|(e, v)| pt(2, e as u64, *v)).collect());
+        (pi, pj)
+    }
+
+    /// Runs the two-node exchange until neither node has anything to send,
+    /// returning the number of data points exchanged.
+    fn run_two_nodes(
+        pi: &mut GlobalNode<NnDistance>,
+        pj: &mut GlobalNode<NnDistance>,
+    ) -> u64 {
+        let mut exchanged = 0;
+        for _ in 0..50 {
+            let mut progress = false;
+            if let Some(m) = pi.process(&[pj.id()]) {
+                let pts = m.points_for(pj.id());
+                exchanged += pts.len() as u64;
+                pj.receive(pi.id(), pts);
+                progress = true;
+            }
+            if let Some(m) = pj.process(&[pi.id()]) {
+                let pts = m.points_for(pi.id());
+                exchanged += pts.len() as u64;
+                pi.receive(pj.id(), pts);
+                progress = true;
+            }
+            if !progress {
+                return exchanged;
+            }
+        }
+        panic!("two-node exchange did not terminate");
+    }
+
+    #[test]
+    fn n_must_be_positive() {
+        let result = std::panic::catch_unwind(|| {
+            GlobalNode::new(SensorId(1), NnDistance, 0, window())
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn section_5_1_converges_to_the_correct_outlier() {
+        let (mut pi, mut pj) = section_5_1_nodes(20, 15);
+        assert_eq!(pi.estimate().points()[0].features, vec![6.0]);
+        let exchanged = run_two_nodes(&mut pi, &mut pj);
+        // Both nodes agree on the correct global answer {0.5}.
+        assert_eq!(pi.estimate().points()[0].features, vec![0.5]);
+        assert_eq!(pj.estimate().points()[0].features, vec![0.5]);
+        assert!(pi.estimate().same_outliers_as(&pj.estimate()));
+        // Far less data moved than the centralized min{a-6, b+5} = 14 points.
+        assert!(exchanged <= 8, "exchanged {exchanged} points");
+        assert!(pi.points_sent() + pj.points_sent() == exchanged);
+    }
+
+    #[test]
+    fn communication_is_proportional_to_outliers_not_data_size() {
+        // Quadrupling the bulk of the data barely changes the exchange size.
+        let (mut pi_small, mut pj_small) = section_5_1_nodes(20, 15);
+        let small = run_two_nodes(&mut pi_small, &mut pj_small);
+        let (mut pi_big, mut pj_big) = section_5_1_nodes(80, 60);
+        let big = run_two_nodes(&mut pi_big, &mut pj_big);
+        assert!(big <= small + 2, "big exchange {big} vs small {small}");
+        // Centralizing would instead have cost min{a−6, b+5} = 65 points.
+        assert!(big < 20);
+    }
+
+    #[test]
+    fn termination_means_no_node_wants_to_send() {
+        let (mut pi, mut pj) = section_5_1_nodes(15, 10);
+        run_two_nodes(&mut pi, &mut pj);
+        assert!(pi.process(&[SensorId(2)]).is_none());
+        assert!(pj.process(&[SensorId(1)]).is_none());
+    }
+
+    #[test]
+    fn supports_agree_at_termination_theorem_1() {
+        let (mut pi, mut pj) = section_5_1_nodes(20, 15);
+        run_two_nodes(&mut pi, &mut pj);
+        let est_i = pi.estimate();
+        let est_j = pj.estimate();
+        assert!(est_i.same_outliers_as(&est_j));
+        // The supports over each node's holdings also agree (Theorem 1 (ii)).
+        let support_i = wsn_ranking::function::support_of_set(
+            pi.ranking(),
+            pi.held_points(),
+            &est_i.to_point_set(),
+        );
+        let support_j = wsn_ranking::function::support_of_set(
+            pj.ranking(),
+            pj.held_points(),
+            &est_j.to_point_set(),
+        );
+        assert_eq!(support_i, support_j);
+    }
+
+    #[test]
+    fn works_with_knn_ranking_and_larger_n() {
+        let w = window();
+        let mut a = GlobalNode::new(SensorId(1), KnnAverageDistance::new(2), 2, w);
+        let mut b = GlobalNode::new(SensorId(2), KnnAverageDistance::new(2), 2, w);
+        a.add_local_points((0..20).map(|e| pt(1, e, 50.0 + e as f64 * 0.1)).collect());
+        a.add_local_points(vec![pt(1, 100, 0.0)]);
+        b.add_local_points((0..20).map(|e| pt(2, e, 52.0 + e as f64 * 0.1)).collect());
+        b.add_local_points(vec![pt(2, 100, 200.0)]);
+
+        let mut exchanged = 0;
+        for _ in 0..50 {
+            let mut progress = false;
+            if let Some(m) = a.process(&[SensorId(2)]) {
+                exchanged += m.point_count();
+                b.receive(SensorId(1), m.points_for(SensorId(2)));
+                progress = true;
+            }
+            if let Some(m) = b.process(&[SensorId(1)]) {
+                exchanged += m.point_count();
+                a.receive(SensorId(2), m.points_for(SensorId(1)));
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+        // The two injected extremes are the agreed global top-2.
+        let estimate = a.estimate();
+        assert!(estimate.same_outliers_as(&b.estimate()));
+        let values: Vec<f64> = estimate.points().iter().map(|p| p.features[0]).collect();
+        assert!(values.contains(&0.0));
+        assert!(values.contains(&200.0));
+        assert!(exchanged < 20);
+    }
+
+    #[test]
+    fn receive_records_points_even_if_already_held() {
+        let mut node = GlobalNode::new(SensorId(1), NnDistance, 1, window());
+        let shared = pt(1, 0, 5.0);
+        node.add_local_points(vec![shared.clone(), pt(1, 1, 6.0)]);
+        node.receive(SensorId(2), vec![shared.clone()]);
+        // The point was already held, so it does not count as new data …
+        assert_eq!(node.points_received(), 0);
+        // … but the node now knows the neighbour has it.
+        assert!(node.known_common_with(SensorId(2)).contains(&shared));
+        assert!(node.known_common_with(SensorId(3)).is_empty());
+    }
+
+    #[test]
+    fn window_eviction_also_cleans_the_bookkeeping_sets() {
+        let mut node =
+            GlobalNode::new(SensorId(1), NnDistance, 1, WindowConfig::from_secs(10).unwrap());
+        let old = DataPoint::new(SensorId(2), Epoch(0), Timestamp::from_secs(1), vec![1.0]).unwrap();
+        node.receive(SensorId(2), vec![old.clone()]);
+        assert!(node.known_common_with(SensorId(2)).contains(&old));
+        node.advance_time(Timestamp::from_secs(60));
+        assert!(node.held_points().is_empty());
+        assert!(node.known_common_with(SensorId(2)).is_empty());
+    }
+
+    #[test]
+    fn processing_with_no_neighbors_or_no_data_sends_nothing() {
+        let mut node = GlobalNode::new(SensorId(1), NnDistance, 1, window());
+        assert!(node.process(&[]).is_none());
+        assert!(node.process(&[SensorId(2)]).is_none());
+        node.add_local_points(vec![pt(1, 0, 1.0)]);
+        // A single point is its own estimate; the neighbour needs to know.
+        assert!(node.process(&[SensorId(2)]).is_some());
+        // Self is never a recipient.
+        assert!(node.process(&[SensorId(1)]).is_none());
+    }
+
+    #[test]
+    fn repeated_processing_without_new_events_is_idempotent() {
+        let mut node = GlobalNode::new(SensorId(1), NnDistance, 1, window());
+        node.add_local_points((0..10).map(|e| pt(1, e, e as f64)).collect());
+        let first = node.process(&[SensorId(2)]);
+        assert!(first.is_some());
+        // Everything sufficient has been recorded as sent: nothing new to say.
+        assert!(node.process(&[SensorId(2)]).is_none());
+        // A new neighbour, however, still needs the same points.
+        assert!(node.process(&[SensorId(3)]).is_some());
+    }
+
+    #[test]
+    fn local_point_constructor_uses_the_node_id() {
+        let node = GlobalNode::new(SensorId(9), NnDistance, 1, window());
+        let p = node.local_point(3, Timestamp::from_secs(2), vec![1.0]).unwrap();
+        assert_eq!(p.key.origin, SensorId(9));
+        assert_eq!(p.key.epoch, Epoch(3));
+    }
+}

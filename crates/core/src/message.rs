@@ -1,0 +1,135 @@
+//! The protocol message of the distributed algorithms.
+//!
+//! Because of the broadcast nature of the wireless medium, a sensor cannot
+//! send points to one neighbour without the others hearing them (§5.2).
+//! The algorithm therefore accumulates everything it needs to tell *any*
+//! neighbour into a single packet `M`: a list of point batches, each tagged
+//! with the id of the neighbour it is intended for. A neighbour receiving `M`
+//! extracts the points tagged with its own id and ignores the rest (though
+//! it still paid the receive energy — that is accounted by the simulator).
+
+use serde::{Deserialize, Serialize};
+use wsn_data::{DataPoint, SensorId};
+
+/// Fixed per-packet header bytes of the outlier protocol (sender id, entry
+/// count, per-entry lengths).
+pub const PROTOCOL_HEADER_BYTES: usize = 8;
+
+/// Per-recipient tag bytes inside the packet.
+pub const RECIPIENT_TAG_BYTES: usize = 4;
+
+/// The broadcast packet `M`: recipient-tagged point batches.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OutlierBroadcast {
+    entries: Vec<(SensorId, Vec<DataPoint>)>,
+}
+
+impl OutlierBroadcast {
+    /// Creates an empty packet.
+    pub fn new() -> Self {
+        OutlierBroadcast { entries: Vec::new() }
+    }
+
+    /// Appends a batch of points addressed to `recipient`. Empty batches are
+    /// ignored (the paper only appends non-empty `Z_j` differences).
+    pub fn add_entry(&mut self, recipient: SensorId, points: Vec<DataPoint>) {
+        if !points.is_empty() {
+            self.entries.push((recipient, points));
+        }
+    }
+
+    /// Returns `true` if no recipient has any points (nothing to broadcast).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of `(recipient, batch)` entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of points carried (counting duplicates across entries).
+    pub fn point_count(&self) -> usize {
+        self.entries.iter().map(|(_, pts)| pts.len()).sum()
+    }
+
+    /// The points tagged for `recipient` (what that neighbour extracts).
+    pub fn points_for(&self, recipient: SensorId) -> Vec<DataPoint> {
+        self.entries
+            .iter()
+            .filter(|(id, _)| *id == recipient)
+            .flat_map(|(_, pts)| pts.iter().cloned())
+            .collect()
+    }
+
+    /// Iterates over the entries.
+    pub fn entries(&self) -> impl Iterator<Item = (SensorId, &[DataPoint])> {
+        self.entries.iter().map(|(id, pts)| (*id, pts.as_slice()))
+    }
+
+    /// Bytes this packet occupies on the air: header, one tag per entry, and
+    /// the wire size of every carried point.
+    pub fn wire_size(&self) -> usize {
+        PROTOCOL_HEADER_BYTES
+            + self
+                .entries
+                .iter()
+                .map(|(_, pts)| {
+                    RECIPIENT_TAG_BYTES + pts.iter().map(DataPoint::wire_size).sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_data::{Epoch, Timestamp};
+
+    fn pt(origin: u32, epoch: u64) -> DataPoint {
+        DataPoint::new(SensorId(origin), Epoch(epoch), Timestamp::ZERO, vec![1.0, 2.0, 3.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_packet_is_empty_and_small() {
+        let m = OutlierBroadcast::new();
+        assert!(m.is_empty());
+        assert_eq!(m.point_count(), 0);
+        assert_eq!(m.wire_size(), PROTOCOL_HEADER_BYTES);
+        assert_eq!(m, OutlierBroadcast::default());
+    }
+
+    #[test]
+    fn empty_batches_are_not_recorded() {
+        let mut m = OutlierBroadcast::new();
+        m.add_entry(SensorId(2), vec![]);
+        assert!(m.is_empty());
+        m.add_entry(SensorId(2), vec![pt(1, 0)]);
+        assert!(!m.is_empty());
+        assert_eq!(m.entry_count(), 1);
+    }
+
+    #[test]
+    fn recipients_extract_only_their_points() {
+        let mut m = OutlierBroadcast::new();
+        m.add_entry(SensorId(2), vec![pt(1, 0), pt(1, 1)]);
+        m.add_entry(SensorId(3), vec![pt(1, 2)]);
+        assert_eq!(m.points_for(SensorId(2)).len(), 2);
+        assert_eq!(m.points_for(SensorId(3)).len(), 1);
+        assert!(m.points_for(SensorId(4)).is_empty());
+        assert_eq!(m.point_count(), 3);
+        assert_eq!(m.entries().count(), 2);
+    }
+
+    #[test]
+    fn wire_size_counts_tags_and_points() {
+        let mut m = OutlierBroadcast::new();
+        m.add_entry(SensorId(2), vec![pt(1, 0)]);
+        m.add_entry(SensorId(3), vec![pt(1, 0), pt(1, 1)]);
+        let expected = PROTOCOL_HEADER_BYTES
+            + 2 * RECIPIENT_TAG_BYTES
+            + 3 * pt(1, 0).wire_size();
+        assert_eq!(m.wire_size(), expected);
+    }
+}

@@ -1,0 +1,291 @@
+//! Ground truth, convergence and accuracy metrics (§7.2).
+//!
+//! The evaluation's headline accuracy claim is that "nodes converged upon the
+//! correct results approximately 99% of the time", with any error attributed
+//! to dropped packets. To measure the same quantity we need
+//!
+//! * the **global ground truth** `O_n(D)` over the union of every sensor's
+//!   window contents at a given moment,
+//! * the **semi-global ground truth** `O_n(D_i^{≤d})` per sensor, built from
+//!   the hop distances of the communication topology, and
+//! * per-node comparison of each detector's estimate against its own ground
+//!   truth, summarised as the fraction of nodes whose estimate is exactly
+//!   correct (the paper's detection accuracy).
+
+use std::collections::BTreeMap;
+
+use wsn_data::{DataPoint, PointSet, SensorId};
+use wsn_netsim::topology::Topology;
+use wsn_ranking::{top_n_outliers, OutlierEstimate, RankingFunction};
+
+/// The correct answers a deployment's detectors are measured against.
+///
+/// For the global algorithm every sensor shares the single answer
+/// `O_n(⋃_i D_i)`; for the semi-global algorithm each sensor `p_i` has its own
+/// answer `O_n(D_i^{≤d})` computed over the data sampled within `d` hops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    per_node: BTreeMap<SensorId, OutlierEstimate>,
+}
+
+impl GroundTruth {
+    /// Computes the global ground truth: every sensor listed in `sensors` is
+    /// assigned the same `O_n` over the union of all `local_data`.
+    pub fn global<R: RankingFunction + ?Sized>(
+        ranking: &R,
+        n: usize,
+        local_data: &BTreeMap<SensorId, Vec<DataPoint>>,
+    ) -> Self {
+        let union: PointSet = local_data.values().flatten().cloned().collect();
+        let answer = top_n_outliers(ranking, n, &union);
+        let per_node = local_data.keys().map(|id| (*id, answer.clone())).collect();
+        GroundTruth { per_node }
+    }
+
+    /// Computes the semi-global ground truth: sensor `p_i`'s answer is the
+    /// `O_n` of the union of the local data of every sensor within
+    /// `hop_diameter` hops of `p_i` in `topology` (including `p_i` itself).
+    pub fn semi_global<R: RankingFunction + ?Sized>(
+        ranking: &R,
+        n: usize,
+        local_data: &BTreeMap<SensorId, Vec<DataPoint>>,
+        topology: &Topology,
+        hop_diameter: u32,
+    ) -> Self {
+        let per_node = local_data
+            .keys()
+            .map(|&id| {
+                let in_range = topology.within_hops(id, hop_diameter);
+                let union: PointSet = in_range
+                    .iter()
+                    .filter_map(|peer| local_data.get(peer))
+                    .flatten()
+                    .cloned()
+                    .collect();
+                (id, top_n_outliers(ranking, n, &union))
+            })
+            .collect();
+        GroundTruth { per_node }
+    }
+
+    /// The correct answer for one sensor, if it is part of the deployment.
+    pub fn answer_for(&self, id: SensorId) -> Option<&OutlierEstimate> {
+        self.per_node.get(&id)
+    }
+
+    /// Number of sensors the ground truth covers.
+    pub fn node_count(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Iterates over `(sensor, correct answer)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (SensorId, &OutlierEstimate)> {
+        self.per_node.iter().map(|(id, est)| (*id, est))
+    }
+
+    /// Grades a set of per-node estimates against this ground truth.
+    pub fn grade(&self, estimates: &BTreeMap<SensorId, OutlierEstimate>) -> AccuracyReport {
+        let mut report = AccuracyReport::default();
+        for (id, truth) in &self.per_node {
+            report.total_nodes += 1;
+            match estimates.get(id) {
+                Some(estimate) => {
+                    if estimate.same_outliers_as(truth) {
+                        report.correct_nodes += 1;
+                    } else {
+                        report.incorrect.push(*id);
+                    }
+                    let truth_keys = truth.keys();
+                    if !truth_keys.is_empty() {
+                        let found = truth_keys
+                            .iter()
+                            .filter(|key| estimate.contains_key(key))
+                            .count();
+                        report.recall_sum += found as f64 / truth_keys.len() as f64;
+                    } else {
+                        report.recall_sum += 1.0;
+                    }
+                }
+                None => report.missing.push(*id),
+            }
+        }
+        report
+    }
+}
+
+/// The result of grading every node's estimate against the ground truth.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccuracyReport {
+    /// Number of sensors graded.
+    pub total_nodes: usize,
+    /// Number of sensors whose estimate exactly matched the correct answer.
+    pub correct_nodes: usize,
+    /// Sensors whose estimate differed from the correct answer.
+    pub incorrect: Vec<SensorId>,
+    /// Sensors for which no estimate was supplied.
+    pub missing: Vec<SensorId>,
+    /// Sum over graded sensors of the fraction of their true outliers that
+    /// appear in their estimate (used by [`AccuracyReport::mean_recall`]).
+    pub recall_sum: f64,
+}
+
+impl AccuracyReport {
+    /// Fraction of graded sensors with the exactly correct estimate (the
+    /// paper's detection accuracy). Returns 1.0 for an empty deployment.
+    pub fn accuracy(&self) -> f64 {
+        if self.total_nodes == 0 {
+            return 1.0;
+        }
+        self.correct_nodes as f64 / self.total_nodes as f64
+    }
+
+    /// Mean, over sensors, of the fraction of each sensor's true outliers
+    /// that its estimate contains. A gentler measure than exact-set equality:
+    /// a node that reports three of its four true outliers scores 0.75 here
+    /// and 0 under [`AccuracyReport::accuracy`]. Sensors that supplied no
+    /// estimate count as 0.
+    pub fn mean_recall(&self) -> f64 {
+        if self.total_nodes == 0 {
+            return 1.0;
+        }
+        self.recall_sum / self.total_nodes as f64
+    }
+
+    /// Returns `true` if every graded sensor is exactly correct — the state
+    /// Theorems 1 and 2 guarantee at termination on static data with no
+    /// packet loss.
+    pub fn all_correct(&self) -> bool {
+        self.correct_nodes == self.total_nodes
+    }
+}
+
+/// Returns `true` if every pair of estimates reports the same outlier set —
+/// the agreement property of Theorem 1.
+pub fn estimates_agree(estimates: &BTreeMap<SensorId, OutlierEstimate>) -> bool {
+    let mut iter = estimates.values();
+    let Some(first) = iter.next() else {
+        return true;
+    };
+    iter.all(|e| e.same_outliers_as(first))
+}
+
+/// Convenience: collects the union of every sensor's local data and computes
+/// `O_n(D)` directly (what a perfectly informed centralized node would report).
+pub fn global_answer<R: RankingFunction + ?Sized>(
+    ranking: &R,
+    n: usize,
+    local_data: &BTreeMap<SensorId, Vec<DataPoint>>,
+) -> OutlierEstimate {
+    let union: PointSet = local_data.values().flatten().cloned().collect();
+    top_n_outliers(ranking, n, &union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_data::stream::SensorSpec;
+    use wsn_data::{Epoch, Position, Timestamp};
+    use wsn_ranking::NnDistance;
+
+    fn pt(origin: u32, epoch: u64, v: f64) -> DataPoint {
+        DataPoint::new(SensorId(origin), Epoch(epoch), Timestamp::ZERO, vec![v]).unwrap()
+    }
+
+    /// Three sensors on a chain; sensor 0 holds the only extreme value.
+    fn local_data() -> BTreeMap<SensorId, Vec<DataPoint>> {
+        let mut data = BTreeMap::new();
+        data.insert(SensorId(0), vec![pt(0, 0, -100.0), pt(0, 1, 10.0), pt(0, 2, 10.2)]);
+        data.insert(SensorId(1), vec![pt(1, 0, 11.0), pt(1, 1, 11.3), pt(1, 2, 11.5)]);
+        data.insert(SensorId(2), vec![pt(2, 0, 12.0), pt(2, 1, 12.4), pt(2, 2, 12.7)]);
+        data
+    }
+
+    fn chain_topology() -> Topology {
+        let specs: Vec<SensorSpec> = (0..3)
+            .map(|i| SensorSpec::new(SensorId(i), Position::new(i as f64 * 5.0, 0.0)))
+            .collect();
+        Topology::from_specs(&specs, 6.0)
+    }
+
+    #[test]
+    fn global_truth_is_shared_by_every_node() {
+        let truth = GroundTruth::global(&NnDistance, 1, &local_data());
+        assert_eq!(truth.node_count(), 3);
+        for (_, answer) in truth.iter() {
+            assert_eq!(answer.points()[0].features, vec![-100.0]);
+        }
+        assert_eq!(
+            global_answer(&NnDistance, 1, &local_data()).points()[0].features,
+            vec![-100.0]
+        );
+    }
+
+    #[test]
+    fn semi_global_truth_respects_hop_distance() {
+        let truth = GroundTruth::semi_global(&NnDistance, 1, &local_data(), &chain_topology(), 1);
+        // Node 2 is two hops from node 0: its ground truth must not contain
+        // node 0's extreme value.
+        let answer_2 = truth.answer_for(SensorId(2)).unwrap();
+        assert_ne!(answer_2.points()[0].features, vec![-100.0]);
+        // Node 1 is adjacent to node 0: the extreme value is its answer.
+        let answer_1 = truth.answer_for(SensorId(1)).unwrap();
+        assert_eq!(answer_1.points()[0].features, vec![-100.0]);
+        assert!(truth.answer_for(SensorId(9)).is_none());
+    }
+
+    #[test]
+    fn semi_global_with_large_diameter_equals_global() {
+        let data = local_data();
+        let topo = chain_topology();
+        let semi = GroundTruth::semi_global(&NnDistance, 2, &data, &topo, 10);
+        let global = GroundTruth::global(&NnDistance, 2, &data);
+        for (id, answer) in global.iter() {
+            assert!(semi.answer_for(id).unwrap().same_outliers_as(answer));
+        }
+    }
+
+    #[test]
+    fn grading_counts_correct_incorrect_and_missing() {
+        let data = local_data();
+        let truth = GroundTruth::global(&NnDistance, 1, &data);
+        let correct = global_answer(&NnDistance, 1, &data);
+        let wrong = top_n_outliers(&NnDistance, 1, &data[&SensorId(1)].iter().cloned().collect());
+
+        let mut estimates = BTreeMap::new();
+        estimates.insert(SensorId(0), correct.clone());
+        estimates.insert(SensorId(1), wrong);
+        // Node 2 supplies nothing.
+        let report = truth.grade(&estimates);
+        assert_eq!(report.total_nodes, 3);
+        assert_eq!(report.correct_nodes, 1);
+        assert_eq!(report.incorrect, vec![SensorId(1)]);
+        assert_eq!(report.missing, vec![SensorId(2)]);
+        assert!((report.accuracy() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(!report.all_correct());
+        // Recall: node 0 found its single true outlier (1.0), node 1 found
+        // none of it (0.0), node 2 supplied nothing (0.0) — mean 1/3.
+        assert!((report.mean_recall() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_counts_as_fully_accurate() {
+        let report = AccuracyReport::default();
+        assert_eq!(report.accuracy(), 1.0);
+        assert_eq!(report.mean_recall(), 1.0);
+        assert!(report.all_correct());
+    }
+
+    #[test]
+    fn agreement_check_detects_disagreement() {
+        let data = local_data();
+        let correct = global_answer(&NnDistance, 1, &data);
+        let wrong = top_n_outliers(&NnDistance, 1, &data[&SensorId(1)].iter().cloned().collect());
+        let mut estimates = BTreeMap::new();
+        assert!(estimates_agree(&estimates), "an empty map trivially agrees");
+        estimates.insert(SensorId(0), correct.clone());
+        estimates.insert(SensorId(1), correct);
+        assert!(estimates_agree(&estimates));
+        estimates.insert(SensorId(2), wrong);
+        assert!(!estimates_agree(&estimates));
+    }
+}

@@ -1,0 +1,386 @@
+//! The semi-global (hop-limited) outlier detection algorithm (§6, Algorithm 2).
+//!
+//! Instead of the outliers of the whole network's data, each sensor computes
+//! the outliers of the data sampled within `d` hops of itself
+//! (`O_n(D_i^{≤d})`). Every point carries a hop counter: 0 at birth,
+//! incremented each time it is forwarded. A sensor keeps only the lowest-hop
+//! copy of each observation, runs the global sufficient-set computation
+//! separately on every hop-prefix `P_i^{≤h}` for `h ∈ [0, d−1]`, unions the
+//! results (keeping minimum hops), suppresses anything the neighbour already
+//! holds at an equal or smaller hop, and broadcasts the rest. Setting `d` to
+//! at least the network diameter makes the algorithm behave exactly like the
+//! global one.
+
+use crate::detector::OutlierDetector;
+use crate::message::OutlierBroadcast;
+use crate::sufficient::sufficient_set;
+use std::collections::BTreeMap;
+use wsn_data::window::WindowConfig;
+use wsn_data::{DataPoint, HopCount, PointSet, SensorId, SlidingWindow, Timestamp};
+use wsn_ranking::{top_n_outliers, OutlierEstimate, RankingFunction};
+
+/// Per-sensor state of the semi-global algorithm.
+#[derive(Debug, Clone)]
+pub struct SemiGlobalNode<R> {
+    id: SensorId,
+    ranking: R,
+    n: usize,
+    hop_diameter: HopCount,
+    window: SlidingWindow,
+    sent_to: BTreeMap<SensorId, PointSet>,
+    recv_from: BTreeMap<SensorId, PointSet>,
+    points_sent: u64,
+    points_received: u64,
+}
+
+impl<R: RankingFunction> SemiGlobalNode<R> {
+    /// Creates the state for sensor `id`, computing the top `n` outliers of
+    /// the data within `hop_diameter` hops (the paper's `d` / `ε` parameter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `hop_diameter` is zero.
+    pub fn new(
+        id: SensorId,
+        ranking: R,
+        n: usize,
+        hop_diameter: HopCount,
+        window: WindowConfig,
+    ) -> Self {
+        assert!(n > 0, "the number of reported outliers n must be at least 1");
+        assert!(hop_diameter > 0, "the hop diameter d must be at least 1");
+        SemiGlobalNode {
+            id,
+            ranking,
+            n,
+            hop_diameter,
+            window: SlidingWindow::new(window),
+            sent_to: BTreeMap::new(),
+            recv_from: BTreeMap::new(),
+            points_sent: 0,
+            points_received: 0,
+        }
+    }
+
+    /// The hop diameter `d` of the spatial extent of detection.
+    pub fn hop_diameter(&self) -> HopCount {
+        self.hop_diameter
+    }
+
+    /// The ranking function in use.
+    pub fn ranking(&self) -> &R {
+        &self.ranking
+    }
+
+    /// Total data points this node has put on the air so far.
+    pub fn points_sent(&self) -> u64 {
+        self.points_sent
+    }
+
+    /// Total data points this node has accepted from neighbours so far.
+    pub fn points_received(&self) -> u64 {
+        self.points_received
+    }
+
+    /// The points this node knows it shares with `neighbor`, at the hop
+    /// counts at which they were exchanged (min-hop merged).
+    pub fn known_common_with(&self, neighbor: SensorId) -> PointSet {
+        let sent = self.sent_to.get(&neighbor).cloned().unwrap_or_default();
+        let recv = self.recv_from.get(&neighbor).cloned().unwrap_or_default();
+        sent.union_min_hop(&recv)
+    }
+}
+
+impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
+    fn id(&self) -> SensorId {
+        self.id
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn add_local_points(&mut self, points: Vec<DataPoint>) {
+        for mut p in points {
+            p.hop = 0; // points are born at their origin
+            self.window.insert(p);
+        }
+    }
+
+    fn receive(&mut self, from: SensorId, points: Vec<DataPoint>) {
+        let received = self.recv_from.entry(from).or_default();
+        for p in points {
+            if p.hop > self.hop_diameter {
+                // A copy that travelled farther than the spatial extent can
+                // never influence this node's result; ignore it outright.
+                continue;
+            }
+            received.insert_min_hop(p.clone());
+            if self.window.insert(p) {
+                self.points_received += 1;
+            }
+        }
+    }
+
+    fn advance_time(&mut self, now: Timestamp) {
+        self.window.advance_to(now);
+        let cutoff = self.window.config().cutoff(now);
+        for set in self.sent_to.values_mut() {
+            set.evict_older_than(cutoff);
+        }
+        for set in self.recv_from.values_mut() {
+            set.evict_older_than(cutoff);
+        }
+    }
+
+    fn process(&mut self, neighbors: &[SensorId]) -> Option<OutlierBroadcast> {
+        let pi = self.window.contents().clone();
+        let mut message = OutlierBroadcast::new();
+        for &j in neighbors {
+            if j == self.id {
+                continue;
+            }
+            let known = self.known_common_with(j);
+            // Per-prefix sufficient sets, hop-incremented and min-merged.
+            let mut z = PointSet::new();
+            for h in 0..self.hop_diameter {
+                let pi_h = pi.filter_max_hop(h);
+                let known_h = known.filter_max_hop(h);
+                let z_h = sufficient_set(&self.ranking, self.n, &pi_h, &known_h);
+                for p in z_h.iter() {
+                    z.insert_min_hop(p.with_incremented_hop());
+                }
+            }
+            // Suppress points the neighbour already holds at an equal or
+            // smaller hop count.
+            let to_send: Vec<DataPoint> = z
+                .iter()
+                .filter(|x| match known.get(&x.key) {
+                    Some(y) => x.hop < y.hop,
+                    None => true,
+                })
+                .cloned()
+                .collect();
+            if to_send.is_empty() {
+                continue;
+            }
+            let sent = self.sent_to.entry(j).or_default();
+            for p in &to_send {
+                sent.insert_min_hop(p.clone());
+            }
+            self.points_sent += to_send.len() as u64;
+            message.add_entry(j, to_send);
+        }
+        if message.is_empty() {
+            None
+        } else {
+            Some(message)
+        }
+    }
+
+    fn estimate(&self) -> OutlierEstimate {
+        let in_range = self.window.contents().filter_max_hop(self.hop_diameter);
+        top_n_outliers(&self.ranking, self.n, &in_range)
+    }
+
+    fn held_points(&self) -> &PointSet {
+        self.window.contents()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_data::Epoch;
+    use wsn_ranking::NnDistance;
+
+    fn pt(origin: u32, epoch: u64, v: f64) -> DataPoint {
+        DataPoint::new(SensorId(origin), Epoch(epoch), Timestamp::from_secs(1), vec![v]).unwrap()
+    }
+
+    fn window() -> WindowConfig {
+        WindowConfig::from_secs(1_000).unwrap()
+    }
+
+    /// Builds a chain of `count` semi-global nodes with the given hop
+    /// diameter; node `i` holds a small cluster around `10 * i` plus, for the
+    /// first node, one clear outlier.
+    fn chain(count: u32, d: HopCount) -> Vec<SemiGlobalNode<NnDistance>> {
+        (0..count)
+            .map(|i| {
+                let mut node = SemiGlobalNode::new(SensorId(i), NnDistance, 1, d, window());
+                let base = 10.0 * i as f64;
+                node.add_local_points(
+                    (0..4).map(|e| pt(i, e, base + e as f64 * 0.1)).collect(),
+                );
+                node
+            })
+            .collect()
+    }
+
+    /// Synchronously runs the chain protocol (each node talks to its chain
+    /// neighbours) until no node has anything to send.
+    fn run_chain(nodes: &mut [SemiGlobalNode<NnDistance>]) {
+        let ids: Vec<SensorId> = nodes.iter().map(|n| n.id()).collect();
+        for _ in 0..100 {
+            let mut progress = false;
+            for idx in 0..nodes.len() {
+                let mut neighbors = Vec::new();
+                if idx > 0 {
+                    neighbors.push(ids[idx - 1]);
+                }
+                if idx + 1 < nodes.len() {
+                    neighbors.push(ids[idx + 1]);
+                }
+                if let Some(m) = nodes[idx].process(&neighbors) {
+                    progress = true;
+                    for (nb_idx, nb_id) in ids.iter().enumerate() {
+                        if neighbors.contains(nb_id) {
+                            let pts = m.points_for(*nb_id);
+                            if !pts.is_empty() {
+                                let from = ids[idx];
+                                nodes[nb_idx].receive(from, pts);
+                            }
+                        }
+                    }
+                }
+            }
+            if !progress {
+                return;
+            }
+        }
+        panic!("chain protocol did not terminate");
+    }
+
+    #[test]
+    fn constructor_validates_parameters() {
+        assert!(std::panic::catch_unwind(|| SemiGlobalNode::new(
+            SensorId(1),
+            NnDistance,
+            0,
+            1,
+            window()
+        ))
+        .is_err());
+        assert!(std::panic::catch_unwind(|| SemiGlobalNode::new(
+            SensorId(1),
+            NnDistance,
+            1,
+            0,
+            window()
+        ))
+        .is_err());
+        let node = SemiGlobalNode::new(SensorId(1), NnDistance, 2, 3, window());
+        assert_eq!(node.hop_diameter(), 3);
+        assert_eq!(node.n(), 2);
+        assert_eq!(node.id(), SensorId(1));
+    }
+
+    #[test]
+    fn local_points_are_reset_to_hop_zero() {
+        let mut node = SemiGlobalNode::new(SensorId(1), NnDistance, 1, 2, window());
+        node.add_local_points(vec![pt(1, 0, 5.0).with_hop(7)]);
+        assert_eq!(node.held_points().iter().next().unwrap().hop, 0);
+    }
+
+    #[test]
+    fn points_beyond_the_hop_diameter_are_ignored_on_receipt() {
+        let mut node = SemiGlobalNode::new(SensorId(1), NnDistance, 1, 2, window());
+        node.receive(SensorId(2), vec![pt(2, 0, 5.0).with_hop(3)]);
+        assert!(node.held_points().is_empty());
+        assert_eq!(node.points_received(), 0);
+        node.receive(SensorId(2), vec![pt(2, 1, 5.0).with_hop(2)]);
+        assert_eq!(node.points_received(), 1);
+    }
+
+    #[test]
+    fn sent_points_carry_incremented_hops_bounded_by_d() {
+        let mut node = SemiGlobalNode::new(SensorId(1), NnDistance, 1, 2, window());
+        node.add_local_points((0..4).map(|e| pt(1, e, e as f64)).collect());
+        node.receive(SensorId(3), vec![pt(3, 0, 100.0).with_hop(1)]);
+        let m = node.process(&[SensorId(2)]).expect("something to send");
+        for p in m.points_for(SensorId(2)) {
+            assert!(p.hop >= 1, "forwarded copies have travelled at least one hop");
+            assert!(p.hop <= 2, "no copy may claim more hops than the diameter");
+        }
+    }
+
+    #[test]
+    fn chain_with_d1_keeps_detection_local() {
+        // Three nodes in a chain, d = 1: the ends never learn about each
+        // other's data, so their estimates are based on at most their own and
+        // the middle node's points.
+        let mut nodes = chain(3, 1);
+        // Give node 0 an extreme outlier.
+        nodes[0].add_local_points(vec![pt(0, 99, -500.0)]);
+        run_chain(&mut nodes);
+        // Node 2 must not hold the far-away outlier: it lives two hops away.
+        assert!(
+            !nodes[2].held_points().iter().any(|p| p.features[0] == -500.0),
+            "a d=1 node must never see data from two hops away"
+        );
+        // Node 1 (adjacent) does see it and reports it.
+        assert_eq!(nodes[1].estimate().points()[0].features, vec![-500.0]);
+    }
+
+    #[test]
+    fn chain_with_large_d_behaves_like_the_global_algorithm() {
+        let mut nodes = chain(4, 8);
+        nodes[3].add_local_points(vec![pt(3, 99, 500.0)]);
+        run_chain(&mut nodes);
+        // Everybody agrees on the single global outlier at 500.
+        for node in &nodes {
+            assert_eq!(
+                node.estimate().points()[0].features,
+                vec![500.0],
+                "node {} disagrees",
+                node.id()
+            );
+        }
+    }
+
+    #[test]
+    fn larger_hop_diameter_moves_more_points() {
+        let mut local = chain(4, 1);
+        run_chain(&mut local);
+        let sent_local: u64 = local.iter().map(|n| n.points_sent()).sum();
+
+        let mut wide = chain(4, 3);
+        run_chain(&mut wide);
+        let sent_wide: u64 = wide.iter().map(|n| n.points_sent()).sum();
+        assert!(
+            sent_wide > sent_local,
+            "d=3 sent {sent_wide} points, d=1 sent {sent_local}"
+        );
+    }
+
+    #[test]
+    fn known_common_tracks_minimum_hops() {
+        let mut node = SemiGlobalNode::new(SensorId(1), NnDistance, 1, 3, window());
+        node.receive(SensorId(2), vec![pt(3, 0, 5.0).with_hop(2)]);
+        node.receive(SensorId(2), vec![pt(3, 0, 5.0).with_hop(1)]);
+        let known = node.known_common_with(SensorId(2));
+        assert_eq!(known.get(&pt(3, 0, 5.0).key).unwrap().hop, 1);
+        assert!(node.known_common_with(SensorId(9)).is_empty());
+    }
+
+    #[test]
+    fn window_eviction_cleans_all_bookkeeping() {
+        let mut node =
+            SemiGlobalNode::new(SensorId(1), NnDistance, 1, 2, WindowConfig::from_secs(10).unwrap());
+        node.add_local_points(vec![pt(1, 0, 1.0)]);
+        node.receive(SensorId(2), vec![pt(2, 0, 2.0).with_hop(1)]);
+        node.advance_time(Timestamp::from_secs(100));
+        assert!(node.held_points().is_empty());
+        assert!(node.known_common_with(SensorId(2)).is_empty());
+    }
+
+    #[test]
+    fn estimate_only_uses_points_within_the_diameter() {
+        let mut node = SemiGlobalNode::new(SensorId(1), NnDistance, 1, 2, window());
+        node.add_local_points((0..4).map(|e| pt(1, e, e as f64 * 0.1)).collect());
+        node.receive(SensorId(2), vec![pt(5, 0, 1000.0).with_hop(2)]);
+        // The far value is within the diameter and dominates the estimate.
+        assert_eq!(node.estimate().points()[0].features, vec![1000.0]);
+    }
+}

@@ -1,0 +1,178 @@
+//! The sufficient-set computation of equation (2).
+//!
+//! Before talking to a neighbour `p_j`, a sensor `p_i` must decide which of
+//! its points could change `p_j`'s estimate if sent. A set `Z_j ⊆ P_i` is
+//! *sufficient* for `p_j` (eq. 2) if it contains
+//!
+//! 1. `p_i`'s own estimate and its support,
+//!    `O_n(P_i) ∪ [P_i | O_n(P_i)]`, and
+//! 2. the support (over `P_i`) of what `p_i` believes `p_j`'s estimate would
+//!    become after receiving `Z_j`:
+//!    `[P_i | O_n(D^i_{i,j} ∪ D^i_{j,i} ∪ Z_j)] ⊆ Z_j`.
+//!
+//! The second condition is self-referential, so the algorithm computes `Z_j`
+//! as a least fixed point: start from (1) and keep adding the support of the
+//! hypothetical estimate until nothing changes. Only `Z_j` minus what the
+//! neighbour provably already has is transmitted.
+
+use wsn_data::PointSet;
+use wsn_ranking::function::support_of_set;
+use wsn_ranking::{top_n_outliers, RankingFunction};
+
+/// Computes a set `Z_j` satisfying equation (2) for one neighbour.
+///
+/// * `pi` — the points this sensor currently holds (`P_i`),
+/// * `known_common` — the points this sensor knows it shares with the
+///   neighbour (`D^i_{i,j} ∪ D^i_{j,i}`),
+/// * `n` — the number of outliers to report.
+///
+/// The result always contains `O_n(P_i) ∪ [P_i|O_n(P_i)]`, is closed under
+/// the fixed-point rule above, and is a subset of `pi`. The algorithm figure
+/// notes the result "is not guaranteed to be the smallest set to do so" —
+/// the same applies here.
+pub fn sufficient_set<R: RankingFunction + ?Sized>(
+    ranking: &R,
+    n: usize,
+    pi: &PointSet,
+    known_common: &PointSet,
+) -> PointSet {
+    let own_estimate = top_n_outliers(ranking, n, pi);
+    let own_estimate_set = own_estimate.to_point_set();
+    let mut z = own_estimate_set.union(&support_of_set(ranking, pi, &own_estimate_set));
+
+    // Fixed point: Z_j ← Z_j ∪ [P_i | O_n(D_ij ∪ D_ji ∪ Z_j)].
+    loop {
+        let hypothetical = known_common.union(&z);
+        let neighbour_estimate = top_n_outliers(ranking, n, &hypothetical).to_point_set();
+        let support = support_of_set(ranking, pi, &neighbour_estimate);
+        if support.is_subset_of(&z) {
+            break;
+        }
+        z.extend_from(&support);
+    }
+    z
+}
+
+/// Convenience wrapper: the points of `Z_j` that actually need transmitting,
+/// i.e. `Z_j \ (D^i_{i,j} ∪ D^i_{j,i})`.
+pub fn points_to_send<R: RankingFunction + ?Sized>(
+    ranking: &R,
+    n: usize,
+    pi: &PointSet,
+    known_common: &PointSet,
+) -> PointSet {
+    sufficient_set(ranking, n, pi, known_common).difference(known_common)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_data::{DataPoint, Epoch, SensorId, Timestamp};
+    use wsn_ranking::function::support_of_set;
+    use wsn_ranking::{KnnAverageDistance, NnDistance};
+
+    fn pt(origin: u32, epoch: u64, v: f64) -> DataPoint {
+        DataPoint::new(SensorId(origin), Epoch(epoch), Timestamp::ZERO, vec![v]).unwrap()
+    }
+
+    /// The dataset of sensor p_i in the §5.1 walk-through with a = 15.
+    fn section_5_1_pi() -> PointSet {
+        let mut values = vec![0.5, 3.0, 6.0];
+        values.extend((10..=15).map(f64::from));
+        values.iter().enumerate().map(|(e, v)| pt(1, e as u64, *v)).collect()
+    }
+
+    #[test]
+    fn first_exchange_of_the_paper_example_sends_a_handful_of_points() {
+        // §5.1 step 1: the paper's run (with its tie-breaking) sends {3, 6}.
+        // Our tie-breaking order resolves the rank tie between 3 and 6 the
+        // other way, which additionally pulls in 0.5 — still a tiny fraction
+        // of P_i, still containing the eventual answer, and still a valid
+        // sufficient set per equation (2).
+        let pi = section_5_1_pi();
+        let z = sufficient_set(&NnDistance, 1, &pi, &PointSet::new());
+        let mut values: Vec<f64> = z.iter().map(|p| p.features[0]).collect();
+        values.sort_by(f64::total_cmp);
+        assert_eq!(values, vec![0.5, 3.0, 6.0]);
+        let to_send = points_to_send(&NnDistance, 1, &pi, &PointSet::new());
+        assert_eq!(to_send.len(), 3);
+        assert!(to_send.len() < pi.len() / 2, "far less than centralizing all of P_i");
+    }
+
+    #[test]
+    fn third_step_of_the_paper_example_sends_only_half() {
+        // §5.1 step 3: after receiving {4}, p_i holds {0.5, 3, 4, 6, 10..a},
+        // knows {3, 4, 6} is common, and must send exactly {0.5}.
+        let mut pi = section_5_1_pi();
+        pi.insert(pt(2, 100, 4.0));
+        let known: PointSet =
+            vec![pt(1, 1, 3.0), pt(1, 2, 6.0), pt(2, 100, 4.0)].into_iter().collect();
+        let to_send = points_to_send(&NnDistance, 1, &pi, &known);
+        let values: Vec<f64> = to_send.iter().map(|p| p.features[0]).collect();
+        assert_eq!(values, vec![0.5]);
+    }
+
+    #[test]
+    fn sufficient_set_satisfies_equation_2() {
+        let pi = section_5_1_pi();
+        let known: PointSet = vec![pt(1, 2, 6.0)].into_iter().collect();
+        for n in 1..4 {
+            for ranking in [
+                &NnDistance as &dyn wsn_ranking::RankingFunction,
+                &KnnAverageDistance::new(2),
+            ] {
+                let z = sufficient_set(ranking, n, &pi, &known);
+                // (a) Z ⊆ P_i.
+                assert!(z.is_subset_of(&pi));
+                // (b) O_n(P_i) ∪ [P_i|O_n(P_i)] ⊆ Z.
+                let own = top_n_outliers(ranking, n, &pi).to_point_set();
+                assert!(own.is_subset_of(&z));
+                assert!(support_of_set(ranking, &pi, &own).is_subset_of(&z));
+                // (c) [P_i | O_n(D_ij ∪ D_ji ∪ Z)] ⊆ Z.
+                let hypothetical = known.union(&z);
+                let est = top_n_outliers(ranking, n, &hypothetical).to_point_set();
+                assert!(support_of_set(ranking, &pi, &est).is_subset_of(&z));
+            }
+        }
+    }
+
+    #[test]
+    fn nothing_needs_sending_once_everything_is_common() {
+        let pi = section_5_1_pi();
+        let z = sufficient_set(&NnDistance, 1, &pi, &pi);
+        // Z is still well-defined (the estimate and its support) …
+        assert!(!z.is_empty());
+        // … but the difference against the common knowledge is empty.
+        assert!(points_to_send(&NnDistance, 1, &pi, &pi).is_empty());
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_sets() {
+        let empty = PointSet::new();
+        assert!(sufficient_set(&NnDistance, 3, &empty, &empty).is_empty());
+        assert!(points_to_send(&NnDistance, 3, &empty, &empty).is_empty());
+    }
+
+    #[test]
+    fn sufficient_set_is_much_smaller_than_pi_for_clustered_data() {
+        // The whole reason the algorithm saves bandwidth: only outliers and
+        // their supports travel, not the bulk of the data.
+        let mut points = Vec::new();
+        for e in 0..200 {
+            points.push(pt(1, e, 100.0 + (e % 10) as f64 * 0.01));
+        }
+        points.push(pt(1, 200, 0.5)); // one clear outlier
+        let pi: PointSet = points.into_iter().collect();
+        let z = sufficient_set(&NnDistance, 2, &pi, &PointSet::new());
+        assert!(z.len() <= 8, "sufficient set has {} points", z.len());
+        assert!(z.iter().any(|p| p.features[0] == 0.5));
+    }
+
+    #[test]
+    fn larger_n_never_shrinks_the_sufficient_set() {
+        let pi = section_5_1_pi();
+        let z1 = sufficient_set(&NnDistance, 1, &pi, &PointSet::new());
+        let z3 = sufficient_set(&NnDistance, 3, &pi, &PointSet::new());
+        assert!(z1.len() <= z3.len());
+    }
+}

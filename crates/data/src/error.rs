@@ -1,0 +1,68 @@
+//! Error types for the data layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or manipulating sensor data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A feature vector had a different dimensionality than the one expected
+    /// by the collection it was inserted into.
+    DimensionMismatch {
+        /// Dimensionality the collection expects.
+        expected: usize,
+        /// Dimensionality of the offending vector.
+        actual: usize,
+    },
+    /// A feature value was NaN, which would break the total order `≺`.
+    NonFiniteFeature {
+        /// Index of the offending feature.
+        index: usize,
+    },
+    /// A sliding window was configured with a zero-length duration.
+    EmptyWindow,
+    /// A trace or stream was asked for a sensor that does not exist.
+    UnknownSensor(u32),
+    /// A synthetic trace was requested with inconsistent parameters.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DimensionMismatch { expected, actual } => {
+                write!(f, "feature dimension mismatch: expected {expected}, got {actual}")
+            }
+            DataError::NonFiniteFeature { index } => {
+                write!(f, "non-finite feature value at index {index}")
+            }
+            DataError::EmptyWindow => write!(f, "sliding window duration must be positive"),
+            DataError::UnknownSensor(id) => write!(f, "unknown sensor id {id}"),
+            DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = DataError::DimensionMismatch { expected: 3, actual: 2 };
+        assert_eq!(e.to_string(), "feature dimension mismatch: expected 3, got 2");
+        let e = DataError::EmptyWindow;
+        assert!(e.to_string().starts_with("sliding window"));
+        let e = DataError::UnknownSensor(7);
+        assert_eq!(e.to_string(), "unknown sensor id 7");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

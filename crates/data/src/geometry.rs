@@ -1,0 +1,144 @@
+//! Planar geometry helpers: sensor positions on the deployment terrain.
+
+use serde::{Deserialize, Serialize};
+
+/// A position on the 2-D deployment terrain, in metres.
+///
+/// The paper simulates a 50 m × 50 m terrain; positions are also used as data
+/// features (the location coordinates fed to the ranking function, §7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Position {
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a new position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position, in metres.
+    ///
+    /// ```
+    /// use wsn_data::Position;
+    /// let a = Position::new(0.0, 0.0);
+    /// let b = Position::new(3.0, 4.0);
+    /// assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    /// ```
+    pub fn distance(&self, other: &Position) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root when only comparing).
+    pub fn distance_squared(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint between two positions.
+    pub fn midpoint(&self, other: &Position) -> Position {
+        Position::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Position {
+    fn from((x, y): (f64, f64)) -> Self {
+        Position::new(x, y)
+    }
+}
+
+/// Axis-aligned rectangular terrain on which sensors are deployed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Terrain {
+    /// Width of the terrain in metres.
+    pub width: f64,
+    /// Height of the terrain in metres.
+    pub height: f64,
+}
+
+impl Terrain {
+    /// Creates a terrain of the given size.
+    pub fn new(width: f64, height: f64) -> Self {
+        Terrain { width, height }
+    }
+
+    /// The 50 m × 50 m terrain used in the paper's evaluation (§7.1).
+    pub fn paper_default() -> Self {
+        Terrain::new(50.0, 50.0)
+    }
+
+    /// Returns `true` if the position lies inside the terrain (inclusive).
+    pub fn contains(&self, p: &Position) -> bool {
+        p.x >= 0.0 && p.x <= self.width && p.y >= 0.0 && p.y <= self.height
+    }
+
+    /// Clamps a position into the terrain.
+    pub fn clamp(&self, p: Position) -> Position {
+        Position::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+
+    /// Terrain area in square metres.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+}
+
+impl Default for Terrain {
+    fn default() -> Self {
+        Terrain::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Position::new(1.5, -2.0);
+        let b = Position::new(-3.0, 7.25);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn distance_squared_matches_distance() {
+        let a = Position::new(2.0, 3.0);
+        let b = Position::new(5.0, 7.0);
+        assert!((a.distance_squared(&b) - 25.0).abs() < 1e-12);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(10.0, 20.0);
+        let m = a.midpoint(&b);
+        assert_eq!(m, Position::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn terrain_contains_and_clamps() {
+        let t = Terrain::paper_default();
+        assert!(t.contains(&Position::new(0.0, 0.0)));
+        assert!(t.contains(&Position::new(50.0, 50.0)));
+        assert!(!t.contains(&Position::new(50.1, 10.0)));
+        assert_eq!(t.clamp(Position::new(-1.0, 60.0)), Position::new(0.0, 50.0));
+        assert_eq!(t.area(), 2500.0);
+    }
+
+    #[test]
+    fn position_from_tuple() {
+        let p: Position = (1.0, 2.0).into();
+        assert_eq!(p, Position::new(1.0, 2.0));
+    }
+}

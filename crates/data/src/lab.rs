@@ -1,0 +1,314 @@
+//! The 53-sensor lab deployment used throughout the evaluation.
+//!
+//! The paper's experiments simulate the 53 sensors of the Intel Berkeley
+//! Research Lab trace, placed on a 50 m × 50 m terrain, with a uniform
+//! transmission range of ≈6.77 m (§7.1). The original mote coordinates are
+//! not redistributable here, so [`LabDeployment`] lays out the same number of
+//! sensors along the walls and central corridors of a lab-like floor plan:
+//! a perimeter ring plus interior rows, lightly jittered. What matters for
+//! the evaluation — 53 sensors, a connected multi-hop topology at the paper's
+//! radio range, realistic node degrees, and a sink near one corner for the
+//! centralized baseline — is preserved (see DESIGN.md §4).
+
+use crate::error::DataError;
+use crate::geometry::{Position, Terrain};
+use crate::point::SensorId;
+use crate::stream::{DeploymentTrace, SensorSpec};
+use crate::synth::{generate_trace, SyntheticTraceConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The transmission range the paper configures for every node, in metres.
+pub const PAPER_TRANSMISSION_RANGE_M: f64 = 6.77;
+
+/// Number of sensors in the full lab deployment.
+pub const LAB_SENSOR_COUNT: usize = 53;
+
+/// Number of sensors in the smaller scaling-study deployment (§7.1).
+pub const SMALL_SENSOR_COUNT: usize = 32;
+
+/// A concrete sensor deployment: positions on the terrain plus the sink used
+/// by the centralized baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabDeployment {
+    terrain: Terrain,
+    sensors: Vec<SensorSpec>,
+    sink: SensorId,
+}
+
+impl LabDeployment {
+    /// Builds the standard 53-sensor deployment, deterministically for the
+    /// given seed (the seed only perturbs the small placement jitter).
+    pub fn standard(seed: u64) -> Self {
+        Self::with_sensor_count(LAB_SENSOR_COUNT, seed)
+            .expect("the standard deployment parameters are always valid")
+    }
+
+    /// Builds a deployment with an arbitrary number of sensors on the
+    /// standard terrain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] if `count` is zero.
+    pub fn with_sensor_count(count: usize, seed: u64) -> Result<Self, DataError> {
+        if count == 0 {
+            return Err(DataError::InvalidParameter("sensor count must be positive".into()));
+        }
+        let terrain = Terrain::paper_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions = lab_layout(count, &terrain, &mut rng);
+        let sensors: Vec<SensorSpec> = positions
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| SensorSpec::new(SensorId(i as u32), p))
+            .collect();
+        // The sink of the centralized baseline sits near the corner of the
+        // floor plan, as a base station typically does.
+        let sink = sensors
+            .iter()
+            .min_by(|a, b| {
+                let da = a.position.distance_squared(&Position::new(0.0, 0.0));
+                let db = b.position.distance_squared(&Position::new(0.0, 0.0));
+                da.total_cmp(&db)
+            })
+            .map(|s| s.id)
+            .expect("at least one sensor exists");
+        Ok(LabDeployment { terrain, sensors, sink })
+    }
+
+    /// Uniformly subsamples the deployment down to `count` sensors (used for
+    /// the 32-node scaling study, §7.1). Sensor ids are preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] if `count` is zero or larger
+    /// than the current deployment.
+    pub fn subsample(&self, count: usize, seed: u64) -> Result<LabDeployment, DataError> {
+        if count == 0 || count > self.sensors.len() {
+            return Err(DataError::InvalidParameter(format!(
+                "subsample size {count} must be in 1..={}",
+                self.sensors.len()
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut chosen = self.sensors.clone();
+        chosen.shuffle(&mut rng);
+        chosen.truncate(count);
+        // Keep the sink if possible so the centralized baseline stays anchored.
+        if !chosen.iter().any(|s| s.id == self.sink) {
+            if let Some(sink_spec) = self.sensors.iter().find(|s| s.id == self.sink) {
+                chosen[0] = *sink_spec;
+            }
+        }
+        chosen.sort_by_key(|s| s.id);
+        Ok(LabDeployment { terrain: self.terrain, sensors: chosen, sink: self.sink })
+    }
+
+    /// The terrain the sensors are deployed on.
+    pub fn terrain(&self) -> Terrain {
+        self.terrain
+    }
+
+    /// The deployed sensors.
+    pub fn sensors(&self) -> &[SensorSpec] {
+        &self.sensors
+    }
+
+    /// Number of deployed sensors.
+    pub fn sensor_count(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// The sensor acting as the sink / base station for the centralized
+    /// baseline.
+    pub fn sink(&self) -> SensorId {
+        self.sink
+    }
+
+    /// Pairs of sensors within `range` metres of each other (the single-hop
+    /// communication graph).
+    pub fn adjacency(&self, range: f64) -> Vec<(SensorId, SensorId)> {
+        let mut edges = Vec::new();
+        for (i, a) in self.sensors.iter().enumerate() {
+            for b in self.sensors.iter().skip(i + 1) {
+                if a.position.distance(&b.position) <= range {
+                    edges.push((a.id, b.id));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Returns `true` if the single-hop graph at `range` is connected.
+    pub fn is_connected(&self, range: f64) -> bool {
+        if self.sensors.is_empty() {
+            return true;
+        }
+        let n = self.sensors.len();
+        let index_of = |id: SensorId| self.sensors.iter().position(|s| s.id == id).unwrap();
+        let mut adj = vec![Vec::new(); n];
+        for (a, b) in self.adjacency(range) {
+            let (ia, ib) = (index_of(a), index_of(b));
+            adj[ia].push(ib);
+            adj[ib].push(ia);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// Generates the synthetic Intel-lab-like trace for this deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors from the generator.
+    pub fn generate_trace(
+        &self,
+        config: &SyntheticTraceConfig,
+        seed: u64,
+    ) -> Result<DeploymentTrace, DataError> {
+        generate_trace(config, &self.sensors, seed)
+    }
+}
+
+/// Lays out `count` sensors on a lab-like floor plan: a perimeter ring and
+/// interior rows with a small jitter, spaced so that the paper's 6.77 m radio
+/// range yields a connected multi-hop network.
+fn lab_layout(count: usize, terrain: &Terrain, rng: &mut StdRng) -> Vec<Position> {
+    let mut positions = Vec::with_capacity(count);
+    // Row pitch of ~5.5 m keeps horizontal neighbours within radio range
+    // (6.77 m) even after jitter, like desks along lab corridors.
+    let rows = ((count as f64).sqrt().ceil() as usize).max(1);
+    let cols = count.div_ceil(rows);
+    let x_pitch = terrain.width / (cols as f64 + 1.0);
+    let y_pitch = terrain.height / (rows as f64 + 1.0);
+    'outer: for r in 0..rows {
+        for c in 0..cols {
+            if positions.len() >= count {
+                break 'outer;
+            }
+            // Stagger alternate rows to mimic the lab's offset desk rows.
+            let stagger = if r % 2 == 0 { 0.0 } else { x_pitch * 0.4 };
+            let jitter_x: f64 = rng.gen_range(-0.8..0.8);
+            let jitter_y: f64 = rng.gen_range(-0.8..0.8);
+            let p = Position::new(
+                (c as f64 + 1.0) * x_pitch + stagger + jitter_x,
+                (r as f64 + 1.0) * y_pitch + jitter_y,
+            );
+            positions.push(terrain.clamp(p));
+        }
+    }
+    positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_deployment_has_53_sensors_inside_the_terrain() {
+        let d = LabDeployment::standard(1);
+        assert_eq!(d.sensor_count(), 53);
+        let t = d.terrain();
+        assert!(d.sensors().iter().all(|s| t.contains(&s.position)));
+        // Ids are 0..53 and unique.
+        let mut ids: Vec<u32> = d.sensors().iter().map(|s| s.id.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 53);
+    }
+
+    #[test]
+    fn deployment_is_deterministic_per_seed() {
+        assert_eq!(LabDeployment::standard(5), LabDeployment::standard(5));
+        assert_ne!(LabDeployment::standard(5), LabDeployment::standard(6));
+    }
+
+    #[test]
+    fn standard_deployment_is_connected_at_paper_range() {
+        for seed in 0..4 {
+            let d = LabDeployment::standard(seed);
+            assert!(
+                d.is_connected(PAPER_TRANSMISSION_RANGE_M),
+                "deployment with seed {seed} must be connected at the paper's radio range"
+            );
+        }
+    }
+
+    #[test]
+    fn standard_deployment_is_multi_hop_not_a_clique() {
+        let d = LabDeployment::standard(0);
+        let edges = d.adjacency(PAPER_TRANSMISSION_RANGE_M).len();
+        let max_edges = 53 * 52 / 2;
+        assert!(edges > 52, "graph must have at least a spanning tree worth of edges");
+        assert!(edges < max_edges / 4, "graph must be sparse (multi-hop), got {edges} edges");
+    }
+
+    #[test]
+    fn sink_is_near_the_corner() {
+        let d = LabDeployment::standard(3);
+        let sink_pos = d
+            .sensors()
+            .iter()
+            .find(|s| s.id == d.sink())
+            .map(|s| s.position)
+            .unwrap();
+        assert!(sink_pos.x < 15.0 && sink_pos.y < 15.0);
+    }
+
+    #[test]
+    fn subsample_preserves_ids_and_size() {
+        let d = LabDeployment::standard(2);
+        let small = d.subsample(SMALL_SENSOR_COUNT, 9).unwrap();
+        assert_eq!(small.sensor_count(), 32);
+        let full_ids: Vec<SensorId> = d.sensors().iter().map(|s| s.id).collect();
+        assert!(small.sensors().iter().all(|s| full_ids.contains(&s.id)));
+        // The sink survives subsampling.
+        assert!(small.sensors().iter().any(|s| s.id == small.sink()));
+        // Determinism.
+        assert_eq!(d.subsample(32, 9).unwrap(), small);
+    }
+
+    #[test]
+    fn subsample_rejects_bad_sizes() {
+        let d = LabDeployment::standard(2);
+        assert!(d.subsample(0, 1).is_err());
+        assert!(d.subsample(54, 1).is_err());
+    }
+
+    #[test]
+    fn with_sensor_count_rejects_zero() {
+        assert!(LabDeployment::with_sensor_count(0, 1).is_err());
+    }
+
+    #[test]
+    fn generate_trace_produces_one_stream_per_sensor() {
+        let d = LabDeployment::standard(0);
+        let cfg = SyntheticTraceConfig { rounds: 5, ..Default::default() };
+        let t = d.generate_trace(&cfg, 1).unwrap();
+        assert_eq!(t.sensor_count(), 53);
+        assert_eq!(t.round_count(), 5);
+    }
+
+    #[test]
+    fn average_degree_is_realistic_for_a_wsn() {
+        let d = LabDeployment::standard(1);
+        let edges = d.adjacency(PAPER_TRANSMISSION_RANGE_M).len();
+        let avg_degree = 2.0 * edges as f64 / d.sensor_count() as f64;
+        assert!(
+            (2.0..=12.0).contains(&avg_degree),
+            "average degree {avg_degree} should look like a sparse WSN"
+        );
+    }
+}

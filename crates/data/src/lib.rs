@@ -1,0 +1,57 @@
+//! # wsn-data
+//!
+//! Data model and workload substrate for the reproduction of *In-Network
+//! Outlier Detection in Wireless Sensor Networks* (Branch et al., ICDCS 2006).
+//!
+//! This crate provides everything the detection algorithms and the network
+//! simulator need to talk about data:
+//!
+//! * [`point::DataPoint`] — a time-stamped, multi-feature sensor observation
+//!   carrying the identity of the sensor that sampled it and (for the
+//!   semi-global algorithm) a hop counter,
+//! * [`order`] — the tie-breaking total linear order `≺` the paper assumes so
+//!   that ranking functions become injective,
+//! * [`set::PointSet`] — the point collections (`D_i`, `P_i`, `D^i_{i,j}`, …)
+//!   manipulated by the protocol, with the min-hop merge semantics of §6,
+//! * [`window::SlidingWindow`] — the time-based sliding window of §5.3,
+//! * [`stream`] — per-sensor sample streams and whole-deployment traces,
+//! * [`impute`] — sliding-window-mean imputation of missing readings (§7.1),
+//! * [`synth`] — a spatio-temporally correlated synthetic temperature field
+//!   with injected anomalies, and
+//! * [`lab`] — a 53-sensor Intel-Berkeley-lab-like deployment on a
+//!   50 m × 50 m floor plan (the substitution for the paper's real trace).
+//!
+//! # Example
+//!
+//! ```
+//! use wsn_data::lab::LabDeployment;
+//!
+//! // Build the 53-sensor deployment used throughout the evaluation.
+//! let deployment = LabDeployment::standard(42);
+//! assert_eq!(deployment.sensor_count(), 53);
+//! // Every sensor sits inside the 50 m x 50 m terrain.
+//! for s in deployment.sensors() {
+//!     assert!(s.position.x >= 0.0 && s.position.x <= 50.0);
+//!     assert!(s.position.y >= 0.0 && s.position.y <= 50.0);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod geometry;
+pub mod impute;
+pub mod lab;
+pub mod order;
+pub mod point;
+pub mod set;
+pub mod stream;
+pub mod synth;
+pub mod window;
+
+pub use error::DataError;
+pub use geometry::Position;
+pub use point::{DataPoint, Epoch, FeatureVec, HopCount, PointKey, SensorId, Timestamp};
+pub use set::PointSet;
+pub use window::SlidingWindow;

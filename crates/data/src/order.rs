@@ -1,0 +1,177 @@
+//! The tie-breaking total linear order `≺` on data points.
+//!
+//! The paper (§4.1) assumes a fixed total linear order on the data space used
+//! to break ties, so that the ranking function `R(·, Q)` induces a total
+//! linear ordering (equivalently, is one-to-one). We realise `≺` as a
+//! lexicographic comparison on `(features, origin, epoch)`:
+//!
+//! * features are compared with [`f64::total_cmp`], element by element, then
+//!   by length, so points with distinct feature vectors are ordered by value;
+//! * points with identical feature vectors are disambiguated by the identity
+//!   of the sensor that sampled them and the epoch — guaranteeing that two
+//!   distinct observations never compare equal.
+//!
+//! The same machinery provides [`RankedPoint`], the `(rank, point)` pair
+//! ordered by descending rank with `≺` as the tie-breaker — exactly the order
+//! in which the top-`n` outliers `O_n(D)` are selected.
+
+use crate::point::DataPoint;
+use std::cmp::Ordering;
+
+/// Compares two points under the total linear order `≺`.
+///
+/// This order is used only for tie-breaking; it is not a measure of
+/// "outlierness".
+///
+/// ```
+/// use wsn_data::order::precedes;
+/// use wsn_data::{DataPoint, Epoch, SensorId, Timestamp};
+///
+/// let a = DataPoint::new(SensorId(1), Epoch(0), Timestamp::ZERO, vec![1.0]).unwrap();
+/// let b = DataPoint::new(SensorId(2), Epoch(0), Timestamp::ZERO, vec![2.0]).unwrap();
+/// assert!(precedes(&a, &b));
+/// assert!(!precedes(&b, &a));
+/// ```
+pub fn precedes(a: &DataPoint, b: &DataPoint) -> bool {
+    total_order(a, b) == Ordering::Less
+}
+
+/// The total order `≺` as an [`Ordering`].
+///
+/// Two points compare `Equal` only if they have the same feature vector *and*
+/// the same identity (origin, epoch) — i.e. they are the same observation.
+pub fn total_order(a: &DataPoint, b: &DataPoint) -> Ordering {
+    compare_features(&a.features, &b.features)
+        .then_with(|| a.key.origin.cmp(&b.key.origin))
+        .then_with(|| a.key.epoch.cmp(&b.key.epoch))
+}
+
+/// Lexicographic, total comparison of feature vectors using `f64::total_cmp`.
+pub fn compare_features(a: &[f64], b: &[f64]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let c = x.total_cmp(y);
+        if c != Ordering::Equal {
+            return c;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// A data point together with its rank `R(x, P)`.
+///
+/// `RankedPoint`s are ordered by **descending** rank (larger rank = more
+/// outlying = earlier), with ties broken by the total order `≺`. Sorting a
+/// slice of `RankedPoint`s therefore puts the top-`n` outliers first, exactly
+/// as `O_n(·)` requires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedPoint {
+    /// The rank `R(x, P)` — the degree to which `x` is an outlier.
+    pub rank: f64,
+    /// The ranked point.
+    pub point: DataPoint,
+}
+
+impl RankedPoint {
+    /// Creates a new ranked point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is NaN; ranking functions must return finite or
+    /// at least comparable values.
+    pub fn new(rank: f64, point: DataPoint) -> Self {
+        assert!(!rank.is_nan(), "ranking functions must not produce NaN");
+        RankedPoint { rank, point }
+    }
+
+    /// Compares two ranked points in outlier order: higher rank first, ties
+    /// broken by `≺`.
+    pub fn outlier_order(&self, other: &RankedPoint) -> Ordering {
+        other
+            .rank
+            .total_cmp(&self.rank)
+            .then_with(|| total_order(&self.point, &other.point))
+    }
+}
+
+/// Sorts ranked points into outlier order (most outlying first).
+pub fn sort_by_outlier_order(points: &mut [RankedPoint]) {
+    points.sort_by(|a, b| a.outlier_order(b));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{Epoch, SensorId, Timestamp};
+
+    fn pt(origin: u32, epoch: u64, features: Vec<f64>) -> DataPoint {
+        DataPoint::new(SensorId(origin), Epoch(epoch), Timestamp::ZERO, features).unwrap()
+    }
+
+    #[test]
+    fn order_is_by_features_first() {
+        let a = pt(9, 9, vec![1.0, 5.0]);
+        let b = pt(1, 1, vec![2.0, 0.0]);
+        assert_eq!(total_order(&a, &b), Ordering::Less);
+        assert!(precedes(&a, &b));
+    }
+
+    #[test]
+    fn identical_features_break_ties_by_identity() {
+        let a = pt(1, 0, vec![3.0]);
+        let b = pt(2, 0, vec![3.0]);
+        let c = pt(1, 1, vec![3.0]);
+        assert_eq!(total_order(&a, &b), Ordering::Less);
+        assert_eq!(total_order(&a, &c), Ordering::Less);
+        assert_eq!(total_order(&a, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn shorter_vector_precedes_its_prefix_extension() {
+        let a = pt(1, 0, vec![1.0]);
+        let b = pt(1, 1, vec![1.0, 0.0]);
+        assert_eq!(compare_features(&a.features, &b.features), Ordering::Less);
+        assert!(precedes(&a, &b));
+    }
+
+    #[test]
+    fn order_is_total_and_antisymmetric() {
+        let pts =
+            vec![pt(1, 0, vec![1.0]), pt(2, 0, vec![1.0]), pt(1, 1, vec![0.5]), pt(3, 7, vec![2.0])];
+        for x in &pts {
+            for y in &pts {
+                let xy = total_order(x, y);
+                let yx = total_order(y, x);
+                assert_eq!(xy, yx.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_points_sort_descending_by_rank() {
+        let mut v = vec![
+            RankedPoint::new(1.0, pt(1, 0, vec![1.0])),
+            RankedPoint::new(5.0, pt(2, 0, vec![2.0])),
+            RankedPoint::new(3.0, pt(3, 0, vec![3.0])),
+        ];
+        sort_by_outlier_order(&mut v);
+        let ranks: Vec<f64> = v.iter().map(|r| r.rank).collect();
+        assert_eq!(ranks, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn equal_ranks_fall_back_to_total_order() {
+        let mut v = vec![
+            RankedPoint::new(2.0, pt(2, 0, vec![9.0])),
+            RankedPoint::new(2.0, pt(1, 0, vec![3.0])),
+        ];
+        sort_by_outlier_order(&mut v);
+        assert_eq!(v[0].point.features, vec![3.0]);
+        assert_eq!(v[1].point.features, vec![9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn ranked_point_rejects_nan() {
+        let _ = RankedPoint::new(f64::NAN, pt(1, 0, vec![1.0]));
+    }
+}

@@ -1,0 +1,397 @@
+//! The sensor data point model.
+//!
+//! A [`DataPoint`] is one observation sampled by a sensor: a feature vector
+//! (in the paper's experiments: temperature plus the x/y location
+//! coordinates), the identity of the originating sensor, the epoch (sequence
+//! number within the originating stream), a sampling timestamp used by the
+//! sliding window, and — for the semi-global algorithm of §6 — the number of
+//! hops the point has travelled from its origin.
+//!
+//! Identity of a point (the paper's `x.rest`) is captured by [`PointKey`]:
+//! the `(origin, epoch)` pair. Two copies of the same observation propagated
+//! along different paths share the key but may differ in [`DataPoint::hop`].
+
+use crate::error::DataError;
+use crate::geometry::Position;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a sensor node.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SensorId(pub u32);
+
+impl SensorId {
+    /// Returns the raw numeric id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for SensorId {
+    fn from(v: u32) -> Self {
+        SensorId(v)
+    }
+}
+
+/// Sequence number of an observation within its originating sensor's stream.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// Returns the raw epoch number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The next epoch.
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u64> for Epoch {
+    fn from(v: u64) -> Self {
+        Epoch(v)
+    }
+}
+
+/// Simulation timestamp, measured in microseconds since the start of the run.
+///
+/// A plain integer keeps the event queue of the simulator totally ordered and
+/// free of floating-point comparison hazards.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Zero (start of the simulation).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * 1_000_000)
+    }
+
+    /// Builds a timestamp from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "timestamp must be finite and non-negative");
+        Timestamp((secs * 1e6).round() as u64)
+    }
+
+    /// Builds a timestamp from microseconds.
+    pub fn from_micros(micros: u64) -> Self {
+        Timestamp(micros)
+    }
+
+    /// The timestamp value in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The timestamp value in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction of another timestamp, yielding a duration in
+    /// microseconds.
+    pub fn saturating_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Adds a number of microseconds.
+    pub fn advanced_by_micros(self, micros: u64) -> Timestamp {
+        Timestamp(self.0 + micros)
+    }
+
+    /// Adds a fractional number of seconds.
+    pub fn advanced_by_secs_f64(self, secs: f64) -> Timestamp {
+        Timestamp(self.0 + (secs * 1e6).round() as u64)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Hop counter used by the semi-global algorithm (§6).
+pub type HopCount = u16;
+
+/// A feature vector: the fields of the observation the ranking function sees
+/// (the paper's `x.rest` value fields).
+pub type FeatureVec = Vec<f64>;
+
+/// The identity of an observation: which sensor sampled it and at which epoch.
+///
+/// This plays the role of the paper's `x.rest` equality: two points with the
+/// same key describe the same observation, possibly with different hop counts.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PointKey {
+    /// Sensor that sampled the observation.
+    pub origin: SensorId,
+    /// Sequence number within that sensor's stream.
+    pub epoch: Epoch,
+}
+
+impl PointKey {
+    /// Creates a new key.
+    pub fn new(origin: SensorId, epoch: Epoch) -> Self {
+        PointKey { origin, epoch }
+    }
+}
+
+impl fmt::Display for PointKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.origin, self.epoch)
+    }
+}
+
+/// A single sensor observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Identity: originating sensor and epoch.
+    pub key: PointKey,
+    /// Feature vector fed to the ranking function. In the paper's experiments
+    /// this is `[temperature, x, y]`.
+    pub features: FeatureVec,
+    /// Time at which the observation was sampled (drives window eviction).
+    pub timestamp: Timestamp,
+    /// Number of hops this copy has travelled from its origin (0 at birth).
+    /// Only meaningful for the semi-global algorithm; the global algorithm
+    /// ignores it.
+    pub hop: HopCount,
+}
+
+impl DataPoint {
+    /// Creates a fresh (hop 0) data point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::NonFiniteFeature`] if any feature is NaN or
+    /// infinite — such values would break the total order `≺`.
+    pub fn new(
+        origin: SensorId,
+        epoch: Epoch,
+        timestamp: Timestamp,
+        features: FeatureVec,
+    ) -> Result<Self, DataError> {
+        if let Some(idx) = features.iter().position(|v| !v.is_finite()) {
+            return Err(DataError::NonFiniteFeature { index: idx });
+        }
+        Ok(DataPoint { key: PointKey::new(origin, epoch), features, timestamp, hop: 0 })
+    }
+
+    /// Convenience constructor for the `[value, x, y]` layout used throughout
+    /// the paper's evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::NonFiniteFeature`] if the value or either
+    /// coordinate is not finite.
+    pub fn from_reading(
+        origin: SensorId,
+        epoch: Epoch,
+        timestamp: Timestamp,
+        value: f64,
+        position: Position,
+    ) -> Result<Self, DataError> {
+        DataPoint::new(origin, epoch, timestamp, vec![value, position.x, position.y])
+    }
+
+    /// The number of features.
+    pub fn dimension(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Euclidean distance between the feature vectors of two points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two points have different dimensionality; mixing
+    /// dimensionalities inside one deployment is a programming error.
+    pub fn feature_distance(&self, other: &DataPoint) -> f64 {
+        assert_eq!(
+            self.features.len(),
+            other.features.len(),
+            "cannot compute distance between points of different dimensionality"
+        );
+        self.features
+            .iter()
+            .zip(other.features.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Returns a copy of this point with the hop counter incremented, as done
+    /// before re-broadcasting in the semi-global algorithm.
+    pub fn with_incremented_hop(&self) -> DataPoint {
+        let mut p = self.clone();
+        p.hop = p.hop.saturating_add(1);
+        p
+    }
+
+    /// Returns a copy with an explicit hop count.
+    pub fn with_hop(&self, hop: HopCount) -> DataPoint {
+        let mut p = self.clone();
+        p.hop = hop;
+        p
+    }
+
+    /// An estimate of the number of bytes this point occupies inside a radio
+    /// packet: key (4 + 8), timestamp (8), hop (2), plus 8 per feature.
+    ///
+    /// The energy model charges transmissions by payload size, so this is the
+    /// unit of communication cost accounting used throughout the evaluation.
+    pub fn wire_size(&self) -> usize {
+        4 + 8 + 8 + 2 + 8 * self.features.len()
+    }
+}
+
+impl fmt::Display for DataPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}h{}{:?}", self.key, self.timestamp, self.hop, self.features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(origin: u32, epoch: u64, features: Vec<f64>) -> DataPoint {
+        DataPoint::new(SensorId(origin), Epoch(epoch), Timestamp::from_secs(1), features).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_non_finite_features() {
+        let err = DataPoint::new(
+            SensorId(1),
+            Epoch(0),
+            Timestamp::ZERO,
+            vec![1.0, f64::NAN, 3.0],
+        )
+        .unwrap_err();
+        assert_eq!(err, DataError::NonFiniteFeature { index: 1 });
+        let err =
+            DataPoint::new(SensorId(1), Epoch(0), Timestamp::ZERO, vec![f64::INFINITY]).unwrap_err();
+        assert_eq!(err, DataError::NonFiniteFeature { index: 0 });
+    }
+
+    #[test]
+    fn from_reading_builds_three_features() {
+        let p = DataPoint::from_reading(
+            SensorId(3),
+            Epoch(7),
+            Timestamp::from_secs(10),
+            21.5,
+            Position::new(2.0, 4.0),
+        )
+        .unwrap();
+        assert_eq!(p.features, vec![21.5, 2.0, 4.0]);
+        assert_eq!(p.dimension(), 3);
+        assert_eq!(p.hop, 0);
+        assert_eq!(p.key, PointKey::new(SensorId(3), Epoch(7)));
+    }
+
+    #[test]
+    fn feature_distance_is_euclidean() {
+        let a = pt(1, 0, vec![0.0, 0.0]);
+        let b = pt(2, 0, vec![3.0, 4.0]);
+        assert!((a.feature_distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.feature_distance(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensionality")]
+    fn feature_distance_panics_on_dimension_mismatch() {
+        let a = pt(1, 0, vec![0.0, 0.0]);
+        let b = pt(2, 0, vec![3.0]);
+        let _ = a.feature_distance(&b);
+    }
+
+    #[test]
+    fn hop_increment_does_not_change_identity() {
+        let a = pt(1, 5, vec![1.0]);
+        let b = a.with_incremented_hop();
+        assert_eq!(b.hop, 1);
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.features, b.features);
+        let c = b.with_hop(9);
+        assert_eq!(c.hop, 9);
+    }
+
+    #[test]
+    fn hop_increment_saturates() {
+        let a = pt(1, 5, vec![1.0]).with_hop(HopCount::MAX);
+        assert_eq!(a.with_incremented_hop().hop, HopCount::MAX);
+    }
+
+    #[test]
+    fn wire_size_scales_with_dimension() {
+        let a = pt(1, 0, vec![1.0]);
+        let b = pt(1, 0, vec![1.0, 2.0, 3.0]);
+        assert_eq!(b.wire_size() - a.wire_size(), 16);
+        assert!(a.wire_size() > 0);
+    }
+
+    #[test]
+    fn timestamp_conversions_round_trip() {
+        let t = Timestamp::from_secs_f64(12.5);
+        assert_eq!(t.as_micros(), 12_500_000);
+        assert!((t.as_secs_f64() - 12.5).abs() < 1e-9);
+        assert_eq!(Timestamp::from_secs(3), Timestamp::from_micros(3_000_000));
+        assert_eq!(t.advanced_by_secs_f64(0.5), Timestamp::from_secs(13));
+        assert_eq!(Timestamp::from_secs(5).saturating_since(Timestamp::from_secs(2)), 3_000_000);
+        assert_eq!(Timestamp::from_secs(2).saturating_since(Timestamp::from_secs(5)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn timestamp_rejects_negative_seconds() {
+        let _ = Timestamp::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        let p = pt(4, 2, vec![1.0, 2.0]);
+        assert!(!format!("{p}").is_empty());
+        assert!(!format!("{}", p.key).is_empty());
+        assert!(!format!("{}", SensorId(1)).is_empty());
+        assert!(!format!("{}", Epoch(1)).is_empty());
+        assert!(!format!("{}", Timestamp::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn ids_order_and_convert() {
+        assert!(SensorId(1) < SensorId(2));
+        assert!(Epoch(1) < Epoch(2));
+        assert_eq!(SensorId::from(9).raw(), 9);
+        assert_eq!(Epoch::from(9).raw(), 9);
+        assert_eq!(Epoch(1).next(), Epoch(2));
+    }
+}

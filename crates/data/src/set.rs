@@ -1,0 +1,404 @@
+//! Point collections used by the protocol.
+//!
+//! A [`PointSet`] is a set of [`DataPoint`]s keyed by their identity
+//! ([`PointKey`], the paper's `x.rest` equality). It backs every per-node
+//! collection of the algorithms: the local data `D_i`, the working set `P_i`,
+//! and the per-neighbour bookkeeping sets `D^i_{i,j}` and `D^i_{j,i}`.
+//!
+//! The set also implements the hop-minimisation semantics of the semi-global
+//! algorithm (§6): when two copies of the same observation meet, only the one
+//! with the smaller hop count is retained (`[Q]^min` in the paper).
+
+use crate::point::{DataPoint, HopCount, PointKey, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Outcome of inserting a point into a [`PointSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The observation was not present; it has been added.
+    Added,
+    /// The observation was present with a larger hop count; the stored copy
+    /// was replaced by the lower-hop copy.
+    HopLowered {
+        /// The hop count that was stored before the replacement.
+        previous_hop: HopCount,
+    },
+    /// The observation was already present with an equal or smaller hop
+    /// count; nothing changed.
+    AlreadyPresent,
+}
+
+impl InsertOutcome {
+    /// Returns `true` if the set changed (a point was added or replaced).
+    pub fn changed(self) -> bool {
+        !matches!(self, InsertOutcome::AlreadyPresent)
+    }
+}
+
+/// An ordered set of data points keyed by observation identity.
+///
+/// Iteration order is deterministic (ascending [`PointKey`]), which keeps the
+/// whole simulation reproducible for a fixed seed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PointSet {
+    points: BTreeMap<PointKey, DataPoint>,
+}
+
+impl PointSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        PointSet { points: BTreeMap::new() }
+    }
+
+    /// Number of points in the set.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the set holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns `true` if an observation with this identity is present.
+    pub fn contains_key(&self, key: &PointKey) -> bool {
+        self.points.contains_key(key)
+    }
+
+    /// Returns `true` if this exact point's identity is present.
+    pub fn contains(&self, point: &DataPoint) -> bool {
+        self.points.contains_key(&point.key)
+    }
+
+    /// Looks up a point by identity.
+    pub fn get(&self, key: &PointKey) -> Option<&DataPoint> {
+        self.points.get(key)
+    }
+
+    /// Inserts a point, ignoring hop counts: the stored copy is replaced
+    /// unconditionally if the identity is new, and left untouched otherwise.
+    ///
+    /// This is the insertion used by the global algorithm (§5), where hop
+    /// counts play no role. Returns `true` if the point was not present.
+    pub fn insert(&mut self, point: DataPoint) -> bool {
+        match self.points.entry(point.key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(point);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Inserts a point with the min-hop semantics of the semi-global
+    /// algorithm (§6): an already-present observation is replaced only if the
+    /// incoming copy has a strictly smaller hop count.
+    pub fn insert_min_hop(&mut self, point: DataPoint) -> InsertOutcome {
+        match self.points.entry(point.key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(point);
+                InsertOutcome::Added
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let existing_hop = e.get().hop;
+                if point.hop < existing_hop {
+                    e.insert(point);
+                    InsertOutcome::HopLowered { previous_hop: existing_hop }
+                } else {
+                    InsertOutcome::AlreadyPresent
+                }
+            }
+        }
+    }
+
+    /// Removes a point by identity, returning it if present.
+    pub fn remove(&mut self, key: &PointKey) -> Option<DataPoint> {
+        self.points.remove(key)
+    }
+
+    /// Keeps only the points for which the predicate returns `true`.
+    pub fn retain<F: FnMut(&DataPoint) -> bool>(&mut self, mut keep: F) {
+        self.points.retain(|_, p| keep(p));
+    }
+
+    /// Removes every point whose timestamp is strictly older than `cutoff`
+    /// and returns how many points were evicted. This implements the sliding
+    /// window eviction of §5.3 (points are evicted regardless of origin).
+    pub fn evict_older_than(&mut self, cutoff: Timestamp) -> usize {
+        let before = self.points.len();
+        self.points.retain(|_, p| p.timestamp >= cutoff);
+        before - self.points.len()
+    }
+
+    /// Removes every point originating at the given sensor (used when a
+    /// sensor is explicitly removed from the network, §5.3).
+    pub fn remove_origin(&mut self, origin: crate::point::SensorId) -> usize {
+        let before = self.points.len();
+        self.points.retain(|k, _| k.origin != origin);
+        before - self.points.len()
+    }
+
+    /// Iterates over the points in deterministic (key) order.
+    pub fn iter(&self) -> impl Iterator<Item = &DataPoint> + Clone {
+        self.points.values()
+    }
+
+    /// Iterates over the identities in deterministic order.
+    pub fn keys(&self) -> impl Iterator<Item = &PointKey> + Clone {
+        self.points.keys()
+    }
+
+    /// Returns the points as a vector (deterministic order).
+    pub fn to_vec(&self) -> Vec<DataPoint> {
+        self.points.values().cloned().collect()
+    }
+
+    /// Set union, ignoring hop counts (first occurrence wins).
+    pub fn union(&self, other: &PointSet) -> PointSet {
+        let mut out = self.clone();
+        for p in other.iter() {
+            out.insert(p.clone());
+        }
+        out
+    }
+
+    /// Set union with min-hop merge (`[Q]^min` applied to the union).
+    pub fn union_min_hop(&self, other: &PointSet) -> PointSet {
+        let mut out = self.clone();
+        for p in other.iter() {
+            out.insert_min_hop(p.clone());
+        }
+        out
+    }
+
+    /// Extends this set in place, ignoring hop counts.
+    pub fn extend_from(&mut self, other: &PointSet) {
+        for p in other.iter() {
+            self.insert(p.clone());
+        }
+    }
+
+    /// Points of `self` whose identity is *not* present in `other`
+    /// (set difference by identity).
+    pub fn difference(&self, other: &PointSet) -> PointSet {
+        let mut out = PointSet::new();
+        for p in self.iter() {
+            if !other.contains_key(&p.key) {
+                out.insert(p.clone());
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if every identity in `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &PointSet) -> bool {
+        self.keys().all(|k| other.contains_key(k))
+    }
+
+    /// The subset of points with hop count `<= max_hop` (the paper's
+    /// `Q^{<=h}`).
+    pub fn filter_max_hop(&self, max_hop: HopCount) -> PointSet {
+        let mut out = PointSet::new();
+        for p in self.iter() {
+            if p.hop <= max_hop {
+                out.insert(p.clone());
+            }
+        }
+        out
+    }
+
+    /// Sum of the wire sizes of all contained points, in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.iter().map(DataPoint::wire_size).sum()
+    }
+}
+
+impl fmt::Display for PointSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<DataPoint> for PointSet {
+    fn from_iter<I: IntoIterator<Item = DataPoint>>(iter: I) -> Self {
+        let mut s = PointSet::new();
+        for p in iter {
+            s.insert_min_hop(p);
+        }
+        s
+    }
+}
+
+impl Extend<DataPoint> for PointSet {
+    fn extend<I: IntoIterator<Item = DataPoint>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert_min_hop(p);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PointSet {
+    type Item = &'a DataPoint;
+    type IntoIter = std::collections::btree_map::Values<'a, PointKey, DataPoint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.values()
+    }
+}
+
+impl IntoIterator for PointSet {
+    type Item = DataPoint;
+    type IntoIter = std::collections::btree_map::IntoValues<PointKey, DataPoint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.into_values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{Epoch, SensorId};
+
+    fn pt(origin: u32, epoch: u64, value: f64) -> DataPoint {
+        DataPoint::new(
+            SensorId(origin),
+            Epoch(epoch),
+            Timestamp::from_secs(epoch),
+            vec![value],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_deduplicates_by_identity() {
+        let mut s = PointSet::new();
+        assert!(s.insert(pt(1, 0, 5.0)));
+        assert!(!s.insert(pt(1, 0, 5.0)));
+        assert!(s.insert(pt(1, 1, 5.0)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&pt(1, 0, 5.0)));
+    }
+
+    #[test]
+    fn insert_min_hop_keeps_smallest_hop() {
+        let mut s = PointSet::new();
+        assert_eq!(s.insert_min_hop(pt(1, 0, 5.0).with_hop(3)), InsertOutcome::Added);
+        assert_eq!(
+            s.insert_min_hop(pt(1, 0, 5.0).with_hop(1)),
+            InsertOutcome::HopLowered { previous_hop: 3 }
+        );
+        assert_eq!(s.insert_min_hop(pt(1, 0, 5.0).with_hop(2)), InsertOutcome::AlreadyPresent);
+        assert_eq!(s.get(&pt(1, 0, 5.0).key).unwrap().hop, 1);
+        assert_eq!(s.len(), 1);
+        assert!(InsertOutcome::Added.changed());
+        assert!(!InsertOutcome::AlreadyPresent.changed());
+    }
+
+    #[test]
+    fn union_and_difference_operate_on_identity() {
+        let a: PointSet = vec![pt(1, 0, 1.0), pt(1, 1, 2.0)].into_iter().collect();
+        let b: PointSet = vec![pt(1, 1, 2.0), pt(2, 0, 3.0)].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        let d = a.difference(&b);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&pt(1, 0, 1.0)));
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+        assert!(!u.is_subset_of(&a));
+    }
+
+    #[test]
+    fn union_min_hop_prefers_lower_hop_copies() {
+        let a: PointSet = vec![pt(1, 0, 1.0).with_hop(4)].into_iter().collect();
+        let b: PointSet = vec![pt(1, 0, 1.0).with_hop(2)].into_iter().collect();
+        let u = a.union_min_hop(&b);
+        assert_eq!(u.get(&pt(1, 0, 1.0).key).unwrap().hop, 2);
+    }
+
+    #[test]
+    fn evict_older_than_removes_only_stale_points() {
+        let mut s: PointSet =
+            vec![pt(1, 1, 1.0), pt(1, 5, 2.0), pt(2, 9, 3.0)].into_iter().collect();
+        let evicted = s.evict_older_than(Timestamp::from_secs(5));
+        assert_eq!(evicted, 1);
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(&pt(1, 1, 1.0)));
+        assert!(s.contains(&pt(1, 5, 2.0)));
+    }
+
+    #[test]
+    fn remove_origin_drops_only_that_sensor() {
+        let mut s: PointSet =
+            vec![pt(1, 0, 1.0), pt(2, 0, 2.0), pt(1, 1, 3.0)].into_iter().collect();
+        assert_eq!(s.remove_origin(SensorId(1)), 2);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&pt(2, 0, 2.0)));
+    }
+
+    #[test]
+    fn filter_max_hop_selects_prefix() {
+        let s: PointSet = vec![
+            pt(1, 0, 1.0).with_hop(0),
+            pt(1, 1, 2.0).with_hop(1),
+            pt(1, 2, 3.0).with_hop(2),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.filter_max_hop(0).len(), 1);
+        assert_eq!(s.filter_max_hop(1).len(), 2);
+        assert_eq!(s.filter_max_hop(5).len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_deterministic_and_sorted_by_key() {
+        let s: PointSet =
+            vec![pt(3, 0, 1.0), pt(1, 5, 2.0), pt(1, 2, 3.0), pt(2, 0, 4.0)].into_iter().collect();
+        let keys: Vec<_> = s.keys().cloned().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn remove_and_retain_work() {
+        let mut s: PointSet = vec![pt(1, 0, 1.0), pt(1, 1, 5.0)].into_iter().collect();
+        assert!(s.remove(&pt(1, 0, 1.0).key).is_some());
+        assert!(s.remove(&pt(1, 0, 1.0).key).is_none());
+        s.retain(|p| p.features[0] < 3.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn wire_size_sums_points() {
+        let s: PointSet = vec![pt(1, 0, 1.0), pt(1, 1, 5.0)].into_iter().collect();
+        assert_eq!(s.wire_size(), 2 * pt(1, 0, 1.0).wire_size());
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let s: PointSet = vec![pt(1, 0, 1.0)].into_iter().collect();
+        assert!(format!("{s}").starts_with('{'));
+        assert_eq!(s.to_vec().len(), 1);
+        let collected: Vec<DataPoint> = s.clone().into_iter().collect();
+        assert_eq!(collected.len(), 1);
+        let borrowed: Vec<&DataPoint> = (&s).into_iter().collect();
+        assert_eq!(borrowed.len(), 1);
+        let mut e = PointSet::new();
+        e.extend(vec![pt(1, 0, 1.0), pt(2, 0, 2.0)]);
+        assert_eq!(e.len(), 2);
+        let mut f = PointSet::new();
+        f.extend_from(&e);
+        assert_eq!(f.len(), 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Time-based sliding window (§5.3).
+//!
+//! Each sensor processes its stream under a sliding-window model: every point
+//! is time-stamped when sampled, and once its timestamp falls out of the
+//! window it is deleted from the node's working set regardless of where it
+//! originated. The paper's parameter `w` is the window length measured in
+//! sampling periods.
+
+use crate::error::DataError;
+use crate::point::{DataPoint, Timestamp};
+use crate::set::PointSet;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a sliding window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Window length in microseconds.
+    pub length_micros: u64,
+}
+
+impl WindowConfig {
+    /// Creates a window configuration from a length in microseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyWindow`] if the length is zero.
+    pub fn from_micros(length_micros: u64) -> Result<Self, DataError> {
+        if length_micros == 0 {
+            return Err(DataError::EmptyWindow);
+        }
+        Ok(WindowConfig { length_micros })
+    }
+
+    /// Creates a window configuration from a length in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyWindow`] if the length is zero.
+    pub fn from_secs(secs: u64) -> Result<Self, DataError> {
+        WindowConfig::from_micros(secs.saturating_mul(1_000_000))
+    }
+
+    /// Creates the window used in the paper's evaluation: `w` sampling
+    /// periods of `sample_interval_secs` seconds each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyWindow`] if either factor is zero.
+    pub fn from_samples(w: u64, sample_interval_secs: f64) -> Result<Self, DataError> {
+        if w == 0 || sample_interval_secs <= 0.0 {
+            return Err(DataError::EmptyWindow);
+        }
+        WindowConfig::from_micros((w as f64 * sample_interval_secs * 1e6).round() as u64)
+    }
+
+    /// The earliest timestamp still inside the window at time `now`.
+    pub fn cutoff(&self, now: Timestamp) -> Timestamp {
+        Timestamp(now.0.saturating_sub(self.length_micros))
+    }
+}
+
+/// A sliding window over time-stamped data points.
+///
+/// ```
+/// use wsn_data::{DataPoint, Epoch, SensorId, Timestamp, SlidingWindow};
+/// use wsn_data::window::WindowConfig;
+///
+/// let mut w = SlidingWindow::new(WindowConfig::from_secs(10).unwrap());
+/// let old = DataPoint::new(SensorId(1), Epoch(0), Timestamp::from_secs(0), vec![1.0]).unwrap();
+/// let new = DataPoint::new(SensorId(1), Epoch(1), Timestamp::from_secs(8), vec![2.0]).unwrap();
+/// w.insert(old.clone());
+/// w.insert(new.clone());
+/// // Advancing to t=12s evicts the point sampled at t=0s.
+/// let evicted = w.advance_to(Timestamp::from_secs(12));
+/// assert_eq!(evicted, 1);
+/// assert!(!w.contents().contains(&old));
+/// assert!(w.contents().contains(&new));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlidingWindow {
+    config: WindowConfig,
+    contents: PointSet,
+    now: Timestamp,
+}
+
+impl SlidingWindow {
+    /// Creates an empty window with the given configuration.
+    pub fn new(config: WindowConfig) -> Self {
+        SlidingWindow { config, contents: PointSet::new(), now: Timestamp::ZERO }
+    }
+
+    /// The window configuration.
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// The current (latest observed) time of the window.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// The points currently inside the window.
+    pub fn contents(&self) -> &PointSet {
+        &self.contents
+    }
+
+    /// Inserts a point if it is still inside the window at the current time.
+    /// Returns `true` if the point was added.
+    pub fn insert(&mut self, point: DataPoint) -> bool {
+        if point.timestamp < self.config.cutoff(self.now) {
+            return false;
+        }
+        self.contents.insert_min_hop(point).changed()
+    }
+
+    /// Advances the window to `now`, evicting stale points. Returns the
+    /// number of evicted points. Time never moves backwards: advancing to an
+    /// earlier time is a no-op.
+    pub fn advance_to(&mut self, now: Timestamp) -> usize {
+        if now <= self.now {
+            return 0;
+        }
+        self.now = now;
+        self.contents.evict_older_than(self.config.cutoff(now))
+    }
+
+    /// Number of points currently held.
+    pub fn len(&self) -> usize {
+        self.contents.len()
+    }
+
+    /// Returns `true` if the window holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.contents.is_empty()
+    }
+
+    /// Removes every point originating at `origin` (sensor removal, §5.3).
+    pub fn remove_origin(&mut self, origin: crate::point::SensorId) -> usize {
+        self.contents.remove_origin(origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{Epoch, SensorId};
+
+    fn pt(origin: u32, epoch: u64, secs: u64) -> DataPoint {
+        DataPoint::new(SensorId(origin), Epoch(epoch), Timestamp::from_secs(secs), vec![epoch as f64])
+            .unwrap()
+    }
+
+    #[test]
+    fn config_rejects_zero_length() {
+        assert_eq!(WindowConfig::from_micros(0).unwrap_err(), DataError::EmptyWindow);
+        assert_eq!(WindowConfig::from_secs(0).unwrap_err(), DataError::EmptyWindow);
+        assert_eq!(WindowConfig::from_samples(0, 1.0).unwrap_err(), DataError::EmptyWindow);
+        assert_eq!(WindowConfig::from_samples(5, 0.0).unwrap_err(), DataError::EmptyWindow);
+    }
+
+    #[test]
+    fn from_samples_multiplies() {
+        let c = WindowConfig::from_samples(20, 2.0).unwrap();
+        assert_eq!(c.length_micros, 40_000_000);
+    }
+
+    #[test]
+    fn cutoff_saturates_at_zero() {
+        let c = WindowConfig::from_secs(10).unwrap();
+        assert_eq!(c.cutoff(Timestamp::from_secs(3)), Timestamp::ZERO);
+        assert_eq!(c.cutoff(Timestamp::from_secs(25)), Timestamp::from_secs(15));
+    }
+
+    #[test]
+    fn advance_evicts_stale_points() {
+        let mut w = SlidingWindow::new(WindowConfig::from_secs(10).unwrap());
+        w.insert(pt(1, 0, 0));
+        w.insert(pt(1, 1, 5));
+        w.insert(pt(2, 0, 9));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.advance_to(Timestamp::from_secs(14)), 1);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.advance_to(Timestamp::from_secs(18)), 1);
+        assert_eq!(w.len(), 1);
+        assert!(w.contents().contains(&pt(2, 0, 9)));
+    }
+
+    #[test]
+    fn time_never_moves_backwards() {
+        let mut w = SlidingWindow::new(WindowConfig::from_secs(10).unwrap());
+        w.advance_to(Timestamp::from_secs(30));
+        assert_eq!(w.now(), Timestamp::from_secs(30));
+        assert_eq!(w.advance_to(Timestamp::from_secs(20)), 0);
+        assert_eq!(w.now(), Timestamp::from_secs(30));
+    }
+
+    #[test]
+    fn stale_points_are_not_inserted() {
+        let mut w = SlidingWindow::new(WindowConfig::from_secs(10).unwrap());
+        w.advance_to(Timestamp::from_secs(100));
+        assert!(!w.insert(pt(1, 0, 5)));
+        assert!(w.insert(pt(1, 1, 95)));
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_reports_no_change() {
+        let mut w = SlidingWindow::new(WindowConfig::from_secs(10).unwrap());
+        assert!(w.insert(pt(1, 0, 1)));
+        assert!(!w.insert(pt(1, 0, 1)));
+    }
+
+    #[test]
+    fn remove_origin_forwards_to_contents() {
+        let mut w = SlidingWindow::new(WindowConfig::from_secs(10).unwrap());
+        w.insert(pt(1, 0, 1));
+        w.insert(pt(2, 0, 1));
+        assert_eq!(w.remove_origin(SensorId(1)), 1);
+        assert_eq!(w.len(), 1);
+    }
+}

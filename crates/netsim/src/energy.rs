@@ -1,0 +1,194 @@
+//! The Crossbow-mote energy model (§7.1).
+//!
+//! The paper charges radio activity using the Crossbow MPR mote hardware
+//! specification: 0.0159 W while transmitting, 0.021 W while receiving and
+//! 3 µW while idle, assuming a 3 V supply. Energy is what every figure of the
+//! evaluation reports, so the accounting here is the measurement instrument
+//! of the whole reproduction.
+
+use serde::{Deserialize, Serialize};
+
+/// Radio power draw in each state, in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Power drawn while transmitting, in watts.
+    pub tx_power_w: f64,
+    /// Power drawn while receiving, in watts.
+    pub rx_power_w: f64,
+    /// Power drawn while idle, in watts.
+    pub idle_power_w: f64,
+}
+
+impl EnergyModel {
+    /// The Crossbow mote numbers used in the paper (§7.1): transmit 0.0159 W,
+    /// receive 0.021 W, idle 3 µW, at a 3 V supply.
+    pub fn crossbow_mote() -> Self {
+        EnergyModel { tx_power_w: 0.0159, rx_power_w: 0.021, idle_power_w: 3e-6 }
+    }
+
+    /// Creates a custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any power value is negative or not finite.
+    pub fn new(tx_power_w: f64, rx_power_w: f64, idle_power_w: f64) -> Self {
+        for (name, v) in
+            [("tx", tx_power_w), ("rx", rx_power_w), ("idle", idle_power_w)]
+        {
+            assert!(v.is_finite() && v >= 0.0, "{name} power must be finite and non-negative");
+        }
+        EnergyModel { tx_power_w, rx_power_w, idle_power_w }
+    }
+
+    /// Energy in joules for transmitting for `duration_secs` seconds.
+    pub fn tx_energy(&self, duration_secs: f64) -> f64 {
+        self.tx_power_w * duration_secs
+    }
+
+    /// Energy in joules for receiving for `duration_secs` seconds.
+    pub fn rx_energy(&self, duration_secs: f64) -> f64 {
+        self.rx_power_w * duration_secs
+    }
+
+    /// Energy in joules for idling for `duration_secs` seconds.
+    pub fn idle_energy(&self, duration_secs: f64) -> f64 {
+        self.idle_power_w * duration_secs
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::crossbow_mote()
+    }
+}
+
+/// Accumulated energy usage of one node, broken down by radio activity.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Joules spent transmitting.
+    pub tx_joules: f64,
+    /// Joules spent receiving.
+    pub rx_joules: f64,
+    /// Joules spent idle.
+    pub idle_joules: f64,
+}
+
+impl EnergyReport {
+    /// Total joules consumed.
+    pub fn total(&self) -> f64 {
+        self.tx_joules + self.rx_joules + self.idle_joules
+    }
+
+    /// Adds another report into this one.
+    pub fn accumulate(&mut self, other: &EnergyReport) {
+        self.tx_joules += other.tx_joules;
+        self.rx_joules += other.rx_joules;
+        self.idle_joules += other.idle_joules;
+    }
+
+    /// Element-wise difference (`self − other`), useful for per-round deltas.
+    pub fn delta_since(&self, other: &EnergyReport) -> EnergyReport {
+        EnergyReport {
+            tx_joules: self.tx_joules - other.tx_joules,
+            rx_joules: self.rx_joules - other.rx_joules,
+            idle_joules: self.idle_joules - other.idle_joules,
+        }
+    }
+}
+
+/// A per-node energy meter that the simulator charges as the radio is used.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    report: EnergyReport,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with no consumption recorded.
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Charges a transmission of the given duration.
+    pub fn charge_tx(&mut self, model: &EnergyModel, duration_secs: f64) {
+        self.report.tx_joules += model.tx_energy(duration_secs);
+    }
+
+    /// Charges a reception of the given duration.
+    pub fn charge_rx(&mut self, model: &EnergyModel, duration_secs: f64) {
+        self.report.rx_joules += model.rx_energy(duration_secs);
+    }
+
+    /// Charges idle time of the given duration.
+    pub fn charge_idle(&mut self, model: &EnergyModel, duration_secs: f64) {
+        self.report.idle_joules += model.idle_energy(duration_secs);
+    }
+
+    /// The accumulated energy report.
+    pub fn report(&self) -> EnergyReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbow_numbers_match_the_paper() {
+        let m = EnergyModel::crossbow_mote();
+        assert_eq!(m.tx_power_w, 0.0159);
+        assert_eq!(m.rx_power_w, 0.021);
+        assert_eq!(m.idle_power_w, 3e-6);
+        assert_eq!(EnergyModel::default(), m);
+    }
+
+    #[test]
+    fn receive_costs_more_than_transmit_per_second() {
+        // A perhaps-surprising property of the Crossbow radio the paper uses:
+        // listening is more expensive than talking.
+        let m = EnergyModel::crossbow_mote();
+        assert!(m.rx_energy(1.0) > m.tx_energy(1.0));
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = EnergyModel::new(0.1, 0.2, 0.001);
+        assert!((m.tx_energy(2.0) - 0.2).abs() < 1e-12);
+        assert!((m.rx_energy(0.5) - 0.1).abs() < 1e-12);
+        assert!((m.idle_energy(100.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_is_rejected() {
+        let _ = EnergyModel::new(-0.1, 0.2, 0.0);
+    }
+
+    #[test]
+    fn meter_accumulates_by_activity() {
+        let m = EnergyModel::new(1.0, 2.0, 0.5);
+        let mut meter = EnergyMeter::new();
+        meter.charge_tx(&m, 1.0);
+        meter.charge_tx(&m, 1.0);
+        meter.charge_rx(&m, 3.0);
+        meter.charge_idle(&m, 2.0);
+        let r = meter.report();
+        assert_eq!(r.tx_joules, 2.0);
+        assert_eq!(r.rx_joules, 6.0);
+        assert_eq!(r.idle_joules, 1.0);
+        assert_eq!(r.total(), 9.0);
+    }
+
+    #[test]
+    fn report_accumulate_and_delta() {
+        let a = EnergyReport { tx_joules: 1.0, rx_joules: 2.0, idle_joules: 3.0 };
+        let mut b = EnergyReport::default();
+        b.accumulate(&a);
+        b.accumulate(&a);
+        assert_eq!(b.total(), 12.0);
+        let d = b.delta_since(&a);
+        assert_eq!(d.tx_joules, 1.0);
+        assert_eq!(d.rx_joules, 2.0);
+        assert_eq!(d.idle_joules, 3.0);
+    }
+}

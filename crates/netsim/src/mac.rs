@@ -1,0 +1,166 @@
+//! Broadcast MAC with promiscuous listening.
+//!
+//! The distributed algorithms rely on the broadcast nature of the wireless
+//! medium: one transmission reaches every neighbour, and neighbours listen
+//! promiscuously (§5.2). The MAC layer here decides, for a given
+//! transmission, which nodes are in range, which of them successfully decode
+//! the payload (packet loss is sampled per receiver), and how long the
+//! channel is occupied. Every in-range node pays receive energy for the whole
+//! airtime whether or not it is the addressee and whether or not decoding
+//! succeeds — that is what promiscuous listening costs, and it is the reason
+//! the funnel around the centralized sink burns energy so quickly (§8).
+
+use crate::packet::Destination;
+use crate::radio::{LossModel, RadioConfig};
+use crate::topology::Topology;
+use rand::Rng;
+use wsn_data::SensorId;
+
+/// The outcome of one transmission for one in-range node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReceptionOutcome {
+    /// The node that heard the transmission.
+    pub receiver: SensorId,
+    /// Whether the payload should be delivered to the receiver's application
+    /// (in range, addressed to it — or broadcast — and not dropped).
+    pub delivers_payload: bool,
+    /// Whether the packet was lost for this receiver despite being addressed
+    /// to it.
+    pub dropped: bool,
+}
+
+/// The full outcome of one transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransmissionOutcome {
+    /// Seconds of channel time the transmission occupies.
+    pub airtime_secs: f64,
+    /// One entry per node within radio range of the sender.
+    pub receptions: Vec<ReceptionOutcome>,
+}
+
+impl TransmissionOutcome {
+    /// The receivers whose application should see the payload.
+    pub fn delivered_to(&self) -> Vec<SensorId> {
+        self.receptions.iter().filter(|r| r.delivers_payload).map(|r| r.receiver).collect()
+    }
+
+    /// How many addressed receivers lost the packet.
+    pub fn drop_count(&self) -> usize {
+        self.receptions.iter().filter(|r| r.dropped).count()
+    }
+}
+
+/// Computes the outcome of a transmission from `sender` over the given
+/// topology and radio configuration, sampling per-receiver losses from `rng`.
+pub fn transmit<R: Rng + ?Sized>(
+    topology: &Topology,
+    radio: &RadioConfig,
+    rng: &mut R,
+    sender: SensorId,
+    destination: Destination,
+    payload_bytes: usize,
+) -> TransmissionOutcome {
+    let airtime_secs = radio.airtime_secs(payload_bytes);
+    let mut receptions = Vec::new();
+    for receiver in topology.neighbors(sender) {
+        let addressed = match destination {
+            Destination::Broadcast => true,
+            Destination::Unicast(target) => receiver == target,
+        };
+        let lost = match radio.loss {
+            LossModel::Reliable => false,
+            LossModel::Bernoulli { drop_probability } => rng.gen_bool(drop_probability),
+        };
+        receptions.push(ReceptionOutcome {
+            receiver,
+            delivers_payload: addressed && !lost,
+            dropped: addressed && lost,
+        });
+    }
+    TransmissionOutcome { airtime_secs, receptions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wsn_data::stream::SensorSpec;
+    use wsn_data::Position;
+
+    fn chain(n: u32) -> Topology {
+        let specs: Vec<SensorSpec> = (0..n)
+            .map(|i| SensorSpec::new(SensorId(i), Position::new(i as f64 * 5.0, 0.0)))
+            .collect();
+        Topology::from_specs(&specs, 6.0)
+    }
+
+    #[test]
+    fn broadcast_reaches_every_neighbor_and_only_neighbors() {
+        let topo = chain(4);
+        let radio = RadioConfig::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = transmit(&topo, &radio, &mut rng, SensorId(1), Destination::Broadcast, 100);
+        let mut delivered = out.delivered_to();
+        delivered.sort();
+        assert_eq!(delivered, vec![SensorId(0), SensorId(2)]);
+        assert_eq!(out.drop_count(), 0);
+        assert!(out.airtime_secs > 0.0);
+    }
+
+    #[test]
+    fn unicast_delivers_payload_only_to_the_target_but_everyone_listens() {
+        let topo = chain(4);
+        let radio = RadioConfig::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out =
+            transmit(&topo, &radio, &mut rng, SensorId(1), Destination::Unicast(SensorId(2)), 50);
+        assert_eq!(out.delivered_to(), vec![SensorId(2)]);
+        // Both neighbours appear in the reception list (they pay RX energy).
+        assert_eq!(out.receptions.len(), 2);
+    }
+
+    #[test]
+    fn unicast_to_a_non_neighbor_delivers_nothing() {
+        let topo = chain(4);
+        let radio = RadioConfig::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out =
+            transmit(&topo, &radio, &mut rng, SensorId(0), Destination::Unicast(SensorId(3)), 50);
+        assert!(out.delivered_to().is_empty());
+    }
+
+    #[test]
+    fn certain_loss_drops_every_addressed_packet() {
+        let topo = chain(3);
+        let radio = RadioConfig::paper_default().with_loss(LossModel::bernoulli(1.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = transmit(&topo, &radio, &mut rng, SensorId(1), Destination::Broadcast, 10);
+        assert!(out.delivered_to().is_empty());
+        assert_eq!(out.drop_count(), 2);
+    }
+
+    #[test]
+    fn partial_loss_drops_roughly_the_configured_fraction() {
+        let topo = chain(2);
+        let radio = RadioConfig::paper_default().with_loss(LossModel::bernoulli(0.3));
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut drops = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let out = transmit(&topo, &radio, &mut rng, SensorId(0), Destination::Broadcast, 10);
+            drops += out.drop_count();
+        }
+        let rate = drops as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn airtime_matches_the_radio_configuration() {
+        let topo = chain(2);
+        let radio = RadioConfig::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = transmit(&topo, &radio, &mut rng, SensorId(0), Destination::Broadcast, 123);
+        assert_eq!(out.airtime_secs, radio.airtime_secs(123));
+    }
+}

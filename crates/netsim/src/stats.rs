@@ -1,0 +1,240 @@
+//! Per-node and network-wide traffic / energy statistics.
+//!
+//! The evaluation reports energy per node per sampling round (Figs. 4, 7–9),
+//! the min/avg/max spread across nodes (Figs. 5–6), and traffic-imbalance
+//! observations (§8). This module collects the raw per-node counters during a
+//! simulation and provides the aggregations the harness prints.
+
+use crate::energy::EnergyReport;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wsn_data::SensorId;
+
+/// Link-layer counters of one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Packets this node transmitted.
+    pub packets_sent: u64,
+    /// Packets whose payload was delivered to this node's application.
+    pub packets_received: u64,
+    /// Packets this node overheard (in range) without being an addressee or
+    /// after a loss — it still paid receive energy for them.
+    pub packets_overheard: u64,
+    /// Packets addressed to this node that were lost.
+    pub packets_dropped: u64,
+    /// Payload bytes transmitted.
+    pub bytes_sent: u64,
+    /// Payload bytes received (delivered payloads only).
+    pub bytes_received: u64,
+}
+
+impl NodeStats {
+    /// Total packets this node's radio handled (sent + heard).
+    pub fn radio_activity(&self) -> u64 {
+        self.packets_sent + self.packets_received + self.packets_overheard
+    }
+}
+
+/// A snapshot of the whole network's statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Per-node link counters.
+    pub nodes: BTreeMap<SensorId, NodeStats>,
+    /// Per-node energy reports.
+    pub energy: BTreeMap<SensorId, EnergyReport>,
+}
+
+/// Minimum / average / maximum summary of a per-node quantity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MinAvgMax {
+    /// Smallest per-node value.
+    pub min: f64,
+    /// Mean per-node value.
+    pub avg: f64,
+    /// Largest per-node value.
+    pub max: f64,
+}
+
+impl MinAvgMax {
+    /// Summarises a list of values. Returns all zeros for an empty list.
+    pub fn of(values: &[f64]) -> MinAvgMax {
+        if values.is_empty() {
+            return MinAvgMax::default();
+        }
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let avg = values.iter().sum::<f64>() / values.len() as f64;
+        MinAvgMax { min, avg, max }
+    }
+
+    /// The same summary normalised by its own average (the view of Fig. 6).
+    /// Returns all zeros when the average is zero.
+    pub fn normalized(&self) -> MinAvgMax {
+        if self.avg == 0.0 {
+            return MinAvgMax::default();
+        }
+        MinAvgMax { min: self.min / self.avg, avg: 1.0, max: self.max / self.avg }
+    }
+}
+
+impl NetworkStats {
+    /// Total packets transmitted in the network.
+    pub fn total_packets_sent(&self) -> u64 {
+        self.nodes.values().map(|n| n.packets_sent).sum()
+    }
+
+    /// Total payload bytes transmitted in the network.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.nodes.values().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Total packets addressed-but-lost in the network.
+    pub fn total_packets_dropped(&self) -> u64 {
+        self.nodes.values().map(|n| n.packets_dropped).sum()
+    }
+
+    /// Per-node transmit energy values, in ascending node order.
+    pub fn tx_energy_per_node(&self) -> Vec<f64> {
+        self.energy.values().map(|e| e.tx_joules).collect()
+    }
+
+    /// Per-node receive energy values, in ascending node order.
+    pub fn rx_energy_per_node(&self) -> Vec<f64> {
+        self.energy.values().map(|e| e.rx_joules).collect()
+    }
+
+    /// Per-node total energy values, in ascending node order.
+    pub fn total_energy_per_node(&self) -> Vec<f64> {
+        self.energy.values().map(|e| e.total()).collect()
+    }
+
+    /// Min/avg/max of per-node total energy (the quantity of Figs. 5–6).
+    pub fn total_energy_summary(&self) -> MinAvgMax {
+        MinAvgMax::of(&self.total_energy_per_node())
+    }
+
+    /// Min/avg/max of per-node transmit energy.
+    pub fn tx_energy_summary(&self) -> MinAvgMax {
+        MinAvgMax::of(&self.tx_energy_per_node())
+    }
+
+    /// Min/avg/max of per-node receive energy.
+    pub fn rx_energy_summary(&self) -> MinAvgMax {
+        MinAvgMax::of(&self.rx_energy_per_node())
+    }
+
+    /// The ratio between the busiest node's radio activity and the average
+    /// node's — the traffic-imbalance observation of §8.
+    pub fn traffic_imbalance(&self) -> f64 {
+        let activity: Vec<f64> =
+            self.nodes.values().map(|n| n.radio_activity() as f64).collect();
+        let summary = MinAvgMax::of(&activity);
+        if summary.avg == 0.0 {
+            0.0
+        } else {
+            summary.max / summary.avg
+        }
+    }
+
+    /// Energy delta between two snapshots (`self − earlier`), per node.
+    pub fn energy_delta_since(&self, earlier: &NetworkStats) -> BTreeMap<SensorId, EnergyReport> {
+        self.energy
+            .iter()
+            .map(|(id, e)| {
+                let base = earlier.energy.get(id).copied().unwrap_or_default();
+                (*id, e.delta_since(&base))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with_energy(values: &[(u32, f64, f64)]) -> NetworkStats {
+        let mut s = NetworkStats::default();
+        for (id, tx, rx) in values {
+            s.nodes.insert(SensorId(*id), NodeStats::default());
+            s.energy.insert(
+                SensorId(*id),
+                EnergyReport { tx_joules: *tx, rx_joules: *rx, idle_joules: 0.0 },
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn min_avg_max_of_values() {
+        let m = MinAvgMax::of(&[1.0, 2.0, 6.0]);
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.avg, 3.0);
+        assert_eq!(m.max, 6.0);
+        assert_eq!(MinAvgMax::of(&[]), MinAvgMax::default());
+    }
+
+    #[test]
+    fn normalization_divides_by_the_average() {
+        let m = MinAvgMax::of(&[1.0, 2.0, 6.0]).normalized();
+        assert!((m.min - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.avg, 1.0);
+        assert!((m.max - 2.0).abs() < 1e-12);
+        assert_eq!(MinAvgMax::default().normalized(), MinAvgMax::default());
+    }
+
+    #[test]
+    fn energy_summaries_aggregate_per_node_values() {
+        let s = stats_with_energy(&[(0, 1.0, 2.0), (1, 3.0, 4.0)]);
+        assert_eq!(s.tx_energy_summary().avg, 2.0);
+        assert_eq!(s.rx_energy_summary().max, 4.0);
+        assert_eq!(s.total_energy_summary().min, 3.0);
+        assert_eq!(s.total_energy_per_node(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn totals_sum_node_counters() {
+        let mut s = stats_with_energy(&[(0, 0.0, 0.0), (1, 0.0, 0.0)]);
+        s.nodes.insert(
+            SensorId(0),
+            NodeStats { packets_sent: 3, bytes_sent: 100, packets_dropped: 1, ..Default::default() },
+        );
+        s.nodes.insert(
+            SensorId(1),
+            NodeStats { packets_sent: 2, bytes_sent: 50, ..Default::default() },
+        );
+        assert_eq!(s.total_packets_sent(), 5);
+        assert_eq!(s.total_bytes_sent(), 150);
+        assert_eq!(s.total_packets_dropped(), 1);
+    }
+
+    #[test]
+    fn traffic_imbalance_is_max_over_average_activity() {
+        let mut s = NetworkStats::default();
+        s.nodes.insert(SensorId(0), NodeStats { packets_sent: 10, ..Default::default() });
+        s.nodes.insert(SensorId(1), NodeStats { packets_sent: 2, ..Default::default() });
+        s.nodes.insert(SensorId(2), NodeStats { packets_sent: 0, ..Default::default() });
+        assert!((s.traffic_imbalance() - 10.0 / 4.0).abs() < 1e-12);
+        assert_eq!(NetworkStats::default().traffic_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn energy_delta_subtracts_earlier_snapshot() {
+        let earlier = stats_with_energy(&[(0, 1.0, 1.0)]);
+        let later = stats_with_energy(&[(0, 3.0, 4.0), (1, 2.0, 2.0)]);
+        let delta = later.energy_delta_since(&earlier);
+        assert_eq!(delta[&SensorId(0)].tx_joules, 2.0);
+        assert_eq!(delta[&SensorId(0)].rx_joules, 3.0);
+        assert_eq!(delta[&SensorId(1)].tx_joules, 2.0);
+    }
+
+    #[test]
+    fn radio_activity_counts_all_packet_handling() {
+        let n = NodeStats {
+            packets_sent: 1,
+            packets_received: 2,
+            packets_overheard: 3,
+            ..Default::default()
+        };
+        assert_eq!(n.radio_activity(), 6);
+    }
+}

@@ -1,0 +1,251 @@
+//! Network topology: who can hear whom, hop distances, connectivity.
+//!
+//! The topology is derived from sensor positions and the radio range
+//! (unit-disc connectivity). It also provides the hop-distance matrix used to
+//! define the semi-global ground truth `D_i^{≤d}` (§6) and the diameter used
+//! to relate the semi-global and global problems.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use wsn_data::lab::LabDeployment;
+use wsn_data::stream::SensorSpec;
+use wsn_data::{Position, SensorId};
+
+/// Hop distance that denotes "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// An undirected communication graph over a set of sensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    positions: BTreeMap<SensorId, Position>,
+    neighbors: BTreeMap<SensorId, BTreeSet<SensorId>>,
+    range_m: f64,
+}
+
+impl Topology {
+    /// Builds the topology induced by a radio range over sensor positions.
+    pub fn from_specs(specs: &[SensorSpec], range_m: f64) -> Self {
+        let positions: BTreeMap<SensorId, Position> =
+            specs.iter().map(|s| (s.id, s.position)).collect();
+        let mut neighbors: BTreeMap<SensorId, BTreeSet<SensorId>> =
+            positions.keys().map(|id| (*id, BTreeSet::new())).collect();
+        let ids: Vec<SensorId> = positions.keys().copied().collect();
+        for (i, a) in ids.iter().enumerate() {
+            for b in ids.iter().skip(i + 1) {
+                if positions[a].distance(&positions[b]) <= range_m {
+                    neighbors.get_mut(a).unwrap().insert(*b);
+                    neighbors.get_mut(b).unwrap().insert(*a);
+                }
+            }
+        }
+        Topology { positions, neighbors, range_m }
+    }
+
+    /// Builds the topology of a lab deployment at the given range.
+    pub fn from_deployment(deployment: &LabDeployment, range_m: f64) -> Self {
+        Topology::from_specs(deployment.sensors(), range_m)
+    }
+
+    /// The radio range the topology was built with, in metres.
+    pub fn range_m(&self) -> f64 {
+        self.range_m
+    }
+
+    /// All sensor ids, in ascending order.
+    pub fn sensor_ids(&self) -> Vec<SensorId> {
+        self.positions.keys().copied().collect()
+    }
+
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` if the topology has no sensors.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of a sensor, if it exists.
+    pub fn position(&self, id: SensorId) -> Option<Position> {
+        self.positions.get(&id).copied()
+    }
+
+    /// The single-hop neighbours of a sensor (empty if the id is unknown).
+    pub fn neighbors(&self, id: SensorId) -> Vec<SensorId> {
+        self.neighbors.get(&id).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Returns `true` if `a` and `b` are within radio range of each other.
+    pub fn are_neighbors(&self, a: SensorId, b: SensorId) -> bool {
+        self.neighbors.get(&a).map(|s| s.contains(&b)).unwrap_or(false)
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.values().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// Average node degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.positions.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / self.positions.len() as f64
+    }
+
+    /// Hop distances from `source` to every sensor (BFS). Unreachable sensors
+    /// get [`UNREACHABLE`].
+    pub fn hop_distances_from(&self, source: SensorId) -> BTreeMap<SensorId, u32> {
+        let mut dist: BTreeMap<SensorId, u32> =
+            self.positions.keys().map(|id| (*id, UNREACHABLE)).collect();
+        if !self.positions.contains_key(&source) {
+            return dist;
+        }
+        let mut queue = VecDeque::new();
+        dist.insert(source, 0);
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[&v];
+            for w in self.neighbors(v) {
+                if dist[&w] == UNREACHABLE {
+                    dist.insert(w, d + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Hop distance between two sensors, or [`UNREACHABLE`].
+    pub fn hop_distance(&self, a: SensorId, b: SensorId) -> u32 {
+        *self.hop_distances_from(a).get(&b).unwrap_or(&UNREACHABLE)
+    }
+
+    /// The sensors within `d` hops of `source` (including `source` itself).
+    pub fn within_hops(&self, source: SensorId, d: u32) -> Vec<SensorId> {
+        self.hop_distances_from(source)
+            .into_iter()
+            .filter(|(_, dist)| *dist <= d)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Returns `true` if every sensor can reach every other sensor.
+    pub fn is_connected(&self) -> bool {
+        match self.positions.keys().next() {
+            None => true,
+            Some(first) => {
+                self.hop_distances_from(*first).values().all(|d| *d != UNREACHABLE)
+            }
+        }
+    }
+
+    /// The network diameter in hops (largest finite pairwise hop distance).
+    /// Returns 0 for empty or single-node networks.
+    pub fn diameter(&self) -> u32 {
+        let mut max = 0;
+        for id in self.positions.keys() {
+            for d in self.hop_distances_from(*id).values() {
+                if *d != UNREACHABLE && *d > max {
+                    max = *d;
+                }
+            }
+        }
+        max
+    }
+
+    /// Removes a sensor and all its links (used to model node failure).
+    pub fn remove_sensor(&mut self, id: SensorId) {
+        self.positions.remove(&id);
+        self.neighbors.remove(&id);
+        for set in self.neighbors.values_mut() {
+            set.remove(&id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_data::lab::PAPER_TRANSMISSION_RANGE_M;
+
+    fn line_specs(n: u32, spacing: f64) -> Vec<SensorSpec> {
+        (0..n)
+            .map(|i| SensorSpec::new(SensorId(i), Position::new(i as f64 * spacing, 0.0)))
+            .collect()
+    }
+
+    #[test]
+    fn line_topology_has_chain_neighbors() {
+        let t = Topology::from_specs(&line_specs(5, 5.0), 6.0);
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.edge_count(), 4);
+        assert!(t.are_neighbors(SensorId(0), SensorId(1)));
+        assert!(!t.are_neighbors(SensorId(0), SensorId(2)));
+        assert_eq!(t.neighbors(SensorId(2)), vec![SensorId(1), SensorId(3)]);
+        assert_eq!(t.neighbors(SensorId(99)), vec![]);
+        assert!((t.average_degree() - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hop_distances_follow_the_chain() {
+        let t = Topology::from_specs(&line_specs(5, 5.0), 6.0);
+        assert_eq!(t.hop_distance(SensorId(0), SensorId(0)), 0);
+        assert_eq!(t.hop_distance(SensorId(0), SensorId(4)), 4);
+        assert_eq!(t.hop_distance(SensorId(4), SensorId(0)), 4);
+        assert_eq!(t.diameter(), 4);
+        assert_eq!(t.within_hops(SensorId(2), 1).len(), 3);
+        assert_eq!(t.within_hops(SensorId(0), 2).len(), 3);
+    }
+
+    #[test]
+    fn disconnected_graph_is_detected() {
+        // Two pairs far apart.
+        let specs = vec![
+            SensorSpec::new(SensorId(0), Position::new(0.0, 0.0)),
+            SensorSpec::new(SensorId(1), Position::new(1.0, 0.0)),
+            SensorSpec::new(SensorId(2), Position::new(100.0, 0.0)),
+            SensorSpec::new(SensorId(3), Position::new(101.0, 0.0)),
+        ];
+        let t = Topology::from_specs(&specs, 5.0);
+        assert!(!t.is_connected());
+        assert_eq!(t.hop_distance(SensorId(0), SensorId(2)), UNREACHABLE);
+        let connected = Topology::from_specs(&specs, 200.0);
+        assert!(connected.is_connected());
+        assert_eq!(connected.diameter(), 1);
+    }
+
+    #[test]
+    fn empty_and_unknown_sources_are_handled() {
+        let t = Topology::from_specs(&[], 5.0);
+        assert!(t.is_connected());
+        assert!(t.is_empty());
+        assert_eq!(t.diameter(), 0);
+        let t = Topology::from_specs(&line_specs(2, 1.0), 5.0);
+        let d = t.hop_distances_from(SensorId(42));
+        assert!(d.values().all(|v| *v == UNREACHABLE));
+    }
+
+    #[test]
+    fn removing_a_cut_vertex_disconnects_the_chain() {
+        let mut t = Topology::from_specs(&line_specs(5, 5.0), 6.0);
+        t.remove_sensor(SensorId(2));
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_connected());
+        assert!(!t.neighbors(SensorId(1)).contains(&SensorId(2)));
+    }
+
+    #[test]
+    fn lab_deployment_topology_matches_the_paper_description() {
+        let d = LabDeployment::standard(0);
+        let t = Topology::from_deployment(&d, PAPER_TRANSMISSION_RANGE_M);
+        assert_eq!(t.len(), 53);
+        assert!(t.is_connected());
+        assert!(t.diameter() >= 4, "53 nodes on a 50 m floor at 6.77 m range are multi-hop");
+        assert!((t.range_m() - PAPER_TRANSMISSION_RANGE_M).abs() < 1e-12);
+        assert_eq!(t.sensor_ids().len(), 53);
+        assert!(t.position(SensorId(0)).is_some());
+        assert!(t.position(SensorId(999)).is_none());
+    }
+}

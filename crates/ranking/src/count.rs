@@ -1,0 +1,145 @@
+//! Neighbour-count based ranking (Knorr & Ng style).
+//!
+//! The paper lists "the inverse of the number of neighbors within a distance
+//! α" among the outlier heuristics its framework accommodates (§3.1). A point
+//! with many close neighbours gets a small rank; an isolated point gets a
+//! rank close to 1.
+
+use crate::function::{neighbors_by_distance, RankingFunction};
+use serde::{Deserialize, Serialize};
+use wsn_data::{DataPoint, PointSet};
+
+/// `R(x, P) = 1 / (1 + |{y ∈ P \ {x} : ‖x − y‖ ≤ α}|)`.
+///
+/// * **Anti-monotone:** adding points can only grow the neighbour count, so
+///   the rank can only shrink.
+/// * **Smooth:** if the rank drops from `Q1` to `Q2`, some specific in-radius
+///   point of `Q2 \ Q1` is responsible, and adding it alone to `Q1` already
+///   lowers the rank.
+/// * **Support set:** exactly the neighbours within `α` — removing any of
+///   them changes the count (and hence the rank), removing anything else
+///   never does, so this set is both sufficient and minimal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeighborCountInverse {
+    alpha: f64,
+}
+
+impl NeighborCountInverse {
+    /// Creates the ranking with the given radius `α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not strictly positive and finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive and finite");
+        NeighborCountInverse { alpha }
+    }
+
+    /// The neighbourhood radius `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of neighbours of `x` within `α` in `data` (excluding `x`).
+    pub fn neighbor_count(&self, x: &DataPoint, data: &PointSet) -> usize {
+        neighbors_by_distance(x, data).iter().take_while(|(d, _)| *d <= self.alpha).count()
+    }
+}
+
+impl RankingFunction for NeighborCountInverse {
+    fn name(&self) -> &'static str {
+        "inv-count"
+    }
+
+    fn rank(&self, x: &DataPoint, data: &PointSet) -> f64 {
+        1.0 / (1.0 + self.neighbor_count(x, data) as f64)
+    }
+
+    fn support_set(&self, x: &DataPoint, data: &PointSet) -> PointSet {
+        let mut out = PointSet::new();
+        for (d, p) in neighbors_by_distance(x, data) {
+            if d <= self.alpha {
+                out.insert(p.clone());
+            } else {
+                break; // sorted by distance, nothing further can be in range
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_data::{Epoch, SensorId, Timestamp};
+
+    fn pt(id: u32, v: f64) -> DataPoint {
+        DataPoint::new(SensorId(id), Epoch(0), Timestamp::ZERO, vec![v]).unwrap()
+    }
+
+    fn data() -> PointSet {
+        vec![pt(1, 0.0), pt(2, 0.5), pt(3, 1.0), pt(4, 10.0)].into_iter().collect()
+    }
+
+    #[test]
+    fn rank_is_inverse_of_in_radius_count() {
+        let r = NeighborCountInverse::new(1.5);
+        let d = data();
+        // x=0 has neighbours at 0.5 and 1.0 within 1.5.
+        assert_eq!(r.neighbor_count(&pt(1, 0.0), &d), 2);
+        assert_eq!(r.rank(&pt(1, 0.0), &d), 1.0 / 3.0);
+        // The isolated point at 10 has no neighbours in radius.
+        assert_eq!(r.neighbor_count(&pt(4, 10.0), &d), 0);
+        assert_eq!(r.rank(&pt(4, 10.0), &d), 1.0);
+    }
+
+    #[test]
+    fn isolated_point_gets_the_maximum_rank() {
+        let r = NeighborCountInverse::new(2.0);
+        let d = data();
+        let ranks: Vec<f64> = d.iter().map(|x| r.rank(x, &d)).collect();
+        let max = ranks.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(r.rank(&pt(4, 10.0), &d), max);
+    }
+
+    #[test]
+    fn support_set_is_exactly_the_in_radius_neighbors() {
+        let r = NeighborCountInverse::new(1.5);
+        let d = data();
+        let s = r.support_set(&pt(1, 0.0), &d);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&pt(2, 0.5)));
+        assert!(s.contains(&pt(3, 1.0)));
+        assert_eq!(r.rank(&pt(1, 0.0), &s), r.rank(&pt(1, 0.0), &d));
+        // The isolated point has an empty support set.
+        assert!(r.support_set(&pt(4, 10.0), &d).is_empty());
+    }
+
+    #[test]
+    fn anti_monotone_when_points_are_added() {
+        let r = NeighborCountInverse::new(1.0);
+        let small: PointSet = vec![pt(1, 0.0), pt(4, 10.0)].into_iter().collect();
+        let big = data();
+        assert!(r.rank(&pt(1, 0.0), &small) >= r.rank(&pt(1, 0.0), &big));
+    }
+
+    #[test]
+    fn boundary_distance_counts_as_inside() {
+        let r = NeighborCountInverse::new(1.0);
+        let d: PointSet = vec![pt(1, 0.0), pt(2, 1.0)].into_iter().collect();
+        assert_eq!(r.neighbor_count(&pt(1, 0.0), &d), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_alpha_is_rejected() {
+        let _ = NeighborCountInverse::new(0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = NeighborCountInverse::new(2.5);
+        assert_eq!(r.alpha(), 2.5);
+        assert_eq!(r.name(), "inv-count");
+    }
+}

@@ -1,0 +1,161 @@
+//! The [`RankingFunction`] trait and shared neighbour machinery.
+//!
+//! A ranking function assigns each point a non-negative "outlierness" score
+//! relative to a dataset, and knows how to produce the **smallest support
+//! set** `[P|x]` — the subset of `P` that already determines `R(x, P)`.
+//! Support sets are what the distributed algorithm ships between sensors
+//! instead of whole datasets, which is where all its bandwidth savings come
+//! from (§5.2).
+
+use wsn_data::order::total_order;
+use wsn_data::{DataPoint, PointSet};
+
+/// An unsupervised, distance-based outlier ranking function `R`.
+///
+/// Implementations must satisfy the paper's two axioms (anti-monotonicity and
+/// smoothness) for the distributed algorithm to converge to the correct
+/// global answer (Theorems 1–2); [`crate::axioms`] provides executable checks
+/// and the test-suite verifies every shipped implementation against them.
+///
+/// The point `x` itself is never considered its own neighbour: if `x ∈ P`, it
+/// is excluded from all neighbour computations (`R(x, P) = R(x, P \ {x})`).
+pub trait RankingFunction: Send + Sync {
+    /// A short human-readable name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// The rank `R(x, data)`: the degree to which `x` is an outlier with
+    /// respect to `data`. Larger means more outlying. May be
+    /// `f64::INFINITY` when `data` is too small to provide evidence (e.g.
+    /// fewer than `k` neighbours), which is the most-outlying possible value
+    /// and keeps the function anti-monotone.
+    fn rank(&self, x: &DataPoint, data: &PointSet) -> f64;
+
+    /// The unique smallest support set `[data|x]`: the subset `Q ⊆ data` with
+    /// `R(x, Q) = R(x, data)` of minimum cardinality (ties broken by the
+    /// total order `≺`). Removing any other point of `data` cannot change
+    /// `x`'s rank.
+    fn support_set(&self, x: &DataPoint, data: &PointSet) -> PointSet;
+}
+
+/// Blanket implementation so `&R`, `Box<R>`, `Arc<R>` can be used wherever a
+/// ranking function is expected.
+impl<R: RankingFunction + ?Sized> RankingFunction for &R {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn rank(&self, x: &DataPoint, data: &PointSet) -> f64 {
+        (**self).rank(x, data)
+    }
+    fn support_set(&self, x: &DataPoint, data: &PointSet) -> PointSet {
+        (**self).support_set(x, data)
+    }
+}
+
+impl<R: RankingFunction + ?Sized> RankingFunction for std::sync::Arc<R> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn rank(&self, x: &DataPoint, data: &PointSet) -> f64 {
+        (**self).rank(x, data)
+    }
+    fn support_set(&self, x: &DataPoint, data: &PointSet) -> PointSet {
+        (**self).support_set(x, data)
+    }
+}
+
+/// The union of the support sets of every point of `query` over `data` — the
+/// paper's `[P|Q] = ⋃_{x∈Q} [P|x]`.
+pub fn support_of_set<R: RankingFunction + ?Sized>(
+    ranking: &R,
+    data: &PointSet,
+    query: &PointSet,
+) -> PointSet {
+    let mut out = PointSet::new();
+    for x in query.iter() {
+        out.extend_from(&ranking.support_set(x, data));
+    }
+    out
+}
+
+/// The neighbours of `x` within `data` (excluding `x` itself), sorted by
+/// ascending feature distance with ties broken by the total order `≺`.
+///
+/// This deterministic ordering is what makes the "k nearest neighbours" — and
+/// therefore the smallest support set — unique, as the paper's tie-breaking
+/// assumption requires.
+pub fn neighbors_by_distance<'a>(
+    x: &DataPoint,
+    data: &'a PointSet,
+) -> Vec<(f64, &'a DataPoint)> {
+    let mut neighbors: Vec<(f64, &DataPoint)> = data
+        .iter()
+        .filter(|p| p.key != x.key)
+        .map(|p| (x.feature_distance(p), p))
+        .collect();
+    neighbors.sort_by(|(da, a), (db, b)| da.total_cmp(db).then_with(|| total_order(a, b)));
+    neighbors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::NnDistance;
+    use std::sync::Arc;
+    use wsn_data::{Epoch, SensorId, Timestamp};
+
+    fn pt(id: u32, epoch: u64, v: f64) -> DataPoint {
+        DataPoint::new(SensorId(id), Epoch(epoch), Timestamp::ZERO, vec![v]).unwrap()
+    }
+
+    #[test]
+    fn neighbors_exclude_self_and_sort_by_distance() {
+        let x = pt(1, 0, 0.0);
+        let data: PointSet =
+            vec![x.clone(), pt(2, 0, 5.0), pt(3, 0, -1.0), pt(4, 0, 2.0)].into_iter().collect();
+        let n = neighbors_by_distance(&x, &data);
+        assert_eq!(n.len(), 3);
+        let dists: Vec<f64> = n.iter().map(|(d, _)| *d).collect();
+        assert_eq!(dists, vec![1.0, 2.0, 5.0]);
+        assert!(n.iter().all(|(_, p)| p.key != x.key));
+    }
+
+    #[test]
+    fn equal_distances_are_broken_by_total_order() {
+        let x = pt(1, 0, 0.0);
+        // Two neighbours both at distance 2, with different values.
+        let a = pt(2, 0, -2.0);
+        let b = pt(3, 0, 2.0);
+        let data: PointSet = vec![x.clone(), b.clone(), a.clone()].into_iter().collect();
+        let n = neighbors_by_distance(&x, &data);
+        assert_eq!(n[0].1.features, vec![-2.0]); // -2.0 ≺ 2.0
+        assert_eq!(n[1].1.features, vec![2.0]);
+    }
+
+    #[test]
+    fn support_of_set_unions_individual_supports() {
+        let a = pt(1, 0, 0.0);
+        let b = pt(2, 0, 10.0);
+        let c = pt(3, 0, 0.5);
+        let d = pt(4, 0, 9.5);
+        let data: PointSet = vec![a.clone(), b.clone(), c.clone(), d.clone()].into_iter().collect();
+        let query: PointSet = vec![a.clone(), b.clone()].into_iter().collect();
+        let support = support_of_set(&NnDistance, &data, &query);
+        // NN of a is c, NN of b is d.
+        assert!(support.contains(&c));
+        assert!(support.contains(&d));
+        assert_eq!(support.len(), 2);
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_works_through_references() {
+        let data: PointSet = vec![pt(1, 0, 0.0), pt(2, 0, 3.0)].into_iter().collect();
+        let x = pt(1, 0, 0.0);
+        let boxed: Box<dyn RankingFunction> = Box::new(NnDistance);
+        assert_eq!(boxed.rank(&x, &data), 3.0);
+        let arc: Arc<dyn RankingFunction> = Arc::new(NnDistance);
+        assert_eq!(arc.rank(&x, &data), 3.0);
+        let by_ref: &dyn RankingFunction = &NnDistance;
+        assert_eq!(by_ref.rank(&x, &data), 3.0);
+        assert_eq!(by_ref.name(), "nn");
+    }
+}

@@ -1,0 +1,314 @@
+//! k-nearest-neighbour based rankings.
+//!
+//! Two classical distance-based outlier definitions the paper supports:
+//!
+//! * [`KnnAverageDistance`] — the average distance to the `k` nearest
+//!   neighbours (Angiulli & Pizzuti); this is the `KNN` configuration of the
+//!   evaluation, with `k = 4`,
+//! * [`KthNeighborDistance`] — the distance to the `k`-th nearest neighbour
+//!   (Ramaswamy et al.).
+//!
+//! # Behaviour on tiny datasets
+//!
+//! When a point has fewer than `k` neighbours, each missing neighbour is
+//! charged the large constant [`MISSING_NEIGHBOR_PENALTY`] instead of being
+//! ignored. This choice is what preserves **both** axioms of §4.1:
+//!
+//! * ignoring missing neighbours (averaging over what is there) breaks
+//!   anti-monotonicity — a far-away `k`-th neighbour arriving later could
+//!   *raise* the average;
+//! * returning `+∞` breaks smoothness — going from 0 to 2 in-range
+//!   neighbours can drop the rank even though no *single* added point does.
+//!
+//! With a finite penalty per missing neighbour, every added neighbour lowers
+//! the rank a little (or a lot, when it fills a missing slot), which is
+//! exactly the gradual behaviour smoothness demands. The penalty must merely
+//! dominate any realistic feature distance; see [`MISSING_NEIGHBOR_PENALTY`].
+
+use crate::function::{neighbors_by_distance, RankingFunction};
+use serde::{Deserialize, Serialize};
+use wsn_data::{DataPoint, PointSet};
+
+/// Penalty distance charged for each missing neighbour when a point has
+/// fewer than `k` neighbours.
+///
+/// It must be much larger than any feature-space distance occurring in the
+/// deployment (sensor readings and coordinates in this reproduction are
+/// bounded by a few hundred), yet small enough that sums of `k` penalties
+/// keep full `f64` precision for the actual distances riding on top of them.
+pub const MISSING_NEIGHBOR_PENALTY: f64 = 1.0e9;
+
+/// Average distance to the `k` nearest neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnnAverageDistance {
+    k: usize,
+}
+
+impl KnnAverageDistance {
+    /// Creates the ranking with the given neighbourhood size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        KnnAverageDistance { k }
+    }
+
+    /// The neighbourhood size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The configuration used in the paper's evaluation (`k = 4`).
+    pub fn paper_default() -> Self {
+        KnnAverageDistance::new(4)
+    }
+}
+
+impl Default for KnnAverageDistance {
+    fn default() -> Self {
+        KnnAverageDistance::paper_default()
+    }
+}
+
+impl RankingFunction for KnnAverageDistance {
+    fn name(&self) -> &'static str {
+        "knn-avg"
+    }
+
+    fn rank(&self, x: &DataPoint, data: &PointSet) -> f64 {
+        let neighbors = neighbors_by_distance(x, data);
+        let present = neighbors.len().min(self.k);
+        let missing = self.k - present;
+        let sum: f64 = neighbors[..present].iter().map(|(d, _)| *d).sum();
+        (sum + missing as f64 * MISSING_NEIGHBOR_PENALTY) / self.k as f64
+    }
+
+    fn support_set(&self, x: &DataPoint, data: &PointSet) -> PointSet {
+        // When k or more neighbours exist, the k nearest determine the rank.
+        // With fewer, every present neighbour contributes to the sum, so all
+        // of them are needed.
+        let neighbors = neighbors_by_distance(x, data);
+        let take = neighbors.len().min(self.k);
+        let mut out = PointSet::new();
+        for (_, p) in &neighbors[..take] {
+            out.insert((*p).clone());
+        }
+        out
+    }
+}
+
+/// Distance to the `k`-th nearest neighbour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KthNeighborDistance {
+    k: usize,
+}
+
+impl KthNeighborDistance {
+    /// Creates the ranking with the given neighbour index (1-based: `k = 1`
+    /// is the nearest neighbour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        KthNeighborDistance { k }
+    }
+
+    /// The neighbour index `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl RankingFunction for KthNeighborDistance {
+    fn name(&self) -> &'static str {
+        "kth-nn"
+    }
+
+    fn rank(&self, x: &DataPoint, data: &PointSet) -> f64 {
+        let neighbors = neighbors_by_distance(x, data);
+        if neighbors.len() >= self.k {
+            neighbors[self.k - 1].0
+        } else {
+            // Charge one penalty per missing slot; the farthest present
+            // neighbour still contributes so that closer configurations rank
+            // lower even while slots are missing.
+            let missing = self.k - neighbors.len();
+            let tail = neighbors.last().map(|(d, _)| *d).unwrap_or(0.0);
+            missing as f64 * MISSING_NEIGHBOR_PENALTY + tail
+        }
+    }
+
+    fn support_set(&self, x: &DataPoint, data: &PointSet) -> PointSet {
+        // With k or more neighbours, the k nearest pin the k-th distance
+        // down: removing any of them could move a farther point into the
+        // k-th slot and raise the rank. With fewer, every neighbour matters
+        // (removing one increases the number of missing slots).
+        let neighbors = neighbors_by_distance(x, data);
+        let take = neighbors.len().min(self.k);
+        let mut out = PointSet::new();
+        for (_, p) in &neighbors[..take] {
+            out.insert((*p).clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_data::{Epoch, SensorId, Timestamp};
+
+    fn pt(id: u32, v: f64) -> DataPoint {
+        DataPoint::new(SensorId(id), Epoch(0), Timestamp::ZERO, vec![v]).unwrap()
+    }
+
+    fn line_data() -> PointSet {
+        // x=1 sits at 0; neighbours at 1, 2, 4, 8.
+        vec![pt(1, 0.0), pt(2, 1.0), pt(3, 2.0), pt(4, 4.0), pt(5, 8.0)].into_iter().collect()
+    }
+
+    #[test]
+    fn knn_average_is_mean_of_k_closest() {
+        let data = line_data();
+        let x = pt(1, 0.0);
+        assert_eq!(KnnAverageDistance::new(1).rank(&x, &data), 1.0);
+        assert_eq!(KnnAverageDistance::new(2).rank(&x, &data), 1.5);
+        assert_eq!(KnnAverageDistance::new(3).rank(&x, &data), (1.0 + 2.0 + 4.0) / 3.0);
+        assert_eq!(KnnAverageDistance::new(4).rank(&x, &data), (1.0 + 2.0 + 4.0 + 8.0) / 4.0);
+    }
+
+    #[test]
+    fn kth_distance_picks_the_kth_closest() {
+        let data = line_data();
+        let x = pt(1, 0.0);
+        assert_eq!(KthNeighborDistance::new(1).rank(&x, &data), 1.0);
+        assert_eq!(KthNeighborDistance::new(3).rank(&x, &data), 4.0);
+        assert_eq!(KthNeighborDistance::new(4).rank(&x, &data), 8.0);
+    }
+
+    #[test]
+    fn too_few_neighbors_charges_the_missing_neighbor_penalty() {
+        let data = line_data();
+        let x = pt(1, 0.0);
+        // k = 5, only 4 neighbours exist: one missing slot.
+        let expected = (1.0 + 2.0 + 4.0 + 8.0 + MISSING_NEIGHBOR_PENALTY) / 5.0;
+        assert_eq!(KnnAverageDistance::new(5).rank(&x, &data), expected);
+        assert_eq!(
+            KthNeighborDistance::new(6).rank(&x, &data),
+            2.0 * MISSING_NEIGHBOR_PENALTY + 8.0
+        );
+        // The support set is every neighbour that exists.
+        assert_eq!(KnnAverageDistance::new(5).support_set(&x, &data).len(), 4);
+        assert_eq!(KthNeighborDistance::new(6).support_set(&x, &data).len(), 4);
+    }
+
+    #[test]
+    fn small_dataset_ranks_are_larger_than_any_real_rank() {
+        let data = line_data();
+        let x = pt(1, 0.0);
+        let deficient = KnnAverageDistance::new(5).rank(&x, &data);
+        let complete = KnnAverageDistance::new(4).rank(&x, &data);
+        assert!(deficient > complete);
+        assert!(deficient > 1e6);
+    }
+
+    #[test]
+    fn support_sets_have_cardinality_k_and_preserve_rank() {
+        let data = line_data();
+        for k in 1..=4 {
+            let r = KnnAverageDistance::new(k);
+            for x in data.iter() {
+                let s = r.support_set(x, &data);
+                assert_eq!(s.len(), k);
+                assert_eq!(r.rank(x, &s), r.rank(x, &data), "k={k}, x={x}");
+            }
+            let r = KthNeighborDistance::new(k);
+            for x in data.iter() {
+                let s = r.support_set(x, &data);
+                assert_eq!(s.len(), k);
+                assert_eq!(r.rank(x, &s), r.rank(x, &data), "k={k}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn support_sets_preserve_rank_even_when_deficient() {
+        let data = line_data();
+        let x = pt(1, 0.0);
+        for k in 5..8 {
+            let r = KnnAverageDistance::new(k);
+            let s = r.support_set(&x, &data);
+            assert_eq!(r.rank(&x, &s), r.rank(&x, &data));
+            let r = KthNeighborDistance::new(k);
+            let s = r.support_set(&x, &data);
+            assert_eq!(r.rank(&x, &s), r.rank(&x, &data));
+        }
+    }
+
+    #[test]
+    fn knn1_reduces_to_nn() {
+        let data = line_data();
+        for x in data.iter() {
+            assert_eq!(
+                KnnAverageDistance::new(1).rank(x, &data),
+                crate::nn::NnDistance.rank(x, &data)
+            );
+            assert_eq!(
+                KthNeighborDistance::new(1).rank(x, &data),
+                crate::nn::NnDistance.rank(x, &data)
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_close_point_lowers_the_rank() {
+        let data = line_data();
+        let x = pt(1, 0.0);
+        let r = KnnAverageDistance::paper_default();
+        let before = r.rank(&x, &data);
+        let mut bigger = data.clone();
+        bigger.insert(pt(9, 0.1));
+        assert!(r.rank(&x, &bigger) < before);
+    }
+
+    #[test]
+    fn filling_a_missing_slot_lowers_the_rank() {
+        // Two points only: with k = 2 every point has one missing slot.
+        let data: PointSet = vec![pt(1, 0.0), pt(2, 3.0)].into_iter().collect();
+        let x = pt(1, 0.0);
+        let r = KnnAverageDistance::new(2);
+        let before = r.rank(&x, &data);
+        let mut bigger = data.clone();
+        bigger.insert(pt(3, 100.0));
+        // Even a far-away point is better than a missing slot.
+        assert!(r.rank(&x, &bigger) < before);
+    }
+
+    #[test]
+    fn paper_default_uses_k_4() {
+        assert_eq!(KnnAverageDistance::paper_default().k(), 4);
+        assert_eq!(KnnAverageDistance::default().k(), 4);
+        assert_eq!(KthNeighborDistance::new(3).k(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_is_rejected() {
+        let _ = KnnAverageDistance::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_is_rejected_for_kth() {
+        let _ = KthNeighborDistance::new(0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(KnnAverageDistance::paper_default().name(), KthNeighborDistance::new(4).name());
+    }
+}

@@ -1,0 +1,106 @@
+//! Distance to the nearest neighbour (the paper's `NN` ranking).
+//!
+//! `R(x, P)` is the Euclidean feature distance from `x` to its nearest
+//! neighbour in `P \ {x}`. A point far from everything else receives a large
+//! rank. This is the ranking function of Ramaswamy et al. with `k = 1` and
+//! the one used for the `Global-NN` / `Semi-global NN` curves of the
+//! evaluation.
+
+use crate::function::{neighbors_by_distance, RankingFunction};
+use serde::{Deserialize, Serialize};
+use wsn_data::{DataPoint, PointSet};
+
+/// Distance-to-nearest-neighbour ranking function.
+///
+/// * **Rank:** `R(x, P) = min_{y ∈ P \ {x}} ‖x − y‖`, or `+∞` when `P \ {x}`
+///   is empty (no evidence that `x` is normal).
+/// * **Support set:** the single nearest neighbour (ties broken by `≺`), or
+///   the empty set when there is none.
+///
+/// Both axioms hold: adding points can only lower the minimum
+/// (anti-monotonicity), and whenever the minimum drops there is one specific
+/// closer point responsible (smoothness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NnDistance;
+
+impl RankingFunction for NnDistance {
+    fn name(&self) -> &'static str {
+        "nn"
+    }
+
+    fn rank(&self, x: &DataPoint, data: &PointSet) -> f64 {
+        neighbors_by_distance(x, data).first().map(|(d, _)| *d).unwrap_or(f64::INFINITY)
+    }
+
+    fn support_set(&self, x: &DataPoint, data: &PointSet) -> PointSet {
+        let mut out = PointSet::new();
+        if let Some((_, nn)) = neighbors_by_distance(x, data).first() {
+            out.insert((*nn).clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_data::{Epoch, SensorId, Timestamp};
+
+    fn pt(id: u32, v: f64) -> DataPoint {
+        DataPoint::new(SensorId(id), Epoch(0), Timestamp::ZERO, vec![v]).unwrap()
+    }
+
+    #[test]
+    fn rank_is_distance_to_closest_other_point() {
+        let data: PointSet = vec![pt(1, 0.0), pt(2, 3.0), pt(3, 10.0)].into_iter().collect();
+        assert_eq!(NnDistance.rank(&pt(1, 0.0), &data), 3.0);
+        assert_eq!(NnDistance.rank(&pt(2, 3.0), &data), 3.0);
+        assert_eq!(NnDistance.rank(&pt(3, 10.0), &data), 7.0);
+    }
+
+    #[test]
+    fn singleton_dataset_gives_infinite_rank() {
+        let data: PointSet = vec![pt(1, 0.0)].into_iter().collect();
+        assert_eq!(NnDistance.rank(&pt(1, 0.0), &data), f64::INFINITY);
+        assert!(NnDistance.support_set(&pt(1, 0.0), &data).is_empty());
+    }
+
+    #[test]
+    fn rank_works_for_points_not_in_the_set() {
+        let data: PointSet = vec![pt(1, 0.0), pt(2, 4.0)].into_iter().collect();
+        let external = pt(9, 1.0);
+        assert_eq!(NnDistance.rank(&external, &data), 1.0);
+    }
+
+    #[test]
+    fn support_set_is_the_single_nearest_neighbor() {
+        let data: PointSet =
+            vec![pt(1, 0.0), pt(2, 2.0), pt(3, 5.0), pt(4, 9.0)].into_iter().collect();
+        let s = NnDistance.support_set(&pt(3, 5.0), &data);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&pt(2, 2.0)));
+    }
+
+    #[test]
+    fn support_set_preserves_the_rank() {
+        let data: PointSet =
+            vec![pt(1, 0.0), pt(2, 2.0), pt(3, 5.0), pt(4, 9.0)].into_iter().collect();
+        for x in data.iter() {
+            let s = NnDistance.support_set(x, &data);
+            assert_eq!(NnDistance.rank(x, &s), NnDistance.rank(x, &data));
+        }
+    }
+
+    #[test]
+    fn anti_monotone_on_growing_sets() {
+        let small: PointSet = vec![pt(1, 0.0), pt(2, 6.0)].into_iter().collect();
+        let large: PointSet = vec![pt(1, 0.0), pt(2, 6.0), pt(3, 1.0)].into_iter().collect();
+        let x = pt(1, 0.0);
+        assert!(NnDistance.rank(&x, &small) >= NnDistance.rank(&x, &large));
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(NnDistance.name(), "nn");
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for trace parsing and serialisation.
+
+use std::error::Error;
+use std::fmt;
+
+use wsn_data::DataError;
+
+/// Errors produced while importing or exporting traces.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A line of an input file could not be parsed. Carries the 1-based line
+    /// number and a description of what was wrong.
+    Parse {
+        /// 1-based line number within the input.
+        line: usize,
+        /// What was wrong with the line.
+        message: String,
+    },
+    /// The input parsed but describes an unusable trace (no readings, a
+    /// reading for a mote with no known location, …).
+    Invalid(String),
+    /// An error bubbled up from the data layer while assembling the trace.
+    Data(DataError),
+}
+
+impl TraceError {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+        TraceError::Parse { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            TraceError::Invalid(message) => write!(f, "invalid trace: {message}"),
+            TraceError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for TraceError {
+    fn from(e: DataError) -> Self {
+        TraceError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = TraceError::parse(7, "expected a number");
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("expected a number"));
+        assert!(TraceError::Invalid("empty".into()).to_string().contains("empty"));
+        let data: TraceError = DataError::EmptyWindow.into();
+        assert!(data.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

@@ -1,0 +1,57 @@
+//! Distributed versus centralized energy on one configuration.
+//!
+//! The paper's headline result: shipping every node's sliding window to a
+//! sink (over AODV, with end-to-end acks) costs far more energy — and
+//! concentrates it around the sink — than computing the outliers in-network.
+//! This example runs both algorithms on the same deployment, trace and
+//! parameters, and prints the comparison the evaluation section is built on.
+//!
+//! Run with: `cargo run --release --example energy_comparison`
+
+use in_network_outlier::prelude::*;
+
+fn configure(algorithm: AlgorithmConfig) -> ExperimentConfig {
+    let mut config = ExperimentConfig::default();
+    config.sensor_count = 32; // the paper's smaller scaling-study network keeps this example fast
+    config.transmission_range_m = 9.5; // the sparser 32-node subsample needs a slightly wider range
+    config.trace.rounds = 16;
+    config.window_samples = 10;
+    config.n = 4;
+    config.algorithm = algorithm;
+    config
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let algorithms = [
+        AlgorithmConfig::Centralized { ranking: RankingChoice::Nn },
+        AlgorithmConfig::Global { ranking: RankingChoice::Nn },
+        AlgorithmConfig::Global { ranking: RankingChoice::KnnAverage { k: 4 } },
+    ];
+
+    println!(
+        "{:<14}{:>16}{:>16}{:>14}{:>14}{:>12}",
+        "algorithm", "TX/round (J)", "RX/round (J)", "max node (J)", "max/avg", "accuracy"
+    );
+    for algorithm in algorithms {
+        let outcome = run_experiment(&configure(algorithm))?;
+        let summary = outcome.total_energy_summary();
+        println!(
+            "{:<14}{:>16.4}{:>16.4}{:>14.3}{:>14.2}{:>12.2}",
+            outcome.label,
+            outcome.avg_tx_energy_per_node_per_round(),
+            outcome.avg_rx_energy_per_node_per_round(),
+            summary.max,
+            outcome.normalized_energy_summary().max,
+            outcome.accuracy()
+        );
+    }
+
+    println!();
+    println!(
+        "The centralized baseline spends more transmit energy per round and loads its most \
+         burdened node (the sink's neighbourhood) far above the network average — the traffic \
+         funnel the paper's conclusion warns about. The in-network algorithms spread the load \
+         and still reach the exact answer."
+    );
+    Ok(())
+}

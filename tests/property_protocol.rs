@@ -1,0 +1,218 @@
+//! Property-based tests of the distributed protocol's invariants, driven by
+//! proptest over random datasets, random connected topologies and random
+//! event interleavings.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use in_network_outlier::detection::detector::OutlierDetector;
+use in_network_outlier::detection::metrics::{estimates_agree, GroundTruth};
+use in_network_outlier::detection::sufficient::sufficient_set;
+use in_network_outlier::prelude::*;
+
+fn point(sensor: u32, epoch: u64, value: f64) -> DataPoint {
+    DataPoint::new(SensorId(sensor), Epoch(epoch), Timestamp::ZERO, vec![value]).unwrap()
+}
+
+/// A random per-sensor dataset: up to `sensors` sensors, each with a handful
+/// of readings drawn from a mixture of a tight cluster and occasional
+/// extremes.
+fn datasets_strategy(sensors: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop_oneof![
+                4 => (18.0..24.0f64),
+                1 => (-100.0..150.0f64),
+            ],
+            1..8,
+        ),
+        2..=sensors,
+    )
+}
+
+/// A random connected topology over `n` nodes: a random spanning tree plus a
+/// few random extra edges.
+fn topology_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    (
+        prop::collection::vec(0usize..1_000_000, n.saturating_sub(1)),
+        prop::collection::vec((0usize..n, 0usize..n), 0..n),
+    )
+        .prop_map(move |(parents, extras)| {
+            let mut edges = Vec::new();
+            for (index, r) in parents.iter().enumerate() {
+                let child = index + 1;
+                let parent = r % child;
+                edges.push((parent, child));
+            }
+            for (a, b) in extras {
+                if a != b {
+                    edges.push((a.min(b), a.max(b)));
+                }
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            edges
+        })
+}
+
+/// Runs the global algorithm synchronously on the given topology until no
+/// node has anything to send, with a generous round bound.
+fn run_network(
+    nodes: &mut [GlobalNode<NnDistance>],
+    neighbors: &[Vec<usize>],
+) -> usize {
+    let ids: Vec<SensorId> = nodes.iter().map(|n| n.id()).collect();
+    let mut exchanged = 0;
+    for _ in 0..500 {
+        let mut progress = false;
+        for index in 0..nodes.len() {
+            let neighbor_ids: Vec<SensorId> =
+                neighbors[index].iter().map(|&j| ids[j]).collect();
+            if let Some(message) = nodes[index].process(&neighbor_ids) {
+                progress = true;
+                for &peer in &neighbors[index] {
+                    let points = message.points_for(ids[peer]);
+                    if !points.is_empty() {
+                        exchanged += points.len();
+                        let from = ids[index];
+                        nodes[peer].receive(from, points);
+                    }
+                }
+            }
+        }
+        if !progress {
+            return exchanged;
+        }
+    }
+    panic!("protocol did not terminate within the round bound");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Theorems 1 and 2 on random data and random connected topologies: at
+    /// termination every node's estimate equals the exact `O_n` of the union.
+    #[test]
+    fn global_algorithm_converges_to_the_exact_answer(
+        datasets in datasets_strategy(6),
+        edges in topology_strategy(6),
+        n in 1usize..4,
+    ) {
+        let count = datasets.len();
+        let window = WindowConfig::from_secs(1_000_000).unwrap();
+        let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); count];
+        for (a, b) in edges {
+            if a < count && b < count && a != b && !neighbors[a].contains(&b) {
+                neighbors[a].push(b);
+                neighbors[b].push(a);
+            }
+        }
+        // Ensure connectivity even if the random extra edges fell outside the
+        // sensor count: the spanning-tree edges (i-1, i) are always added.
+        for i in 1..count {
+            let previous = i - 1;
+            if !neighbors[i].contains(&previous) {
+                neighbors[i].push(previous);
+                neighbors[previous].push(i);
+            }
+        }
+
+        let mut nodes: Vec<GlobalNode<NnDistance>> = Vec::new();
+        let mut local_data: BTreeMap<SensorId, Vec<DataPoint>> = BTreeMap::new();
+        for (sensor, values) in datasets.iter().enumerate() {
+            let id = SensorId(sensor as u32);
+            let points: Vec<DataPoint> = values
+                .iter()
+                .enumerate()
+                .map(|(epoch, v)| point(sensor as u32, epoch as u64, *v))
+                .collect();
+            local_data.insert(id, points.clone());
+            let mut node = GlobalNode::new(id, NnDistance, n, window);
+            node.add_local_points(points);
+            nodes.push(node);
+        }
+
+        run_network(&mut nodes, &neighbors);
+
+        let truth = GroundTruth::global(&NnDistance, n, &local_data);
+        let estimates: BTreeMap<SensorId, OutlierEstimate> =
+            nodes.iter().map(|node| (node.id(), node.estimate())).collect();
+        prop_assert!(estimates_agree(&estimates), "estimates disagree at termination");
+        let report = truth.grade(&estimates);
+        prop_assert!(report.all_correct(), "some node's estimate is not O_n(D): {report:?}");
+    }
+
+    /// The communication of the two-node protocol never exceeds the size of
+    /// either dataset (it is proportional to the outcome, not the data).
+    #[test]
+    fn two_node_communication_is_bounded_by_the_data(
+        di in prop::collection::vec(-50.0..50.0f64, 1..40),
+        dj in prop::collection::vec(-50.0..50.0f64, 1..40),
+        n in 1usize..4,
+    ) {
+        let window = WindowConfig::from_secs(1_000_000).unwrap();
+        let mut pi = GlobalNode::new(SensorId(1), NnDistance, n, window);
+        let mut pj = GlobalNode::new(SensorId(2), NnDistance, n, window);
+        pi.add_local_points(di.iter().enumerate().map(|(e, v)| point(1, e as u64, *v)).collect());
+        pj.add_local_points(dj.iter().enumerate().map(|(e, v)| point(2, e as u64, *v)).collect());
+
+        let mut nodes = vec![pi, pj];
+        let (left, right) = nodes.split_at_mut(1);
+        let exchanged = {
+            let mut exchanged = 0;
+            for _ in 0..200 {
+                let mut progress = false;
+                if let Some(m) = left[0].process(&[SensorId(2)]) {
+                    let pts = m.points_for(SensorId(2));
+                    exchanged += pts.len();
+                    right[0].receive(SensorId(1), pts);
+                    progress = true;
+                }
+                if let Some(m) = right[0].process(&[SensorId(1)]) {
+                    let pts = m.points_for(SensorId(1));
+                    exchanged += pts.len();
+                    left[0].receive(SensorId(2), pts);
+                    progress = true;
+                }
+                if !progress { break; }
+            }
+            exchanged
+        };
+        prop_assert!(exchanged <= di.len() + dj.len(), "exchanged more than everything");
+        // Both estimates agree at termination (Theorem 1).
+        prop_assert!(left[0].estimate().same_outliers_as(&right[0].estimate()));
+    }
+
+    /// Equation (2) holds for whatever the sufficient-set routine returns, on
+    /// random inputs: it contains the node's estimate and support, and is
+    /// closed under the neighbour-estimate support rule.
+    #[test]
+    fn sufficient_sets_satisfy_equation_2(
+        values in prop::collection::vec(-100.0..100.0f64, 2..30),
+        shared in prop::collection::vec(any::<bool>(), 2..30),
+        n in 1usize..5,
+    ) {
+        let pi: PointSet = values
+            .iter()
+            .enumerate()
+            .map(|(e, v)| point(1, e as u64, *v))
+            .collect();
+        let known: PointSet = pi
+            .iter()
+            .zip(shared.iter().cycle())
+            .filter(|(_, &s)| s)
+            .map(|(p, _)| p.clone())
+            .collect();
+        let z = sufficient_set(&NnDistance, n, &pi, &known);
+
+        prop_assert!(z.is_subset_of(&pi));
+        let own = top_n_outliers(&NnDistance, n, &pi);
+        for key in own.keys() {
+            prop_assert!(z.contains_key(&key), "own estimate not in Z");
+        }
+        let hypothetical = known.union(&z);
+        let neighbour_estimate = top_n_outliers(&NnDistance, n, &hypothetical).to_point_set();
+        let support = wsn_ranking::function::support_of_set(&NnDistance, &pi, &neighbour_estimate);
+        prop_assert!(support.is_subset_of(&z), "Z is not closed under equation (2)");
+    }
+}
