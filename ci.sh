@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the workspace, fully offline.
+#
+# The workspace is hermetic: no external registry crates anywhere in the
+# dependency graph, so `--offline` must always succeed. Any attempt to
+# reintroduce a crates.io dependency fails here first.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline --workspace
+
+echo "== cargo fmt --check =="
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    echo "rustfmt not installed; skipping"
+fi
+
+echo "== cargo clippy -D warnings =="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping"
+fi
+
+echo "CI OK"

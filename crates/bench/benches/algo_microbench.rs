@@ -1,18 +1,17 @@
-//! Criterion micro-benchmarks of the pure-algorithm building blocks:
-//! ranking, top-n selection, support sets, sufficient sets, and per-event
-//! node processing. These are the per-event costs a real mote's CPU would
-//! pay, independent of the radio.
+//! Micro-benchmarks of the pure-algorithm building blocks: ranking, top-n
+//! selection, support sets, sufficient sets, and per-event node processing.
+//! These are the per-event costs a real mote's CPU would pay, independent of
+//! the radio. Runs on the std-only harness in `wsn_bench::harness` and writes
+//! `BENCH_algo_microbench.json`.
 
-use std::time::Duration;
+use std::hint::black_box;
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use wsn_bench::harness::Harness;
 use wsn_core::detector::OutlierDetector;
 use wsn_core::global::GlobalNode;
 use wsn_core::semiglobal::SemiGlobalNode;
 use wsn_core::sufficient::sufficient_set;
+use wsn_data::rng::SeededRng;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, Epoch, PointSet, SensorId, Timestamp};
 use wsn_ranking::function::support_of_set;
@@ -21,11 +20,15 @@ use wsn_ranking::{top_n_outliers, KnnAverageDistance, NnDistance, RankingFunctio
 /// Builds a clustered dataset of `size` points with a handful of outliers,
 /// mimicking one sensor neighbourhood's [temperature, x, y] feature vectors.
 fn dataset(size: usize, seed: u64) -> PointSet {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     (0..size)
         .map(|i| {
             let outlier = i % 97 == 0;
-            let temp = if outlier { 100.0 + rng.gen_range(0.0..10.0) } else { 21.0 + rng.gen_range(-1.0..1.0) };
+            let temp = if outlier {
+                100.0 + rng.gen_range(0.0..10.0)
+            } else {
+                21.0 + rng.gen_range(-1.0..1.0)
+            };
             let x = rng.gen_range(0.0..50.0);
             let y = rng.gen_range(0.0..50.0);
             DataPoint::new(
@@ -39,112 +42,96 @@ fn dataset(size: usize, seed: u64) -> PointSet {
         .collect()
 }
 
-fn bench_top_n(c: &mut Criterion) {
-    let mut group = c.benchmark_group("top_n_outliers");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
+fn bench_top_n(h: &mut Harness) {
     for &size in &[64usize, 256, 1024] {
         let data = dataset(size, 1);
-        group.bench_with_input(BenchmarkId::new("nn", size), &data, |b, data| {
-            b.iter(|| top_n_outliers(&NnDistance, black_box(4), data))
+        h.bench("top_n_outliers", &format!("nn/{size}"), || {
+            black_box(top_n_outliers(&NnDistance, black_box(4), &data));
         });
-        group.bench_with_input(BenchmarkId::new("knn4", size), &data, |b, data| {
-            b.iter(|| top_n_outliers(&KnnAverageDistance::new(4), black_box(4), data))
+        h.bench("top_n_outliers", &format!("knn4/{size}"), || {
+            black_box(top_n_outliers(&KnnAverageDistance::new(4), black_box(4), &data));
         });
     }
-    group.finish();
 }
 
-fn bench_support_sets(c: &mut Criterion) {
-    let mut group = c.benchmark_group("support_of_set");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
+fn bench_support_sets(h: &mut Harness) {
     for &size in &[64usize, 256, 1024] {
         let data = dataset(size, 2);
         let query = top_n_outliers(&NnDistance, 4, &data).to_point_set();
-        group.bench_with_input(BenchmarkId::new("nn", size), &size, |b, _| {
-            b.iter(|| support_of_set(&NnDistance, &data, &query))
+        h.bench("support_of_set", &format!("nn/{size}"), || {
+            black_box(support_of_set(&NnDistance, &data, &query));
         });
-        group.bench_with_input(BenchmarkId::new("knn4", size), &size, |b, _| {
-            b.iter(|| support_of_set(&KnnAverageDistance::new(4), &data, &query))
+        h.bench("support_of_set", &format!("knn4/{size}"), || {
+            black_box(support_of_set(&KnnAverageDistance::new(4), &data, &query));
         });
     }
-    group.finish();
 }
 
-fn bench_sufficient_set(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sufficient_set");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
+fn bench_sufficient_set(h: &mut Harness) {
     for &size in &[64usize, 256, 1024] {
         let pi = dataset(size, 3);
         // The neighbour already shares roughly half of P_i.
         let known: PointSet = pi.iter().take(size / 2).cloned().collect();
-        group.bench_with_input(BenchmarkId::new("nn_empty_known", size), &size, |b, _| {
-            b.iter(|| sufficient_set(&NnDistance, 4, &pi, &PointSet::new()))
+        h.bench("sufficient_set", &format!("nn_empty_known/{size}"), || {
+            black_box(sufficient_set(&NnDistance, 4, &pi, &PointSet::new()));
         });
-        group.bench_with_input(BenchmarkId::new("nn_half_known", size), &size, |b, _| {
-            b.iter(|| sufficient_set(&NnDistance, 4, &pi, &known))
+        h.bench("sufficient_set", &format!("nn_half_known/{size}"), || {
+            black_box(sufficient_set(&NnDistance, 4, &pi, &known));
         });
-        group.bench_with_input(BenchmarkId::new("knn4_half_known", size), &size, |b, _| {
-            b.iter(|| sufficient_set(&KnnAverageDistance::new(4), 4, &pi, &known))
+        h.bench("sufficient_set", &format!("knn4_half_known/{size}"), || {
+            black_box(sufficient_set(&KnnAverageDistance::new(4), 4, &pi, &known));
         });
     }
-    group.finish();
 }
 
-fn bench_ranking_functions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rank_single_point");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
+fn bench_ranking_functions(h: &mut Harness) {
     let data = dataset(512, 4);
     let x = data.iter().next().unwrap().clone();
-    group.bench_function("nn", |b| b.iter(|| NnDistance.rank(black_box(&x), &data)));
-    group.bench_function("knn4", |b| {
-        b.iter(|| KnnAverageDistance::new(4).rank(black_box(&x), &data))
+    h.bench("rank_single_point", "nn", || {
+        black_box(NnDistance.rank(black_box(&x), &data));
     });
-    group.finish();
+    h.bench("rank_single_point", "knn4", || {
+        black_box(KnnAverageDistance::new(4).rank(black_box(&x), &data));
+    });
 }
 
-fn bench_node_processing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("node_process_event");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
+fn bench_node_processing(h: &mut Harness) {
     let window = WindowConfig::from_secs(1_000_000).unwrap();
     for &size in &[64usize, 256] {
         let points: Vec<DataPoint> = dataset(size, 5).to_vec();
-        group.bench_with_input(BenchmarkId::new("global_nn", size), &size, |b, _| {
-            b.iter_batched(
-                || {
-                    let mut node = GlobalNode::new(SensorId(0), NnDistance, 4, window);
-                    node.add_local_points(points.clone());
-                    node
-                },
-                |mut node| node.process(&[SensorId(1), SensorId(2), SensorId(3)]),
-                criterion::BatchSize::SmallInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("semiglobal_nn_d2", size), &size, |b, _| {
-            b.iter_batched(
-                || {
-                    let mut node = SemiGlobalNode::new(SensorId(0), NnDistance, 4, 2, window);
-                    node.add_local_points(points.clone());
-                    node
-                },
-                |mut node| node.process(&[SensorId(1), SensorId(2), SensorId(3)]),
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        h.bench_with_setup(
+            "node_process_event",
+            &format!("global_nn/{size}"),
+            || {
+                let mut node = GlobalNode::new(SensorId(0), NnDistance, 4, window);
+                node.add_local_points(points.clone());
+                node
+            },
+            |mut node| {
+                black_box(node.process(&[SensorId(1), SensorId(2), SensorId(3)]));
+            },
+        );
+        h.bench_with_setup(
+            "node_process_event",
+            &format!("semiglobal_nn_d2/{size}"),
+            || {
+                let mut node = SemiGlobalNode::new(SensorId(0), NnDistance, 4, 2, window);
+                node.add_local_points(points.clone());
+                node
+            },
+            |mut node| {
+                black_box(node.process(&[SensorId(1), SensorId(2), SensorId(3)]));
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_top_n,
-    bench_support_sets,
-    bench_sufficient_set,
-    bench_ranking_functions,
-    bench_node_processing
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("algo_microbench");
+    bench_top_n(&mut h);
+    bench_support_sets(&mut h);
+    bench_sufficient_set(&mut h);
+    bench_ranking_functions(&mut h);
+    bench_node_processing(&mut h);
+    h.finish();
+}

@@ -1,19 +1,19 @@
-//! Criterion end-to-end simulation benchmarks: one reduced data point per
-//! figure of the evaluation, so `cargo bench` exercises every figure's code
-//! path (workload generation, simulation, energy accounting, metrics) and
-//! tracks its wall-clock cost over time. The full-scale sweeps that print the
-//! actual figures live in the `fig*` binaries of this crate.
+//! End-to-end simulation benchmarks: one reduced data point per figure of
+//! the evaluation, so `cargo bench` exercises every figure's code path
+//! (workload generation, simulation, energy accounting, metrics) and tracks
+//! its wall-clock cost over time. The full-scale sweeps that print the actual
+//! figures live in the `fig*` binaries of this crate. Runs on the std-only
+//! harness in `wsn_bench::harness` and writes `BENCH_simulation_bench.json`.
 
-use std::time::Duration;
+use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use wsn_bench::harness::Harness;
 use wsn_core::experiment::{run_experiment, AlgorithmConfig, ExperimentConfig, RankingChoice};
 use wsn_data::synth::SyntheticTraceConfig;
 
 /// A reduced experiment: 12 sensors, 5 rounds, widened radio range so the
-/// sparse layout stays connected. Small enough for Criterion, large enough to
-/// exercise multi-hop behaviour.
+/// sparse layout stays connected. Small enough for a quick bench run, large
+/// enough to exercise multi-hop behaviour.
 fn reduced(algorithm: AlgorithmConfig, w: u64, n: usize) -> ExperimentConfig {
     ExperimentConfig {
         sensor_count: 12,
@@ -26,11 +26,7 @@ fn reduced(algorithm: AlgorithmConfig, w: u64, n: usize) -> ExperimentConfig {
     .with_algorithm(algorithm)
 }
 
-fn bench_fig4_point(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_global_vs_centralized");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(4));
+fn bench_fig4_point(h: &mut Harness) {
     let configs = [
         ("centralized", AlgorithmConfig::Centralized { ranking: RankingChoice::Nn }),
         ("global_nn", AlgorithmConfig::Global { ranking: RankingChoice::Nn }),
@@ -38,40 +34,30 @@ fn bench_fig4_point(c: &mut Criterion) {
     ];
     for (name, algorithm) in configs {
         let config = reduced(algorithm, 10, 4);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
-            b.iter(|| run_experiment(config).expect("benchmark experiment failed"))
+        h.bench("fig4_global_vs_centralized", name, || {
+            black_box(run_experiment(black_box(&config)).expect("benchmark experiment failed"));
         });
     }
-    group.finish();
 }
 
-fn bench_fig5_window_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5_window_scaling_global_nn");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(4));
+fn bench_fig5_window_scaling(h: &mut Harness) {
     for &w in &[10u64, 20, 40] {
         let config = reduced(AlgorithmConfig::Global { ranking: RankingChoice::Nn }, w, 4);
-        group.bench_with_input(BenchmarkId::from_parameter(w), &config, |b, config| {
-            b.iter(|| run_experiment(config).expect("benchmark experiment failed"))
+        h.bench("fig5_window_scaling_global_nn", &w.to_string(), || {
+            black_box(run_experiment(black_box(&config)).expect("benchmark experiment failed"));
         });
     }
-    group.finish();
 }
 
-fn bench_fig7_8_semiglobal_epsilon(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_8_semiglobal_epsilon");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(4));
+fn bench_fig7_8_semiglobal_epsilon(h: &mut Harness) {
     for &epsilon in &[1u16, 2, 3] {
         let nn = reduced(
             AlgorithmConfig::SemiGlobal { ranking: RankingChoice::Nn, hop_diameter: epsilon },
             10,
             4,
         );
-        group.bench_with_input(BenchmarkId::new("nn", epsilon), &nn, |b, config| {
-            b.iter(|| run_experiment(config).expect("benchmark experiment failed"))
+        h.bench("fig7_8_semiglobal_epsilon", &format!("nn/{epsilon}"), || {
+            black_box(run_experiment(black_box(&nn)).expect("benchmark experiment failed"));
         });
         let knn = reduced(
             AlgorithmConfig::SemiGlobal {
@@ -81,18 +67,13 @@ fn bench_fig7_8_semiglobal_epsilon(c: &mut Criterion) {
             10,
             4,
         );
-        group.bench_with_input(BenchmarkId::new("knn4", epsilon), &knn, |b, config| {
-            b.iter(|| run_experiment(config).expect("benchmark experiment failed"))
+        h.bench("fig7_8_semiglobal_epsilon", &format!("knn4/{epsilon}"), || {
+            black_box(run_experiment(black_box(&knn)).expect("benchmark experiment failed"));
         });
     }
-    group.finish();
 }
 
-fn bench_fig9_n_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_n_scaling_semiglobal_knn");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(4));
+fn bench_fig9_n_scaling(h: &mut Harness) {
     for &n in &[1usize, 4, 8] {
         let config = reduced(
             AlgorithmConfig::SemiGlobal {
@@ -102,18 +83,17 @@ fn bench_fig9_n_scaling(c: &mut Criterion) {
             20,
             n,
         );
-        group.bench_with_input(BenchmarkId::from_parameter(n), &config, |b, config| {
-            b.iter(|| run_experiment(config).expect("benchmark experiment failed"))
+        h.bench("fig9_n_scaling_semiglobal_knn", &n.to_string(), || {
+            black_box(run_experiment(black_box(&config)).expect("benchmark experiment failed"));
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig4_point,
-    bench_fig5_window_scaling,
-    bench_fig7_8_semiglobal_epsilon,
-    bench_fig9_n_scaling
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("simulation_bench");
+    bench_fig4_point(&mut h);
+    bench_fig5_window_scaling(&mut h);
+    bench_fig7_8_semiglobal_epsilon(&mut h);
+    bench_fig9_n_scaling(&mut h);
+    h.finish();
+}

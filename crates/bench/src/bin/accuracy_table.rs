@@ -17,12 +17,7 @@ use wsn_netsim::radio::LossModel;
 fn main() {
     let scenario = PaperScenario::from_args();
     let loss_rates = [0.0, 0.01, 0.05, 0.10];
-    let algorithms = [
-        global_nn(),
-        global_knn(),
-        semi_global_nn(2),
-        semi_global_knn(2),
-    ];
+    let algorithms = [global_nn(), global_knn(), semi_global_nn(2), semi_global_knn(2)];
 
     println!("== Detection accuracy vs packet loss (w=20, n=4, k=4) ==");
     println!("exact = fraction of nodes whose estimate equals O_n exactly;");

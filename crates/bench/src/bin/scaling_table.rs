@@ -22,7 +22,10 @@ fn main() {
     println!("== Scaling with network size (w=20, n=4) ==");
     println!(
         "{:<10}{:>26}{:>26}{:>22}",
-        "sensors", "Centralized TX/round (J)", "Global-NN TX/round (J)", "centralized / distributed"
+        "sensors",
+        "Centralized TX/round (J)",
+        "Global-NN TX/round (J)",
+        "centralized / distributed"
     );
     for &size in &sizes {
         let mut cent = scenario.config(centralized(), w, PAPER_N);

@@ -1,0 +1,306 @@
+//! A std-only micro-benchmark harness.
+//!
+//! The workspace builds offline, so the benches cannot use Criterion; this
+//! module provides the small subset the repository needs: named benchmark
+//! groups, warm-up, wall-clock sampling with [`std::time::Instant`], a
+//! human-readable summary table, and machine-readable `BENCH_<suite>.json`
+//! output (via the in-repo [`crate::json`] emitter) for regression tracking.
+//!
+//! Benches are plain binaries with `harness = false` in `Cargo.toml`:
+//!
+//! ```no_run
+//! use wsn_bench::harness::Harness;
+//!
+//! let mut h = Harness::from_args("my_suite");
+//! h.bench("group", "case", || {
+//!     std::hint::black_box(2_u64.pow(10));
+//! });
+//! h.finish();
+//! ```
+//!
+//! Pass a substring as the first non-flag CLI argument to run only matching
+//! benchmarks (`cargo bench --bench algo_microbench -- top_n`). The
+//! measurement duration can be tuned with the `WSN_BENCH_MEASURE_MS` and
+//! `WSN_BENCH_WARMUP_MS` environment variables.
+
+use std::time::{Duration, Instant};
+
+use crate::json::JsonValue;
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark group (e.g. `top_n_outliers`).
+    pub group: String,
+    /// Case name within the group (e.g. `nn/256`).
+    pub name: String,
+    /// Total iterations measured across all samples.
+    pub iterations: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample's nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Median sample's nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Number of timing samples taken.
+    pub samples: usize,
+}
+
+impl Measurement {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("group", JsonValue::from(self.group.clone())),
+            ("name", JsonValue::from(self.name.clone())),
+            ("iterations", JsonValue::from(self.iterations as f64)),
+            ("mean_ns", JsonValue::from(self.mean_ns)),
+            ("min_ns", JsonValue::from(self.min_ns)),
+            ("max_ns", JsonValue::from(self.max_ns)),
+            ("median_ns", JsonValue::from(self.median_ns)),
+            ("samples", JsonValue::from(self.samples as f64)),
+        ])
+    }
+}
+
+/// The benchmark runner: collects measurements, prints a table, writes JSON.
+#[derive(Debug)]
+pub struct Harness {
+    suite: String,
+    filter: Option<String>,
+    warmup: Duration,
+    measure: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Creates a harness for `suite`, reading the filter from the process
+    /// arguments (the first argument that does not start with `-`) and the
+    /// measurement budget from `WSN_BENCH_MEASURE_MS` / `WSN_BENCH_WARMUP_MS`.
+    pub fn from_args(suite: &str) -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness::new(suite, filter)
+    }
+
+    /// Creates a harness with an explicit filter (mostly for tests).
+    pub fn new(suite: &str, filter: Option<String>) -> Self {
+        let millis_env = |key: &str, default: u64| {
+            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        };
+        Harness {
+            suite: suite.to_string(),
+            filter,
+            warmup: Duration::from_millis(millis_env("WSN_BENCH_WARMUP_MS", 200)),
+            measure: Duration::from_millis(millis_env("WSN_BENCH_MEASURE_MS", 1_000)),
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `routine`, which is called repeatedly with no arguments.
+    /// The whole batch is timed with a single pair of clock reads, so the
+    /// per-iteration numbers carry no `Instant` overhead.
+    pub fn bench(&mut self, group: &str, name: &str, mut routine: impl FnMut()) {
+        self.run(group, name, |batch| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                routine();
+            }
+            t.elapsed()
+        });
+    }
+
+    /// Benchmarks `routine` with a fresh value from `setup` per iteration;
+    /// only the time spent inside `routine` is measured (Criterion's
+    /// `iter_batched`). The per-iteration clock reads this needs put a few
+    /// tens of nanoseconds of overhead on each sample — prefer [`Harness::bench`]
+    /// for routines that do not consume their input.
+    pub fn bench_with_setup<T>(
+        &mut self,
+        group: &str,
+        name: &str,
+        mut setup: impl FnMut() -> T,
+        mut routine: impl FnMut(T),
+    ) {
+        self.run(group, name, |batch| {
+            let mut batch_time = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let t = Instant::now();
+                routine(input);
+                batch_time += t.elapsed();
+            }
+            batch_time
+        });
+    }
+
+    /// Shared measurement loop: `measure_batch(n)` runs `n` iterations and
+    /// returns the time attributable to them.
+    fn run(&mut self, group: &str, name: &str, mut measure_batch: impl FnMut(u64) -> Duration) {
+        let full_name = format!("{group}/{name}");
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+
+        // Warm-up: run (and time) iterations until the warm-up budget is
+        // spent, to page code in and pick a batch size for measurement.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        let mut warmup_spent = Duration::ZERO;
+        while warmup_start.elapsed() < self.warmup || warmup_iters == 0 {
+            warmup_spent += measure_batch(1);
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_spent.checked_div(warmup_iters as u32).unwrap_or(Duration::ZERO);
+        // Aim for ~50 samples over the measurement budget, at least one
+        // iteration per sample.
+        let target_sample = self.measure / 50;
+        let batch = if per_iter.is_zero() {
+            1_000
+        } else {
+            (target_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut samples_ns: Vec<f64> = Vec::new();
+        let mut iterations: u64 = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure || samples_ns.is_empty() {
+            let batch_time = measure_batch(batch);
+            iterations += batch;
+            samples_ns.push(batch_time.as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(f64::total_cmp);
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let measurement = Measurement {
+            group: group.to_string(),
+            name: name.to_string(),
+            iterations,
+            mean_ns,
+            min_ns: samples_ns[0],
+            max_ns: samples_ns[samples_ns.len() - 1],
+            median_ns: samples_ns[samples_ns.len() / 2],
+            samples: samples_ns.len(),
+        };
+        println!(
+            "{:<44} {:>14} {:>12} {:>12}",
+            full_name,
+            format_ns(measurement.median_ns),
+            format_ns(measurement.min_ns),
+            format_ns(measurement.max_ns),
+        );
+        self.results.push(measurement);
+    }
+
+    /// The measurements collected so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Renders the results as a `BENCH_*.json`-compatible JSON document.
+    pub fn to_json(&self) -> String {
+        JsonValue::object([
+            ("suite", JsonValue::from(self.suite.clone())),
+            (
+                "results",
+                JsonValue::Array(self.results.iter().map(Measurement::to_json_value).collect()),
+            ),
+        ])
+        .to_pretty_string()
+    }
+
+    /// Prints the summary footer and writes `BENCH_<suite>.json` into the
+    /// current directory. Call this once at the end of `main`.
+    pub fn finish(self) {
+        let path = format!("BENCH_{}.json", self.suite);
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => println!("\n{} benchmarks -> {path}", self.results.len()),
+            Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Harness {
+        let mut h = Harness::new("test_suite", None);
+        h.warmup = Duration::from_millis(1);
+        h.measure = Duration::from_millis(5);
+        h
+    }
+
+    #[test]
+    fn measurements_are_recorded_and_positive() {
+        let mut h = quick();
+        h.bench("group", "spin", || {
+            std::hint::black_box((0..100u64).sum::<u64>());
+        });
+        assert_eq!(h.results().len(), 1);
+        let m = &h.results()[0];
+        assert!(m.iterations > 0);
+        assert!(m.mean_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benches() {
+        let mut h = quick();
+        h.filter = Some("keep".to_string());
+        h.bench("group", "keep_me", || {});
+        h.bench("group", "drop_me", || {});
+        assert_eq!(h.results().len(), 1);
+        assert_eq!(h.results()[0].name, "keep_me");
+    }
+
+    #[test]
+    fn setup_values_are_consumed_per_iteration() {
+        let mut h = quick();
+        let mut built = 0u64;
+        h.bench_with_setup(
+            "group",
+            "batched",
+            || {
+                built += 1;
+                vec![1u8; 64]
+            },
+            |v| {
+                std::hint::black_box(v.len());
+            },
+        );
+        assert!(built >= h.results()[0].iterations);
+    }
+
+    #[test]
+    fn json_output_has_the_expected_shape() {
+        let mut h = quick();
+        h.bench("g", "case", || {});
+        let parsed = crate::json::JsonValue::parse(&h.to_json()).unwrap();
+        assert_eq!(parsed.get("suite").and_then(|v| v.as_str()), Some("test_suite"));
+        let results = parsed.get("results").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("name").and_then(|v| v.as_str()), Some("case"));
+        assert!(results[0].get("median_ns").and_then(|v| v.as_f64()).is_some());
+    }
+
+    #[test]
+    fn ns_formatting_picks_sensible_units() {
+        assert_eq!(format_ns(500.0), "500.0 ns");
+        assert_eq!(format_ns(2_500.0), "2.50 us");
+        assert_eq!(format_ns(3_000_000.0), "3.00 ms");
+        assert_eq!(format_ns(1_500_000_000.0), "1.500 s");
+    }
+}

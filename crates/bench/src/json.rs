@@ -1,0 +1,533 @@
+//! A minimal, dependency-free JSON value model with an emitter and parser.
+//!
+//! The build environment is hermetic (no crates.io access), so the report
+//! layer cannot lean on `serde`; the figure reports and benchmark outputs
+//! only need flat objects, arrays, strings and finite numbers, which this
+//! module covers completely. Numbers are emitted with Rust's shortest
+//! round-trip `f64` formatting, so `parse(emit(v)) == v` for every finite
+//! value.
+//!
+//! # Example
+//!
+//! ```
+//! use wsn_bench::json::JsonValue;
+//!
+//! let value = JsonValue::object([
+//!     ("name", JsonValue::from("Figure 4")),
+//!     ("rows", JsonValue::Array(vec![JsonValue::from(1.5), JsonValue::from(2.0)])),
+//! ]);
+//! let text = value.to_pretty_string();
+//! let back = JsonValue::parse(&text).unwrap();
+//! assert_eq!(back, value);
+//! assert_eq!(back.get("name").and_then(|v| v.as_str()), Some("Figure 4"));
+//! ```
+
+use std::fmt;
+
+/// A parsed or to-be-emitted JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// An error produced while parsing JSON text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset at which the parse failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::String(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::String(s)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> Self {
+        JsonValue::Number(n)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up a key in an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Emits compact JSON (no whitespace).
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Emits pretty-printed JSON with two-space indentation.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => write_number(out, *n),
+            JsonValue::String(s) => write_string(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (rejecting trailing garbage).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.is_finite() {
+        // Rust's Display for f64 is the shortest representation that parses
+        // back to the same bits, so numeric round trips are lossless.
+        let formatted = format!("{n}");
+        out.push_str(&formatted);
+        // `1.0` formats as "1"; that is still valid JSON and parses back
+        // exactly, so nothing more to do.
+    } else {
+        // JSON has no NaN/Infinity; represent them as null like serde_json's
+        // default behaviour for non-finite floats.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') if self.consume_literal("null") => Ok(JsonValue::Null),
+            Some(b't') if self.consume_literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.consume_literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'"') => self.parse_string().map(JsonValue::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the longest run without escapes or quotes.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                // A high surrogate must be followed by \uXXXX
+                                // with a low surrogate.
+                                if !self.consume_literal("\\u") {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid unicode escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("unknown escape sequence")),
+                    }
+                }
+                Some(_) => return Err(self.error("control character in string")),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| JsonError { offset: start, message: "invalid number".into() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-1.5", "1e-3", "\"hi\""] {
+            let value = JsonValue::parse(text).unwrap();
+            let emitted = value.to_compact_string();
+            assert_eq!(JsonValue::parse(&emitted).unwrap(), value, "for input {text}");
+        }
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        for n in [0.0, -0.5, 1.0 / 3.0, 6.02e23, 1.6e-19, f64::MAX, f64::MIN_POSITIVE] {
+            let text = JsonValue::Number(n).to_compact_string();
+            let back = JsonValue::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back, n, "value {n} changed through {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_emit_null() {
+        assert_eq!(JsonValue::Number(f64::NAN).to_compact_string(), "null");
+        assert_eq!(JsonValue::Number(f64::INFINITY).to_compact_string(), "null");
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let tricky = "a\"b\\c\nd\te\u{08}\u{0C}\u{1F}é∞";
+        let text = JsonValue::from(tricky).to_compact_string();
+        assert_eq!(JsonValue::parse(&text).unwrap().as_str(), Some(tricky));
+        // Unicode escapes and surrogate pairs parse too.
+        let parsed = JsonValue::parse("\"\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("é😀"));
+    }
+
+    #[test]
+    fn nested_structures_round_trip_pretty_and_compact() {
+        let value = JsonValue::object([
+            ("s", JsonValue::from("x")),
+            ("n", JsonValue::from(2.5)),
+            ("b", JsonValue::from(true)),
+            ("z", JsonValue::Null),
+            ("a", JsonValue::Array(vec![JsonValue::from(1.0), JsonValue::Array(vec![])])),
+            ("o", JsonValue::object([("k", JsonValue::from(false))])),
+        ]);
+        for text in [value.to_pretty_string(), value.to_compact_string()] {
+            assert_eq!(JsonValue::parse(&text).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_offsets() {
+        for text in ["", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2", "{\"a\" 1}"] {
+            assert!(JsonValue::parse(text).is_err(), "{text:?} should fail");
+        }
+        let err = JsonValue::parse("[1, x]").unwrap_err();
+        assert!(err.offset >= 4, "offset {} should point at the bad byte", err.offset);
+        assert!(err.to_string().contains("JSON parse error"));
+    }
+
+    #[test]
+    fn object_lookup_helpers_work() {
+        let value = JsonValue::object([("k", JsonValue::from(3.0))]);
+        assert_eq!(value.get("k").and_then(JsonValue::as_f64), Some(3.0));
+        assert!(value.get("missing").is_none());
+        assert!(JsonValue::Null.get("k").is_none());
+        assert!(value.as_array().is_none());
+        assert_eq!(
+            JsonValue::Array(vec![JsonValue::Null]).as_array().map(<[JsonValue]>::len),
+            Some(1)
+        );
+    }
+}

@@ -161,10 +161,7 @@ impl PaperScenario {
 
     /// The configuration of one data point.
     pub fn config(&self, algorithm: AlgorithmConfig, w: u64, n: usize) -> ExperimentConfig {
-        self.base_config()
-            .with_algorithm(algorithm)
-            .with_window_samples(w)
-            .with_n(n)
+        self.base_config().with_algorithm(algorithm).with_window_samples(w).with_n(n)
     }
 }
 

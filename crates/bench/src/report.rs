@@ -6,15 +6,15 @@
 //! figures) and can be written as JSON next to the human-readable output so
 //! EXPERIMENTS.md can be regenerated mechanically.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::path::Path;
 
+use crate::json::{JsonError, JsonValue};
 use crate::sweep::AveragedOutcome;
 
 /// One data point of a figure: a swept parameter value, an algorithm label,
 /// and the measured metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeriesRow {
     /// The swept parameter ("w" or "n") value of this row.
     pub x: f64,
@@ -60,7 +60,7 @@ impl SeriesRow {
 }
 
 /// A reproduced figure: its identity, the swept parameter, and its rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureReport {
     /// Which figure of the paper this reproduces ("Figure 4", …).
     pub figure: String,
@@ -114,7 +114,7 @@ impl FigureReport {
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.figure);
         let _ = writeln!(out, "{}", self.configuration);
-        let metrics: [(&str, fn(&SeriesRow) -> f64); 5] = [
+        let metrics: [MetricColumn; 5] = [
             ("Avg TX energy per node per round (J)", |r| r.avg_tx_per_round),
             ("Avg RX energy per node per round (J)", |r| r.avg_rx_per_round),
             ("Avg total energy per node (J)", |r| r.avg_total_energy),
@@ -147,7 +147,7 @@ impl FigureReport {
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.figure);
         let _ = writeln!(out, "{}", self.configuration);
-        let metrics: [(&str, fn(&SeriesRow) -> f64); 3] = [
+        let metrics: [MetricColumn; 3] = [
             ("Minimum total energy consumed by a node (J)", |r| r.min_total_energy),
             ("Average total energy consumed by a node (J)", |r| r.avg_total_energy),
             ("Maximum total energy consumed by a node (J)", |r| r.max_total_energy),
@@ -210,12 +210,45 @@ impl FigureReport {
     }
 
     /// Serialises the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let rows = self.rows.iter().map(SeriesRow::to_json_value).collect();
+        JsonValue::object([
+            ("figure", JsonValue::from(self.figure.clone())),
+            ("configuration", JsonValue::from(self.configuration.clone())),
+            ("x_name", JsonValue::from(self.x_name.clone())),
+            ("rows", JsonValue::Array(rows)),
+        ])
+        .to_pretty_string()
+    }
+
+    /// Parses a report previously produced by [`FigureReport::to_json`].
     ///
     /// # Errors
     ///
-    /// Returns any serialisation error from `serde_json`.
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    /// Returns a [`JsonError`] for malformed JSON or a document that does not
+    /// have the report's shape.
+    pub fn from_json(text: &str) -> Result<FigureReport, JsonError> {
+        let value = JsonValue::parse(text)?;
+        let field = |key: &str| -> Result<String, JsonError> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| shape_error(format!("missing string field {key:?}")))
+        };
+        let rows = value
+            .get("rows")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| shape_error("missing array field \"rows\""))?
+            .iter()
+            .map(SeriesRow::from_json_value)
+            .collect::<Result<Vec<SeriesRow>, JsonError>>()?;
+        Ok(FigureReport {
+            figure: field("figure")?,
+            configuration: field("configuration")?,
+            x_name: field("x_name")?,
+            rows,
+        })
     }
 
     /// Writes the JSON form of the report to `path` (for EXPERIMENTS.md and
@@ -223,10 +256,60 @@ impl FigureReport {
     ///
     /// # Errors
     ///
-    /// Returns I/O or serialisation errors.
+    /// Returns I/O errors from writing the file.
     pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let json = self.to_json().map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn shape_error(message: impl Into<String>) -> JsonError {
+    JsonError { offset: 0, message: message.into() }
+}
+
+/// A named metric column: its table heading and its row accessor.
+type MetricColumn = (&'static str, fn(&SeriesRow) -> f64);
+
+impl SeriesRow {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("x", JsonValue::from(self.x)),
+            ("label", JsonValue::from(self.label.clone())),
+            ("avg_tx_per_round", JsonValue::from(self.avg_tx_per_round)),
+            ("avg_rx_per_round", JsonValue::from(self.avg_rx_per_round)),
+            ("min_total_energy", JsonValue::from(self.min_total_energy)),
+            ("avg_total_energy", JsonValue::from(self.avg_total_energy)),
+            ("max_total_energy", JsonValue::from(self.max_total_energy)),
+            ("accuracy", JsonValue::from(self.accuracy)),
+            ("mean_recall", JsonValue::from(self.mean_recall)),
+            ("traffic_imbalance", JsonValue::from(self.traffic_imbalance)),
+            ("data_points_sent", JsonValue::from(self.data_points_sent)),
+        ])
+    }
+
+    fn from_json_value(value: &JsonValue) -> Result<SeriesRow, JsonError> {
+        let num = |key: &str| -> Result<f64, JsonError> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| shape_error(format!("missing numeric field {key:?}")))
+        };
+        Ok(SeriesRow {
+            x: num("x")?,
+            label: value
+                .get("label")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| shape_error("missing string field \"label\""))?,
+            avg_tx_per_round: num("avg_tx_per_round")?,
+            avg_rx_per_round: num("avg_rx_per_round")?,
+            min_total_energy: num("min_total_energy")?,
+            avg_total_energy: num("avg_total_energy")?,
+            max_total_energy: num("max_total_energy")?,
+            accuracy: num("accuracy")?,
+            mean_recall: num("mean_recall")?,
+            traffic_imbalance: num("traffic_imbalance")?,
+            data_points_sent: num("data_points_sent")?,
+        })
     }
 }
 
@@ -300,9 +383,19 @@ mod tests {
     fn json_round_trips() {
         let mut report = FigureReport::new("Figure 9", "w=20, k=4", "n");
         report.push(row(1.0, "Semi-global, epsilon=1", 0.01));
-        let json = report.to_json().unwrap();
-        let back: FigureReport = serde_json::from_str(&json).unwrap();
+        report.push(row(4.0, "Global-NN \"quoted\"", 1.0 / 3.0));
+        let json = report.to_json();
+        let back = FigureReport::from_json(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn malformed_report_json_is_rejected() {
+        assert!(FigureReport::from_json("not json").is_err());
+        assert!(FigureReport::from_json("{\"figure\": \"F\"}").is_err());
+        let missing_metric =
+            "{\"figure\":\"F\",\"configuration\":\"c\",\"x_name\":\"w\",\"rows\":[{\"x\":1}]}";
+        assert!(FigureReport::from_json(missing_metric).is_err());
     }
 
     #[test]

@@ -82,10 +82,8 @@ pub fn run_averaged(config: &ExperimentConfig, seeds: u64) -> Result<AveragedOut
 
     let outcomes: Vec<Result<wsn_core::experiment::ExperimentOutcome, CoreError>> =
         std::thread::scope(|scope| {
-            let handles: Vec<_> = configs
-                .iter()
-                .map(|c| scope.spawn(move || run_experiment(c)))
-                .collect();
+            let handles: Vec<_> =
+                configs.iter().map(|c| scope.spawn(move || run_experiment(c))).collect();
             handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
         });
 
@@ -96,7 +94,7 @@ pub fn run_averaged(config: &ExperimentConfig, seeds: u64) -> Result<AveragedOut
 
     let count = runs.len() as f64;
     let mean = |f: &dyn Fn(&wsn_core::experiment::ExperimentOutcome) -> f64| {
-        runs.iter().map(|r| f(r)).sum::<f64>() / count
+        runs.iter().map(f).sum::<f64>() / count
     };
     let total_energy = MinAvgMax {
         min: mean(&|r| r.total_energy_summary().min),

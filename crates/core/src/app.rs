@@ -176,11 +176,7 @@ mod tests {
                 };
                 stream.readings.push(SensorReading::present(Epoch(r as u64), ts, value));
             }
-            DetectorApp::new(
-                GlobalNode::new(id, NnDistance, 1, window),
-                stream,
-                schedule,
-            )
+            DetectorApp::new(GlobalNode::new(id, NnDistance, 1, window), stream, schedule)
         })
     }
 
@@ -229,10 +225,7 @@ mod tests {
         // nothing for it. We verify indirectly: the simulation terminates
         // (no infinite re-broadcast loop) and estimates are correct.
         let mut sim = build_sim(2);
-        assert!(
-            sim.run_until_quiescent(Timestamp::from_secs(500)),
-            "protocol must terminate"
-        );
+        assert!(sim.run_until_quiescent(Timestamp::from_secs(500)), "protocol must terminate");
     }
 
     #[test]

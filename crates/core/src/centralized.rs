@@ -11,7 +11,6 @@
 use std::collections::BTreeMap;
 
 use crate::app::SamplingSchedule;
-use serde::{Deserialize, Serialize};
 use wsn_data::stream::SensorStream;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, PointSet, SensorId, SlidingWindow};
@@ -35,7 +34,7 @@ const REPLY_DELAY_FRACTION: f64 = 0.6;
 
 /// Application payload carried over the routing layer by the centralized
 /// baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CentralizedPayload {
     /// A node's full sliding-window contents, shipped to the sink.
     WindowReport {
@@ -189,7 +188,11 @@ impl<R: RankingFunction> CentralizedApp<R> {
         union
     }
 
-    fn sample_round(&mut self, ctx: &mut NodeContext<AodvMessage<CentralizedPayload>>, round: usize) {
+    fn sample_round(
+        &mut self,
+        ctx: &mut NodeContext<AodvMessage<CentralizedPayload>>,
+        round: usize,
+    ) {
         self.window.advance_to(ctx.now());
         if let Ok(Some(point)) = self.stream.point_at(round) {
             self.window.insert(point);
@@ -301,7 +304,10 @@ impl<R: RankingFunction> Application for CentralizedApp<R> {
 /// The paper parameterises experiments by `w`, the number of samples in the
 /// sliding window; with one sample per `sample_interval_secs` this is a
 /// window of `w × interval` seconds.
-pub fn window_from_samples(w: u64, sample_interval_secs: f64) -> Result<WindowConfig, wsn_data::DataError> {
+pub fn window_from_samples(
+    w: u64,
+    sample_interval_secs: f64,
+) -> Result<WindowConfig, wsn_data::DataError> {
     WindowConfig::from_samples(w, sample_interval_secs)
 }
 

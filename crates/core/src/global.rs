@@ -196,10 +196,7 @@ mod tests {
 
     /// Runs the two-node exchange until neither node has anything to send,
     /// returning the number of data points exchanged.
-    fn run_two_nodes(
-        pi: &mut GlobalNode<NnDistance>,
-        pj: &mut GlobalNode<NnDistance>,
-    ) -> u64 {
+    fn run_two_nodes(pi: &mut GlobalNode<NnDistance>, pj: &mut GlobalNode<NnDistance>) -> u64 {
         let mut exchanged = 0;
         for _ in 0..50 {
             let mut progress = false;
@@ -224,9 +221,8 @@ mod tests {
 
     #[test]
     fn n_must_be_positive() {
-        let result = std::panic::catch_unwind(|| {
-            GlobalNode::new(SensorId(1), NnDistance, 0, window())
-        });
+        let result =
+            std::panic::catch_unwind(|| GlobalNode::new(SensorId(1), NnDistance, 0, window()));
         assert!(result.is_err());
     }
 
@@ -338,7 +334,8 @@ mod tests {
     fn window_eviction_also_cleans_the_bookkeeping_sets() {
         let mut node =
             GlobalNode::new(SensorId(1), NnDistance, 1, WindowConfig::from_secs(10).unwrap());
-        let old = DataPoint::new(SensorId(2), Epoch(0), Timestamp::from_secs(1), vec![1.0]).unwrap();
+        let old =
+            DataPoint::new(SensorId(2), Epoch(0), Timestamp::from_secs(1), vec![1.0]).unwrap();
         node.receive(SensorId(2), vec![old.clone()]);
         assert!(node.known_common_with(SensorId(2)).contains(&old));
         node.advance_time(Timestamp::from_secs(60));

@@ -8,7 +8,6 @@
 //! extracts the points tagged with its own id and ignores the rest (though
 //! it still paid the receive energy — that is accounted by the simulator).
 
-use serde::{Deserialize, Serialize};
 use wsn_data::{DataPoint, SensorId};
 
 /// Fixed per-packet header bytes of the outlier protocol (sender id, entry
@@ -19,7 +18,7 @@ pub const PROTOCOL_HEADER_BYTES: usize = 8;
 pub const RECIPIENT_TAG_BYTES: usize = 4;
 
 /// The broadcast packet `M`: recipient-tagged point batches.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct OutlierBroadcast {
     entries: Vec<(SensorId, Vec<DataPoint>)>,
 }
@@ -127,9 +126,7 @@ mod tests {
         let mut m = OutlierBroadcast::new();
         m.add_entry(SensorId(2), vec![pt(1, 0)]);
         m.add_entry(SensorId(3), vec![pt(1, 0), pt(1, 1)]);
-        let expected = PROTOCOL_HEADER_BYTES
-            + 2 * RECIPIENT_TAG_BYTES
-            + 3 * pt(1, 0).wire_size();
+        let expected = PROTOCOL_HEADER_BYTES + 2 * RECIPIENT_TAG_BYTES + 3 * pt(1, 0).wire_size();
         assert_eq!(m.wire_size(), expected);
     }
 }

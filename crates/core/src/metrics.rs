@@ -97,10 +97,8 @@ impl GroundTruth {
                     }
                     let truth_keys = truth.keys();
                     if !truth_keys.is_empty() {
-                        let found = truth_keys
-                            .iter()
-                            .filter(|key| estimate.contains_key(key))
-                            .count();
+                        let found =
+                            truth_keys.iter().filter(|key| estimate.contains_key(key)).count();
                         report.recall_sum += found as f64 / truth_keys.len() as f64;
                     } else {
                         report.recall_sum += 1.0;
@@ -214,10 +212,7 @@ mod tests {
         for (_, answer) in truth.iter() {
             assert_eq!(answer.points()[0].features, vec![-100.0]);
         }
-        assert_eq!(
-            global_answer(&NnDistance, 1, &local_data()).points()[0].features,
-            vec![-100.0]
-        );
+        assert_eq!(global_answer(&NnDistance, 1, &local_data()).points()[0].features, vec![-100.0]);
     }
 
     #[test]

@@ -210,9 +210,7 @@ mod tests {
             .map(|i| {
                 let mut node = SemiGlobalNode::new(SensorId(i), NnDistance, 1, d, window());
                 let base = 10.0 * i as f64;
-                node.add_local_points(
-                    (0..4).map(|e| pt(i, e, base + e as f64 * 0.1)).collect(),
-                );
+                node.add_local_points((0..4).map(|e| pt(i, e, base + e as f64 * 0.1)).collect());
                 node
             })
             .collect()
@@ -348,10 +346,7 @@ mod tests {
         let mut wide = chain(4, 3);
         run_chain(&mut wide);
         let sent_wide: u64 = wide.iter().map(|n| n.points_sent()).sum();
-        assert!(
-            sent_wide > sent_local,
-            "d=3 sent {sent_wide} points, d=1 sent {sent_local}"
-        );
+        assert!(sent_wide > sent_local, "d=3 sent {sent_wide} points, d=1 sent {sent_local}");
     }
 
     #[test]
@@ -366,8 +361,13 @@ mod tests {
 
     #[test]
     fn window_eviction_cleans_all_bookkeeping() {
-        let mut node =
-            SemiGlobalNode::new(SensorId(1), NnDistance, 1, 2, WindowConfig::from_secs(10).unwrap());
+        let mut node = SemiGlobalNode::new(
+            SensorId(1),
+            NnDistance,
+            1,
+            2,
+            WindowConfig::from_secs(10).unwrap(),
+        );
         node.add_local_points(vec![pt(1, 0, 1.0)]);
         node.receive(SensorId(2), vec![pt(2, 0, 2.0).with_hop(1)]);
         node.advance_time(Timestamp::from_secs(100));

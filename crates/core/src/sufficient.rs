@@ -117,10 +117,9 @@ mod tests {
         let pi = section_5_1_pi();
         let known: PointSet = vec![pt(1, 2, 6.0)].into_iter().collect();
         for n in 1..4 {
-            for ranking in [
-                &NnDistance as &dyn wsn_ranking::RankingFunction,
-                &KnnAverageDistance::new(2),
-            ] {
+            for ranking in
+                [&NnDistance as &dyn wsn_ranking::RankingFunction, &KnnAverageDistance::new(2)]
+            {
                 let z = sufficient_set(ranking, n, &pi, &known);
                 // (a) Z ⊆ P_i.
                 assert!(z.is_subset_of(&pi));

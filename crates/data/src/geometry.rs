@@ -1,12 +1,10 @@
 //! Planar geometry helpers: sensor positions on the deployment terrain.
 
-use serde::{Deserialize, Serialize};
-
 /// A position on the 2-D deployment terrain, in metres.
 ///
 /// The paper simulates a 50 m × 50 m terrain; positions are also used as data
 /// features (the location coordinates fed to the ranking function, §7.1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Position {
     /// X coordinate in metres.
     pub x: f64,
@@ -57,7 +55,7 @@ impl From<(f64, f64)> for Position {
 }
 
 /// Axis-aligned rectangular terrain on which sensors are deployed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Terrain {
     /// Width of the terrain in metres.
     pub width: f64,

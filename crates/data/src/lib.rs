@@ -16,6 +16,8 @@
 //! * [`window::SlidingWindow`] — the time-based sliding window of §5.3,
 //! * [`stream`] — per-sensor sample streams and whole-deployment traces,
 //! * [`impute`] — sliding-window-mean imputation of missing readings (§7.1),
+//! * [`rng`] — the workspace's seeded, dependency-free random number
+//!   generator (SplitMix64-seeded xoshiro256++),
 //! * [`synth`] — a spatio-temporally correlated synthetic temperature field
 //!   with injected anomalies, and
 //! * [`lab`] — a 53-sensor Intel-Berkeley-lab-like deployment on a
@@ -45,6 +47,7 @@ pub mod impute;
 pub mod lab;
 pub mod order;
 pub mod point;
+pub mod rng;
 pub mod set;
 pub mod stream;
 pub mod synth;
@@ -53,5 +56,6 @@ pub mod window;
 pub use error::DataError;
 pub use geometry::Position;
 pub use point::{DataPoint, Epoch, FeatureVec, HopCount, PointKey, SensorId, Timestamp};
+pub use rng::SeededRng;
 pub use set::PointSet;
 pub use window::SlidingWindow;

@@ -86,10 +86,7 @@ impl RankedPoint {
     /// Compares two ranked points in outlier order: higher rank first, ties
     /// broken by `≺`.
     pub fn outlier_order(&self, other: &RankedPoint) -> Ordering {
-        other
-            .rank
-            .total_cmp(&self.rank)
-            .then_with(|| total_order(&self.point, &other.point))
+        other.rank.total_cmp(&self.rank).then_with(|| total_order(&self.point, &other.point))
     }
 }
 
@@ -135,8 +132,12 @@ mod tests {
 
     #[test]
     fn order_is_total_and_antisymmetric() {
-        let pts =
-            vec![pt(1, 0, vec![1.0]), pt(2, 0, vec![1.0]), pt(1, 1, vec![0.5]), pt(3, 7, vec![2.0])];
+        let pts = vec![
+            pt(1, 0, vec![1.0]),
+            pt(2, 0, vec![1.0]),
+            pt(1, 1, vec![0.5]),
+            pt(3, 7, vec![2.0]),
+        ];
         for x in &pts {
             for y in &pts {
                 let xy = total_order(x, y);

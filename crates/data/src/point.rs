@@ -13,13 +13,10 @@
 
 use crate::error::DataError;
 use crate::geometry::Position;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a sensor node.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SensorId(pub u32);
 
 impl SensorId {
@@ -42,9 +39,7 @@ impl From<u32> for SensorId {
 }
 
 /// Sequence number of an observation within its originating sensor's stream.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Epoch(pub u64);
 
 impl Epoch {
@@ -75,9 +70,7 @@ impl From<u64> for Epoch {
 ///
 /// A plain integer keeps the event queue of the simulator totally ordered and
 /// free of floating-point comparison hazards.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {
@@ -148,9 +141,7 @@ pub type FeatureVec = Vec<f64>;
 ///
 /// This plays the role of the paper's `x.rest` equality: two points with the
 /// same key describe the same observation, possibly with different hop counts.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PointKey {
     /// Sensor that sampled the observation.
     pub origin: SensorId,
@@ -172,7 +163,7 @@ impl fmt::Display for PointKey {
 }
 
 /// A single sensor observation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataPoint {
     /// Identity: originating sensor and epoch.
     pub key: PointKey,
@@ -289,16 +280,11 @@ mod tests {
 
     #[test]
     fn new_rejects_non_finite_features() {
-        let err = DataPoint::new(
-            SensorId(1),
-            Epoch(0),
-            Timestamp::ZERO,
-            vec![1.0, f64::NAN, 3.0],
-        )
-        .unwrap_err();
+        let err = DataPoint::new(SensorId(1), Epoch(0), Timestamp::ZERO, vec![1.0, f64::NAN, 3.0])
+            .unwrap_err();
         assert_eq!(err, DataError::NonFiniteFeature { index: 1 });
-        let err =
-            DataPoint::new(SensorId(1), Epoch(0), Timestamp::ZERO, vec![f64::INFINITY]).unwrap_err();
+        let err = DataPoint::new(SensorId(1), Epoch(0), Timestamp::ZERO, vec![f64::INFINITY])
+            .unwrap_err();
         assert_eq!(err, DataError::NonFiniteFeature { index: 0 });
     }
 

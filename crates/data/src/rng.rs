@@ -1,0 +1,334 @@
+//! Seeded, dependency-free random number generation.
+//!
+//! Every stochastic component of this repository — synthetic trace
+//! generation, deployment jitter, packet loss, property tests, benchmark
+//! workloads — draws from the generator defined here, so that a `(config,
+//! seed)` pair fully determines an experiment. The build environment has no
+//! access to external crates, and reproducibility is better served by owned
+//! RNG state anyway (the seeded-deterministic-simulation discipline): the
+//! stream produced for a seed is part of the repository's contract and only
+//! changes when this file does.
+//!
+//! The generator is **xoshiro256++** (Blackman & Vigna), seeded through
+//! **SplitMix64** exactly as the reference implementation recommends, with
+//! the `rand`-style helpers the rest of the workspace needs: uniform ranges,
+//! Bernoulli draws, Gaussian sampling and slice shuffling.
+//!
+//! # Example
+//!
+//! ```
+//! use wsn_data::rng::SeededRng;
+//!
+//! let mut rng = SeededRng::seed_from_u64(42);
+//! let jitter = rng.gen_range(-0.8..0.8);
+//! assert!((-0.8..0.8).contains(&jitter));
+//! // The stream is a pure function of the seed.
+//! let mut again = SeededRng::seed_from_u64(42);
+//! assert_eq!(again.gen_range(-0.8..0.8), jitter);
+//! ```
+
+use std::ops::Range;
+
+/// SplitMix64: a tiny, full-period generator over `u64` used to expand a
+/// single seed word into the larger xoshiro state (and usable on its own for
+/// cheap hashing-style streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a SplitMix64 stream starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace's seeded pseudo-random generator: xoshiro256++.
+///
+/// 256 bits of state, period `2^256 - 1`, fast and statistically strong —
+/// more than enough for simulation workloads. Construct it with
+/// [`SeededRng::seed_from_u64`]; the all-zero state is unreachable from any
+/// seed because the SplitMix64 expansion never produces four zero words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeededRng {
+    s: [u64; 4],
+}
+
+impl SeededRng {
+    /// Builds a generator whose entire stream is determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        SeededRng { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Splits off an independent generator for a sub-stream (one per sensor,
+    /// one per experiment repetition, …) without disturbing the parent's
+    /// reproducibility guarantees beyond consuming one draw.
+    pub fn fork(&mut self) -> SeededRng {
+        SeededRng::seed_from_u64(self.next_u64())
+    }
+
+    /// Returns the next 64 bits of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw: `true` with probability `probability` (values
+    /// outside `[0, 1]` are clamped).
+    pub fn gen_bool(&mut self, probability: f64) -> bool {
+        if probability <= 0.0 {
+            false
+        } else if probability >= 1.0 {
+            true
+        } else {
+            self.gen_f64() < probability
+        }
+    }
+
+    /// A uniform draw from a half-open range, for every numeric type
+    /// implementing [`UniformRange`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    ///
+    /// ```
+    /// let mut rng = wsn_data::rng::SeededRng::seed_from_u64(7);
+    /// let lane = rng.gen_range(0usize..4);
+    /// assert!(lane < 4);
+    /// ```
+    pub fn gen_range<T: UniformRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// A uniform index draw from `0..n` (Lemire's unbiased method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index requires a non-empty range");
+        self.gen_u64_below(n as u64) as usize
+    }
+
+    /// An unbiased uniform draw from `0..n`.
+    fn gen_u64_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Lemire's widening-multiply method with rejection of the biased
+        // low-product region.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A Gaussian draw with the given mean and standard deviation
+    /// (Box–Muller transform).
+    pub fn gen_gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        // Draw u1 from (0, 1] so the logarithm is finite.
+        let u1 = 1.0 - self.gen_f64();
+        let u2 = self.gen_f64();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        mean + std_dev * radius * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Shuffles `slice` in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Numeric types [`SeededRng::gen_range`] can sample uniformly from a
+/// half-open range.
+pub trait UniformRange: PartialOrd + Copy {
+    /// Draws a uniform sample from `range` using `rng`.
+    fn sample(rng: &mut SeededRng, range: Range<Self>) -> Self;
+}
+
+impl UniformRange for f64 {
+    fn sample(rng: &mut SeededRng, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "gen_range requires a non-empty range");
+        let span = range.end - range.start;
+        let value = range.start + rng.gen_f64() * span;
+        // Floating-point rounding can land exactly on `end`; fold it back.
+        if value >= range.end {
+            range.start
+        } else {
+            value
+        }
+    }
+}
+
+macro_rules! impl_uniform_range_uint {
+    ($($t:ty),*) => {$(
+        impl UniformRange for $t {
+            fn sample(rng: &mut SeededRng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range requires a non-empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + rng.gen_u64_below(span) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_range_uint!(u32, u64, usize);
+
+impl UniformRange for i64 {
+    fn sample(rng: &mut SeededRng, range: Range<i64>) -> i64 {
+        assert!(range.start < range.end, "gen_range requires a non-empty range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add(rng.gen_u64_below(span) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c by Sebastiano Vigna.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = SeededRng::seed_from_u64(99);
+        let mut b = SeededRng::seed_from_u64(99);
+        let mut c = SeededRng::seed_from_u64(100);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_draws_stay_in_unit_interval() {
+        let mut rng = SeededRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_ranges_are_respected() {
+        let mut rng = SeededRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-0.8..0.8);
+            assert!((-0.8..0.8).contains(&v), "{v} escaped the range");
+        }
+    }
+
+    #[test]
+    fn integer_ranges_are_respected_and_cover_all_values() {
+        let mut rng = SeededRng::seed_from_u64(13);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..6);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..6 should appear");
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_is_close_to_p() {
+        let mut rng = SeededRng::seed_from_u64(21);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed rate {rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = SeededRng::seed_from_u64(31);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gen_gaussian(2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn shuffle_permutes_without_losing_elements() {
+        let mut rng = SeededRng::seed_from_u64(41);
+        let mut data: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut data);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(data, (0..50).collect::<Vec<u32>>(), "50 elements should not stay in order");
+        // Deterministic per seed.
+        let mut rng2 = SeededRng::seed_from_u64(41);
+        let mut data2: Vec<u32> = (0..50).collect();
+        rng2.shuffle(&mut data2);
+        assert_eq!(data, data2);
+    }
+
+    #[test]
+    fn forked_streams_diverge_from_the_parent() {
+        let mut parent = SeededRng::seed_from_u64(1);
+        let mut child = parent.fork();
+        let p: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let c: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(p, c);
+    }
+
+    #[test]
+    fn gen_index_is_unbiased_enough() {
+        let mut rng = SeededRng::seed_from_u64(77);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_index(3)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 30_000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "bucket fraction {frac}");
+        }
+    }
+}

@@ -10,7 +10,6 @@
 //! with the smaller hop count is retained (`[Q]^min` in the paper).
 
 use crate::point::{DataPoint, HopCount, PointKey, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -41,7 +40,7 @@ impl InsertOutcome {
 ///
 /// Iteration order is deterministic (ascending [`PointKey`]), which keeps the
 /// whole simulation reproducible for a fixed seed.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PointSet {
     points: BTreeMap<PointKey, DataPoint>,
 }
@@ -270,13 +269,8 @@ mod tests {
     use crate::point::{Epoch, SensorId};
 
     fn pt(origin: u32, epoch: u64, value: f64) -> DataPoint {
-        DataPoint::new(
-            SensorId(origin),
-            Epoch(epoch),
-            Timestamp::from_secs(epoch),
-            vec![value],
-        )
-        .unwrap()
+        DataPoint::new(SensorId(origin), Epoch(epoch), Timestamp::from_secs(epoch), vec![value])
+            .unwrap()
     }
 
     #[test]
@@ -348,13 +342,10 @@ mod tests {
 
     #[test]
     fn filter_max_hop_selects_prefix() {
-        let s: PointSet = vec![
-            pt(1, 0, 1.0).with_hop(0),
-            pt(1, 1, 2.0).with_hop(1),
-            pt(1, 2, 3.0).with_hop(2),
-        ]
-        .into_iter()
-        .collect();
+        let s: PointSet =
+            vec![pt(1, 0, 1.0).with_hop(0), pt(1, 1, 2.0).with_hop(1), pt(1, 2, 3.0).with_hop(2)]
+                .into_iter()
+                .collect();
         assert_eq!(s.filter_max_hop(0).len(), 1);
         assert_eq!(s.filter_max_hop(1).len(), 2);
         assert_eq!(s.filter_max_hop(5).len(), 3);

@@ -10,10 +10,9 @@
 use crate::error::DataError;
 use crate::geometry::Position;
 use crate::point::{DataPoint, Epoch, SensorId, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// Static description of one deployed sensor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensorSpec {
     /// The sensor's identifier.
     pub id: SensorId,
@@ -30,7 +29,7 @@ impl SensorSpec {
 
 /// One periodic reading of a sensor. `value` is `None` when the reading was
 /// lost (missing data in the trace).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensorReading {
     /// Epoch (sequence number) of the reading within the sensor's stream.
     pub epoch: Epoch,
@@ -68,7 +67,7 @@ impl SensorReading {
 }
 
 /// The stream of readings produced by one sensor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensorStream {
     /// The sensor that produced the stream.
     pub spec: SensorSpec,
@@ -128,7 +127,7 @@ impl SensorStream {
 
 /// A whole-deployment trace: one stream per sensor, sharing a common sampling
 /// schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentTrace {
     /// Interval between consecutive samples of a sensor, in seconds.
     pub sample_interval_secs: f64,
@@ -144,7 +143,7 @@ impl DeploymentTrace {
     /// Returns [`DataError::InvalidParameter`] if the interval is not
     /// strictly positive.
     pub fn new(sample_interval_secs: f64) -> Result<Self, DataError> {
-        if !(sample_interval_secs > 0.0) {
+        if !sample_interval_secs.is_finite() || sample_interval_secs <= 0.0 {
             return Err(DataError::InvalidParameter(
                 "sample interval must be strictly positive".to_string(),
             ));
@@ -173,10 +172,7 @@ impl DeploymentTrace {
     ///
     /// Returns [`DataError::UnknownSensor`] when no stream has that id.
     pub fn stream(&self, id: SensorId) -> Result<&SensorStream, DataError> {
-        self.streams
-            .iter()
-            .find(|s| s.spec.id == id)
-            .ok_or(DataError::UnknownSensor(id.raw()))
+        self.streams.iter().find(|s| s.spec.id == id).ok_or(DataError::UnknownSensor(id.raw()))
     }
 
     /// All present data points of sampling round `round` (one per sensor that
@@ -296,9 +292,8 @@ mod tests {
     fn anomaly_fraction_reflects_flags() {
         let mut trace = DeploymentTrace::new(1.0).unwrap();
         let mut s = SensorStream::new(spec(1, 0.0, 0.0));
-        s.readings.push(
-            SensorReading::present(Epoch(0), Timestamp::ZERO, 1.0).with_anomaly_flag(true),
-        );
+        s.readings
+            .push(SensorReading::present(Epoch(0), Timestamp::ZERO, 1.0).with_anomaly_flag(true));
         s.readings.push(SensorReading::present(Epoch(1), Timestamp::from_secs(1), 1.0));
         trace.streams.push(s);
         assert!((trace.anomaly_fraction() - 0.5).abs() < 1e-12);

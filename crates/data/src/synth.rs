@@ -20,13 +20,11 @@
 
 use crate::error::DataError;
 use crate::point::{Epoch, Timestamp};
+use crate::rng::SeededRng;
 use crate::stream::{DeploymentTrace, SensorReading, SensorSpec, SensorStream};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The smooth, anomaly-free environmental field.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FieldModel {
     /// Mean temperature of the deployment, in °C.
     pub base_value: f64,
@@ -73,7 +71,7 @@ impl FieldModel {
 }
 
 /// Anomaly injection parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnomalyModel {
     /// Per-reading probability of an isolated spike.
     pub spike_probability: f64,
@@ -126,7 +124,7 @@ impl AnomalyModel {
 }
 
 /// Configuration of the synthetic trace generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticTraceConfig {
     /// Seconds between consecutive samples of each sensor.
     pub sample_interval_secs: f64,
@@ -160,7 +158,7 @@ impl SyntheticTraceConfig {
     /// Returns [`DataError::InvalidParameter`] for non-positive intervals,
     /// zero rounds, or probabilities outside `[0, 1]`.
     pub fn validate(&self) -> Result<(), DataError> {
-        if !(self.sample_interval_secs > 0.0) {
+        if !self.sample_interval_secs.is_finite() || self.sample_interval_secs <= 0.0 {
             return Err(DataError::InvalidParameter("sample interval must be positive".into()));
         }
         if self.rounds == 0 {
@@ -206,7 +204,8 @@ pub fn generate_trace(
     let mut trace = DeploymentTrace::new(config.sample_interval_secs)?;
     for (idx, spec) in sensors.iter().enumerate() {
         // Give each sensor an independent but reproducible RNG stream.
-        let mut rng = StdRng::seed_from_u64(seed ^ ((idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let mut rng =
+            SeededRng::seed_from_u64(seed ^ ((idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         let mut stream = SensorStream::new(*spec);
         let mut ar_noise = 0.0_f64;
         let mut fault = FaultState::Healthy;
@@ -218,7 +217,8 @@ pub fn generate_trace(
             // Temporal correlation: AR(1) noise.
             let white: f64 = rng.gen_range(-1.0..1.0) * config.field.noise_std;
             ar_noise = config.field.ar1_coefficient * ar_noise + white;
-            let clean = config.field.mean_value(spec.position.x, spec.position.y, t_secs) + ar_noise;
+            let clean =
+                config.field.mean_value(spec.position.x, spec.position.y, t_secs) + ar_noise;
 
             // Fault-state machine.
             let (value, anomalous) = match fault {
@@ -346,8 +346,8 @@ mod tests {
         let t = generate_trace(&cfg, &sensors(10), 11).unwrap();
         let frac = t.anomaly_fraction();
         assert!(frac > 0.01 && frac < 0.15, "spike fraction {frac} out of range");
-        let missing: f64 = t.streams.iter().map(|s| s.missing_fraction()).sum::<f64>()
-            / t.sensor_count() as f64;
+        let missing: f64 =
+            t.streams.iter().map(|s| s.missing_fraction()).sum::<f64>() / t.sensor_count() as f64;
         assert!(missing > 0.05 && missing < 0.2, "missing fraction {missing} out of range");
     }
 
@@ -411,14 +411,11 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut cfg = SyntheticTraceConfig::default();
-        cfg.rounds = 0;
+        let cfg = SyntheticTraceConfig { rounds: 0, ..Default::default() };
         assert!(generate_trace(&cfg, &sensors(2), 1).is_err());
-        let mut cfg = SyntheticTraceConfig::default();
-        cfg.sample_interval_secs = 0.0;
+        let cfg = SyntheticTraceConfig { sample_interval_secs: 0.0, ..Default::default() };
         assert!(cfg.validate().is_err());
-        let mut cfg = SyntheticTraceConfig::default();
-        cfg.missing_probability = 1.5;
+        let cfg = SyntheticTraceConfig { missing_probability: 1.5, ..Default::default() };
         assert!(cfg.validate().is_err());
         let mut cfg = SyntheticTraceConfig::default();
         cfg.anomalies.spike_probability = -0.1;

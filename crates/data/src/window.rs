@@ -9,10 +9,9 @@
 use crate::error::DataError;
 use crate::point::{DataPoint, Timestamp};
 use crate::set::PointSet;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a sliding window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WindowConfig {
     /// Window length in microseconds.
     pub length_micros: u64,
@@ -76,7 +75,7 @@ impl WindowConfig {
 /// assert!(!w.contents().contains(&old));
 /// assert!(w.contents().contains(&new));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlidingWindow {
     config: WindowConfig,
     contents: PointSet,
@@ -146,8 +145,13 @@ mod tests {
     use crate::point::{Epoch, SensorId};
 
     fn pt(origin: u32, epoch: u64, secs: u64) -> DataPoint {
-        DataPoint::new(SensorId(origin), Epoch(epoch), Timestamp::from_secs(secs), vec![epoch as f64])
-            .unwrap()
+        DataPoint::new(
+            SensorId(origin),
+            Epoch(epoch),
+            Timestamp::from_secs(secs),
+            vec![epoch as f64],
+        )
+        .unwrap()
     }
 
     #[test]

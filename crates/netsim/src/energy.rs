@@ -6,10 +6,8 @@
 //! evaluation reports, so the accounting here is the measurement instrument
 //! of the whole reproduction.
 
-use serde::{Deserialize, Serialize};
-
 /// Radio power draw in each state, in watts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Power drawn while transmitting, in watts.
     pub tx_power_w: f64,
@@ -32,9 +30,7 @@ impl EnergyModel {
     ///
     /// Panics if any power value is negative or not finite.
     pub fn new(tx_power_w: f64, rx_power_w: f64, idle_power_w: f64) -> Self {
-        for (name, v) in
-            [("tx", tx_power_w), ("rx", rx_power_w), ("idle", idle_power_w)]
-        {
+        for (name, v) in [("tx", tx_power_w), ("rx", rx_power_w), ("idle", idle_power_w)] {
             assert!(v.is_finite() && v >= 0.0, "{name} power must be finite and non-negative");
         }
         EnergyModel { tx_power_w, rx_power_w, idle_power_w }
@@ -63,7 +59,7 @@ impl Default for EnergyModel {
 }
 
 /// Accumulated energy usage of one node, broken down by radio activity.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyReport {
     /// Joules spent transmitting.
     pub tx_joules: f64,
@@ -97,7 +93,7 @@ impl EnergyReport {
 }
 
 /// A per-node energy meter that the simulator charges as the radio is used.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyMeter {
     report: EnergyReport,
 }

@@ -13,7 +13,7 @@
 use crate::packet::Destination;
 use crate::radio::{LossModel, RadioConfig};
 use crate::topology::Topology;
-use rand::Rng;
+use wsn_data::rng::SeededRng;
 use wsn_data::SensorId;
 
 /// The outcome of one transmission for one in-range node.
@@ -52,10 +52,10 @@ impl TransmissionOutcome {
 
 /// Computes the outcome of a transmission from `sender` over the given
 /// topology and radio configuration, sampling per-receiver losses from `rng`.
-pub fn transmit<R: Rng + ?Sized>(
+pub fn transmit(
     topology: &Topology,
     radio: &RadioConfig,
-    rng: &mut R,
+    rng: &mut SeededRng,
     sender: SensorId,
     destination: Destination,
     payload_bytes: usize,
@@ -83,8 +83,6 @@ pub fn transmit<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use wsn_data::stream::SensorSpec;
     use wsn_data::Position;
 
@@ -99,7 +97,7 @@ mod tests {
     fn broadcast_reaches_every_neighbor_and_only_neighbors() {
         let topo = chain(4);
         let radio = RadioConfig::paper_default();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SeededRng::seed_from_u64(1);
         let out = transmit(&topo, &radio, &mut rng, SensorId(1), Destination::Broadcast, 100);
         let mut delivered = out.delivered_to();
         delivered.sort();
@@ -112,7 +110,7 @@ mod tests {
     fn unicast_delivers_payload_only_to_the_target_but_everyone_listens() {
         let topo = chain(4);
         let radio = RadioConfig::paper_default();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SeededRng::seed_from_u64(1);
         let out =
             transmit(&topo, &radio, &mut rng, SensorId(1), Destination::Unicast(SensorId(2)), 50);
         assert_eq!(out.delivered_to(), vec![SensorId(2)]);
@@ -124,7 +122,7 @@ mod tests {
     fn unicast_to_a_non_neighbor_delivers_nothing() {
         let topo = chain(4);
         let radio = RadioConfig::paper_default();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SeededRng::seed_from_u64(1);
         let out =
             transmit(&topo, &radio, &mut rng, SensorId(0), Destination::Unicast(SensorId(3)), 50);
         assert!(out.delivered_to().is_empty());
@@ -134,7 +132,7 @@ mod tests {
     fn certain_loss_drops_every_addressed_packet() {
         let topo = chain(3);
         let radio = RadioConfig::paper_default().with_loss(LossModel::bernoulli(1.0));
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SeededRng::seed_from_u64(1);
         let out = transmit(&topo, &radio, &mut rng, SensorId(1), Destination::Broadcast, 10);
         assert!(out.delivered_to().is_empty());
         assert_eq!(out.drop_count(), 2);
@@ -144,7 +142,7 @@ mod tests {
     fn partial_loss_drops_roughly_the_configured_fraction() {
         let topo = chain(2);
         let radio = RadioConfig::paper_default().with_loss(LossModel::bernoulli(0.3));
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SeededRng::seed_from_u64(42);
         let mut drops = 0;
         let trials = 2000;
         for _ in 0..trials {
@@ -159,7 +157,7 @@ mod tests {
     fn airtime_matches_the_radio_configuration() {
         let topo = chain(2);
         let radio = RadioConfig::paper_default();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SeededRng::seed_from_u64(1);
         let out = transmit(&topo, &radio, &mut rng, SensorId(0), Destination::Broadcast, 123);
         assert_eq!(out.airtime_secs, radio.airtime_secs(123));
     }

@@ -7,11 +7,10 @@
 //! account for exactly the wire format the paper assumes — data points plus
 //! recipient tags — without paying for a serialisation layer in the hot loop.
 
-use serde::{Deserialize, Serialize};
 use wsn_data::SensorId;
 
 /// Where a transmission is addressed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Destination {
     /// Single-hop broadcast: every node in radio range receives the payload
     /// (the transmission mode of the distributed algorithms, §5.2).

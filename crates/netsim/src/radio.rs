@@ -9,10 +9,8 @@
 //! effect accuracy significantly", and the accuracy experiments exercise
 //! exactly that.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-receiver packet loss model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LossModel {
     /// No losses: every in-range receiver gets every packet (the paper's
     /// baseline assumption).
@@ -33,10 +31,7 @@ impl LossModel {
     ///
     /// Panics if the probability is outside `[0, 1]`.
     pub fn bernoulli(drop_probability: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&drop_probability),
-            "drop probability must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&drop_probability), "drop probability must be in [0, 1]");
         LossModel::Bernoulli { drop_probability }
     }
 
@@ -50,7 +45,7 @@ impl LossModel {
 }
 
 /// Radio configuration shared by every node of a simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadioConfig {
     /// Transmission range in metres (unit-disc propagation).
     pub range_m: f64,

@@ -212,14 +212,8 @@ impl<M: Clone> AodvRouter<M> {
         let sequence = self.next_sequence;
         self.next_sequence += 1;
         self.sent += 1;
-        let data = PendingData {
-            source: self.id,
-            target,
-            sequence,
-            hop_count: 0,
-            payload_bytes,
-            payload,
-        };
+        let data =
+            PendingData { source: self.id, target, sequence, hop_count: 0, payload_bytes, payload };
         self.forward_or_discover(ctx, data);
         sequence
     }
@@ -309,12 +303,8 @@ impl<M: Clone> AodvRouter<M> {
             let size = reply.wire_size();
             ctx.unicast(from, reply, size);
         } else {
-            let forwarded = AodvMessage::RouteRequest {
-                request_id,
-                origin,
-                target,
-                hop_count: hop_count + 1,
-            };
+            let forwarded =
+                AodvMessage::RouteRequest { request_id, origin, target, hop_count: hop_count + 1 };
             let size = forwarded.wire_size();
             ctx.broadcast(forwarded, size);
         }
@@ -342,11 +332,7 @@ impl<M: Clone> AodvRouter<M> {
         // discovery when it next has data to send.
     }
 
-    fn forward_or_discover(
-        &mut self,
-        ctx: &mut NodeContext<AodvMessage<M>>,
-        data: PendingData<M>,
-    ) {
+    fn forward_or_discover(&mut self, ctx: &mut NodeContext<AodvMessage<M>>, data: PendingData<M>) {
         if data.target == self.id {
             // Degenerate case: sending to ourselves needs no radio at all.
             self.delivered_here += 1;
@@ -370,12 +356,8 @@ impl<M: Clone> AodvRouter<M> {
             if self.discoveries_in_progress.insert(target) {
                 let request_id = self.next_request_id;
                 self.next_request_id += 1;
-                let request = AodvMessage::RouteRequest {
-                    request_id,
-                    origin: self.id,
-                    target,
-                    hop_count: 0,
-                };
+                let request =
+                    AodvMessage::RouteRequest { request_id, origin: self.id, target, hop_count: 0 };
                 let size = request.wire_size();
                 ctx.broadcast(request, size);
             }

@@ -15,10 +15,9 @@ use crate::packet::{Destination, OutgoingPacket};
 use crate::radio::RadioConfig;
 use crate::stats::{NetworkStats, NodeStats};
 use crate::topology::Topology;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
+use wsn_data::rng::SeededRng;
 use wsn_data::{SensorId, Timestamp};
 
 /// Identifier an application assigns to a timer it sets.
@@ -39,7 +38,12 @@ pub trait Application {
     fn on_start(&mut self, ctx: &mut NodeContext<Self::Message>);
 
     /// Called when a message from a single-hop neighbour is delivered.
-    fn on_message(&mut self, ctx: &mut NodeContext<Self::Message>, from: SensorId, message: Self::Message);
+    fn on_message(
+        &mut self,
+        ctx: &mut NodeContext<Self::Message>,
+        from: SensorId,
+        message: Self::Message,
+    );
 
     /// Called when a timer previously set through the context expires.
     fn on_timer(&mut self, ctx: &mut NodeContext<Self::Message>, timer: TimerId);
@@ -103,7 +107,10 @@ impl<M> NodeContext<M> {
 }
 
 /// Simulation-wide configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// The derived default is the paper's setup: `paper_default` radio,
+/// Crossbow-mote energy model, seed 0.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimConfig {
     /// Radio / channel model.
     pub radio: RadioConfig,
@@ -111,16 +118,6 @@ pub struct SimConfig {
     pub energy: EnergyModel,
     /// Seed of the simulation's random number generator (packet loss).
     pub seed: u64,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig {
-            radio: RadioConfig::paper_default(),
-            energy: EnergyModel::crossbow_mote(),
-            seed: 0,
-        }
-    }
 }
 
 enum EventKind<M> {
@@ -164,7 +161,7 @@ pub struct Simulator<A: Application> {
     pending_deliveries: usize,
     now: Timestamp,
     seq: u64,
-    rng: StdRng,
+    rng: SeededRng,
     events_processed: u64,
 }
 
@@ -181,7 +178,7 @@ impl<A: Application> Simulator<A> {
         let apps: BTreeMap<SensorId, A> = ids.iter().map(|id| (*id, make_app(*id))).collect();
         let meters = ids.iter().map(|id| (*id, EnergyMeter::new())).collect();
         let node_stats = ids.iter().map(|id| (*id, NodeStats::default())).collect();
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = SeededRng::seed_from_u64(config.seed);
         let mut sim = Simulator {
             config,
             topology,

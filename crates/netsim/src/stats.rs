@@ -6,12 +6,11 @@
 //! simulation and provides the aggregations the harness prints.
 
 use crate::energy::EnergyReport;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use wsn_data::SensorId;
 
 /// Link-layer counters of one node.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeStats {
     /// Packets this node transmitted.
     pub packets_sent: u64,
@@ -36,7 +35,7 @@ impl NodeStats {
 }
 
 /// A snapshot of the whole network's statistics.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetworkStats {
     /// Per-node link counters.
     pub nodes: BTreeMap<SensorId, NodeStats>,
@@ -45,7 +44,7 @@ pub struct NetworkStats {
 }
 
 /// Minimum / average / maximum summary of a per-node quantity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MinAvgMax {
     /// Smallest per-node value.
     pub min: f64,
@@ -126,8 +125,7 @@ impl NetworkStats {
     /// The ratio between the busiest node's radio activity and the average
     /// node's — the traffic-imbalance observation of §8.
     pub fn traffic_imbalance(&self) -> f64 {
-        let activity: Vec<f64> =
-            self.nodes.values().map(|n| n.radio_activity() as f64).collect();
+        let activity: Vec<f64> = self.nodes.values().map(|n| n.radio_activity() as f64).collect();
         let summary = MinAvgMax::of(&activity);
         if summary.avg == 0.0 {
             0.0
@@ -196,7 +194,12 @@ mod tests {
         let mut s = stats_with_energy(&[(0, 0.0, 0.0), (1, 0.0, 0.0)]);
         s.nodes.insert(
             SensorId(0),
-            NodeStats { packets_sent: 3, bytes_sent: 100, packets_dropped: 1, ..Default::default() },
+            NodeStats {
+                packets_sent: 3,
+                bytes_sent: 100,
+                packets_dropped: 1,
+                ..Default::default()
+            },
         );
         s.nodes.insert(
             SensorId(1),

@@ -134,9 +134,7 @@ impl Topology {
     pub fn is_connected(&self) -> bool {
         match self.positions.keys().next() {
             None => true,
-            Some(first) => {
-                self.hop_distances_from(*first).values().all(|d| *d != UNREACHABLE)
-            }
+            Some(first) => self.hop_distances_from(*first).values().all(|d| *d != UNREACHABLE),
         }
     }
 

@@ -15,7 +15,6 @@
 //! exhibit the failure mode the paper warns about after Theorem 2.
 
 use crate::function::{neighbors_by_distance, RankingFunction};
-use serde::{Deserialize, Serialize};
 use wsn_data::{DataPoint, PointSet};
 
 /// Violation found by an axiom check.
@@ -137,7 +136,7 @@ pub fn support_sets_preserve_rank<R: RankingFunction + ?Sized>(
 /// paper's comment after Theorem 2 describes. The distributed algorithm can
 /// terminate with an agreed-upon but *incorrect* answer under this ranking,
 /// and the integration tests demonstrate that.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThresholdCountRanking {
     /// Neighbourhood radius.
     pub alpha: f64,
@@ -180,8 +179,7 @@ impl RankingFunction for ThresholdCountRanking {
         // the rank down; if the rank is 1 the empty set already yields 1.
         let mut out = PointSet::new();
         let neighbors = neighbors_by_distance(x, data);
-        let in_radius: Vec<_> =
-            neighbors.iter().take_while(|(d, _)| *d <= self.alpha).collect();
+        let in_radius: Vec<_> = neighbors.iter().take_while(|(d, _)| *d <= self.alpha).collect();
         if in_radius.len() >= self.threshold {
             for (_, p) in in_radius.into_iter().take(self.threshold) {
                 out.insert((*p).clone());
@@ -275,9 +273,7 @@ mod tests {
         }
         let (small, large) = small_and_large();
         let violations = check_axioms_on_pair(&Broken, &small, &large);
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, AxiomViolation::AntiMonotonicity { .. })));
+        assert!(violations.iter().any(|v| matches!(v, AxiomViolation::AntiMonotonicity { .. })));
     }
 
     #[test]

@@ -6,7 +6,6 @@
 //! rank close to 1.
 
 use crate::function::{neighbors_by_distance, RankingFunction};
-use serde::{Deserialize, Serialize};
 use wsn_data::{DataPoint, PointSet};
 
 /// `R(x, P) = 1 / (1 + |{y ∈ P \ {x} : ‖x − y‖ ≤ α}|)`.
@@ -19,7 +18,7 @@ use wsn_data::{DataPoint, PointSet};
 /// * **Support set:** exactly the neighbours within `α` — removing any of
 ///   them changes the count (and hence the rank), removing anything else
 ///   never does, so this set is both sufficient and minimal.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NeighborCountInverse {
     alpha: f64,
 }

@@ -83,15 +83,9 @@ pub fn support_of_set<R: RankingFunction + ?Sized>(
 /// This deterministic ordering is what makes the "k nearest neighbours" — and
 /// therefore the smallest support set — unique, as the paper's tie-breaking
 /// assumption requires.
-pub fn neighbors_by_distance<'a>(
-    x: &DataPoint,
-    data: &'a PointSet,
-) -> Vec<(f64, &'a DataPoint)> {
-    let mut neighbors: Vec<(f64, &DataPoint)> = data
-        .iter()
-        .filter(|p| p.key != x.key)
-        .map(|p| (x.feature_distance(p), p))
-        .collect();
+pub fn neighbors_by_distance<'a>(x: &DataPoint, data: &'a PointSet) -> Vec<(f64, &'a DataPoint)> {
+    let mut neighbors: Vec<(f64, &DataPoint)> =
+        data.iter().filter(|p| p.key != x.key).map(|p| (x.feature_distance(p), p)).collect();
     neighbors.sort_by(|(da, a), (db, b)| da.total_cmp(db).then_with(|| total_order(a, b)));
     neighbors
 }

@@ -26,7 +26,6 @@
 //! dominate any realistic feature distance; see [`MISSING_NEIGHBOR_PENALTY`].
 
 use crate::function::{neighbors_by_distance, RankingFunction};
-use serde::{Deserialize, Serialize};
 use wsn_data::{DataPoint, PointSet};
 
 /// Penalty distance charged for each missing neighbour when a point has
@@ -39,7 +38,7 @@ use wsn_data::{DataPoint, PointSet};
 pub const MISSING_NEIGHBOR_PENALTY: f64 = 1.0e9;
 
 /// Average distance to the `k` nearest neighbours.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KnnAverageDistance {
     k: usize,
 }
@@ -100,7 +99,7 @@ impl RankingFunction for KnnAverageDistance {
 }
 
 /// Distance to the `k`-th nearest neighbour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KthNeighborDistance {
     k: usize,
 }

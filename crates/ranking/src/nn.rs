@@ -7,7 +7,6 @@
 //! evaluation.
 
 use crate::function::{neighbors_by_distance, RankingFunction};
-use serde::{Deserialize, Serialize};
 use wsn_data::{DataPoint, PointSet};
 
 /// Distance-to-nearest-neighbour ranking function.
@@ -20,7 +19,7 @@ use wsn_data::{DataPoint, PointSet};
 /// Both axioms hold: adding points can only lower the minimum
 /// (anti-monotonicity), and whenever the minimum drops there is one specific
 /// closer point responsible (smoothness).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NnDistance;
 
 impl RankingFunction for NnDistance {

@@ -93,17 +93,9 @@ mod tests {
 
     fn clustered_data() -> PointSet {
         // A tight cluster around 10 plus two isolated points at 0.5 and 30.
-        vec![
-            pt(1, 0.5),
-            pt(2, 9.0),
-            pt(3, 9.5),
-            pt(4, 10.0),
-            pt(5, 10.5),
-            pt(6, 11.0),
-            pt(7, 30.0),
-        ]
-        .into_iter()
-        .collect()
+        vec![pt(1, 0.5), pt(2, 9.0), pt(3, 9.5), pt(4, 10.0), pt(5, 10.5), pt(6, 11.0), pt(7, 30.0)]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -173,11 +165,7 @@ mod tests {
         let a = 15;
         let mut di = vec![0.5, 3.0, 6.0];
         di.extend((10..=a).map(|v| v as f64));
-        let data: PointSet = di
-            .iter()
-            .enumerate()
-            .map(|(i, v)| pt(i as u32 + 1, *v))
-            .collect();
+        let data: PointSet = di.iter().enumerate().map(|(i, v)| pt(i as u32 + 1, *v)).collect();
         let est = top_n_outliers(&NnDistance, 1, &data);
         assert_eq!(est.points()[0].features, vec![6.0]);
     }

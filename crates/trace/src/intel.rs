@@ -42,9 +42,9 @@ fn parse_optional_number(
     match field {
         None | Some("") => Ok(None),
         Some(text) => {
-            let value: f64 = text
-                .parse()
-                .map_err(|_| TraceError::parse(line, format!("{name} is not a number: {text:?}")))?;
+            let value: f64 = text.parse().map_err(|_| {
+                TraceError::parse(line, format!("{name} is not a number: {text:?}"))
+            })?;
             if value.is_finite() {
                 Ok(Some(value))
             } else {
@@ -74,15 +74,18 @@ pub fn parse_readings(text: &str) -> Result<Vec<IntelLabReading>, TraceError> {
         if fields.len() < 4 {
             return Err(TraceError::parse(
                 line_number,
-                format!("expected at least 4 fields (date time epoch moteid), found {}", fields.len()),
+                format!(
+                    "expected at least 4 fields (date time epoch moteid), found {}",
+                    fields.len()
+                ),
             ));
         }
-        let epoch: u64 = fields[2]
-            .parse()
-            .map_err(|_| TraceError::parse(line_number, format!("epoch is not an integer: {:?}", fields[2])))?;
-        let mote_id: u32 = fields[3]
-            .parse()
-            .map_err(|_| TraceError::parse(line_number, format!("mote id is not an integer: {:?}", fields[3])))?;
+        let epoch: u64 = fields[2].parse().map_err(|_| {
+            TraceError::parse(line_number, format!("epoch is not an integer: {:?}", fields[2]))
+        })?;
+        let mote_id: u32 = fields[3].parse().map_err(|_| {
+            TraceError::parse(line_number, format!("mote id is not an integer: {:?}", fields[3]))
+        })?;
         readings.push(IntelLabReading {
             date: fields[0].to_string(),
             time: fields[1].to_string(),
@@ -119,17 +122,19 @@ pub fn parse_locations(text: &str) -> Result<Vec<(SensorId, Position)>, TraceErr
                 format!("expected `moteid x y`, found {} fields", fields.len()),
             ));
         }
-        let mote: u32 = fields[0]
-            .parse()
-            .map_err(|_| TraceError::parse(line_number, format!("mote id is not an integer: {:?}", fields[0])))?;
-        let x: f64 = fields[1]
-            .parse()
-            .map_err(|_| TraceError::parse(line_number, format!("x is not a number: {:?}", fields[1])))?;
-        let y: f64 = fields[2]
-            .parse()
-            .map_err(|_| TraceError::parse(line_number, format!("y is not a number: {:?}", fields[2])))?;
+        let mote: u32 = fields[0].parse().map_err(|_| {
+            TraceError::parse(line_number, format!("mote id is not an integer: {:?}", fields[0]))
+        })?;
+        let x: f64 = fields[1].parse().map_err(|_| {
+            TraceError::parse(line_number, format!("x is not a number: {:?}", fields[1]))
+        })?;
+        let y: f64 = fields[2].parse().map_err(|_| {
+            TraceError::parse(line_number, format!("y is not a number: {:?}", fields[2]))
+        })?;
         if locations.iter().any(|(id, _)| *id == SensorId(mote)) {
-            return Err(TraceError::Invalid(format!("mote {mote} appears twice in the locations file")));
+            return Err(TraceError::Invalid(format!(
+                "mote {mote} appears twice in the locations file"
+            )));
         }
         locations.push((SensorId(mote), Position::new(x, y)));
     }
@@ -158,10 +163,8 @@ pub fn build_trace(
     if locations.is_empty() {
         return Err(TraceError::Invalid("no mote locations were provided".into()));
     }
-    let kept: Vec<&IntelLabReading> = readings
-        .iter()
-        .filter(|r| locations.iter().any(|(id, _)| id.raw() == r.mote_id))
-        .collect();
+    let kept: Vec<&IntelLabReading> =
+        readings.iter().filter(|r| locations.iter().any(|(id, _)| id.raw() == r.mote_id)).collect();
     if kept.is_empty() {
         return Err(TraceError::Invalid(
             "no reading belongs to a mote with a known location".into(),
@@ -175,10 +178,7 @@ pub fn build_trace(
     let mut by_mote: BTreeMap<SensorId, BTreeMap<usize, Option<f64>>> = BTreeMap::new();
     for reading in &kept {
         let round = (reading.epoch - first_epoch) as usize;
-        by_mote
-            .entry(SensorId(reading.mote_id))
-            .or_default()
-            .insert(round, reading.temperature);
+        by_mote.entry(SensorId(reading.mote_id)).or_default().insert(round, reading.temperature);
     }
 
     let mut trace = DeploymentTrace::new(sample_interval_secs)?;
@@ -283,15 +283,9 @@ mod tests {
     fn trace_assembly_validates_inputs() {
         let readings = parse_readings(READINGS).unwrap();
         let locations = parse_locations(LOCATIONS).unwrap();
-        assert!(matches!(
-            build_trace(&readings, &[], 31.0),
-            Err(TraceError::Invalid(_))
-        ));
+        assert!(matches!(build_trace(&readings, &[], 31.0), Err(TraceError::Invalid(_))));
         let strangers = vec![(SensorId(7), Position::new(0.0, 0.0))];
-        assert!(matches!(
-            build_trace(&readings, &strangers, 31.0),
-            Err(TraceError::Invalid(_))
-        ));
+        assert!(matches!(build_trace(&readings, &strangers, 31.0), Err(TraceError::Invalid(_))));
         assert!(build_trace(&readings, &locations, 0.0).is_err());
     }
 

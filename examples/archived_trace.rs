@@ -54,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         readings.len(),
         trace.sensor_count(),
         trace.round_count(),
-        100.0
-            * trace.streams.iter().map(|s| s.missing_fraction()).sum::<f64>()
+        100.0 * trace.streams.iter().map(|s| s.missing_fraction()).sum::<f64>()
             / trace.sensor_count() as f64
     );
 
@@ -70,10 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for ranked in outliers.ranked() {
         println!(
             "  sensor {} epoch {} -> temperature {:.2} (rank {:.2})",
-            ranked.point.key.origin,
-            ranked.point.key.epoch,
-            ranked.point.features[0],
-            ranked.rank
+            ranked.point.key.origin, ranked.point.key.epoch, ranked.point.features[0], ranked.rank
         );
     }
 

@@ -11,13 +11,15 @@
 use in_network_outlier::prelude::*;
 
 fn configure(algorithm: AlgorithmConfig) -> ExperimentConfig {
-    let mut config = ExperimentConfig::default();
-    config.sensor_count = 32; // the paper's smaller scaling-study network keeps this example fast
-    config.transmission_range_m = 9.5; // the sparser 32-node subsample needs a slightly wider range
+    let mut config = ExperimentConfig {
+        sensor_count: 32, // the paper's smaller scaling-study network keeps this example fast
+        transmission_range_m: 9.5, // the sparser 32-node subsample needs a wider range
+        window_samples: 10,
+        n: 4,
+        algorithm,
+        ..Default::default()
+    };
     config.trace.rounds = 16;
-    config.window_samples = 10;
-    config.n = 4;
-    config.algorithm = algorithm;
     config
 }
 

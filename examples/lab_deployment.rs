@@ -50,9 +50,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "total energy per node over the run: min {:.3} J / avg {:.3} J / max {:.3} J",
         summary.min, summary.avg, summary.max
     );
-    println!(
-        "radio-activity imbalance (max/avg): {:.2}",
-        outcome.stats.traffic_imbalance()
-    );
+    println!("radio-activity imbalance (max/avg): {:.2}", outcome.stats.traffic_imbalance());
     Ok(())
 }

@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let centralized_cost = (di.len() - 0).min(dj.len());
+    let centralized_cost = di.len().min(dj.len());
     println!();
     println!("p_i's final estimate: {:?}", pi.estimate().points()[0].features);
     println!("p_j's final estimate: {:?}", pj.estimate().points()[0].features);

@@ -23,6 +23,26 @@
 //! | [`detection`] | `wsn-core` | Algorithms 1 and 2 (global and semi-global detection), the centralized baseline, accuracy metrics, and the experiment runner behind every figure |
 //! | [`trace`] | `wsn-trace` | import of the real Intel-lab trace files and lossless CSV archiving of any deployment trace |
 //!
+//! # Building and verifying
+//!
+//! The workspace is **hermetic**: it depends on the standard library only
+//! (no crates.io access required), with randomness provided by the in-repo
+//! seeded generator [`data::rng`] and JSON by `wsn_bench::json`. From the
+//! repository root:
+//!
+//! ```text
+//! cargo build --release          # builds all six crates + this facade
+//! cargo test -q                  # unit, integration, property and doc tests
+//! cargo bench -p wsn-bench       # std-only benches, write BENCH_*.json
+//! cargo run --release --example quickstart
+//! ./ci.sh                        # the full offline gate: build + test + fmt + clippy
+//! ```
+//!
+//! The figure-reproduction binaries live in `wsn-bench` (for example
+//! `cargo run --release -p wsn-bench --bin fig4_global_energy_vs_window --
+//! --quick`); each prints the paper's table and writes
+//! `results/<figure>.json`.
+//!
 //! # Quickstart
 //!
 //! The two-sensor walk-through of the paper's §5.1: each sensor holds a

@@ -105,9 +105,5 @@ fn distributed_detection_is_exact_while_centralized_results_lag() {
     // The centralized answer each node holds is whatever the sink computed
     // when that node's last report arrived, so it can lag the final data —
     // but the sink itself and most nodes still end up correct.
-    assert!(
-        centralized.accuracy() >= 0.5,
-        "centralized accuracy was {}",
-        centralized.accuracy()
-    );
+    assert!(centralized.accuracy() >= 0.5, "centralized accuracy was {}", centralized.accuracy());
 }

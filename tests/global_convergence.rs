@@ -41,9 +41,7 @@ fn chain_sim(
             } else {
                 20.0 + f64::from(id.raw()) + round as f64 * 0.01
             };
-            stream
-                .readings
-                .push(SensorReading::present(Epoch(round as u64), timestamp, value));
+            stream.readings.push(SensorReading::present(Epoch(round as u64), timestamp, value));
         }
         DetectorApp::new(GlobalNode::new(id, NnDistance, 1, window), stream, schedule)
     })

@@ -4,12 +4,22 @@
 //! the documented anti-monotone-but-not-smooth counterexample can terminate
 //! on an agreed-but-wrong estimate — exactly the caveat the paper attaches to
 //! Theorem 2.
-
-use proptest::prelude::*;
+//!
+//! The random-data properties run as seeded loops over the in-repo PRNG, so
+//! every case is reproducible from the fixed `SEED` and a failure prints the
+//! generated inputs.
 
 use in_network_outlier::prelude::*;
-use wsn_ranking::axioms::{check_axioms_on_pair, support_sets_preserve_rank, ThresholdCountRanking};
+use wsn_data::rng::SeededRng;
+use wsn_ranking::axioms::{
+    check_axioms_on_pair, support_sets_preserve_rank, ThresholdCountRanking,
+};
 use wsn_ranking::{KthNeighborDistance, NeighborCountInverse};
+
+/// Fixed seed for the property loops.
+const SEED: u64 = 0x5EED_A002;
+/// Property cases per test.
+const CASES: usize = 256;
 
 fn point(sensor: u32, epoch: u64, value: f64) -> DataPoint {
     DataPoint::new(SensorId(sensor), Epoch(epoch), Timestamp::ZERO, vec![value]).unwrap()
@@ -19,16 +29,19 @@ fn point_set(values: &[f64]) -> PointSet {
     values.iter().enumerate().map(|(e, v)| point(1, e as u64, *v)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+fn gen_values(rng: &mut SeededRng, min_len: usize, max_len: usize) -> Vec<f64> {
+    let len = rng.gen_range(min_len..max_len);
+    (0..len).map(|_| rng.gen_range(-50.0..50.0)).collect()
+}
 
-    /// Anti-monotonicity and smoothness hold for every shipped ranking
-    /// function, for every point, on random nested datasets.
-    #[test]
-    fn shipped_ranking_functions_satisfy_both_axioms(
-        values in prop::collection::vec(-50.0..50.0f64, 3..16),
-        keep in prop::collection::vec(any::<bool>(), 3..16),
-    ) {
+/// Anti-monotonicity and smoothness hold for every shipped ranking function,
+/// for every point, on random nested datasets.
+#[test]
+fn shipped_ranking_functions_satisfy_both_axioms() {
+    let mut rng = SeededRng::seed_from_u64(SEED);
+    for case in 0..CASES {
+        let values = gen_values(&mut rng, 3, 16);
+        let keep: Vec<bool> = (0..values.len()).map(|_| rng.gen_bool(0.5)).collect();
         let large = point_set(&values);
         let small: PointSet = large
             .iter()
@@ -45,21 +58,23 @@ proptest! {
         ];
         for ranking in &rankings {
             let violations = check_axioms_on_pair(ranking.as_ref(), &small, &large);
-            prop_assert!(
+            assert!(
                 violations.is_empty(),
-                "{} violated an axiom: {:?}",
+                "case {case} (seed {SEED:#x}): {} violated an axiom: {violations:?}\n\
+                 values: {values:?}\nkeep: {keep:?}",
                 ranking.name(),
-                violations
             );
         }
     }
+}
 
-    /// The support set really is a support set: computing the rank over just
-    /// `[P|x]` gives the same value as over all of `P`, for every point.
-    #[test]
-    fn support_sets_preserve_the_rank(
-        values in prop::collection::vec(-50.0..50.0f64, 2..30),
-    ) {
+/// The support set really is a support set: computing the rank over just
+/// `[P|x]` gives the same value as over all of `P`, for every point.
+#[test]
+fn support_sets_preserve_the_rank() {
+    let mut rng = SeededRng::seed_from_u64(SEED ^ 1);
+    for case in 0..CASES {
+        let values = gen_values(&mut rng, 2, 30);
         let data = point_set(&values);
         let rankings: Vec<Box<dyn RankingFunction>> = vec![
             Box::new(NnDistance),
@@ -68,10 +83,11 @@ proptest! {
             Box::new(NeighborCountInverse::new(5.0)),
         ];
         for ranking in &rankings {
-            prop_assert!(
+            assert!(
                 support_sets_preserve_rank(ranking.as_ref(), &data),
-                "{} returned a support set that changes the rank",
-                ranking.name()
+                "case {case} (seed {SEED:#x}): {} returned a support set that changes the rank\n\
+                 values: {values:?}",
+                ranking.name(),
             );
         }
     }

@@ -60,7 +60,9 @@ fn data_never_travels_farther_than_epsilon_hops() {
     let mut nodes: Vec<SemiGlobalNode<NnDistance>> = (0..4)
         .map(|i| {
             let mut node = SemiGlobalNode::new(SensorId(i), NnDistance, 1, 1, window);
-            node.add_local_points((0..4).map(|e| mk(i, e, 10.0 * f64::from(i) + e as f64)).collect());
+            node.add_local_points(
+                (0..4).map(|e| mk(i, e, 10.0 * f64::from(i) + e as f64)).collect(),
+            );
             node
         })
         .collect();
@@ -104,9 +106,7 @@ fn a_large_hop_diameter_reproduces_the_global_answer() {
     // problem identical to the global one (§6).
     let config = base_config();
     let global_outcome = run_experiment(
-        &config
-            .clone()
-            .with_algorithm(AlgorithmConfig::Global { ranking: RankingChoice::Nn }),
+        &config.clone().with_algorithm(AlgorithmConfig::Global { ranking: RankingChoice::Nn }),
     )
     .unwrap();
     let wide_outcome = run_experiment(&config.with_algorithm(semi(12))).unwrap();
