@@ -27,4 +27,14 @@ else
     echo "clippy not installed; skipping"
 fi
 
+# Figure smoke test: one reduced sweep end-to-end, gated on both the exit
+# status and the figure JSON actually being well-formed and non-empty. The
+# stale artifact is removed first so json_check can only ever validate the
+# output of THIS run (emit() deliberately tolerates write failures).
+echo "== figure smoke (fig4 --quick) =="
+rm -f results/fig4_global_energy_vs_window.json
+cargo run --release --offline -p wsn-bench --bin fig4_global_energy_vs_window -- --quick
+cargo run --release --offline -p wsn-bench --bin json_check -- \
+    results/fig4_global_energy_vs_window.json
+
 echo "CI OK"

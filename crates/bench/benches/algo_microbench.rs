@@ -10,12 +10,15 @@ use wsn_bench::harness::Harness;
 use wsn_core::detector::OutlierDetector;
 use wsn_core::global::GlobalNode;
 use wsn_core::semiglobal::SemiGlobalNode;
-use wsn_core::sufficient::sufficient_set;
+use wsn_core::sufficient::{sufficient_set, sufficient_set_indexed};
 use wsn_data::rng::SeededRng;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, Epoch, PointSet, SensorId, Timestamp};
 use wsn_ranking::function::support_of_set;
-use wsn_ranking::{top_n_outliers, KnnAverageDistance, NnDistance, RankingFunction};
+use wsn_ranking::index::{AnyIndex, IndexStrategy, NeighborIndex};
+use wsn_ranking::{
+    top_n_outliers, top_n_outliers_indexed, KnnAverageDistance, NnDistance, RankingFunction,
+};
 
 /// Builds a clustered dataset of `size` points with a handful of outliers,
 /// mimicking one sensor neighbourhood's [temperature, x, y] feature vectors.
@@ -84,6 +87,38 @@ fn bench_sufficient_set(h: &mut Harness) {
     }
 }
 
+/// Head-to-head comparison of the three index strategies on the hot-path
+/// kernels, at the window sizes of the figure sweeps. `nn_brute` is the
+/// pre-index baseline (the original per-query full sort); the auto strategy
+/// used by the public entry points picks `kd` at these sizes.
+fn bench_index_strategies(h: &mut Harness) {
+    let strategies = [
+        ("brute", IndexStrategy::Brute),
+        ("grid", IndexStrategy::Grid),
+        ("kd", IndexStrategy::KdTree),
+    ];
+    for &size in &[64usize, 256, 1024] {
+        let pi = dataset(size, 6);
+        for (label, strategy) in strategies {
+            h.bench("index_build", &format!("{label}/{size}"), || {
+                black_box(AnyIndex::build(strategy, &pi));
+            });
+            let index = AnyIndex::build(strategy, &pi);
+            h.bench("index_knn_query", &format!("{label}/{size}"), || {
+                for x in pi.iter().take(16) {
+                    black_box(index.k_nearest(black_box(x), 4));
+                }
+            });
+            h.bench("top_n_strategy", &format!("knn4_{label}/{size}"), || {
+                black_box(top_n_outliers_indexed(&KnnAverageDistance::new(4), 4, &pi, &index));
+            });
+            h.bench("sufficient_set_strategy", &format!("nn_{label}/{size}"), || {
+                black_box(sufficient_set_indexed(&NnDistance, 4, &pi, &index, &PointSet::new()));
+            });
+        }
+    }
+}
+
 fn bench_ranking_functions(h: &mut Harness) {
     let data = dataset(512, 4);
     let x = data.iter().next().unwrap().clone();
@@ -131,6 +166,7 @@ fn main() {
     bench_top_n(&mut h);
     bench_support_sets(&mut h);
     bench_sufficient_set(&mut h);
+    bench_index_strategies(&mut h);
     bench_ranking_functions(&mut h);
     bench_node_processing(&mut h);
     h.finish();

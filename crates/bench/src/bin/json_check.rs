@@ -1,0 +1,53 @@
+//! CI helper: validates that a figure or benchmark JSON file is well-formed.
+//!
+//! Parses the file with the in-repo JSON parser (`wsn_bench::json`) and
+//! requires the document to be an object carrying a non-empty `rows` (figure
+//! reports) or `results` (benchmark suites) array. Exits non-zero on any
+//! violation, so `ci.sh` can gate on the figure binaries actually producing
+//! usable output rather than just exiting zero.
+
+use std::process::ExitCode;
+
+use wsn_bench::json::JsonValue;
+
+fn check(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
+    let value = JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if !matches!(value, JsonValue::Object(_)) {
+        return Err(format!("{path}: top-level value is not an object"));
+    }
+    let data = value
+        .get("rows")
+        .or_else(|| value.get("results"))
+        .ok_or_else(|| format!("{path}: object has neither a \"rows\" nor a \"results\" key"))?;
+    let entries =
+        data.as_array().ok_or_else(|| format!("{path}: \"rows\"/\"results\" is not an array"))?;
+    if entries.is_empty() {
+        return Err(format!("{path}: \"rows\"/\"results\" array is empty"));
+    }
+    Ok(format!("{path}: valid JSON, {} entries, {} bytes", entries.len(), text.len()))
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: json_check <file.json> [more.json ...]");
+        return ExitCode::from(2);
+    }
+    let mut ok = true;
+    for path in &paths {
+        match check(path) {
+            Ok(message) => println!("{message}"),
+            Err(message) => {
+                eprintln!("json_check: {message}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -519,6 +519,89 @@ mod tests {
     }
 
     #[test]
+    fn escaped_and_unicode_string_edge_cases() {
+        // Every escape the grammar defines, including the optional solidus.
+        let parsed = JsonValue::parse(r#""\"\\\/\n\r\t\b\f""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("\"\\/\n\r\t\u{08}\u{0C}"));
+        // NUL and other C0 controls round-trip through \u escapes.
+        let nul = JsonValue::from("\u{0}a\u{1F}b");
+        let text = nul.to_compact_string();
+        assert_eq!(text, "\"\\u0000a\\u001fb\"");
+        assert_eq!(JsonValue::parse(&text).unwrap(), nul);
+        // Astral-plane characters round-trip raw and parse from surrogate
+        // pairs; unpaired or malformed surrogates are rejected.
+        let emoji = JsonValue::from("𝄞😀");
+        assert_eq!(JsonValue::parse(&emoji.to_compact_string()).unwrap(), emoji);
+        assert_eq!(JsonValue::parse("\"\\ud834\\udd1e\"").unwrap().as_str(), Some("𝄞"));
+        for bad in
+            ["\"\\ud834\"", "\"\\ud834x\"", "\"\\ud834\\u0041\"", "\"\\udc00\"", "\"\\uZZZZ\""]
+        {
+            assert!(JsonValue::parse(bad).is_err(), "{bad} should be rejected");
+        }
+        // Raw control characters inside a string are invalid JSON.
+        assert!(JsonValue::parse("\"a\nb\"").is_err());
+    }
+
+    #[test]
+    fn nested_empty_arrays_and_objects_round_trip() {
+        for text in ["[]", "{}", "[[]]", "[[],[]]", "[{}]", "{\"a\":[]}", "{\"a\":{},\"b\":[[]]}"] {
+            let value = JsonValue::parse(text).unwrap();
+            for emitted in [value.to_compact_string(), value.to_pretty_string()] {
+                assert_eq!(JsonValue::parse(&emitted).unwrap(), value, "for input {text}");
+            }
+        }
+        // Deep nesting keeps its shape through the pretty printer.
+        let deep = JsonValue::parse("[[[[ ]]]]").unwrap();
+        assert_eq!(deep.to_compact_string(), "[[[[]]]]");
+        let pretty = deep.to_pretty_string();
+        assert!(pretty.contains("[]"), "innermost empty array stays compact: {pretty}");
+        assert_eq!(JsonValue::parse(&pretty).unwrap(), deep);
+    }
+
+    #[test]
+    fn index_microbench_report_shape_round_trips() {
+        // The shape `wsn_bench::harness` emits for the neighbour-index
+        // strategy comparison benches (BENCH_algo_microbench.json).
+        let result = |group: &str, name: &str, median: f64| {
+            JsonValue::object([
+                ("group", JsonValue::from(group)),
+                ("name", JsonValue::from(name)),
+                ("iterations", JsonValue::from(12_000.0)),
+                ("mean_ns", JsonValue::from(median * 1.04)),
+                ("min_ns", JsonValue::from(median * 0.9)),
+                ("max_ns", JsonValue::from(median * 1.8)),
+                ("median_ns", JsonValue::from(median)),
+                ("samples", JsonValue::from(50.0)),
+            ])
+        };
+        let report = JsonValue::object([
+            ("suite", JsonValue::from("algo_microbench")),
+            (
+                "results",
+                JsonValue::Array(vec![
+                    result("index_build", "kd/1024", 310_000.0),
+                    result("sufficient_set_strategy", "nn_brute/1024", 9_800_000.0),
+                    result("sufficient_set_strategy", "nn_kd/1024", 1_100_000.0),
+                ]),
+            ),
+        ]);
+        for text in [report.to_pretty_string(), report.to_compact_string()] {
+            let back = JsonValue::parse(&text).unwrap();
+            assert_eq!(back, report);
+            let results = back.get("results").and_then(JsonValue::as_array).unwrap();
+            assert_eq!(results.len(), 3);
+            assert_eq!(
+                results[1].get("name").and_then(JsonValue::as_str),
+                Some("nn_brute/1024"),
+                "strategy case names survive the round trip"
+            );
+            assert!(results
+                .iter()
+                .all(|r| r.get("median_ns").and_then(JsonValue::as_f64).is_some()));
+        }
+    }
+
+    #[test]
     fn object_lookup_helpers_work() {
         let value = JsonValue::object([("k", JsonValue::from(3.0))]);
         assert_eq!(value.get("k").and_then(JsonValue::as_f64), Some(3.0));

@@ -11,12 +11,14 @@
 use std::collections::BTreeMap;
 
 use crate::app::SamplingSchedule;
+use crate::cache::RevisionCache;
 use wsn_data::stream::SensorStream;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, PointSet, SensorId, SlidingWindow};
 use wsn_netsim::routing::{AodvMessage, AodvRouter};
 use wsn_netsim::sim::{Application, NodeContext, TimerId};
-use wsn_ranking::{top_n_outliers, OutlierEstimate, RankingFunction};
+use wsn_ranking::index::{AnyIndex, IndexStrategy};
+use wsn_ranking::{top_n_outliers, top_n_outliers_indexed, OutlierEstimate, RankingFunction};
 
 /// Fixed header bytes of a centralized-protocol payload (type tag, source id,
 /// point count).
@@ -86,6 +88,12 @@ pub struct CentralizedApp<R> {
     reports_received: u64,
     results_sent: u64,
     results_received: u64,
+    /// Bumped whenever the sink's detection input changes (own window
+    /// mutation or a fresh report); keys `union_cache`.
+    state_revision: u64,
+    /// Sink only: the unioned data sets with their neighbour index, rebuilt
+    /// lazily when `state_revision` moves.
+    union_cache: RevisionCache<(PointSet, AnyIndex)>,
 }
 
 impl<R: RankingFunction> CentralizedApp<R> {
@@ -119,6 +127,8 @@ impl<R: RankingFunction> CentralizedApp<R> {
             reports_received: 0,
             results_sent: 0,
             results_received: 0,
+            state_revision: 0,
+            union_cache: RevisionCache::new(),
         }
     }
 
@@ -169,7 +179,12 @@ impl<R: RankingFunction> CentralizedApp<R> {
     /// an estimate over their own window if no answer has arrived yet).
     pub fn estimate(&self) -> OutlierEstimate {
         if self.is_sink() {
-            top_n_outliers(&self.ranking, self.n, &self.union_at_sink())
+            if let Some(cached) = self.union_cache.get(self.state_revision) {
+                let (union, index) = cached.as_ref();
+                top_n_outliers_indexed(&self.ranking, self.n, union, index)
+            } else {
+                top_n_outliers(&self.ranking, self.n, &self.union_at_sink())
+            }
         } else if let Some(points) = &self.last_result {
             let set: PointSet = points.iter().cloned().collect();
             top_n_outliers(&self.ranking, self.n, &set)
@@ -197,6 +212,7 @@ impl<R: RankingFunction> CentralizedApp<R> {
         if let Ok(Some(point)) = self.stream.point_at(round) {
             self.window.insert(point);
         }
+        self.state_revision += 1;
         if self.is_sink() {
             // The sink's own data never touches the radio; it is folded into
             // the union locally. Once this round's reports have had time to
@@ -227,7 +243,16 @@ impl<R: RankingFunction> CentralizedApp<R> {
         if !self.is_sink() || self.collected.is_empty() {
             return;
         }
-        let answer = top_n_outliers(&self.ranking, self.n, &self.union_at_sink());
+        let cached = match self.union_cache.get(self.state_revision) {
+            Some(cached) => cached,
+            None => {
+                let union = self.union_at_sink();
+                let index = AnyIndex::build(IndexStrategy::Auto, &union);
+                self.union_cache.put(self.state_revision, (union, index))
+            }
+        };
+        let (union, index) = cached.as_ref();
+        let answer = top_n_outliers_indexed(&self.ranking, self.n, union, index);
         let points = answer.to_point_set().to_vec();
         let reporters: Vec<SensorId> = self.collected.keys().copied().collect();
         for reporter in reporters {
@@ -252,6 +277,7 @@ impl<R: RankingFunction> CentralizedApp<R> {
                 }
                 self.reports_received += 1;
                 self.collected.insert(reporter, points);
+                self.state_revision += 1;
             }
             CentralizedPayload::OutlierResult { points } => {
                 let _ = source;

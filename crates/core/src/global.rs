@@ -14,13 +14,15 @@
 //! nothing left to send; Theorems 1 and 2 guarantee that at that moment all
 //! estimates agree and equal the true `O_n(⋃_i D_i)`.
 
+use crate::cache::RevisionCache;
 use crate::detector::OutlierDetector;
 use crate::message::OutlierBroadcast;
-use crate::sufficient::sufficient_set;
+use crate::sufficient::sufficient_set_indexed;
 use std::collections::BTreeMap;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, PointSet, SensorId, SlidingWindow, Timestamp};
-use wsn_ranking::{top_n_outliers, OutlierEstimate, RankingFunction};
+use wsn_ranking::index::{AnyIndex, IndexStrategy};
+use wsn_ranking::{top_n_outliers, top_n_outliers_indexed, OutlierEstimate, RankingFunction};
 
 /// Per-sensor state of the global algorithm.
 #[derive(Debug, Clone)]
@@ -33,6 +35,10 @@ pub struct GlobalNode<R> {
     recv_from: BTreeMap<SensorId, PointSet>,
     points_sent: u64,
     points_received: u64,
+    /// Neighbour index over the window contents, rebuilt only when the
+    /// window's revision moves (insertion or slide) and shared by every
+    /// per-neighbour sufficient-set fixed point of a protocol step.
+    index_cache: RevisionCache<AnyIndex>,
 }
 
 impl<R: RankingFunction> GlobalNode<R> {
@@ -54,6 +60,7 @@ impl<R: RankingFunction> GlobalNode<R> {
             recv_from: BTreeMap::new(),
             points_sent: 0,
             points_received: 0,
+            index_cache: RevisionCache::new(),
         }
     }
 
@@ -133,13 +140,16 @@ impl<R: RankingFunction> OutlierDetector for GlobalNode<R> {
 
     fn process(&mut self, neighbors: &[SensorId]) -> Option<OutlierBroadcast> {
         let pi = self.window.contents().clone();
+        let index = self
+            .index_cache
+            .get_or_build(self.window.revision(), || AnyIndex::build(IndexStrategy::Auto, &pi));
         let mut message = OutlierBroadcast::new();
         for &j in neighbors {
             if j == self.id {
                 continue;
             }
             let known = self.known_common_with(j);
-            let z = sufficient_set(&self.ranking, self.n, &pi, &known);
+            let z = sufficient_set_indexed(&self.ranking, self.n, &pi, index.as_ref(), &known);
             let to_send = z.difference(&known);
             if to_send.is_empty() {
                 continue;
@@ -159,7 +169,15 @@ impl<R: RankingFunction> OutlierDetector for GlobalNode<R> {
     }
 
     fn estimate(&self) -> OutlierEstimate {
-        top_n_outliers(&self.ranking, self.n, self.window.contents())
+        match self.index_cache.get(self.window.revision()) {
+            Some(index) => top_n_outliers_indexed(
+                &self.ranking,
+                self.n,
+                self.window.contents(),
+                index.as_ref(),
+            ),
+            None => top_n_outliers(&self.ranking, self.n, self.window.contents()),
+        }
     }
 
     fn held_points(&self) -> &PointSet {

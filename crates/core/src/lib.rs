@@ -12,7 +12,10 @@
 //!   sensor computes the outliers of the data held within `d` hops of it,
 //!   using hop-annotated points.
 //! * [`sufficient`] — the sufficient-set computation of equation (2), the
-//!   kernel both algorithms share.
+//!   kernel both algorithms share. It runs on the spatial neighbour indexes
+//!   of [`wsn_ranking::index`]; [`cache`] keeps one index per window
+//!   revision so a protocol step's per-neighbour fixed points share it and
+//!   it is invalidated exactly when the window slides.
 //! * [`centralized`] — the **centralized baseline** of the evaluation (§7.1):
 //!   every node periodically ships its sliding window to a sink over AODV,
 //!   the sink computes the outliers and sends them back.
@@ -48,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod cache;
 pub mod centralized;
 pub mod detector;
 pub mod error;

@@ -11,13 +11,20 @@
 //! at least the network diameter makes the algorithm behave exactly like the
 //! global one.
 
+use crate::cache::RevisionCache;
 use crate::detector::OutlierDetector;
 use crate::message::OutlierBroadcast;
-use crate::sufficient::sufficient_set;
+use crate::sufficient::sufficient_set_indexed;
 use std::collections::BTreeMap;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, HopCount, PointSet, SensorId, SlidingWindow, Timestamp};
+use wsn_ranking::index::{AnyIndex, IndexStrategy};
 use wsn_ranking::{top_n_outliers, OutlierEstimate, RankingFunction};
+
+/// One hop-prefix `P_i^{≤h}` of the window together with its neighbour
+/// index, precomputed once per window revision and reused for every
+/// neighbour's sufficient-set fixed point.
+type HopPrefixes = Vec<(PointSet, AnyIndex)>;
 
 /// Per-sensor state of the semi-global algorithm.
 #[derive(Debug, Clone)]
@@ -31,6 +38,9 @@ pub struct SemiGlobalNode<R> {
     recv_from: BTreeMap<SensorId, PointSet>,
     points_sent: u64,
     points_received: u64,
+    /// The hop-prefixes `P_i^{≤h}` for `h ∈ [0, d-1]` with their neighbour
+    /// indexes, invalidated whenever the window slides or changes.
+    prefix_cache: RevisionCache<HopPrefixes>,
 }
 
 impl<R: RankingFunction> SemiGlobalNode<R> {
@@ -59,6 +69,7 @@ impl<R: RankingFunction> SemiGlobalNode<R> {
             recv_from: BTreeMap::new(),
             points_sent: 0,
             points_received: 0,
+            prefix_cache: RevisionCache::new(),
         }
     }
 
@@ -135,6 +146,16 @@ impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
 
     fn process(&mut self, neighbors: &[SensorId]) -> Option<OutlierBroadcast> {
         let pi = self.window.contents().clone();
+        let hop_diameter = self.hop_diameter;
+        let prefixes = self.prefix_cache.get_or_build(self.window.revision(), || {
+            (0..hop_diameter)
+                .map(|h| {
+                    let pi_h = pi.filter_max_hop(h);
+                    let index = AnyIndex::build(IndexStrategy::Auto, &pi_h);
+                    (pi_h, index)
+                })
+                .collect()
+        });
         let mut message = OutlierBroadcast::new();
         for &j in neighbors {
             if j == self.id {
@@ -143,10 +164,9 @@ impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
             let known = self.known_common_with(j);
             // Per-prefix sufficient sets, hop-incremented and min-merged.
             let mut z = PointSet::new();
-            for h in 0..self.hop_diameter {
-                let pi_h = pi.filter_max_hop(h);
-                let known_h = known.filter_max_hop(h);
-                let z_h = sufficient_set(&self.ranking, self.n, &pi_h, &known_h);
+            for (h, (pi_h, index)) in prefixes.iter().enumerate() {
+                let known_h = known.filter_max_hop(h as HopCount);
+                let z_h = sufficient_set_indexed(&self.ranking, self.n, pi_h, index, &known_h);
                 for p in z_h.iter() {
                     z.insert_min_hop(p.with_incremented_hop());
                 }

@@ -16,8 +16,9 @@
 //! neighbour provably already has is transmitted.
 
 use wsn_data::PointSet;
-use wsn_ranking::function::support_of_set;
-use wsn_ranking::{top_n_outliers, RankingFunction};
+use wsn_ranking::function::support_of_set_indexed;
+use wsn_ranking::index::{AnyIndex, IndexStrategy, NeighborIndex};
+use wsn_ranking::{top_n_outliers, top_n_outliers_indexed, RankingFunction};
 
 /// Computes a set `Z_j` satisfying equation (2) for one neighbour.
 ///
@@ -30,21 +31,44 @@ use wsn_ranking::{top_n_outliers, RankingFunction};
 /// the fixed-point rule above, and is a subset of `pi`. The algorithm figure
 /// notes the result "is not guaranteed to be the smallest set to do so" —
 /// the same applies here.
+///
+/// A spatial neighbour index over `pi` is built once and reused by every
+/// rank and support query of the fixed point; callers that evaluate several
+/// neighbours against the same `P_i` (one per neighbour, as both detectors
+/// do) should build the index once themselves and call
+/// [`sufficient_set_indexed`].
 pub fn sufficient_set<R: RankingFunction + ?Sized>(
     ranking: &R,
     n: usize,
     pi: &PointSet,
     known_common: &PointSet,
 ) -> PointSet {
-    let own_estimate = top_n_outliers(ranking, n, pi);
+    let index = AnyIndex::build(IndexStrategy::Auto, pi);
+    sufficient_set_indexed(ranking, n, pi, &index, known_common)
+}
+
+/// [`sufficient_set`] over a pre-built neighbour index of `pi`.
+///
+/// `index` must have been built over exactly `pi`. The result is
+/// bit-identical to the unindexed computation: the index returns the same
+/// deterministically tie-broken neighbour orderings as the brute path, so
+/// the fixed point walks through the same intermediate sets.
+pub fn sufficient_set_indexed<R: RankingFunction + ?Sized>(
+    ranking: &R,
+    n: usize,
+    pi: &PointSet,
+    index: &dyn NeighborIndex,
+    known_common: &PointSet,
+) -> PointSet {
+    let own_estimate = top_n_outliers_indexed(ranking, n, pi, index);
     let own_estimate_set = own_estimate.to_point_set();
-    let mut z = own_estimate_set.union(&support_of_set(ranking, pi, &own_estimate_set));
+    let mut z = own_estimate_set.union(&support_of_set_indexed(ranking, index, &own_estimate_set));
 
     // Fixed point: Z_j ← Z_j ∪ [P_i | O_n(D_ij ∪ D_ji ∪ Z_j)].
     loop {
         let hypothetical = known_common.union(&z);
         let neighbour_estimate = top_n_outliers(ranking, n, &hypothetical).to_point_set();
-        let support = support_of_set(ranking, pi, &neighbour_estimate);
+        let support = support_of_set_indexed(ranking, index, &neighbour_estimate);
         if support.is_subset_of(&z) {
             break;
         }

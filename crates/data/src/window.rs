@@ -80,12 +80,13 @@ pub struct SlidingWindow {
     config: WindowConfig,
     contents: PointSet,
     now: Timestamp,
+    revision: u64,
 }
 
 impl SlidingWindow {
     /// Creates an empty window with the given configuration.
     pub fn new(config: WindowConfig) -> Self {
-        SlidingWindow { config, contents: PointSet::new(), now: Timestamp::ZERO }
+        SlidingWindow { config, contents: PointSet::new(), now: Timestamp::ZERO, revision: 0 }
     }
 
     /// The window configuration.
@@ -103,13 +104,28 @@ impl SlidingWindow {
         &self.contents
     }
 
+    /// A counter that changes whenever [`contents`](SlidingWindow::contents)
+    /// changes — on insertion, window-slide eviction and origin removal, but
+    /// not on a pure clock advance that evicts nothing.
+    ///
+    /// Derived state computed from a window snapshot (such as a spatial
+    /// neighbour index over the contents) can be cached against this value
+    /// and rebuilt only when it moves.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
     /// Inserts a point if it is still inside the window at the current time.
     /// Returns `true` if the point was added.
     pub fn insert(&mut self, point: DataPoint) -> bool {
         if point.timestamp < self.config.cutoff(self.now) {
             return false;
         }
-        self.contents.insert_min_hop(point).changed()
+        let changed = self.contents.insert_min_hop(point).changed();
+        if changed {
+            self.revision += 1;
+        }
+        changed
     }
 
     /// Advances the window to `now`, evicting stale points. Returns the
@@ -120,7 +136,11 @@ impl SlidingWindow {
             return 0;
         }
         self.now = now;
-        self.contents.evict_older_than(self.config.cutoff(now))
+        let evicted = self.contents.evict_older_than(self.config.cutoff(now));
+        if evicted > 0 {
+            self.revision += 1;
+        }
+        evicted
     }
 
     /// Number of points currently held.
@@ -135,7 +155,11 @@ impl SlidingWindow {
 
     /// Removes every point originating at `origin` (sensor removal, §5.3).
     pub fn remove_origin(&mut self, origin: crate::point::SensorId) -> usize {
-        self.contents.remove_origin(origin)
+        let removed = self.contents.remove_origin(origin);
+        if removed > 0 {
+            self.revision += 1;
+        }
+        removed
     }
 }
 
@@ -213,6 +237,28 @@ mod tests {
         let mut w = SlidingWindow::new(WindowConfig::from_secs(10).unwrap());
         assert!(w.insert(pt(1, 0, 1)));
         assert!(!w.insert(pt(1, 0, 1)));
+    }
+
+    #[test]
+    fn revision_moves_only_when_the_contents_change() {
+        let mut w = SlidingWindow::new(WindowConfig::from_secs(10).unwrap());
+        let r0 = w.revision();
+        assert!(w.insert(pt(1, 0, 1)));
+        assert!(w.revision() > r0, "insertion bumps the revision");
+        let r1 = w.revision();
+        assert!(!w.insert(pt(1, 0, 1)));
+        assert_eq!(w.revision(), r1, "duplicate insert is a no-op");
+        w.advance_to(Timestamp::from_secs(5));
+        assert_eq!(w.revision(), r1, "clock advance without eviction is a no-op");
+        w.advance_to(Timestamp::from_secs(50));
+        assert!(w.revision() > r1, "eviction bumps the revision");
+        let r2 = w.revision();
+        assert_eq!(w.remove_origin(SensorId(1)), 0);
+        assert_eq!(w.revision(), r2, "removing an absent origin is a no-op");
+        w.insert(pt(1, 9, 49));
+        let r3 = w.revision();
+        assert_eq!(w.remove_origin(SensorId(1)), 1);
+        assert!(w.revision() > r3, "origin removal bumps the revision");
     }
 
     #[test]

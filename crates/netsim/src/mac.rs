@@ -62,7 +62,7 @@ pub fn transmit(
 ) -> TransmissionOutcome {
     let airtime_secs = radio.airtime_secs(payload_bytes);
     let mut receptions = Vec::new();
-    for receiver in topology.neighbors(sender) {
+    for receiver in topology.neighbors_iter(sender) {
         let addressed = match destination {
             Destination::Broadcast => true,
             Destination::Unicast(target) => receiver == target,

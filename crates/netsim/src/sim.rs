@@ -17,6 +17,7 @@ use crate::stats::{NetworkStats, NodeStats};
 use crate::topology::Topology;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 use wsn_data::rng::SeededRng;
 use wsn_data::{SensorId, Timestamp};
 
@@ -61,7 +62,9 @@ pub trait Application {
 pub struct NodeContext<M> {
     id: SensorId,
     now: Timestamp,
-    neighbors: Vec<SensorId>,
+    /// Shared handle into the simulator's adjacency cache — no per-event
+    /// allocation.
+    neighbors: Arc<Vec<SensorId>>,
     outgoing: Vec<OutgoingPacket<M>>,
     timers: Vec<(u64, TimerId)>,
 }
@@ -122,8 +125,19 @@ pub struct SimConfig {
 
 enum EventKind<M> {
     Start(SensorId),
-    Timer { node: SensorId, timer: TimerId },
-    Deliver { to: SensorId, from: SensorId, payload: M, payload_bytes: usize },
+    Timer {
+        node: SensorId,
+        timer: TimerId,
+    },
+    /// The payload is interned behind an [`Arc`]: one transmission heard by
+    /// `r` receivers queues `r` handles to a single payload instead of `r`
+    /// deep copies.
+    Deliver {
+        to: SensorId,
+        from: SensorId,
+        payload: Arc<M>,
+        payload_bytes: usize,
+    },
 }
 
 struct QueuedEvent<M> {
@@ -154,6 +168,9 @@ impl<M> Ord for QueuedEvent<M> {
 pub struct Simulator<A: Application> {
     config: SimConfig,
     topology: Topology,
+    /// Per-node neighbour lists, derived from the topology once and shared
+    /// with every [`NodeContext`]; rebuilt only on topology changes.
+    adjacency: BTreeMap<SensorId, Arc<Vec<SensorId>>>,
     apps: BTreeMap<SensorId, A>,
     meters: BTreeMap<SensorId, EnergyMeter>,
     node_stats: BTreeMap<SensorId, NodeStats>,
@@ -179,9 +196,11 @@ impl<A: Application> Simulator<A> {
         let meters = ids.iter().map(|id| (*id, EnergyMeter::new())).collect();
         let node_stats = ids.iter().map(|id| (*id, NodeStats::default())).collect();
         let rng = SeededRng::seed_from_u64(config.seed);
+        let adjacency = Self::build_adjacency(&topology);
         let mut sim = Simulator {
             config,
             topology,
+            adjacency,
             apps,
             meters,
             node_stats,
@@ -251,6 +270,7 @@ impl<A: Application> Simulator<A> {
         let former_neighbors = self.topology.neighbors(id);
         self.topology.remove_sensor(id);
         self.apps.remove(&id);
+        self.adjacency = Self::build_adjacency(&self.topology);
         for n in former_neighbors {
             if self.apps.contains_key(&n) {
                 self.dispatch(n, |app, ctx| app.on_neighborhood_change(ctx));
@@ -311,6 +331,10 @@ impl<A: Application> Simulator<A> {
                     let stats = self.node_stats.entry(to).or_default();
                     stats.packets_received += 1;
                     stats.bytes_received += payload_bytes as u64;
+                    // The last receiver of an interned payload takes it by
+                    // move; earlier ones clone.
+                    let payload =
+                        Arc::try_unwrap(payload).unwrap_or_else(|shared| (*shared).clone());
                     self.dispatch(to, |app, ctx| app.on_message(ctx, from, payload));
                 }
             }
@@ -346,6 +370,11 @@ impl<A: Application> Simulator<A> {
         self.queue.push(QueuedEvent { time, seq, kind });
     }
 
+    /// Materialises the per-node neighbour lists shared by every dispatch.
+    fn build_adjacency(topology: &Topology) -> BTreeMap<SensorId, Arc<Vec<SensorId>>> {
+        topology.sensor_ids().into_iter().map(|id| (id, Arc::new(topology.neighbors(id)))).collect()
+    }
+
     fn dispatch(
         &mut self,
         node: SensorId,
@@ -354,7 +383,7 @@ impl<A: Application> Simulator<A> {
         let mut ctx = NodeContext {
             id: node,
             now: self.now,
-            neighbors: self.topology.neighbors(node),
+            neighbors: self.adjacency.get(&node).cloned().unwrap_or_default(),
             outgoing: Vec::new(),
             timers: Vec::new(),
         };
@@ -391,7 +420,9 @@ impl<A: Application> Simulator<A> {
         sender_stats.bytes_sent += payload_bytes as u64;
         // Every in-range node pays receive energy (promiscuous listening);
         // addressed receivers that survive the loss model get the payload
-        // delivered one airtime later.
+        // delivered one airtime later. The payload itself is interned once —
+        // receivers share the allocation until delivery.
+        let payload = Arc::new(payload);
         let delivery_time = self.now.advanced_by_secs_f64(outcome.airtime_secs);
         for reception in outcome.receptions {
             if let Some(meter) = self.meters.get_mut(&reception.receiver) {
@@ -404,7 +435,7 @@ impl<A: Application> Simulator<A> {
                     EventKind::Deliver {
                         to: reception.receiver,
                         from: sender,
-                        payload: payload.clone(),
+                        payload: Arc::clone(&payload),
                         payload_bytes,
                     },
                 );

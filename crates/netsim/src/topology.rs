@@ -72,7 +72,15 @@ impl Topology {
 
     /// The single-hop neighbours of a sensor (empty if the id is unknown).
     pub fn neighbors(&self, id: SensorId) -> Vec<SensorId> {
-        self.neighbors.get(&id).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.neighbors_iter(id).collect()
+    }
+
+    /// Iterates over the single-hop neighbours of a sensor without
+    /// allocating (empty if the id is unknown). This is the form the
+    /// per-transmission hot paths use; [`Topology::neighbors`] remains for
+    /// callers that want an owned list.
+    pub fn neighbors_iter(&self, id: SensorId) -> impl Iterator<Item = SensorId> + '_ {
+        self.neighbors.get(&id).into_iter().flat_map(|s| s.iter().copied())
     }
 
     /// Returns `true` if `a` and `b` are within radio range of each other.
@@ -106,7 +114,7 @@ impl Topology {
         queue.push_back(source);
         while let Some(v) = queue.pop_front() {
             let d = dist[&v];
-            for w in self.neighbors(v) {
+            for w in self.neighbors_iter(v) {
                 if dist[&w] == UNREACHABLE {
                     dist.insert(w, d + 1);
                     queue.push_back(w);

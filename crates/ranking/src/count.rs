@@ -6,6 +6,7 @@
 //! rank close to 1.
 
 use crate::function::{neighbors_by_distance, RankingFunction};
+use crate::index::NeighborIndex;
 use wsn_data::{DataPoint, PointSet};
 
 /// `R(x, P) = 1 / (1 + |{y ∈ P \ {x} : ‖x − y‖ ≤ α}|)`.
@@ -64,6 +65,14 @@ impl RankingFunction for NeighborCountInverse {
             }
         }
         out
+    }
+
+    fn rank_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> f64 {
+        1.0 / (1.0 + index.within_radius(x, self.alpha).len() as f64)
+    }
+
+    fn support_set_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> PointSet {
+        index.within_radius(x, self.alpha).into_iter().map(|(_, p)| p.clone()).collect()
     }
 }
 

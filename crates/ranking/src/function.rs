@@ -7,6 +7,7 @@
 //! instead of whole datasets, which is where all its bandwidth savings come
 //! from (§5.2).
 
+use crate::index::{AnyIndex, IndexStrategy, NeighborIndex};
 use wsn_data::order::total_order;
 use wsn_data::{DataPoint, PointSet};
 
@@ -35,6 +36,35 @@ pub trait RankingFunction: Send + Sync {
     /// total order `≺`). Removing any other point of `data` cannot change
     /// `x`'s rank.
     fn support_set(&self, x: &DataPoint, data: &PointSet) -> PointSet;
+
+    /// The rank `R(x, D)` where `D` is the dataset a [`NeighborIndex`] was
+    /// built over. Must return exactly the same value as
+    /// [`rank`](RankingFunction::rank) on that dataset.
+    ///
+    /// The default implementation runs the brute path over the index's
+    /// snapshot — borrowed for free from brute-backed indexes (everything
+    /// the auto strategy builds for small sets), materialised per call
+    /// otherwise. Always correct, never faster. Every shipped ranking
+    /// overrides it with a native index query; custom rankings should too if
+    /// they are ever used on the hot paths ([`crate::topn::top_n_outliers`],
+    /// the sufficient-set kernel) over large windows.
+    fn rank_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> f64 {
+        match index.snapshot() {
+            Some(data) => self.rank(x, data),
+            None => self.rank(x, &index.to_point_set()),
+        }
+    }
+
+    /// The support set `[D|x]` over the indexed dataset. Must return exactly
+    /// the same set as [`support_set`](RankingFunction::support_set); the
+    /// default implementation is the same brute fallback as
+    /// [`rank_indexed`](RankingFunction::rank_indexed).
+    fn support_set_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> PointSet {
+        match index.snapshot() {
+            Some(data) => self.support_set(x, data),
+            None => self.support_set(x, &index.to_point_set()),
+        }
+    }
 }
 
 /// Blanket implementation so `&R`, `Box<R>`, `Arc<R>` can be used wherever a
@@ -49,6 +79,12 @@ impl<R: RankingFunction + ?Sized> RankingFunction for &R {
     fn support_set(&self, x: &DataPoint, data: &PointSet) -> PointSet {
         (**self).support_set(x, data)
     }
+    fn rank_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> f64 {
+        (**self).rank_indexed(x, index)
+    }
+    fn support_set_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> PointSet {
+        (**self).support_set_indexed(x, index)
+    }
 }
 
 impl<R: RankingFunction + ?Sized> RankingFunction for std::sync::Arc<R> {
@@ -61,18 +97,40 @@ impl<R: RankingFunction + ?Sized> RankingFunction for std::sync::Arc<R> {
     fn support_set(&self, x: &DataPoint, data: &PointSet) -> PointSet {
         (**self).support_set(x, data)
     }
+    fn rank_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> f64 {
+        (**self).rank_indexed(x, index)
+    }
+    fn support_set_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> PointSet {
+        (**self).support_set_indexed(x, index)
+    }
 }
 
 /// The union of the support sets of every point of `query` over `data` — the
 /// paper's `[P|Q] = ⋃_{x∈Q} [P|x]`.
+///
+/// Builds one [`NeighborIndex`] over `data` and reuses it for every query
+/// point; callers that already hold an index for `data` should use
+/// [`support_of_set_indexed`] instead.
 pub fn support_of_set<R: RankingFunction + ?Sized>(
     ranking: &R,
     data: &PointSet,
     query: &PointSet,
 ) -> PointSet {
+    let index = AnyIndex::build(IndexStrategy::Auto, data);
+    support_of_set_indexed(ranking, &index, query)
+}
+
+/// [`support_of_set`] over a pre-built index of the dataset — the form used
+/// by the sufficient-set fixed point, which queries the same `P_i` many
+/// times.
+pub fn support_of_set_indexed<R: RankingFunction + ?Sized>(
+    ranking: &R,
+    index: &dyn NeighborIndex,
+    query: &PointSet,
+) -> PointSet {
     let mut out = PointSet::new();
     for x in query.iter() {
-        out.extend_from(&ranking.support_set(x, data));
+        out.extend_from(&ranking.support_set_indexed(x, index));
     }
     out
 }

@@ -1,0 +1,974 @@
+//! Spatial neighbour indexes over a [`PointSet`].
+//!
+//! Every ranking query ultimately asks one of two questions about a dataset:
+//! "which are the `k` nearest neighbours of `x`?" (NN / k-NN rankings) or
+//! "which points lie within `α` of `x`?" (neighbour-count ranking). The
+//! brute-force answer — sort the whole set by distance per query, as
+//! [`crate::function::neighbors_by_distance`] does — costs `O(w log w)` per
+//! query and makes `top_n_outliers` quadratic in the window size `w`.
+//!
+//! A [`NeighborIndex`] is built **once** per dataset and then answers many
+//! queries cheaply. Three implementations ship:
+//!
+//! * [`BruteIndex`] — the baseline: a thin wrapper over the original
+//!   full-sort path. Cheapest to build, `O(w log w)` per query; right for
+//!   tiny sets and the reference the other two are tested against.
+//! * [`KdTreeIndex`] — a k-d tree with median splits; `O(w log w)` build,
+//!   near-logarithmic queries on the low-dimensional feature spaces the
+//!   paper uses (`[temperature, x, y]`).
+//! * [`GridIndex`] — a uniform grid over the bounding box of feature space,
+//!   searched in expanding cell rings; excellent for evenly spread data.
+//!
+//! # Exactness and tie-breaking
+//!
+//! The distributed algorithm's convergence theorems require **unique**
+//! support sets, which the paper obtains by breaking distance ties with the
+//! total order `≺` ([`total_order`]). Every index here returns *exactly* the
+//! ordering of `neighbors_by_distance` — candidates are compared by
+//! `(distance, ≺)` and subtrees/cells are pruned only when they are
+//! **strictly** farther than the current worst candidate, so equal-distance
+//! points are always examined and resolved by `≺`. Distances are computed
+//! with the same [`DataPoint::feature_distance`] arithmetic as the brute
+//! path, so results are bit-identical, not merely equivalent: estimates,
+//! support sets and sufficient sets do not change when an index is swapped
+//! in. The property suite `tests/property_index.rs` asserts this equivalence
+//! across 256 seeded cases.
+//!
+//! # Choosing an index
+//!
+//! [`AnyIndex::build`] with [`IndexStrategy::Auto`] picks brute force for
+//! small sets (where building a structure costs more than it saves) and the
+//! k-d tree otherwise; the grid is available for workloads known to be
+//! uniform. Sets with mixed feature dimensionality fall back to brute force,
+//! which mirrors what the brute path would have accepted.
+
+use crate::function::neighbors_by_distance;
+use std::cmp::Ordering;
+use wsn_data::order::total_order;
+use wsn_data::{DataPoint, PointSet};
+
+/// Below this many points, [`IndexStrategy::Auto`] keeps the brute path: the
+/// `O(w log w)` structure build does not pay for itself on tiny windows.
+pub const AUTO_BRUTE_THRESHOLD: usize = 48;
+
+/// A queryable spatial index over one immutable snapshot of a [`PointSet`].
+///
+/// Both query methods exclude the query point itself (any stored point whose
+/// [`key`](DataPoint::key) equals `x.key`), exactly like
+/// [`neighbors_by_distance`], and return `(distance, point)` pairs sorted by
+/// ascending distance with ties broken by the total order `≺`.
+pub trait NeighborIndex: Send + Sync {
+    /// Number of points the index was built over.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the index holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k` nearest neighbours of `x` (fewer if the set is smaller),
+    /// identical to `neighbors_by_distance(x, data)` truncated to `k`.
+    fn k_nearest(&self, x: &DataPoint, k: usize) -> Vec<(f64, &DataPoint)>;
+
+    /// Every neighbour of `x` within `radius` (inclusive), identical to the
+    /// `distance <= radius` prefix of `neighbors_by_distance(x, data)`.
+    fn within_radius(&self, x: &DataPoint, radius: f64) -> Vec<(f64, &DataPoint)>;
+
+    /// Reconstructs the indexed snapshot as an owned [`PointSet`] — the
+    /// generic fallback used by ranking functions without a native indexed
+    /// query path.
+    fn to_point_set(&self) -> PointSet;
+
+    /// Borrows the indexed snapshot when the implementation already keeps
+    /// it in [`PointSet`] form ([`BruteIndex`] does). Generic ranking
+    /// fallbacks try this first so brute-backed indexes — everything the
+    /// auto strategy builds for small sets — pay no materialisation at all.
+    fn snapshot(&self) -> Option<&PointSet> {
+        None
+    }
+}
+
+/// Which index implementation to build for a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexStrategy {
+    /// Brute force below [`AUTO_BRUTE_THRESHOLD`] points, k-d tree above.
+    #[default]
+    Auto,
+    /// Always the [`BruteIndex`] baseline.
+    Brute,
+    /// Always the [`GridIndex`].
+    Grid,
+    /// Always the [`KdTreeIndex`].
+    KdTree,
+}
+
+/// A bounded, sorted candidate list: the `k` best `(distance, point)` pairs
+/// seen so far under the `(distance, ≺)` order.
+struct BestK<'a> {
+    k: usize,
+    entries: Vec<(f64, &'a DataPoint)>,
+}
+
+fn candidate_order(a: &(f64, &DataPoint), b: &(f64, &DataPoint)) -> Ordering {
+    a.0.total_cmp(&b.0).then_with(|| total_order(a.1, b.1))
+}
+
+impl<'a> BestK<'a> {
+    fn new(k: usize) -> Self {
+        BestK { k, entries: Vec::with_capacity(k.min(64)) }
+    }
+
+    fn push(&mut self, distance: f64, point: &'a DataPoint) {
+        let candidate = (distance, point);
+        let pos =
+            self.entries.partition_point(|e| candidate_order(e, &candidate) == Ordering::Less);
+        if pos >= self.k {
+            return;
+        }
+        self.entries.insert(pos, candidate);
+        self.entries.truncate(self.k);
+    }
+
+    fn full(&self) -> bool {
+        self.entries.len() == self.k
+    }
+
+    /// The distance a candidate must not (strictly) exceed to still matter.
+    /// Equal distances always matter: the tie could resolve in their favour.
+    fn worst_distance(&self) -> f64 {
+        if self.full() {
+            self.entries.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Brute force
+// ---------------------------------------------------------------------------
+
+/// The baseline index: the original per-query full sort, behind the
+/// [`NeighborIndex`] interface. Exists so callers can be written against the
+/// trait, tiny sets stay cheap, and benchmarks have an in-tree baseline.
+#[derive(Debug, Clone)]
+pub struct BruteIndex {
+    points: PointSet,
+}
+
+impl BruteIndex {
+    /// Snapshots `data` into a brute-force index.
+    pub fn build(data: &PointSet) -> Self {
+        BruteIndex { points: data.clone() }
+    }
+}
+
+impl NeighborIndex for BruteIndex {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn k_nearest(&self, x: &DataPoint, k: usize) -> Vec<(f64, &DataPoint)> {
+        let mut neighbors = neighbors_by_distance(x, &self.points);
+        neighbors.truncate(k);
+        neighbors
+    }
+
+    fn within_radius(&self, x: &DataPoint, radius: f64) -> Vec<(f64, &DataPoint)> {
+        neighbors_by_distance(x, &self.points)
+            .into_iter()
+            .take_while(|(d, _)| *d <= radius)
+            .collect()
+    }
+
+    fn to_point_set(&self) -> PointSet {
+        self.points.clone()
+    }
+
+    fn snapshot(&self) -> Option<&PointSet> {
+        Some(&self.points)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// k-d tree
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct KdNode {
+    /// Index into `points` of the splitting point stored at this node.
+    point: usize,
+    /// Splitting axis (feature component), cycling with depth.
+    axis: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+/// A k-d tree over the feature vectors of a point set.
+///
+/// Built with median splits on a cycling axis; the median is selected under
+/// `(feature[axis], ≺)` so construction is fully deterministic. Queries visit
+/// the near child first and prune the far child only when the splitting
+/// plane is strictly farther than the current worst candidate, which keeps
+/// equal-distance ties reachable and the output identical to brute force.
+#[derive(Debug, Clone)]
+pub struct KdTreeIndex {
+    points: Vec<DataPoint>,
+    nodes: Vec<KdNode>,
+    root: Option<usize>,
+}
+
+impl KdTreeIndex {
+    /// Builds the tree over a snapshot of `data`.
+    ///
+    /// All points must share one feature dimensionality (callers that cannot
+    /// guarantee this should go through [`AnyIndex::build`], which falls back
+    /// to brute force for mixed sets).
+    pub fn build(data: &PointSet) -> Self {
+        let points: Vec<DataPoint> = data.iter().cloned().collect();
+        let dim = points.first().map(DataPoint::dimension).unwrap_or(0);
+        let mut indices: Vec<usize> = (0..points.len()).collect();
+        let mut nodes = Vec::with_capacity(points.len());
+        let root = Self::build_recursive(&points, &mut indices, 0, dim, &mut nodes);
+        KdTreeIndex { points, nodes, root }
+    }
+
+    fn build_recursive(
+        points: &[DataPoint],
+        indices: &mut [usize],
+        depth: usize,
+        dim: usize,
+        nodes: &mut Vec<KdNode>,
+    ) -> Option<usize> {
+        if indices.is_empty() {
+            return None;
+        }
+        let axis = if dim == 0 { 0 } else { depth % dim };
+        indices.sort_unstable_by(|&a, &b| {
+            points[a].features[axis]
+                .total_cmp(&points[b].features[axis])
+                .then_with(|| total_order(&points[a], &points[b]))
+        });
+        let mid = indices.len() / 2;
+        let point = indices[mid];
+        let (left_slice, rest) = indices.split_at_mut(mid);
+        let right_slice = &mut rest[1..];
+        let left = Self::build_recursive(points, left_slice, depth + 1, dim, nodes);
+        let right = Self::build_recursive(points, right_slice, depth + 1, dim, nodes);
+        nodes.push(KdNode { point, axis, left, right });
+        Some(nodes.len() - 1)
+    }
+
+    fn search_nearest<'a>(&'a self, node: usize, x: &DataPoint, best: &mut BestK<'a>) {
+        let n = &self.nodes[node];
+        let p = &self.points[n.point];
+        if p.key != x.key {
+            best.push(x.feature_distance(p), p);
+        }
+        let split = p.features[n.axis];
+        let value = x.features[n.axis];
+        let (near, far) = if value.total_cmp(&split) == Ordering::Less {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
+        if let Some(child) = near {
+            self.search_nearest(child, x, best);
+        }
+        if let Some(child) = far {
+            // Equal plane distance must still be explored: a point exactly at
+            // the current worst distance can win its tie under ≺.
+            if !best.full() || (value - split).abs() <= best.worst_distance() {
+                self.search_nearest(child, x, best);
+            }
+        }
+    }
+
+    fn collect_within<'a>(
+        &'a self,
+        node: usize,
+        x: &DataPoint,
+        radius: f64,
+        out: &mut Vec<(f64, &'a DataPoint)>,
+    ) {
+        let n = &self.nodes[node];
+        let p = &self.points[n.point];
+        if p.key != x.key {
+            let d = x.feature_distance(p);
+            if d <= radius {
+                out.push((d, p));
+            }
+        }
+        let split = p.features[n.axis];
+        let value = x.features[n.axis];
+        if let Some(child) = n.left {
+            if value - split <= radius {
+                self.collect_within(child, x, radius, out);
+            }
+        }
+        if let Some(child) = n.right {
+            if split - value <= radius {
+                self.collect_within(child, x, radius, out);
+            }
+        }
+    }
+}
+
+impl NeighborIndex for KdTreeIndex {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn k_nearest(&self, x: &DataPoint, k: usize) -> Vec<(f64, &DataPoint)> {
+        let Some(root) = self.root else { return Vec::new() };
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut best = BestK::new(k);
+        self.search_nearest(root, x, &mut best);
+        best.entries
+    }
+
+    fn within_radius(&self, x: &DataPoint, radius: f64) -> Vec<(f64, &DataPoint)> {
+        let Some(root) = self.root else { return Vec::new() };
+        let mut out = Vec::new();
+        self.collect_within(root, x, radius, &mut out);
+        out.sort_by(candidate_order);
+        out
+    }
+
+    fn to_point_set(&self) -> PointSet {
+        self.points.iter().cloned().collect()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Uniform grid
+// ---------------------------------------------------------------------------
+
+/// A uniform grid over the bounding box of the indexed feature vectors.
+///
+/// Cell counts are chosen so the average occupancy is about one point per
+/// cell. Queries walk outward in Chebyshev "rings" of cells around the query
+/// cell and stop once the next ring provably lies strictly beyond the worst
+/// candidate; individual cells are additionally pruned by their exact
+/// point-to-box distance. Both prunes keep equal-distance cells, preserving
+/// the `≺` tie-breaking of the brute path.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    points: Vec<DataPoint>,
+    dim: usize,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    cell_size: Vec<f64>,
+    cells_per_dim: Vec<usize>,
+    /// Flattened row-major cell buckets of indices into `points`.
+    cells: Vec<Vec<u32>>,
+    /// Smallest cell extent along any axis with more than one cell; the ring
+    /// lower bound `(r - 1) * min_cell_size` is valid because any cell in
+    /// Chebyshev ring `r` is at least `r - 1` whole cells away on some axis.
+    min_cell_size: f64,
+}
+
+/// Hard cap on grid cells per axis, bounding memory for any window size.
+const MAX_CELLS_PER_DIM: usize = 64;
+
+impl GridIndex {
+    /// Builds the grid over a snapshot of `data`.
+    ///
+    /// All points must share one feature dimensionality (see
+    /// [`AnyIndex::build`] for the mixed-dimension fallback).
+    pub fn build(data: &PointSet) -> Self {
+        let points: Vec<DataPoint> = data.iter().cloned().collect();
+        let dim = points.first().map(DataPoint::dimension).unwrap_or(0);
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for p in &points {
+            for (d, v) in p.features.iter().enumerate() {
+                mins[d] = mins[d].min(*v);
+                maxs[d] = maxs[d].max(*v);
+            }
+        }
+        let target = if dim == 0 || points.is_empty() {
+            1
+        } else {
+            ((points.len() as f64).powf(1.0 / dim as f64).floor() as usize)
+                .clamp(1, MAX_CELLS_PER_DIM)
+        };
+        let mut cells_per_dim = vec![1usize; dim];
+        let mut cell_size = vec![0.0f64; dim];
+        for d in 0..dim {
+            let extent = maxs[d] - mins[d];
+            if extent > 0.0 && target > 1 {
+                cells_per_dim[d] = target;
+                cell_size[d] = extent / target as f64;
+            } else {
+                // One cell on this axis; its box must still cover the whole
+                // data extent or the box-distance prune would overestimate.
+                cell_size[d] = extent.max(0.0);
+            }
+        }
+        let min_cell_size = cells_per_dim
+            .iter()
+            .zip(cell_size.iter())
+            .filter(|(cells, _)| **cells > 1)
+            .map(|(_, size)| *size)
+            .fold(f64::INFINITY, f64::min);
+        let total: usize = cells_per_dim.iter().product::<usize>().max(1);
+        let mut cells = vec![Vec::new(); total];
+        let grid = GridIndex {
+            points: Vec::new(),
+            dim,
+            mins: mins.clone(),
+            maxs: maxs.clone(),
+            cell_size: cell_size.clone(),
+            cells_per_dim: cells_per_dim.clone(),
+            cells: Vec::new(),
+            min_cell_size,
+        };
+        for (i, p) in points.iter().enumerate() {
+            let coords = grid.cell_of(&p.features);
+            cells[grid.flatten(&coords)].push(i as u32);
+        }
+        GridIndex { points, cells, ..grid }
+    }
+
+    /// Lower edge of cell `c` along axis `d`.
+    fn axis_lo(&self, d: usize, c: usize) -> f64 {
+        self.mins[d] + c as f64 * self.cell_size[d]
+    }
+
+    /// Upper edge of cell `c` along axis `d`. The top cell's edge is
+    /// extended to the true data maximum: clamped assignments and the
+    /// rounding sliver of `extent / cells * cells < extent` land there, and
+    /// the box-distance prune is only sound if every stored point lies
+    /// inside its cell's box.
+    fn axis_hi(&self, d: usize, c: usize) -> f64 {
+        if c + 1 == self.cells_per_dim[d] {
+            self.axis_lo(d, c + 1).max(self.maxs[d])
+        } else {
+            self.axis_lo(d, c + 1)
+        }
+    }
+
+    /// The (clamped) cell coordinates containing a feature vector.
+    fn cell_of(&self, features: &[f64]) -> Vec<usize> {
+        (0..self.dim)
+            .map(|d| {
+                let cells = self.cells_per_dim[d];
+                let offset = (features[d] - self.mins[d]) / self.cell_size[d];
+                let mut c = if offset.is_finite() && offset > 0.0 {
+                    (offset.floor() as usize).min(cells - 1)
+                } else {
+                    0
+                };
+                // The division above and the edge multiplication in
+                // `axis_lo` can round differently; snap the cell so the
+                // value provably lies inside its box.
+                while c > 0 && features[d] < self.axis_lo(d, c) {
+                    c -= 1;
+                }
+                while c + 1 < cells && features[d] >= self.axis_lo(d, c + 1) {
+                    c += 1;
+                }
+                c
+            })
+            .collect()
+    }
+
+    fn flatten(&self, coords: &[usize]) -> usize {
+        let mut idx = 0;
+        for (d, &c) in coords.iter().enumerate() {
+            idx = idx * self.cells_per_dim[d] + c;
+        }
+        idx
+    }
+
+    /// Exact Euclidean distance from `x` to the axis-aligned box of a cell —
+    /// a lower bound on the distance to any point stored in it (guaranteed
+    /// by the snapping in [`GridIndex::cell_of`] plus the extended top
+    /// edge).
+    fn cell_box_distance(&self, features: &[f64], coords: &[usize]) -> f64 {
+        let mut sum = 0.0;
+        for (d, &c) in coords.iter().enumerate() {
+            let lo = self.axis_lo(d, c);
+            let hi = self.axis_hi(d, c);
+            let gap = (lo - features[d]).max(features[d] - hi).max(0.0);
+            sum += gap * gap;
+        }
+        sum.sqrt()
+    }
+
+    /// Conservative lower bound on the distance from the query to any cell
+    /// in Chebyshev ring `r` around the query cell.
+    fn ring_lower_bound(&self, ring: i64) -> f64 {
+        if ring <= 1 {
+            0.0
+        } else {
+            (ring - 1) as f64 * self.min_cell_size
+        }
+    }
+
+    fn max_ring(&self, center: &[usize]) -> i64 {
+        (0..self.dim)
+            .map(|d| center[d].max(self.cells_per_dim[d] - 1 - center[d]) as i64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Invokes `visit` on every in-bounds cell at Chebyshev distance exactly
+    /// `ring` from `center`.
+    fn for_each_ring_cell(&self, center: &[usize], ring: i64, visit: &mut impl FnMut(&[usize])) {
+        let mut coords = vec![0usize; self.dim];
+        self.ring_recurse(center, ring, 0, false, &mut coords, visit);
+    }
+
+    fn ring_recurse(
+        &self,
+        center: &[usize],
+        ring: i64,
+        depth: usize,
+        on_shell: bool,
+        coords: &mut Vec<usize>,
+        visit: &mut impl FnMut(&[usize]),
+    ) {
+        if depth == self.dim {
+            if on_shell {
+                visit(coords);
+            }
+            return;
+        }
+        for delta in -ring..=ring {
+            let c = center[depth] as i64 + delta;
+            if c < 0 || c >= self.cells_per_dim[depth] as i64 {
+                continue;
+            }
+            coords[depth] = c as usize;
+            self.ring_recurse(
+                center,
+                ring,
+                depth + 1,
+                on_shell || delta.abs() == ring,
+                coords,
+                visit,
+            );
+        }
+    }
+}
+
+impl NeighborIndex for GridIndex {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn k_nearest(&self, x: &DataPoint, k: usize) -> Vec<(f64, &DataPoint)> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        if self.dim == 0 {
+            // Zero-dimensional points: every pair is at distance 0, so the
+            // ordering is entirely decided by ≺.
+            let mut all: Vec<(f64, &DataPoint)> = self
+                .points
+                .iter()
+                .filter(|p| p.key != x.key)
+                .map(|p| (x.feature_distance(p), p))
+                .collect();
+            all.sort_by(candidate_order);
+            all.truncate(k);
+            return all;
+        }
+        let center = self.cell_of(&x.features);
+        let mut best = BestK::new(k);
+        for ring in 0..=self.max_ring(&center) {
+            if best.full() && self.ring_lower_bound(ring) > best.worst_distance() {
+                break;
+            }
+            let mut buckets: Vec<usize> = Vec::new();
+            self.for_each_ring_cell(&center, ring, &mut |coords| {
+                if !best.full()
+                    || self.cell_box_distance(&x.features, coords) <= best.worst_distance()
+                {
+                    buckets.push(self.flatten(coords));
+                }
+            });
+            for bucket in buckets {
+                for &i in &self.cells[bucket] {
+                    let p = &self.points[i as usize];
+                    if p.key != x.key {
+                        best.push(x.feature_distance(p), p);
+                    }
+                }
+            }
+        }
+        best.entries
+    }
+
+    fn within_radius(&self, x: &DataPoint, radius: f64) -> Vec<(f64, &DataPoint)> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<(f64, &DataPoint)> = Vec::new();
+        if self.dim == 0 {
+            for p in &self.points {
+                if p.key != x.key {
+                    let d = x.feature_distance(p);
+                    if d <= radius {
+                        out.push((d, p));
+                    }
+                }
+            }
+            out.sort_by(candidate_order);
+            return out;
+        }
+        let center = self.cell_of(&x.features);
+        for ring in 0..=self.max_ring(&center) {
+            if self.ring_lower_bound(ring) > radius {
+                break;
+            }
+            let mut buckets: Vec<usize> = Vec::new();
+            self.for_each_ring_cell(&center, ring, &mut |coords| {
+                if self.cell_box_distance(&x.features, coords) <= radius {
+                    buckets.push(self.flatten(coords));
+                }
+            });
+            for bucket in buckets {
+                for &i in &self.cells[bucket] {
+                    let p = &self.points[i as usize];
+                    if p.key != x.key {
+                        let d = x.feature_distance(p);
+                        if d <= radius {
+                            out.push((d, p));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by(candidate_order);
+        out
+    }
+
+    fn to_point_set(&self) -> PointSet {
+        self.points.iter().cloned().collect()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy dispatch
+// ---------------------------------------------------------------------------
+
+/// A concrete index of any strategy, dispatching [`NeighborIndex`] calls.
+#[derive(Debug, Clone)]
+pub enum AnyIndex {
+    /// Brute-force baseline.
+    Brute(BruteIndex),
+    /// Uniform grid.
+    Grid(GridIndex),
+    /// k-d tree.
+    KdTree(KdTreeIndex),
+}
+
+impl AnyIndex {
+    /// Builds an index over `data` using the requested strategy.
+    ///
+    /// Sets whose points do not share one feature dimensionality always get
+    /// the brute index — the structured indexes assume a single metric
+    /// space, exactly like [`DataPoint::feature_distance`] itself.
+    pub fn build(strategy: IndexStrategy, data: &PointSet) -> AnyIndex {
+        let uniform = {
+            let mut dims = data.iter().map(DataPoint::dimension);
+            match dims.next() {
+                None => true,
+                Some(first) => dims.all(|d| d == first),
+            }
+        };
+        let effective = if !uniform {
+            IndexStrategy::Brute
+        } else {
+            match strategy {
+                IndexStrategy::Auto => {
+                    if data.len() < AUTO_BRUTE_THRESHOLD {
+                        IndexStrategy::Brute
+                    } else {
+                        IndexStrategy::KdTree
+                    }
+                }
+                explicit => explicit,
+            }
+        };
+        match effective {
+            IndexStrategy::Brute | IndexStrategy::Auto => AnyIndex::Brute(BruteIndex::build(data)),
+            IndexStrategy::Grid => AnyIndex::Grid(GridIndex::build(data)),
+            IndexStrategy::KdTree => AnyIndex::KdTree(KdTreeIndex::build(data)),
+        }
+    }
+}
+
+impl NeighborIndex for AnyIndex {
+    fn len(&self) -> usize {
+        match self {
+            AnyIndex::Brute(i) => i.len(),
+            AnyIndex::Grid(i) => i.len(),
+            AnyIndex::KdTree(i) => i.len(),
+        }
+    }
+
+    fn k_nearest(&self, x: &DataPoint, k: usize) -> Vec<(f64, &DataPoint)> {
+        match self {
+            AnyIndex::Brute(i) => i.k_nearest(x, k),
+            AnyIndex::Grid(i) => i.k_nearest(x, k),
+            AnyIndex::KdTree(i) => i.k_nearest(x, k),
+        }
+    }
+
+    fn within_radius(&self, x: &DataPoint, radius: f64) -> Vec<(f64, &DataPoint)> {
+        match self {
+            AnyIndex::Brute(i) => i.within_radius(x, radius),
+            AnyIndex::Grid(i) => i.within_radius(x, radius),
+            AnyIndex::KdTree(i) => i.within_radius(x, radius),
+        }
+    }
+
+    fn to_point_set(&self) -> PointSet {
+        match self {
+            AnyIndex::Brute(i) => i.to_point_set(),
+            AnyIndex::Grid(i) => i.to_point_set(),
+            AnyIndex::KdTree(i) => i.to_point_set(),
+        }
+    }
+
+    fn snapshot(&self) -> Option<&PointSet> {
+        match self {
+            AnyIndex::Brute(i) => i.snapshot(),
+            AnyIndex::Grid(i) => i.snapshot(),
+            AnyIndex::KdTree(i) => i.snapshot(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_data::{Epoch, SensorId, Timestamp};
+
+    fn pt(id: u32, epoch: u64, features: Vec<f64>) -> DataPoint {
+        DataPoint::new(SensorId(id), Epoch(epoch), Timestamp::ZERO, features).unwrap()
+    }
+
+    fn sample_set() -> PointSet {
+        vec![
+            pt(1, 0, vec![0.0, 0.0]),
+            pt(2, 0, vec![1.0, 0.0]),
+            pt(3, 0, vec![0.0, 1.0]),
+            pt(4, 0, vec![5.0, 5.0]),
+            pt(5, 0, vec![-3.0, 2.0]),
+            pt(6, 0, vec![2.0, 2.0]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn all_indexes(data: &PointSet) -> Vec<AnyIndex> {
+        vec![
+            AnyIndex::build(IndexStrategy::Brute, data),
+            AnyIndex::build(IndexStrategy::Grid, data),
+            AnyIndex::build(IndexStrategy::KdTree, data),
+        ]
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_ordering() {
+        let data = sample_set();
+        let query = pt(1, 0, vec![0.0, 0.0]);
+        let expected = neighbors_by_distance(&query, &data);
+        for index in all_indexes(&data) {
+            for k in 0..=data.len() + 1 {
+                let got = index.k_nearest(&query, k);
+                assert_eq!(got.len(), k.min(expected.len()), "k={k}");
+                for (g, e) in got.iter().zip(expected.iter()) {
+                    assert_eq!(g.0.to_bits(), e.0.to_bits());
+                    assert_eq!(g.1.key, e.1.key);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queries_exclude_the_query_key_but_not_its_twins() {
+        // Two distinct observations at identical coordinates.
+        let data: PointSet = vec![pt(1, 0, vec![0.0]), pt(2, 0, vec![0.0]), pt(3, 0, vec![1.0])]
+            .into_iter()
+            .collect();
+        let query = pt(1, 0, vec![0.0]);
+        for index in all_indexes(&data) {
+            let got = index.k_nearest(&query, 3);
+            assert_eq!(got.len(), 2);
+            // The co-located twin (distance 0) comes first.
+            assert_eq!(got[0].1.key, pt(2, 0, vec![0.0]).key);
+            assert!(got.iter().all(|(_, p)| p.key != query.key));
+        }
+    }
+
+    #[test]
+    fn equal_distances_resolve_by_total_order() {
+        // Neighbours at ±2 of the query: equal distance, broken by ≺.
+        let data: PointSet = vec![pt(1, 0, vec![0.0]), pt(2, 0, vec![2.0]), pt(3, 0, vec![-2.0])]
+            .into_iter()
+            .collect();
+        let query = pt(1, 0, vec![0.0]);
+        for index in all_indexes(&data) {
+            let got = index.k_nearest(&query, 1);
+            assert_eq!(got[0].1.features, vec![-2.0], "-2.0 ≺ 2.0 must win the tie");
+        }
+    }
+
+    #[test]
+    fn within_radius_is_inclusive_and_sorted() {
+        let data = sample_set();
+        let query = pt(9, 9, vec![0.0, 0.0]);
+        for index in all_indexes(&data) {
+            let got = index.within_radius(&query, 1.0);
+            let dists: Vec<f64> = got.iter().map(|(d, _)| *d).collect();
+            assert_eq!(dists, vec![0.0, 1.0, 1.0], "boundary distances count as inside");
+            assert!(got[1].1.features < got[2].1.features, "ties sorted by ≺");
+        }
+    }
+
+    #[test]
+    fn queries_from_outside_the_bounding_box_are_exact() {
+        let data = sample_set();
+        let query = pt(9, 9, vec![100.0, -50.0]);
+        let expected = neighbors_by_distance(&query, &data);
+        for index in all_indexes(&data) {
+            let got = index.k_nearest(&query, 3);
+            for (g, e) in got.iter().zip(expected.iter()) {
+                assert_eq!(g.1.key, e.1.key);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_sets_are_handled() {
+        let empty = PointSet::new();
+        for index in all_indexes(&empty) {
+            assert!(index.is_empty());
+            assert_eq!(index.len(), 0);
+            assert!(index.k_nearest(&pt(1, 0, vec![0.0]), 3).is_empty());
+            assert!(index.within_radius(&pt(1, 0, vec![0.0]), 10.0).is_empty());
+        }
+        let single: PointSet = vec![pt(1, 0, vec![4.0])].into_iter().collect();
+        for index in all_indexes(&single) {
+            assert_eq!(index.len(), 1);
+            // The only point is the query itself: no neighbours.
+            assert!(index.k_nearest(&pt(1, 0, vec![4.0]), 2).is_empty());
+            let other = index.k_nearest(&pt(2, 0, vec![0.0]), 2);
+            assert_eq!(other.len(), 1);
+        }
+    }
+
+    #[test]
+    fn grid_cells_contain_their_points_despite_rounding_slivers() {
+        // Extents whose division by the cell count is inexact (thirds,
+        // sevenths) leave `extent / cells * cells < extent`: the data
+        // maximum then lies beyond the last cell's nominal edge and clamped
+        // assignments must still fall inside the (extended) cell box, or
+        // the box-distance prune would not be a lower bound.
+        for denom in [3.0f64, 7.0, 11.0] {
+            let data: PointSet = (0..49)
+                .map(|i| pt(i, 0, vec![i as f64 / denom, (48 - i) as f64 / denom]))
+                .collect();
+            let grid = GridIndex::build(&data);
+            for (flat, bucket) in grid.cells.iter().enumerate() {
+                // Recover the coordinates of this flat cell index.
+                let mut coords = vec![0usize; grid.dim];
+                let mut rest = flat;
+                for d in (0..grid.dim).rev() {
+                    coords[d] = rest % grid.cells_per_dim[d];
+                    rest /= grid.cells_per_dim[d];
+                }
+                for &i in bucket {
+                    let p = &grid.points[i as usize];
+                    for (d, &c) in coords.iter().enumerate() {
+                        let v = p.features[d];
+                        assert!(
+                            v >= grid.axis_lo(d, c) && v <= grid.axis_hi(d, c),
+                            "denom {denom}: point {v} escapes its cell box on axis {d}"
+                        );
+                    }
+                    assert_eq!(grid.cell_box_distance(&p.features, &coords), 0.0);
+                }
+            }
+            // And the queries stay exact, including from beyond the sliver.
+            let brute = BruteIndex::build(&data);
+            for q in
+                [pt(90, 0, vec![48.0 / denom, 48.0 / denom]), pt(91, 0, vec![100.0, -3.0 / denom])]
+            {
+                for k in [1, 4] {
+                    let expected = brute.k_nearest(&q, k);
+                    let got = grid.k_nearest(&q, k);
+                    assert_eq!(expected.len(), got.len());
+                    for (e, g) in expected.iter().zip(got.iter()) {
+                        assert_eq!(e.0.to_bits(), g.0.to_bits());
+                        assert_eq!(e.1.key, g.1.key);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_available_exactly_for_brute_backed_indexes() {
+        let data = sample_set();
+        assert!(AnyIndex::build(IndexStrategy::Brute, &data).snapshot().is_some());
+        assert!(AnyIndex::build(IndexStrategy::Auto, &data).snapshot().is_some());
+        assert!(AnyIndex::build(IndexStrategy::Grid, &data).snapshot().is_none());
+        assert!(AnyIndex::build(IndexStrategy::KdTree, &data).snapshot().is_none());
+        assert_eq!(
+            AnyIndex::build(IndexStrategy::Brute, &data).snapshot(),
+            Some(&data),
+            "the snapshot is the indexed data itself"
+        );
+    }
+
+    #[test]
+    fn identical_points_collapse_to_one_grid_cell() {
+        let data: PointSet = (0..10).map(|i| pt(i, 0, vec![7.0, 7.0])).collect();
+        let grid = GridIndex::build(&data);
+        let got = grid.k_nearest(&pt(0, 0, vec![7.0, 7.0]), 10);
+        assert_eq!(got.len(), 9);
+        assert!(got.iter().all(|(d, _)| *d == 0.0));
+    }
+
+    #[test]
+    fn to_point_set_round_trips() {
+        let data = sample_set();
+        for index in all_indexes(&data) {
+            assert_eq!(index.to_point_set(), data);
+        }
+    }
+
+    #[test]
+    fn auto_strategy_picks_by_size_and_uniformity() {
+        let small = sample_set();
+        assert!(matches!(AnyIndex::build(IndexStrategy::Auto, &small), AnyIndex::Brute(_)));
+        let big: PointSet =
+            (0..AUTO_BRUTE_THRESHOLD as u32 + 1).map(|i| pt(i, 0, vec![i as f64, 0.5])).collect();
+        assert!(matches!(AnyIndex::build(IndexStrategy::Auto, &big), AnyIndex::KdTree(_)));
+        let mixed: PointSet =
+            vec![pt(1, 0, vec![1.0]), pt(2, 0, vec![1.0, 2.0])].into_iter().collect();
+        assert!(matches!(AnyIndex::build(IndexStrategy::KdTree, &mixed), AnyIndex::Brute(_)));
+        assert_eq!(IndexStrategy::default(), IndexStrategy::Auto);
+    }
+}

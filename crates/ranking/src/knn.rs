@@ -26,6 +26,7 @@
 //! dominate any realistic feature distance; see [`MISSING_NEIGHBOR_PENALTY`].
 
 use crate::function::{neighbors_by_distance, RankingFunction};
+use crate::index::NeighborIndex;
 use wsn_data::{DataPoint, PointSet};
 
 /// Penalty distance charged for each missing neighbour when a point has
@@ -96,6 +97,17 @@ impl RankingFunction for KnnAverageDistance {
         }
         out
     }
+
+    fn rank_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> f64 {
+        let neighbors = index.k_nearest(x, self.k);
+        let missing = self.k - neighbors.len();
+        let sum: f64 = neighbors.iter().map(|(d, _)| *d).sum();
+        (sum + missing as f64 * MISSING_NEIGHBOR_PENALTY) / self.k as f64
+    }
+
+    fn support_set_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> PointSet {
+        index.k_nearest(x, self.k).into_iter().map(|(_, p)| p.clone()).collect()
+    }
 }
 
 /// Distance to the `k`-th nearest neighbour.
@@ -153,6 +165,21 @@ impl RankingFunction for KthNeighborDistance {
             out.insert((*p).clone());
         }
         out
+    }
+
+    fn rank_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> f64 {
+        let neighbors = index.k_nearest(x, self.k);
+        if neighbors.len() >= self.k {
+            neighbors[self.k - 1].0
+        } else {
+            let missing = self.k - neighbors.len();
+            let tail = neighbors.last().map(|(d, _)| *d).unwrap_or(0.0);
+            missing as f64 * MISSING_NEIGHBOR_PENALTY + tail
+        }
+    }
+
+    fn support_set_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> PointSet {
+        index.k_nearest(x, self.k).into_iter().map(|(_, p)| p.clone()).collect()
     }
 }
 

@@ -7,6 +7,7 @@
 //! evaluation.
 
 use crate::function::{neighbors_by_distance, RankingFunction};
+use crate::index::NeighborIndex;
 use wsn_data::{DataPoint, PointSet};
 
 /// Distance-to-nearest-neighbour ranking function.
@@ -37,6 +38,14 @@ impl RankingFunction for NnDistance {
             out.insert((*nn).clone());
         }
         out
+    }
+
+    fn rank_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> f64 {
+        index.k_nearest(x, 1).first().map(|(d, _)| *d).unwrap_or(f64::INFINITY)
+    }
+
+    fn support_set_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> PointSet {
+        index.k_nearest(x, 1).into_iter().map(|(_, nn)| nn.clone()).collect()
     }
 }
 

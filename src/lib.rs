@@ -114,7 +114,8 @@ pub mod prelude {
     pub use wsn_data::{DataPoint, Epoch, PointSet, SensorId, Timestamp};
     pub use wsn_netsim::{LossModel, NetworkStats, SimConfig, Simulator, Topology};
     pub use wsn_ranking::{
-        top_n_outliers, KnnAverageDistance, NnDistance, OutlierEstimate, RankingFunction,
+        top_n_outliers, top_n_outliers_indexed, AnyIndex, IndexStrategy, KnnAverageDistance,
+        NeighborIndex, NnDistance, OutlierEstimate, RankingFunction,
     };
 }
 

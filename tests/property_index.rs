@@ -1,0 +1,226 @@
+//! Property suite for the spatial neighbour-index subsystem: across 256
+//! seeded cases, the grid and k-d tree indexes must agree **exactly** — bit
+//! for bit — with the brute-force path on every query the ranking layer
+//! makes: raw `k`-nearest / in-radius lookups, ranks, support sets, top-`n`
+//! outlier estimates and sufficient sets, for the NN, average-k-NN, k-th-NN
+//! and inverse-count rankings.
+//!
+//! The datasets deliberately include duplicate feature values (drawn from a
+//! coarse lattice) so equal-distance ties are frequent and the `≺`
+//! tie-breaking of every index is exercised, not just its metric pruning.
+
+use in_network_outlier::detection::sufficient::{sufficient_set, sufficient_set_indexed};
+use in_network_outlier::prelude::*;
+use wsn_data::rng::SeededRng;
+use wsn_ranking::function::{support_of_set, support_of_set_indexed};
+use wsn_ranking::index::{AnyIndex, IndexStrategy, NeighborIndex};
+use wsn_ranking::{top_n_outliers_indexed, KthNeighborDistance, NeighborCountInverse};
+
+/// Fixed seed for the property loops.
+const SEED: u64 = 0x5EED_1DE8;
+/// Property cases per test.
+const CASES: usize = 256;
+
+fn point(sensor: u32, epoch: u64, features: Vec<f64>) -> DataPoint {
+    DataPoint::new(SensorId(sensor), Epoch(epoch), Timestamp::ZERO, features).unwrap()
+}
+
+/// A random dataset of `len` points in `dim` dimensions. Half the draws come
+/// from a coarse half-unit lattice (forcing duplicate coordinates and
+/// distance ties), the rest from a continuous range with occasional
+/// extremes.
+fn gen_dataset(rng: &mut SeededRng, len: usize, dim: usize) -> PointSet {
+    (0..len)
+        .map(|i| {
+            let features: Vec<f64> = (0..dim)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        (rng.gen_range(-8i64..8) as f64) * 0.5
+                    } else if rng.gen_bool(0.9) {
+                        rng.gen_range(-10.0..10.0)
+                    } else {
+                        rng.gen_range(-200.0..200.0)
+                    }
+                })
+                .collect();
+            point((i % 7) as u32, i as u64, features)
+        })
+        .collect()
+}
+
+/// Query points: every member of the dataset plus a few external points
+/// (inside and far outside the bounding box).
+fn gen_queries(rng: &mut SeededRng, data: &PointSet, dim: usize) -> Vec<DataPoint> {
+    let mut queries: Vec<DataPoint> = data.iter().cloned().collect();
+    for e in 0..3 {
+        let features: Vec<f64> = (0..dim)
+            .map(|_| {
+                if rng.gen_bool(0.7) {
+                    rng.gen_range(-10.0..10.0)
+                } else {
+                    rng.gen_range(-500.0..500.0)
+                }
+            })
+            .collect();
+        queries.push(point(90, e, features));
+    }
+    queries
+}
+
+fn structured_indexes(data: &PointSet) -> Vec<(&'static str, AnyIndex)> {
+    vec![
+        ("grid", AnyIndex::build(IndexStrategy::Grid, data)),
+        ("kd", AnyIndex::build(IndexStrategy::KdTree, data)),
+    ]
+}
+
+/// Asserts two `(distance, point)` candidate lists are identical, down to
+/// the distance bit patterns.
+fn assert_same_candidates(
+    expected: &[(f64, &DataPoint)],
+    got: &[(f64, &DataPoint)],
+    context: &str,
+) {
+    assert_eq!(expected.len(), got.len(), "candidate count differs: {context}");
+    for (i, (e, g)) in expected.iter().zip(got.iter()).enumerate() {
+        assert_eq!(e.0.to_bits(), g.0.to_bits(), "distance #{i} differs: {context}");
+        assert_eq!(e.1.key, g.1.key, "neighbour #{i} differs: {context}");
+        assert_eq!(e.1.hop, g.1.hop, "hop of neighbour #{i} differs: {context}");
+    }
+}
+
+/// Raw index queries (`k_nearest`, `within_radius`) agree with brute force
+/// for every strategy, query point, `k` and radius.
+#[test]
+fn index_queries_match_brute_force() {
+    let mut rng = SeededRng::seed_from_u64(SEED);
+    for case in 0..CASES {
+        let dim = rng.gen_range(1usize..4);
+        let len = rng.gen_range(1usize..70);
+        let data = gen_dataset(&mut rng, len, dim);
+        let queries = gen_queries(&mut rng, &data, dim);
+        let k = rng.gen_range(1usize..7);
+        let radius = rng.gen_range(0.0..12.0);
+        let brute = AnyIndex::build(IndexStrategy::Brute, &data);
+        for (label, index) in structured_indexes(&data) {
+            assert_eq!(index.len(), data.len());
+            for (qi, x) in queries.iter().enumerate() {
+                let context =
+                    format!("case {case} (seed {SEED:#x}) {label}, dim={dim}, len={len}, q#{qi}");
+                assert_same_candidates(
+                    &brute.k_nearest(x, k),
+                    &index.k_nearest(x, k),
+                    &format!("k_nearest k={k}, {context}"),
+                );
+                assert_same_candidates(
+                    &brute.within_radius(x, radius),
+                    &index.within_radius(x, radius),
+                    &format!("within_radius r={radius}, {context}"),
+                );
+            }
+        }
+    }
+}
+
+/// Ranks and support sets computed through any index equal the plain
+/// (unindexed) computation for every shipped ranking function.
+#[test]
+fn indexed_ranks_and_support_sets_match_plain_computation() {
+    let mut rng = SeededRng::seed_from_u64(SEED ^ 1);
+    for case in 0..CASES {
+        let dim = rng.gen_range(1usize..4);
+        let len = rng.gen_range(1usize..50);
+        let data = gen_dataset(&mut rng, len, dim);
+        let queries = gen_queries(&mut rng, &data, dim);
+        let k = rng.gen_range(1usize..6);
+        let alpha = rng.gen_range(0.1..10.0);
+        let rankings: Vec<Box<dyn RankingFunction>> = vec![
+            Box::new(NnDistance),
+            Box::new(KnnAverageDistance::new(k)),
+            Box::new(KthNeighborDistance::new(k)),
+            Box::new(NeighborCountInverse::new(alpha)),
+        ];
+        for (label, index) in structured_indexes(&data) {
+            for ranking in &rankings {
+                for x in &queries {
+                    let context = format!(
+                        "case {case} (seed {SEED:#x}) {label}/{}, dim={dim}, len={len}, k={k}",
+                        ranking.name()
+                    );
+                    let plain = ranking.rank(x, &data);
+                    let indexed = ranking.rank_indexed(x, &index);
+                    assert_eq!(plain.to_bits(), indexed.to_bits(), "rank differs: {context}");
+                    let plain_support = ranking.support_set(x, &data);
+                    let indexed_support = ranking.support_set_indexed(x, &index);
+                    assert_eq!(plain_support, indexed_support, "support set differs: {context}");
+                }
+            }
+        }
+    }
+}
+
+/// `top_n_outliers`, `support_of_set` and `sufficient_set` — the protocol's
+/// three consumers — produce identical results through every index strategy,
+/// for both the NN and KNN rankings the paper evaluates.
+#[test]
+fn protocol_kernels_are_identical_across_index_strategies() {
+    let mut rng = SeededRng::seed_from_u64(SEED ^ 2);
+    for case in 0..CASES {
+        let dim = rng.gen_range(1usize..3);
+        let len = rng.gen_range(2usize..40);
+        let data = gen_dataset(&mut rng, len, dim);
+        let n = rng.gen_range(1usize..5);
+        let k = rng.gen_range(1usize..5);
+        // The neighbour already shares a random subset of the data.
+        let known: PointSet = data.iter().filter(|_| rng.gen_bool(0.4)).cloned().collect();
+        let rankings: Vec<Box<dyn RankingFunction>> =
+            vec![Box::new(NnDistance), Box::new(KnnAverageDistance::new(k))];
+        let brute = AnyIndex::build(IndexStrategy::Brute, &data);
+        for ranking in &rankings {
+            let ranking = ranking.as_ref();
+            let context = || {
+                format!(
+                    "case {case} (seed {SEED:#x}) {}, dim={dim}, len={len}, n={n}, k={k}",
+                    ranking.name()
+                )
+            };
+            let reference_estimate = top_n_outliers_indexed(ranking, n, &data, &brute);
+            let reference_support =
+                support_of_set(ranking, &data, &reference_estimate.to_point_set());
+            let reference_sufficient = sufficient_set_indexed(ranking, n, &data, &brute, &known);
+            // The public auto-strategy entry points agree with the explicit
+            // brute baseline.
+            assert_eq!(
+                top_n_outliers(ranking, n, &data).ranked(),
+                reference_estimate.ranked(),
+                "auto top-n differs from brute: {}",
+                context()
+            );
+            assert_eq!(
+                sufficient_set(ranking, n, &data, &known),
+                reference_sufficient,
+                "auto sufficient set differs from brute: {}",
+                context()
+            );
+            for (label, index) in structured_indexes(&data) {
+                let estimate = top_n_outliers_indexed(ranking, n, &data, &index);
+                assert_eq!(
+                    estimate.ranked(),
+                    reference_estimate.ranked(),
+                    "{label} top-n estimate differs: {}",
+                    context()
+                );
+                let support =
+                    support_of_set_indexed(ranking, &index, &reference_estimate.to_point_set());
+                assert_eq!(support, reference_support, "{label} support differs: {}", context());
+                let sufficient = sufficient_set_indexed(ranking, n, &data, &index, &known);
+                assert_eq!(
+                    sufficient,
+                    reference_sufficient,
+                    "{label} sufficient set differs: {}",
+                    context()
+                );
+            }
+        }
+    }
+}
