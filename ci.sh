@@ -37,4 +37,14 @@ cargo run --release --offline -p wsn-bench --bin fig4_global_energy_vs_window --
 cargo run --release --offline -p wsn-bench --bin json_check -- \
     results/fig4_global_energy_vs_window.json
 
+# Simulation-bench smoke: run one quick group with a tiny measurement budget
+# and gate its JSON through json_check (non-empty groups, finite medians).
+# WSN_BENCH_OUT redirects the output so the committed full-run
+# BENCH_simulation_bench.json is never overwritten by the smoke numbers.
+echo "== simulation_bench smoke (fig4 group) =="
+rm -f target/bench_smoke.json
+WSN_BENCH_WARMUP_MS=1 WSN_BENCH_MEASURE_MS=25 WSN_BENCH_OUT="$PWD/target/bench_smoke.json" \
+    cargo bench --offline -p wsn-bench --bench simulation_bench -- fig4_global_vs_centralized
+cargo run --release --offline -p wsn-bench --bin json_check -- target/bench_smoke.json
+
 echo "CI OK"

@@ -4,6 +4,14 @@
 //! its wall-clock cost over time. The full-scale sweeps that print the actual
 //! figures live in the `fig*` binaries of this crate. Runs on the std-only
 //! harness in `wsn_bench::harness` and writes `BENCH_simulation_bench.json`.
+//!
+//! Besides the per-figure groups, the `scaling` group runs full-size
+//! deployments — the paper's 53 sensors and a 200-sensor stretch of the same
+//! lab terrain — through short end-to-end experiments: the centralized
+//! baseline at both sizes (the netsim event loop, AODV routing funnel and
+//! the sink's incrementally maintained union are the hot paths there), plus
+//! one 53-sensor run of the distributed Global-NN detector, the cost that
+//! dominates the full figure sweeps.
 
 use std::hint::black_box;
 
@@ -89,11 +97,39 @@ fn bench_fig9_n_scaling(h: &mut Harness) {
     }
 }
 
+/// A full-size experiment on the paper's lab terrain at its 6.77 m radio
+/// range: `count` sensors, a short trace so one iteration stays benchable.
+fn full_scale(algorithm: AlgorithmConfig, count: usize, rounds: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        sensor_count: count,
+        trace: SyntheticTraceConfig { rounds, ..Default::default() },
+        window_samples: 10,
+        n: 4,
+        ..Default::default()
+    }
+    .with_algorithm(algorithm)
+}
+
+fn bench_scaling(h: &mut Harness) {
+    for &count in &[53usize, 200] {
+        let config =
+            full_scale(AlgorithmConfig::Centralized { ranking: RankingChoice::Nn }, count, 3);
+        h.bench("scaling", &format!("centralized/{count}"), || {
+            black_box(run_experiment(black_box(&config)).expect("benchmark experiment failed"));
+        });
+    }
+    let config = full_scale(AlgorithmConfig::Global { ranking: RankingChoice::Nn }, 53, 2);
+    h.bench("scaling", "global_nn/53", || {
+        black_box(run_experiment(black_box(&config)).expect("benchmark experiment failed"));
+    });
+}
+
 fn main() {
     let mut h = Harness::from_args("simulation_bench");
     bench_fig4_point(&mut h);
     bench_fig5_window_scaling(&mut h);
     bench_fig7_8_semiglobal_epsilon(&mut h);
     bench_fig9_n_scaling(&mut h);
+    bench_scaling(&mut h);
     h.finish();
 }

@@ -2,9 +2,12 @@
 //!
 //! Parses the file with the in-repo JSON parser (`wsn_bench::json`) and
 //! requires the document to be an object carrying a non-empty `rows` (figure
-//! reports) or `results` (benchmark suites) array. Exits non-zero on any
-//! violation, so `ci.sh` can gate on the figure binaries actually producing
-//! usable output rather than just exiting zero.
+//! reports) or `results` (benchmark suites) array. Benchmark entries are
+//! additionally required to carry a non-empty `group` and a finite, positive
+//! `median_ns` — a bench run that produced NaN/infinite timings or lost its
+//! group labels is as useless as an empty one. Exits non-zero on any
+//! violation, so `ci.sh` can gate on the figure and benchmark binaries
+//! actually producing usable output rather than just exiting zero.
 
 use std::process::ExitCode;
 
@@ -25,6 +28,26 @@ fn check(path: &str) -> Result<String, String> {
         data.as_array().ok_or_else(|| format!("{path}: \"rows\"/\"results\" is not an array"))?;
     if entries.is_empty() {
         return Err(format!("{path}: \"rows\"/\"results\" array is empty"));
+    }
+    // Benchmark-suite entries (the `results` shape) carry group labels and
+    // median timings; validate both.
+    if value.get("results").is_some() {
+        for (index, entry) in entries.iter().enumerate() {
+            let group = entry.get("group").and_then(|g| g.as_str()).unwrap_or("");
+            if group.is_empty() {
+                return Err(format!("{path}: results[{index}] has an empty or missing group"));
+            }
+            let median = entry
+                .get("median_ns")
+                .and_then(|m| m.as_f64())
+                .ok_or_else(|| format!("{path}: results[{index}] has no median_ns"))?;
+            if !median.is_finite() || median <= 0.0 {
+                return Err(format!(
+                    "{path}: results[{index}] ({group}) has a non-finite or non-positive \
+                     median_ns ({median})"
+                ));
+            }
+        }
     }
     Ok(format!("{path}: valid JSON, {} entries, {} bytes", entries.len(), text.len()))
 }

@@ -210,9 +210,12 @@ impl Harness {
     }
 
     /// Prints the summary footer and writes `BENCH_<suite>.json` into the
-    /// current directory. Call this once at the end of `main`.
+    /// current directory — or to the path in the `WSN_BENCH_OUT` environment
+    /// variable, which smoke runs (see `ci.sh`) use to keep the committed
+    /// benchmark JSON untouched. Call this once at the end of `main`.
     pub fn finish(self) {
-        let path = format!("BENCH_{}.json", self.suite);
+        let path =
+            std::env::var("WSN_BENCH_OUT").unwrap_or_else(|_| format!("BENCH_{}.json", self.suite));
         match std::fs::write(&path, self.to_json()) {
             Ok(()) => println!("\n{} benchmarks -> {path}", self.results.len()),
             Err(e) => eprintln!("\nfailed to write {path}: {e}"),

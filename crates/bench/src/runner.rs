@@ -4,12 +4,27 @@
 //! [`n_sweep_report`] followed by [`emit`]: run every (algorithm, swept
 //! value) pair of the figure, averaged over the scenario's seeds, collect the
 //! rows, print the table, and persist the JSON next to it under `results/`.
+//!
+//! Both sweeps submit **every** `(algorithm, swept value, seed)` cell to the
+//! shared worker pool ([`crate::pool::global`]) before collecting the first
+//! result, so the whole grid shards across the machine at a bounded
+//! concurrency; the rows are still collected (and printed) in sweep order,
+//! which keeps the emitted report deterministic.
+//!
+//! Error semantics: configurations are validated cheaply up front (so a
+//! typo'd sweep fails before any simulation starts), but a cell that fails
+//! *at run time* only surfaces when its turn comes in collection order —
+//! and cells already submitted behind it still run to completion on the
+//! shared pool after the error is returned. The figure binaries `expect()`
+//! the report and exit, so this only matters to library callers that keep
+//! the process alive.
 
 use std::path::PathBuf;
 
 use crate::paper::PaperScenario;
 use crate::report::{FigureReport, SeriesRow};
-use crate::sweep::run_averaged;
+use crate::sweep::{submit_averaged, PendingAverage};
+use crate::{pool, AveragedOutcome};
 use wsn_core::experiment::AlgorithmConfig;
 use wsn_core::CoreError;
 
@@ -38,19 +53,13 @@ pub fn window_sweep_report(
     n: usize,
 ) -> Result<FigureReport, CoreError> {
     let mut report = FigureReport::new(figure, configuration, "w");
-    for &w in &scenario.window_sweep() {
-        for &algorithm in algorithms {
-            let config = scenario.config(algorithm, w, n);
-            let outcome = run_averaged(&config, scenario.seeds())?;
-            eprintln!(
-                "  [{figure}] {} w={w}: tx/round={:.4} J rx/round={:.4} J accuracy={:.3}",
-                outcome.label,
-                outcome.avg_tx_per_node_per_round,
-                outcome.avg_rx_per_node_per_round,
-                outcome.accuracy
-            );
-            report.push(SeriesRow::from_outcome(w as f64, &outcome));
-        }
+    let grid = sweep_grid(&scenario, &scenario.window_sweep(), algorithms, |algorithm, w| {
+        scenario.config(algorithm, w, n)
+    })?;
+    for (w, pending) in grid {
+        let outcome = pending.collect()?;
+        log_outcome(figure, "w", w, &outcome);
+        report.push(SeriesRow::from_outcome(w as f64, &outcome));
     }
     Ok(report)
 }
@@ -69,21 +78,48 @@ pub fn n_sweep_report(
     w: u64,
 ) -> Result<FigureReport, CoreError> {
     let mut report = FigureReport::new(figure, configuration, "n");
-    for &n in &scenario.n_sweep() {
-        for &algorithm in algorithms {
-            let config = scenario.config(algorithm, w, n);
-            let outcome = run_averaged(&config, scenario.seeds())?;
-            eprintln!(
-                "  [{figure}] {} n={n}: tx/round={:.4} J rx/round={:.4} J accuracy={:.3}",
-                outcome.label,
-                outcome.avg_tx_per_node_per_round,
-                outcome.avg_rx_per_node_per_round,
-                outcome.accuracy
-            );
-            report.push(SeriesRow::from_outcome(n as f64, &outcome));
-        }
+    let grid = sweep_grid(&scenario, &scenario.n_sweep(), algorithms, |algorithm, n| {
+        scenario.config(algorithm, w, n)
+    })?;
+    for (n, pending) in grid {
+        let outcome = pending.collect()?;
+        log_outcome(figure, "n", n, &outcome);
+        report.push(SeriesRow::from_outcome(n as f64, &outcome));
     }
     Ok(report)
+}
+
+/// Submits every `(swept value, algorithm)` cell of a sweep to the shared
+/// pool up front, returning the pending cells in sweep order. Every
+/// configuration is validated before the first cell is submitted, so an
+/// invalid sweep fails without queuing any simulation.
+fn sweep_grid<V: Copy + std::fmt::Display>(
+    scenario: &PaperScenario,
+    values: &[V],
+    algorithms: &[AlgorithmConfig],
+    config_for: impl Fn(AlgorithmConfig, V) -> wsn_core::experiment::ExperimentConfig,
+) -> Result<Vec<(V, PendingAverage)>, CoreError> {
+    let pool = pool::global();
+    let mut configs: Vec<(V, wsn_core::experiment::ExperimentConfig)> =
+        Vec::with_capacity(values.len() * algorithms.len());
+    for &value in values {
+        for &algorithm in algorithms {
+            let config = config_for(algorithm, value);
+            config.validate()?;
+            configs.push((value, config));
+        }
+    }
+    Ok(configs
+        .into_iter()
+        .map(|(value, config)| (value, submit_averaged(pool, &config, scenario.seeds())))
+        .collect())
+}
+
+fn log_outcome(figure: &str, axis: &str, value: impl std::fmt::Display, out: &AveragedOutcome) {
+    eprintln!(
+        "  [{figure}] {} {axis}={value}: tx/round={:.4} J rx/round={:.4} J accuracy={:.3}",
+        out.label, out.avg_tx_per_node_per_round, out.avg_rx_per_node_per_round, out.accuracy
+    );
 }
 
 /// Prints the report in the requested style and writes its JSON form to
@@ -110,6 +146,7 @@ pub fn emit(report: &FigureReport, stem: &str, style: TableStyle) {
 mod tests {
     use super::*;
     use crate::paper::{centralized, global_nn};
+    use crate::sweep::run_averaged;
 
     /// A miniature end-to-end sweep: one window value, two algorithms, a
     /// scenario shrunk far below even `Quick` so the test stays fast.

@@ -2,11 +2,20 @@
 //!
 //! The paper repeats every simulation four times with different random seeds
 //! and plots the averages. [`run_averaged`] does the same: it runs one
-//! [`ExperimentConfig`] under several seeds — in parallel, one thread per
-//! seed — and aggregates the per-node energy and accuracy metrics into an
-//! [`AveragedOutcome`].
+//! [`ExperimentConfig`] under several seeds — in parallel, on the shared
+//! [`crate::pool`] worker pool — and aggregates the per-node energy and
+//! accuracy metrics into an [`AveragedOutcome`].
+//!
+//! For whole sweep grids, [`submit_averaged`] splits submission from
+//! collection: a figure binary submits every `(configuration, seed)` cell
+//! up front and collects the [`PendingAverage`]s in order, so the pool keeps
+//! every core busy across cell boundaries while the output stays in
+//! deterministic sweep order. Seed results are always aggregated in
+//! ascending seed order, which makes the pooled path bit-identical to
+//! [`run_averaged_sequential`] (there is a test for that).
 
-use wsn_core::experiment::{run_experiment, ExperimentConfig};
+use crate::pool::{self, JobHandle, WorkerPool};
+use wsn_core::experiment::{run_experiment, ExperimentConfig, ExperimentOutcome};
 use wsn_core::CoreError;
 use wsn_netsim::stats::MinAvgMax;
 
@@ -59,52 +68,35 @@ impl AveragedOutcome {
     }
 }
 
-/// Runs `config` once per seed in `0..seeds` (offsetting both the simulation
-/// and trace seeds) and averages the results.
-///
-/// The runs are independent, so they execute on separate threads; the paper's
-/// four repetitions therefore cost roughly one.
-///
-/// # Errors
-///
-/// Returns the first error any run produced (invalid configuration,
-/// disconnected deployment, trace-generation failure).
-pub fn run_averaged(config: &ExperimentConfig, seeds: u64) -> Result<AveragedOutcome, CoreError> {
+/// The per-seed configurations of one averaged cell: seed `s` offsets both
+/// the simulation and the trace seed by `s`.
+fn seed_configs(config: &ExperimentConfig, seeds: u64) -> Vec<ExperimentConfig> {
     assert!(seeds > 0, "at least one seed is required");
-    let configs: Vec<ExperimentConfig> = (0..seeds)
+    (0..seeds)
         .map(|s| {
             let mut c = config.clone();
             c.sim_seed = config.sim_seed + s;
             c.trace_seed = config.trace_seed + s;
             c
         })
-        .collect();
+        .collect()
+}
 
-    let outcomes: Vec<Result<wsn_core::experiment::ExperimentOutcome, CoreError>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                configs.iter().map(|c| scope.spawn(move || run_experiment(c))).collect();
-            handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
-        });
-
-    let mut runs = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
-        runs.push(outcome?);
-    }
-
+/// Averages the per-seed outcomes (in ascending seed order) into one
+/// [`AveragedOutcome`]. Shared by the pooled and the sequential path, so the
+/// two are arithmetic-for-arithmetic identical.
+fn aggregate(runs: &[ExperimentOutcome]) -> AveragedOutcome {
     let count = runs.len() as f64;
-    let mean = |f: &dyn Fn(&wsn_core::experiment::ExperimentOutcome) -> f64| {
-        runs.iter().map(f).sum::<f64>() / count
-    };
+    let mean = |f: &dyn Fn(&ExperimentOutcome) -> f64| runs.iter().map(f).sum::<f64>() / count;
     let total_energy = MinAvgMax {
         min: mean(&|r| r.total_energy_summary().min),
         avg: mean(&|r| r.total_energy_summary().avg),
         max: mean(&|r| r.total_energy_summary().max),
     };
 
-    Ok(AveragedOutcome {
+    AveragedOutcome {
         label: runs[0].label.clone(),
-        seeds,
+        seeds: runs.len() as u64,
         avg_tx_per_node_per_round: mean(&|r| r.avg_tx_energy_per_node_per_round()),
         avg_rx_per_node_per_round: mean(&|r| r.avg_rx_energy_per_node_per_round()),
         total_energy,
@@ -115,7 +107,84 @@ pub fn run_averaged(config: &ExperimentConfig, seeds: u64) -> Result<AveragedOut
         avg_data_points_sent: mean(&|r| r.data_points_sent as f64),
         avg_packets_sent: mean(&|r| r.stats.total_packets_sent() as f64),
         avg_traffic_imbalance: mean(&|r| r.stats.traffic_imbalance()),
-    })
+    }
+}
+
+/// One averaged cell whose per-seed simulations are in flight on a
+/// [`WorkerPool`]. Obtain it from [`submit_averaged`], redeem it with
+/// [`PendingAverage::collect`].
+#[must_use = "collect() the pending average to obtain the outcome"]
+pub struct PendingAverage {
+    handles: Vec<JobHandle<Result<ExperimentOutcome, CoreError>>>,
+}
+
+impl PendingAverage {
+    /// Blocks until every seed of the cell finished and aggregates the
+    /// results (in ascending seed order, independent of completion order).
+    ///
+    /// Every handle is joined before the first error is returned, so a panic
+    /// in any seed's job always resurfaces here (matching the old
+    /// thread-per-seed join semantics) instead of being silently dropped
+    /// behind an earlier seed's error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-seed) error any run produced.
+    pub fn collect(self) -> Result<AveragedOutcome, CoreError> {
+        let results: Vec<Result<ExperimentOutcome, CoreError>> =
+            self.handles.into_iter().map(JobHandle::join).collect();
+        let mut runs = Vec::with_capacity(results.len());
+        for result in results {
+            runs.push(result?);
+        }
+        Ok(aggregate(&runs))
+    }
+}
+
+/// Submits one configuration's `seeds` runs to `pool` without waiting for
+/// them. Figure binaries use this to keep the whole sweep grid in flight on
+/// the one shared pool; call [`PendingAverage::collect`] in sweep order to
+/// read the results back deterministically.
+pub fn submit_averaged(pool: &WorkerPool, config: &ExperimentConfig, seeds: u64) -> PendingAverage {
+    let handles = seed_configs(config, seeds)
+        .into_iter()
+        .map(|c| pool.submit(move || run_experiment(&c)))
+        .collect();
+    PendingAverage { handles }
+}
+
+/// Runs `config` once per seed in `0..seeds` (offsetting both the simulation
+/// and trace seeds) and averages the results.
+///
+/// The runs are independent, so they execute on the shared worker pool
+/// ([`pool::global`]); the paper's four repetitions therefore cost roughly
+/// one, and concurrency stays bounded by the pool size no matter how many
+/// seeds (or concurrent sweeps) are requested.
+///
+/// # Errors
+///
+/// Returns the first error any run produced (invalid configuration,
+/// disconnected deployment, trace-generation failure).
+pub fn run_averaged(config: &ExperimentConfig, seeds: u64) -> Result<AveragedOutcome, CoreError> {
+    submit_averaged(pool::global(), config, seeds).collect()
+}
+
+/// The sequential reference implementation of [`run_averaged`]: same seeds,
+/// same aggregation, no pool. Exists so tests (and suspicious readers) can
+/// prove the pooled path changes nothing but wall-clock time.
+///
+/// # Errors
+///
+/// Returns the first error any run produced.
+pub fn run_averaged_sequential(
+    config: &ExperimentConfig,
+    seeds: u64,
+) -> Result<AveragedOutcome, CoreError> {
+    let mut runs = Vec::with_capacity(seeds as usize);
+    for c in seed_configs(config, seeds) {
+        runs.push(run_experiment(&c)?);
+    }
+    Ok(aggregate(&runs))
 }
 
 #[cfg(test)]
@@ -154,6 +223,35 @@ mod tests {
         assert!(averaged.normalized_energy().avg == 1.0);
         assert!(averaged.avg_total_per_node_per_round(4) > 0.0);
         assert_eq!(averaged.avg_total_per_node_per_round(0), 0.0);
+    }
+
+    #[test]
+    fn pooled_averaging_is_bit_identical_to_sequential() {
+        // Same seeds, same aggregation order: every field — including the
+        // floating-point energy averages — must match bit for bit.
+        for algorithm in [
+            AlgorithmConfig::Global { ranking: RankingChoice::Nn },
+            AlgorithmConfig::SemiGlobal { ranking: RankingChoice::Nn, hop_diameter: 2 },
+            AlgorithmConfig::Centralized { ranking: RankingChoice::Nn },
+        ] {
+            let config = tiny().with_algorithm(algorithm);
+            let pooled = run_averaged(&config, 3).unwrap();
+            let sequential = run_averaged_sequential(&config, 3).unwrap();
+            assert_eq!(pooled, sequential, "pool sharding changed a {} outcome", pooled.label);
+        }
+    }
+
+    #[test]
+    fn submitted_cells_collect_in_submission_order() {
+        let pool = crate::pool::WorkerPool::new(2);
+        let small = tiny();
+        let big = tiny().with_n(3);
+        let pending: Vec<PendingAverage> =
+            vec![submit_averaged(&pool, &small, 2), submit_averaged(&pool, &big, 2)];
+        let outcomes: Vec<AveragedOutcome> =
+            pending.into_iter().map(|p| p.collect().unwrap()).collect();
+        assert_eq!(outcomes[0], run_averaged_sequential(&small, 2).unwrap());
+        assert_eq!(outcomes[1], run_averaged_sequential(&big, 2).unwrap());
     }
 
     #[test]

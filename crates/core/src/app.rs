@@ -15,7 +15,7 @@ use crate::detector::OutlierDetector;
 use crate::message::OutlierBroadcast;
 use wsn_data::stream::SensorStream;
 use wsn_data::{SensorId, Timestamp};
-use wsn_netsim::sim::{Application, NodeContext, TimerId};
+use wsn_netsim::sim::{Application, BatchTimerEntry, NodeContext, Simulator, TimerId};
 
 /// Sampling schedule shared by every node of an experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +50,64 @@ impl SamplingSchedule {
         Timestamp::from_secs_f64(round as f64 * self.sample_interval_secs)
             .advanced_by_micros(offset_micros)
     }
+
+    /// One round's sampling fan-out as a sorted timer batch: every node of
+    /// `ids` sampled at its staggered time, with the timer id encoding the
+    /// round number.
+    pub fn round_batch(&self, round: usize, ids: &[SensorId]) -> Vec<BatchTimerEntry> {
+        let mut entries: Vec<BatchTimerEntry> =
+            ids.iter().map(|&id| (self.sample_time(round, id), id, round as TimerId)).collect();
+        entries.sort_by_key(|&(time, id, _)| (time, id));
+        entries
+    }
+}
+
+/// A [`SamplingSchedule`]-driven application that can hand its sampling
+/// timers over to a centrally installed batch schedule (see
+/// [`install_sampling`]). Until told otherwise, implementors self-schedule
+/// their timers, so a plain [`Simulator::new`] still samples correctly.
+pub trait ScheduleDriven {
+    /// Tells the application its sampling timers are installed centrally:
+    /// it must stop scheduling its own.
+    fn sampling_installed(&mut self);
+}
+
+/// Installs the sampling schedule for every node of `sim` as **one batched
+/// queue entry per round** (see
+/// [`Simulator::schedule_timer_batch`]), and switches every application off
+/// its self-scheduling fallback: the event heap then carries one entry per
+/// round fan-out instead of one per node × round. Call this once, right
+/// after building the simulator, for any application driven by a
+/// [`SamplingSchedule`] ([`DetectorApp`] and
+/// [`crate::centralized::CentralizedApp`]) — or use
+/// [`simulator_with_sampling`], which does both steps.
+pub fn install_sampling<A: Application + ScheduleDriven>(
+    sim: &mut Simulator<A>,
+    schedule: &SamplingSchedule,
+) {
+    for (_, app) in sim.apps_mut() {
+        app.sampling_installed();
+    }
+    let ids = sim.topology().sensor_ids();
+    for round in 0..schedule.rounds {
+        sim.schedule_timer_batch(schedule.round_batch(round, &ids));
+    }
+}
+
+/// Builds a simulator **and** installs its batched sampling schedule in one
+/// step — the constructor every schedule-driven deployment should use.
+/// (A plain [`Simulator::new`] without [`install_sampling`] still works —
+/// the applications fall back to scheduling their own timers, at one queue
+/// entry per node × round.)
+pub fn simulator_with_sampling<A: Application + ScheduleDriven>(
+    config: wsn_netsim::sim::SimConfig,
+    topology: wsn_netsim::topology::Topology,
+    schedule: &SamplingSchedule,
+    make_app: impl FnMut(SensorId) -> A,
+) -> Simulator<A> {
+    let mut sim = Simulator::new(config, topology, make_app);
+    install_sampling(&mut sim, schedule);
+    sim
 }
 
 /// A simulator application running one distributed detector plus its data
@@ -59,6 +117,9 @@ pub struct DetectorApp<D> {
     detector: D,
     stream: SensorStream,
     schedule: SamplingSchedule,
+    /// `true` once [`install_sampling`] took over the sampling timers;
+    /// until then the app self-schedules them (the safe fallback).
+    batch_sampling: bool,
     packets_broadcast: u64,
     events_handled: u64,
 }
@@ -66,12 +127,25 @@ pub struct DetectorApp<D> {
 impl<D: OutlierDetector> DetectorApp<D> {
     /// Creates the application for one node.
     pub fn new(detector: D, stream: SensorStream, schedule: SamplingSchedule) -> Self {
-        DetectorApp { detector, stream, schedule, packets_broadcast: 0, events_handled: 0 }
+        DetectorApp {
+            detector,
+            stream,
+            schedule,
+            batch_sampling: false,
+            packets_broadcast: 0,
+            events_handled: 0,
+        }
     }
 
     /// The wrapped detector (for reading estimates and counters).
     pub fn detector(&self) -> &D {
         &self.detector
+    }
+
+    /// The sampling schedule this node runs under (install it on the
+    /// simulator with [`install_sampling`]).
+    pub fn schedule(&self) -> SamplingSchedule {
+        self.schedule
     }
 
     /// Number of protocol packets this node has broadcast.
@@ -102,9 +176,15 @@ impl<D: OutlierDetector> DetectorApp<D> {
         }
         self.react(ctx);
         let next = round + 1;
-        if next < self.schedule.rounds {
+        if !self.batch_sampling && next < self.schedule.rounds {
             ctx.set_timer_after_secs(self.schedule.sample_interval_secs, next as TimerId);
         }
+    }
+}
+
+impl<D: OutlierDetector> ScheduleDriven for DetectorApp<D> {
+    fn sampling_installed(&mut self) {
+        self.batch_sampling = true;
     }
 }
 
@@ -112,8 +192,14 @@ impl<D: OutlierDetector> Application for DetectorApp<D> {
     type Message = OutlierBroadcast;
 
     fn on_start(&mut self, ctx: &mut NodeContext<Self::Message>) {
-        // Stagger the first sample slightly per node, then sample every
-        // interval. Timer ids encode the round number.
+        // With [`install_sampling`], the sampling timers arrive as one
+        // batched queue entry per round (timer ids encode the round number)
+        // and there is nothing to schedule per node. Without it, fall back
+        // to the self-scheduled first sample so a plain `Simulator::new`
+        // never silently runs zero rounds.
+        if self.batch_sampling {
+            return;
+        }
         let first = self.schedule.sample_time(0, ctx.id());
         let delay = first.saturating_since(ctx.now());
         ctx.set_timer_after_micros(delay, 0);
@@ -164,7 +250,7 @@ mod tests {
         let topo = Topology::from_specs(&specs, 6.0);
         let schedule = SamplingSchedule::new(10.0, rounds);
         let window = WindowConfig::from_samples(rounds as u64 + 5, 10.0).unwrap();
-        Simulator::new(SimConfig::default(), topo, |id| {
+        let sim = simulator_with_sampling(SimConfig::default(), topo, &schedule, |id| {
             let spec = specs.iter().find(|s| s.id == id).copied().unwrap();
             let mut stream = SensorStream::new(spec);
             for r in 0..rounds {
@@ -177,7 +263,8 @@ mod tests {
                 stream.readings.push(SensorReading::present(Epoch(r as u64), ts, value));
             }
             DetectorApp::new(GlobalNode::new(id, NnDistance, 1, window), stream, schedule)
-        })
+        });
+        sim
     }
 
     #[test]
@@ -202,6 +289,34 @@ mod tests {
                 -100.0,
                 "node {id} did not converge on the injected outlier"
             );
+        }
+    }
+
+    #[test]
+    fn a_simulator_without_install_sampling_still_samples() {
+        // The self-scheduling fallback: a plain `Simulator::new` (no
+        // install_sampling) must never silently run zero rounds.
+        let specs: Vec<SensorSpec> = (0..2)
+            .map(|i| SensorSpec::new(SensorId(i), Position::new(i as f64 * 5.0, 0.0)))
+            .collect();
+        let topo = Topology::from_specs(&specs, 6.0);
+        let schedule = SamplingSchedule::new(10.0, 3);
+        let window = WindowConfig::from_samples(8, 10.0).unwrap();
+        let mut sim = Simulator::new(SimConfig::default(), topo, |id| {
+            let spec = specs.iter().find(|s| s.id == id).copied().unwrap();
+            let mut stream = SensorStream::new(spec);
+            for r in 0..3u64 {
+                stream.readings.push(SensorReading::present(
+                    Epoch(r),
+                    Timestamp::from_secs(r * 10),
+                    20.0 + id.raw() as f64,
+                ));
+            }
+            DetectorApp::new(GlobalNode::new(id, NnDistance, 1, window), stream, schedule)
+        });
+        assert!(sim.run_until_quiescent(Timestamp::from_secs(200)));
+        for (id, app) in sim.apps() {
+            assert!(app.detector().held_points().len() >= 3, "node {id} sampled");
         }
     }
 

@@ -9,6 +9,7 @@
 //! traffic-funnel effect around the sink that the paper's figures expose.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::app::SamplingSchedule;
 use crate::cache::RevisionCache;
@@ -79,9 +80,17 @@ pub struct CentralizedApp<R> {
     stream: SensorStream,
     schedule: SamplingSchedule,
     router: AodvRouter<CentralizedPayload>,
+    /// `true` once [`crate::app::install_sampling`] took over the sampling
+    /// timers; until then the app self-schedules them (the safe fallback).
+    batch_sampling: bool,
     /// Sink only: the latest window reported by each node (the sink's own
-    /// window is merged in at query time).
-    collected: BTreeMap<SensorId, Vec<DataPoint>>,
+    /// window is merged in incrementally as well).
+    collected: BTreeMap<SensorId, PointSet>,
+    /// Sink only: the union of the sink's own window and every collected
+    /// window, maintained incrementally — points are inserted or evicted as
+    /// reports arrive and the sink's own window slides, never rebuilt from
+    /// scratch. All points are shared with `collected` / the window.
+    union: PointSet,
     /// Non-sink only: the most recent answer returned by the sink.
     last_result: Option<Vec<DataPoint>>,
     reports_sent: u64,
@@ -89,11 +98,11 @@ pub struct CentralizedApp<R> {
     results_sent: u64,
     results_received: u64,
     /// Bumped whenever the sink's detection input changes (own window
-    /// mutation or a fresh report); keys `union_cache`.
+    /// mutation or a fresh report); keys `index_cache`.
     state_revision: u64,
-    /// Sink only: the unioned data sets with their neighbour index, rebuilt
-    /// lazily when `state_revision` moves.
-    union_cache: RevisionCache<(PointSet, AnyIndex)>,
+    /// Sink only: the neighbour index over `union`, rebuilt lazily when
+    /// `state_revision` moves.
+    index_cache: RevisionCache<AnyIndex>,
 }
 
 impl<R: RankingFunction> CentralizedApp<R> {
@@ -121,14 +130,16 @@ impl<R: RankingFunction> CentralizedApp<R> {
             stream,
             schedule,
             router: AodvRouter::new(id),
+            batch_sampling: false,
             collected: BTreeMap::new(),
+            union: PointSet::new(),
             last_result: None,
             reports_sent: 0,
             reports_received: 0,
             results_sent: 0,
             results_received: 0,
             state_revision: 0,
-            union_cache: RevisionCache::new(),
+            index_cache: RevisionCache::new(),
         }
     }
 
@@ -179,11 +190,10 @@ impl<R: RankingFunction> CentralizedApp<R> {
     /// an estimate over their own window if no answer has arrived yet).
     pub fn estimate(&self) -> OutlierEstimate {
         if self.is_sink() {
-            if let Some(cached) = self.union_cache.get(self.state_revision) {
-                let (union, index) = cached.as_ref();
-                top_n_outliers_indexed(&self.ranking, self.n, union, index)
+            if let Some(index) = self.index_cache.get(self.state_revision) {
+                top_n_outliers_indexed(&self.ranking, self.n, &self.union, index.as_ref())
             } else {
-                top_n_outliers(&self.ranking, self.n, &self.union_at_sink())
+                top_n_outliers(&self.ranking, self.n, &self.union)
             }
         } else if let Some(points) = &self.last_result {
             let set: PointSet = points.iter().cloned().collect();
@@ -193,14 +203,20 @@ impl<R: RankingFunction> CentralizedApp<R> {
         }
     }
 
-    fn union_at_sink(&self) -> PointSet {
-        let mut union: PointSet = self.window.contents().clone();
-        for points in self.collected.values() {
-            for p in points {
-                union.insert(p.clone());
-            }
-        }
-        union
+    /// Sink only: the incrementally maintained union of the sink's own
+    /// window and every collected report (empty on non-sink nodes).
+    pub fn sink_union(&self) -> &PointSet {
+        &self.union
+    }
+
+    /// Sink only: re-folds the sink's own window into `union` after the
+    /// window changed (advance + fresh sample). The window holds only
+    /// sink-origin points, so dropping that origin and re-inserting the
+    /// current contents applies exactly the window's eviction/insertion
+    /// delta to the union.
+    fn refresh_own_contribution(&mut self) {
+        self.union.remove_origin(self.id);
+        self.union.extend_from(self.window.contents());
     }
 
     fn sample_round(
@@ -214,6 +230,7 @@ impl<R: RankingFunction> CentralizedApp<R> {
         }
         self.state_revision += 1;
         if self.is_sink() {
+            self.refresh_own_contribution();
             // The sink's own data never touches the radio; it is folded into
             // the union locally. Once this round's reports have had time to
             // arrive, detect outliers over the unioned data sets and return
@@ -232,7 +249,7 @@ impl<R: RankingFunction> CentralizedApp<R> {
             self.reports_sent += 1;
         }
         let next = round + 1;
-        if next < self.schedule.rounds {
+        if !self.batch_sampling && next < self.schedule.rounds {
             ctx.set_timer_after_secs(self.schedule.sample_interval_secs, next as TimerId);
         }
     }
@@ -243,16 +260,11 @@ impl<R: RankingFunction> CentralizedApp<R> {
         if !self.is_sink() || self.collected.is_empty() {
             return;
         }
-        let cached = match self.union_cache.get(self.state_revision) {
-            Some(cached) => cached,
-            None => {
-                let union = self.union_at_sink();
-                let index = AnyIndex::build(IndexStrategy::Auto, &union);
-                self.union_cache.put(self.state_revision, (union, index))
-            }
-        };
-        let (union, index) = cached.as_ref();
-        let answer = top_n_outliers_indexed(&self.ranking, self.n, union, index);
+        let union = &self.union;
+        let index = self
+            .index_cache
+            .get_or_build(self.state_revision, || AnyIndex::build(IndexStrategy::Auto, union));
+        let answer = top_n_outliers_indexed(&self.ranking, self.n, &self.union, index.as_ref());
         let points = answer.to_point_set().to_vec();
         let reporters: Vec<SensorId> = self.collected.keys().copied().collect();
         for reporter in reporters {
@@ -276,7 +288,21 @@ impl<R: RankingFunction> CentralizedApp<R> {
                     return; // mis-routed report; only the sink aggregates
                 }
                 self.reports_received += 1;
-                self.collected.insert(reporter, points);
+                // Swap the reporter's contribution in the union: evict the
+                // previous report's points, then insert the fresh ones. The
+                // collected set and the union share each allocation.
+                if let Some(previous) = self.collected.remove(&reporter) {
+                    for key in previous.keys() {
+                        self.union.discard(key);
+                    }
+                }
+                let mut report = PointSet::new();
+                for p in points {
+                    let p = Arc::new(p);
+                    self.union.insert_arc(Arc::clone(&p));
+                    report.insert_arc(p);
+                }
+                self.collected.insert(reporter, report);
                 self.state_revision += 1;
             }
             CentralizedPayload::OutlierResult { points } => {
@@ -288,10 +314,24 @@ impl<R: RankingFunction> CentralizedApp<R> {
     }
 }
 
+impl<R: RankingFunction> crate::app::ScheduleDriven for CentralizedApp<R> {
+    fn sampling_installed(&mut self) {
+        self.batch_sampling = true;
+    }
+}
+
 impl<R: RankingFunction> Application for CentralizedApp<R> {
     type Message = AodvMessage<CentralizedPayload>;
 
     fn on_start(&mut self, ctx: &mut NodeContext<Self::Message>) {
+        // With [`crate::app::install_sampling`], the sampling timers arrive
+        // as one batched queue entry per round and only the sink's reply
+        // timers are scheduled ad hoc. Without it, fall back to the
+        // self-scheduled first sample so a plain `Simulator::new` never
+        // silently runs zero rounds.
+        if self.batch_sampling {
+            return;
+        }
         let first = self.schedule.sample_time(0, ctx.id());
         let delay = first.saturating_since(ctx.now());
         ctx.set_timer_after_micros(delay, 0);
@@ -355,20 +395,22 @@ mod tests {
         let topo = Topology::from_specs(&specs, 6.0);
         let schedule = SamplingSchedule::new(10.0, rounds);
         let window = WindowConfig::from_samples(rounds as u64 + 5, 10.0).unwrap();
-        Simulator::new(SimConfig::default(), topo, |id| {
-            let spec = specs.iter().find(|s| s.id == id).copied().unwrap();
-            let mut stream = SensorStream::new(spec);
-            for r in 0..rounds {
-                let ts = Timestamp::from_secs_f64(r as f64 * 10.0);
-                let value = if id == SensorId(count - 1) && r == 1 {
-                    500.0
-                } else {
-                    20.0 + id.raw() as f64 + r as f64 * 0.01
-                };
-                stream.readings.push(SensorReading::present(Epoch(r as u64), ts, value));
-            }
-            CentralizedApp::new(id, SensorId(0), NnDistance, 1, window, stream, schedule)
-        })
+        let sim =
+            crate::app::simulator_with_sampling(SimConfig::default(), topo, &schedule, |id| {
+                let spec = specs.iter().find(|s| s.id == id).copied().unwrap();
+                let mut stream = SensorStream::new(spec);
+                for r in 0..rounds {
+                    let ts = Timestamp::from_secs_f64(r as f64 * 10.0);
+                    let value = if id == SensorId(count - 1) && r == 1 {
+                        500.0
+                    } else {
+                        20.0 + id.raw() as f64 + r as f64 * 0.01
+                    };
+                    stream.readings.push(SensorReading::present(Epoch(r as u64), ts, value));
+                }
+                CentralizedApp::new(id, SensorId(0), NnDistance, 1, window, stream, schedule)
+            });
+        sim
     }
 
     #[test]
@@ -429,6 +471,23 @@ mod tests {
                 "node {id} does not know the global outlier"
             );
         }
+    }
+
+    #[test]
+    fn incremental_union_matches_a_full_rebuild() {
+        let mut sim = build_sim(5, 4);
+        sim.run_until_quiescent(Timestamp::from_secs(500));
+        let sink = sim.app(SensorId(0)).unwrap();
+        let mut rebuilt: PointSet = sink.local_window().clone();
+        for report in sink.collected.values() {
+            for p in report.iter() {
+                rebuilt.insert(p.clone());
+            }
+        }
+        assert_eq!(sink.sink_union(), &rebuilt, "insert/evict maintenance must equal a rebuild");
+        assert!(!sink.sink_union().is_empty());
+        // Non-sink nodes maintain no union.
+        assert!(sim.app(SensorId(1)).unwrap().sink_union().is_empty());
     }
 
     #[test]

@@ -479,24 +479,25 @@ fn run_distributed(
         _ => None,
     };
     let grading_topology = topology.clone();
-    let mut sim: Simulator<DetectorApp<AnyDetector>> = Simulator::new(sim_config, topology, |id| {
-        let stream = trace
-            .stream(id)
-            .ok()
-            .cloned()
-            .unwrap_or_else(|| SensorStream::new(deployment.sensors()[0]));
-        let detector = match hop_diameter {
-            None => AnyDetector::Global(GlobalNode::new(id, ranking.clone(), config.n, window)),
-            Some(d) => AnyDetector::SemiGlobal(SemiGlobalNode::new(
-                id,
-                ranking.clone(),
-                config.n,
-                d,
-                window,
-            )),
-        };
-        DetectorApp::new(detector, stream, schedule)
-    });
+    let mut sim: Simulator<DetectorApp<AnyDetector>> =
+        crate::app::simulator_with_sampling(sim_config, topology, &schedule, |id| {
+            let stream = trace
+                .stream(id)
+                .ok()
+                .cloned()
+                .unwrap_or_else(|| SensorStream::new(deployment.sensors()[0]));
+            let detector = match hop_diameter {
+                None => AnyDetector::Global(GlobalNode::new(id, ranking.clone(), config.n, window)),
+                Some(d) => AnyDetector::SemiGlobal(SemiGlobalNode::new(
+                    id,
+                    ranking.clone(),
+                    config.n,
+                    d,
+                    window,
+                )),
+            };
+            DetectorApp::new(detector, stream, schedule)
+        });
     let quiescent = sim.run_until_quiescent(config.deadline());
 
     // Each node's own data D_i is whatever it currently holds that originated
@@ -550,7 +551,7 @@ fn run_centralized(
 ) -> Result<ExperimentOutcome, CoreError> {
     let sink = deployment.sink();
     let mut sim: Simulator<CentralizedApp<Arc<dyn RankingFunction>>> =
-        Simulator::new(sim_config, topology, |id| {
+        crate::app::simulator_with_sampling(sim_config, topology, &schedule, |id| {
             let stream = trace
                 .stream(id)
                 .ok()

@@ -16,9 +16,11 @@
 
 use crate::cache::RevisionCache;
 use crate::detector::OutlierDetector;
+use crate::ledger::QuietLedger;
 use crate::message::OutlierBroadcast;
 use crate::sufficient::sufficient_set_indexed;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, PointSet, SensorId, SlidingWindow, Timestamp};
 use wsn_ranking::index::{AnyIndex, IndexStrategy};
@@ -39,6 +41,15 @@ pub struct GlobalNode<R> {
     /// window's revision moves (insertion or slide) and shared by every
     /// per-neighbour sufficient-set fixed point of a protocol step.
     index_cache: RevisionCache<AnyIndex>,
+    /// Per-neighbour revision bookkeeping behind the "nothing to send" memo:
+    /// while neither the window nor a neighbour's `sent_to` / `recv_from`
+    /// sets change, [`OutlierDetector::process`] skips that neighbour
+    /// outright — the sufficient-set computation is a pure function of those
+    /// inputs, so replaying the empty outcome is bit-identical. This is what
+    /// keeps the post-convergence chatter (every delivery triggers a full
+    /// process pass) from re-running one fixed point per neighbour per
+    /// event.
+    ledger: QuietLedger,
 }
 
 impl<R: RankingFunction> GlobalNode<R> {
@@ -61,6 +72,7 @@ impl<R: RankingFunction> GlobalNode<R> {
             points_sent: 0,
             points_received: 0,
             index_cache: RevisionCache::new(),
+            ledger: QuietLedger::new(),
         }
     }
 
@@ -80,11 +92,14 @@ impl<R: RankingFunction> GlobalNode<R> {
     }
 
     /// The points this node knows it shares with `neighbor`
-    /// (`D^i_{i,j} ∪ D^i_{j,i}`).
+    /// (`D^i_{i,j} ∪ D^i_{j,i}`). The returned set shares the stored points.
     pub fn known_common_with(&self, neighbor: SensorId) -> PointSet {
-        let sent = self.sent_to.get(&neighbor).cloned().unwrap_or_default();
-        let recv = self.recv_from.get(&neighbor).cloned().unwrap_or_default();
-        sent.union(&recv)
+        match (self.sent_to.get(&neighbor), self.recv_from.get(&neighbor)) {
+            (Some(sent), Some(recv)) => sent.union(recv),
+            (Some(sent), None) => sent.clone(),
+            (None, Some(recv)) => recv.clone(),
+            (None, None) => PointSet::new(),
+        }
     }
 
     /// Convenience constructor of local observations for this node, used by
@@ -117,29 +132,32 @@ impl<R: RankingFunction> OutlierDetector for GlobalNode<R> {
 
     fn receive(&mut self, from: SensorId, points: Vec<DataPoint>) {
         let received = self.recv_from.entry(from).or_default();
+        let mut changed = false;
         for p in points {
             // Record that the neighbour holds this point whether or not it is
-            // new to us; both facts suppress future redundant sends.
-            received.insert(p.clone());
-            if self.window.insert(p) {
+            // new to us; both facts suppress future redundant sends. The
+            // bookkeeping set and the window share one allocation.
+            let p = Arc::new(p);
+            changed |= received.insert_arc(Arc::clone(&p));
+            if self.window.insert_arc(p) {
                 self.points_received += 1;
             }
+        }
+        if changed {
+            self.ledger.bump(from);
         }
     }
 
     fn advance_time(&mut self, now: Timestamp) {
         self.window.advance_to(now);
         let cutoff = self.window.config().cutoff(now);
-        for set in self.sent_to.values_mut() {
-            set.evict_older_than(cutoff);
-        }
-        for set in self.recv_from.values_mut() {
-            set.evict_older_than(cutoff);
-        }
+        self.ledger.evict_and_bump(&mut self.sent_to, cutoff);
+        self.ledger.evict_and_bump(&mut self.recv_from, cutoff);
     }
 
     fn process(&mut self, neighbors: &[SensorId]) -> Option<OutlierBroadcast> {
-        let pi = self.window.contents().clone();
+        // A zero-copy snapshot of P_i: the window is read, never cloned.
+        let pi = self.window.snapshot();
         let index = self
             .index_cache
             .get_or_build(self.window.revision(), || AnyIndex::build(IndexStrategy::Auto, &pi));
@@ -148,16 +166,27 @@ impl<R: RankingFunction> OutlierDetector for GlobalNode<R> {
             if j == self.id {
                 continue;
             }
+            let state = self.ledger.state(j, self.window.revision());
+            if self.ledger.is_quiet(j, state) {
+                // Neither P_i nor the shared-knowledge sets for j changed
+                // since the last (empty) computation: same inputs, same
+                // nothing-to-send outcome.
+                continue;
+            }
             let known = self.known_common_with(j);
             let z = sufficient_set_indexed(&self.ranking, self.n, &pi, index.as_ref(), &known);
             let to_send = z.difference(&known);
             if to_send.is_empty() {
+                self.ledger.mark_quiet(j, state);
                 continue;
             }
             let sent = self.sent_to.entry(j).or_default();
-            for p in to_send.iter() {
-                sent.insert(p.clone());
+            for p in to_send.iter_arcs() {
+                sent.insert_arc(Arc::clone(p));
             }
+            // Recording the send changes D^i_{i,j}: the cached quiet state
+            // (if any) is stale by key and the revision moves on.
+            self.ledger.bump(j);
             self.points_sent += to_send.len() as u64;
             message.add_entry(j, to_send.to_vec());
         }

@@ -1,0 +1,110 @@
+//! Per-neighbour revision bookkeeping shared by the two detectors.
+//!
+//! Both [`crate::global::GlobalNode`] and
+//! [`crate::semiglobal::SemiGlobalNode`] memoize the per-neighbour "nothing
+//! to send" outcome of [`crate::detector::OutlierDetector::process`], keyed
+//! by `(window revision, bookkeeping revision)` — the exact inputs of the
+//! sufficient-set computation. The invariant that makes the memo safe is
+//! single-sourced here: **every** mutation of a neighbour's `sent_to` /
+//! `recv_from` set must bump that neighbour's revision, or a stale memo
+//! would silently suppress a broadcast. The ledger owns the revision and
+//! quiet-state maps and the window-slide eviction pass (the mutation site
+//! easiest to forget); the detectors report their remaining mutations
+//! (receive / record-send) through [`QuietLedger::bump`].
+
+use std::collections::BTreeMap;
+use wsn_data::{PointSet, SensorId, Timestamp};
+
+/// The memo key pinning the inputs of one per-neighbour computation.
+pub(crate) type LedgerState = (u64, u64);
+
+/// Revision and quiet-state bookkeeping for the per-neighbour
+/// shared-knowledge sets.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct QuietLedger {
+    /// Per-neighbour change counter of the bookkeeping sets.
+    revisions: BTreeMap<SensorId, u64>,
+    /// The `(window revision, bookkeeping revision)` at which the last
+    /// computation for a neighbour produced nothing to send.
+    quiet_at: BTreeMap<SensorId, LedgerState>,
+}
+
+impl QuietLedger {
+    pub fn new() -> Self {
+        QuietLedger::default()
+    }
+
+    /// Records a change to either bookkeeping set of `neighbor`.
+    pub fn bump(&mut self, neighbor: SensorId) {
+        *self.revisions.entry(neighbor).or_insert(0) += 1;
+    }
+
+    /// The memo key for `neighbor` at the given window revision.
+    pub fn state(&self, neighbor: SensorId, window_revision: u64) -> LedgerState {
+        (window_revision, self.revisions.get(&neighbor).copied().unwrap_or(0))
+    }
+
+    /// Returns `true` if the last computation at exactly this state produced
+    /// nothing to send — same inputs, same (empty) outcome, skip the work.
+    pub fn is_quiet(&self, neighbor: SensorId, state: LedgerState) -> bool {
+        self.quiet_at.get(&neighbor) == Some(&state)
+    }
+
+    /// Records that the computation at `state` produced nothing to send.
+    pub fn mark_quiet(&mut self, neighbor: SensorId, state: LedgerState) {
+        self.quiet_at.insert(neighbor, state);
+    }
+
+    /// Window-slide eviction over one bookkeeping map, bumping the revision
+    /// of every neighbour whose set changed.
+    pub fn evict_and_bump(&mut self, sets: &mut BTreeMap<SensorId, PointSet>, cutoff: Timestamp) {
+        for (&j, set) in sets.iter_mut() {
+            if set.evict_older_than(cutoff) > 0 {
+                self.bump(j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_data::{DataPoint, Epoch};
+
+    #[test]
+    fn bump_invalidates_exactly_the_touched_neighbor() {
+        let mut ledger = QuietLedger::new();
+        let a = SensorId(1);
+        let b = SensorId(2);
+        let state_a = ledger.state(a, 7);
+        let state_b = ledger.state(b, 7);
+        ledger.mark_quiet(a, state_a);
+        ledger.mark_quiet(b, state_b);
+        assert!(ledger.is_quiet(a, state_a));
+        ledger.bump(a);
+        assert!(!ledger.is_quiet(a, ledger.state(a, 7)), "a's revision moved");
+        assert!(ledger.is_quiet(b, ledger.state(b, 7)), "b is untouched");
+    }
+
+    #[test]
+    fn a_window_revision_move_changes_every_state() {
+        let ledger = QuietLedger::new();
+        let j = SensorId(3);
+        assert_ne!(ledger.state(j, 1), ledger.state(j, 2));
+    }
+
+    #[test]
+    fn eviction_bumps_only_neighbors_that_lost_points() {
+        let mut ledger = QuietLedger::new();
+        let old =
+            DataPoint::new(SensorId(9), Epoch(0), Timestamp::from_secs(1), vec![1.0]).unwrap();
+        let fresh =
+            DataPoint::new(SensorId(9), Epoch(1), Timestamp::from_secs(50), vec![2.0]).unwrap();
+        let mut sets = BTreeMap::new();
+        sets.insert(SensorId(1), vec![old].into_iter().collect::<PointSet>());
+        sets.insert(SensorId(2), vec![fresh].into_iter().collect::<PointSet>());
+        ledger.evict_and_bump(&mut sets, Timestamp::from_secs(10));
+        assert_ne!(ledger.state(SensorId(1), 0), (0, 0), "evicted neighbour bumped");
+        assert_eq!(ledger.state(SensorId(2), 0), (0, 0), "untouched neighbour stable");
+    }
+}

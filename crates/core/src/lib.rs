@@ -57,6 +57,7 @@ pub mod detector;
 pub mod error;
 pub mod experiment;
 pub mod global;
+mod ledger;
 pub mod message;
 pub mod metrics;
 pub mod semiglobal;

@@ -13,6 +13,7 @@
 //!   correct (the paper's detection accuracy).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use wsn_data::{DataPoint, PointSet, SensorId};
 use wsn_netsim::topology::Topology;
@@ -25,20 +26,23 @@ use wsn_ranking::{top_n_outliers, OutlierEstimate, RankingFunction};
 /// answer `O_n(D_i^{≤d})` computed over the data sampled within `d` hops.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroundTruth {
-    per_node: BTreeMap<SensorId, OutlierEstimate>,
+    /// The answers are held behind [`Arc`]s: the global ground truth is one
+    /// estimate shared by every node, not one deep copy per node.
+    per_node: BTreeMap<SensorId, Arc<OutlierEstimate>>,
 }
 
 impl GroundTruth {
     /// Computes the global ground truth: every sensor listed in `sensors` is
-    /// assigned the same `O_n` over the union of all `local_data`.
+    /// assigned the same (shared, not copied) `O_n` over the union of all
+    /// `local_data`.
     pub fn global<R: RankingFunction + ?Sized>(
         ranking: &R,
         n: usize,
         local_data: &BTreeMap<SensorId, Vec<DataPoint>>,
     ) -> Self {
         let union: PointSet = local_data.values().flatten().cloned().collect();
-        let answer = top_n_outliers(ranking, n, &union);
-        let per_node = local_data.keys().map(|id| (*id, answer.clone())).collect();
+        let answer = Arc::new(top_n_outliers(ranking, n, &union));
+        let per_node = local_data.keys().map(|id| (*id, Arc::clone(&answer))).collect();
         GroundTruth { per_node }
     }
 
@@ -62,7 +66,7 @@ impl GroundTruth {
                     .flatten()
                     .cloned()
                     .collect();
-                (id, top_n_outliers(ranking, n, &union))
+                (id, Arc::new(top_n_outliers(ranking, n, &union)))
             })
             .collect();
         GroundTruth { per_node }
@@ -70,7 +74,7 @@ impl GroundTruth {
 
     /// The correct answer for one sensor, if it is part of the deployment.
     pub fn answer_for(&self, id: SensorId) -> Option<&OutlierEstimate> {
-        self.per_node.get(&id)
+        self.per_node.get(&id).map(|answer| answer.as_ref())
     }
 
     /// Number of sensors the ground truth covers.
@@ -80,7 +84,7 @@ impl GroundTruth {
 
     /// Iterates over `(sensor, correct answer)` pairs in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = (SensorId, &OutlierEstimate)> {
-        self.per_node.iter().map(|(id, est)| (*id, est))
+        self.per_node.iter().map(|(id, est)| (*id, est.as_ref()))
     }
 
     /// Grades a set of per-node estimates against this ground truth.
@@ -213,6 +217,13 @@ mod tests {
             assert_eq!(answer.points()[0].features, vec![-100.0]);
         }
         assert_eq!(global_answer(&NnDistance, 1, &local_data()).points()[0].features, vec![-100.0]);
+    }
+
+    #[test]
+    fn global_truth_shares_one_answer_across_nodes() {
+        let truth = GroundTruth::global(&NnDistance, 1, &local_data());
+        let answers: Vec<_> = truth.per_node.values().collect();
+        assert!(answers.windows(2).all(|w| Arc::ptr_eq(w[0], w[1])), "one shared Arc, not copies");
     }
 
     #[test]

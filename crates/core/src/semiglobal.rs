@@ -13,9 +13,11 @@
 
 use crate::cache::RevisionCache;
 use crate::detector::OutlierDetector;
+use crate::ledger::QuietLedger;
 use crate::message::OutlierBroadcast;
 use crate::sufficient::sufficient_set_indexed;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, HopCount, PointSet, SensorId, SlidingWindow, Timestamp};
 use wsn_ranking::index::{AnyIndex, IndexStrategy};
@@ -41,6 +43,9 @@ pub struct SemiGlobalNode<R> {
     /// The hop-prefixes `P_i^{≤h}` for `h ∈ [0, d-1]` with their neighbour
     /// indexes, invalidated whenever the window slides or changes.
     prefix_cache: RevisionCache<HopPrefixes>,
+    /// Per-neighbour revision bookkeeping behind the "nothing to send" memo
+    /// (see [`crate::global::GlobalNode`] for the full rationale).
+    ledger: QuietLedger,
 }
 
 impl<R: RankingFunction> SemiGlobalNode<R> {
@@ -70,6 +75,7 @@ impl<R: RankingFunction> SemiGlobalNode<R> {
             points_sent: 0,
             points_received: 0,
             prefix_cache: RevisionCache::new(),
+            ledger: QuietLedger::new(),
         }
     }
 
@@ -94,11 +100,15 @@ impl<R: RankingFunction> SemiGlobalNode<R> {
     }
 
     /// The points this node knows it shares with `neighbor`, at the hop
-    /// counts at which they were exchanged (min-hop merged).
+    /// counts at which they were exchanged (min-hop merged). The returned
+    /// set shares the stored points.
     pub fn known_common_with(&self, neighbor: SensorId) -> PointSet {
-        let sent = self.sent_to.get(&neighbor).cloned().unwrap_or_default();
-        let recv = self.recv_from.get(&neighbor).cloned().unwrap_or_default();
-        sent.union_min_hop(&recv)
+        match (self.sent_to.get(&neighbor), self.recv_from.get(&neighbor)) {
+            (Some(sent), Some(recv)) => sent.union_min_hop(recv),
+            (Some(sent), None) => sent.clone(),
+            (None, Some(recv)) => recv.clone(),
+            (None, None) => PointSet::new(),
+        }
     }
 }
 
@@ -120,32 +130,36 @@ impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
 
     fn receive(&mut self, from: SensorId, points: Vec<DataPoint>) {
         let received = self.recv_from.entry(from).or_default();
+        let mut changed = false;
         for p in points {
             if p.hop > self.hop_diameter {
                 // A copy that travelled farther than the spatial extent can
                 // never influence this node's result; ignore it outright.
                 continue;
             }
-            received.insert_min_hop(p.clone());
-            if self.window.insert(p) {
+            // The bookkeeping set and the window share one allocation.
+            let p = Arc::new(p);
+            changed |= received.insert_min_hop_arc(Arc::clone(&p)).changed();
+            if self.window.insert_arc(p) {
                 self.points_received += 1;
             }
+        }
+        if changed {
+            self.ledger.bump(from);
         }
     }
 
     fn advance_time(&mut self, now: Timestamp) {
         self.window.advance_to(now);
         let cutoff = self.window.config().cutoff(now);
-        for set in self.sent_to.values_mut() {
-            set.evict_older_than(cutoff);
-        }
-        for set in self.recv_from.values_mut() {
-            set.evict_older_than(cutoff);
-        }
+        self.ledger.evict_and_bump(&mut self.sent_to, cutoff);
+        self.ledger.evict_and_bump(&mut self.recv_from, cutoff);
     }
 
     fn process(&mut self, neighbors: &[SensorId]) -> Option<OutlierBroadcast> {
-        let pi = self.window.contents().clone();
+        // A zero-copy snapshot of P_i: the window is read, never cloned, and
+        // the hop-prefixes derived from it share its stored points.
+        let pi = self.window.snapshot();
         let hop_diameter = self.hop_diameter;
         let prefixes = self.prefix_cache.get_or_build(self.window.revision(), || {
             (0..hop_diameter)
@@ -161,8 +175,15 @@ impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
             if j == self.id {
                 continue;
             }
+            let state = self.ledger.state(j, self.window.revision());
+            if self.ledger.is_quiet(j, state) {
+                // Same P_i, same shared knowledge: replay the empty outcome.
+                continue;
+            }
             let known = self.known_common_with(j);
             // Per-prefix sufficient sets, hop-incremented and min-merged.
+            // The hop increment necessarily materialises a fresh copy of
+            // each forwarded point; every set below shares those copies.
             let mut z = PointSet::new();
             for (h, (pi_h, index)) in prefixes.iter().enumerate() {
                 let known_h = known.filter_max_hop(h as HopCount);
@@ -173,23 +194,24 @@ impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
             }
             // Suppress points the neighbour already holds at an equal or
             // smaller hop count.
-            let to_send: Vec<DataPoint> = z
-                .iter()
+            let to_send: Vec<&Arc<DataPoint>> = z
+                .iter_arcs()
                 .filter(|x| match known.get(&x.key) {
                     Some(y) => x.hop < y.hop,
                     None => true,
                 })
-                .cloned()
                 .collect();
             if to_send.is_empty() {
+                self.ledger.mark_quiet(j, state);
                 continue;
             }
             let sent = self.sent_to.entry(j).or_default();
             for p in &to_send {
-                sent.insert_min_hop(p.clone());
+                sent.insert_min_hop_arc(Arc::clone(p));
             }
+            self.ledger.bump(j);
             self.points_sent += to_send.len() as u64;
-            message.add_entry(j, to_send);
+            message.add_entry(j, to_send.into_iter().map(|p| (**p).clone()).collect());
         }
         if message.is_empty() {
             None

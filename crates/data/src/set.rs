@@ -8,10 +8,24 @@
 //! The set also implements the hop-minimisation semantics of the semi-global
 //! algorithm (§6): when two copies of the same observation meet, only the one
 //! with the smaller hop count is retained (`[Q]^min` in the paper).
+//!
+//! # Shared storage
+//!
+//! Points are stored behind [`Arc`] handles. Set-level operations that used
+//! to deep-copy every point — [`PointSet::union`], [`PointSet::difference`],
+//! [`PointSet::filter_max_hop`], [`Clone`] — now only bump reference counts:
+//! the feature vectors themselves are allocated once and shared between the
+//! window, the per-neighbour bookkeeping sets and any derived set. Callers
+//! that already hold an `Arc<DataPoint>` can insert it without copying via
+//! [`PointSet::insert_arc`] / [`PointSet::insert_min_hop_arc`]. Because
+//! [`DataPoint`] values are never mutated in place once inserted, the
+//! sharing is observationally invisible: all by-value accessors behave
+//! exactly as before.
 
 use crate::point::{DataPoint, HopCount, PointKey, Timestamp};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Outcome of inserting a point into a [`PointSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +56,7 @@ impl InsertOutcome {
 /// whole simulation reproducible for a fixed seed.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PointSet {
-    points: BTreeMap<PointKey, DataPoint>,
+    points: BTreeMap<PointKey, Arc<DataPoint>>,
 }
 
 impl PointSet {
@@ -73,6 +87,13 @@ impl PointSet {
 
     /// Looks up a point by identity.
     pub fn get(&self, key: &PointKey) -> Option<&DataPoint> {
+        self.points.get(key).map(|p| p.as_ref())
+    }
+
+    /// Looks up the shared handle of a point by identity. Cloning the
+    /// returned [`Arc`] shares the stored allocation instead of copying the
+    /// point.
+    pub fn get_arc(&self, key: &PointKey) -> Option<&Arc<DataPoint>> {
         self.points.get(key)
     }
 
@@ -82,6 +103,12 @@ impl PointSet {
     /// This is the insertion used by the global algorithm (§5), where hop
     /// counts play no role. Returns `true` if the point was not present.
     pub fn insert(&mut self, point: DataPoint) -> bool {
+        self.insert_arc(Arc::new(point))
+    }
+
+    /// [`PointSet::insert`] for a point the caller already holds behind an
+    /// [`Arc`]: the allocation is shared, never copied.
+    pub fn insert_arc(&mut self, point: Arc<DataPoint>) -> bool {
         match self.points.entry(point.key) {
             std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert(point);
@@ -95,6 +122,11 @@ impl PointSet {
     /// algorithm (§6): an already-present observation is replaced only if the
     /// incoming copy has a strictly smaller hop count.
     pub fn insert_min_hop(&mut self, point: DataPoint) -> InsertOutcome {
+        self.insert_min_hop_arc(Arc::new(point))
+    }
+
+    /// [`PointSet::insert_min_hop`] for a point already behind an [`Arc`].
+    pub fn insert_min_hop_arc(&mut self, point: Arc<DataPoint>) -> InsertOutcome {
         match self.points.entry(point.key) {
             std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert(point);
@@ -114,12 +146,20 @@ impl PointSet {
 
     /// Removes a point by identity, returning it if present.
     pub fn remove(&mut self, key: &PointKey) -> Option<DataPoint> {
-        self.points.remove(key)
+        self.points.remove(key).map(unwrap_or_clone)
+    }
+
+    /// Removes a point by identity without materialising it — use this when
+    /// the removed value is not needed, so a copy shared with another set is
+    /// never cloned just to be dropped. Returns `true` if a point was
+    /// removed.
+    pub fn discard(&mut self, key: &PointKey) -> bool {
+        self.points.remove(key).is_some()
     }
 
     /// Keeps only the points for which the predicate returns `true`.
     pub fn retain<F: FnMut(&DataPoint) -> bool>(&mut self, mut keep: F) {
-        self.points.retain(|_, p| keep(p));
+        self.points.retain(|_, p| keep(p.as_ref()));
     }
 
     /// Removes every point whose timestamp is strictly older than `cutoff`
@@ -141,6 +181,12 @@ impl PointSet {
 
     /// Iterates over the points in deterministic (key) order.
     pub fn iter(&self) -> impl Iterator<Item = &DataPoint> + Clone {
+        self.points.values().map(|p| p.as_ref())
+    }
+
+    /// Iterates over the shared handles in deterministic (key) order, for
+    /// callers that want to move points into another set without copying.
+    pub fn iter_arcs(&self) -> impl Iterator<Item = &Arc<DataPoint>> + Clone {
         self.points.values()
     }
 
@@ -151,14 +197,15 @@ impl PointSet {
 
     /// Returns the points as a vector (deterministic order).
     pub fn to_vec(&self) -> Vec<DataPoint> {
-        self.points.values().cloned().collect()
+        self.iter().cloned().collect()
     }
 
-    /// Set union, ignoring hop counts (first occurrence wins).
+    /// Set union, ignoring hop counts (first occurrence wins). The result
+    /// shares the stored points of both operands.
     pub fn union(&self, other: &PointSet) -> PointSet {
         let mut out = self.clone();
-        for p in other.iter() {
-            out.insert(p.clone());
+        for p in other.iter_arcs() {
+            out.insert_arc(Arc::clone(p));
         }
         out
     }
@@ -166,26 +213,27 @@ impl PointSet {
     /// Set union with min-hop merge (`[Q]^min` applied to the union).
     pub fn union_min_hop(&self, other: &PointSet) -> PointSet {
         let mut out = self.clone();
-        for p in other.iter() {
-            out.insert_min_hop(p.clone());
+        for p in other.iter_arcs() {
+            out.insert_min_hop_arc(Arc::clone(p));
         }
         out
     }
 
-    /// Extends this set in place, ignoring hop counts.
+    /// Extends this set in place, ignoring hop counts, sharing the other
+    /// set's stored points.
     pub fn extend_from(&mut self, other: &PointSet) {
-        for p in other.iter() {
-            self.insert(p.clone());
+        for p in other.iter_arcs() {
+            self.insert_arc(Arc::clone(p));
         }
     }
 
     /// Points of `self` whose identity is *not* present in `other`
-    /// (set difference by identity).
+    /// (set difference by identity). The result shares `self`'s points.
     pub fn difference(&self, other: &PointSet) -> PointSet {
         let mut out = PointSet::new();
-        for p in self.iter() {
+        for p in self.iter_arcs() {
             if !other.contains_key(&p.key) {
-                out.insert(p.clone());
+                out.insert_arc(Arc::clone(p));
             }
         }
         out
@@ -197,12 +245,12 @@ impl PointSet {
     }
 
     /// The subset of points with hop count `<= max_hop` (the paper's
-    /// `Q^{<=h}`).
+    /// `Q^{<=h}`). The result shares `self`'s points.
     pub fn filter_max_hop(&self, max_hop: HopCount) -> PointSet {
         let mut out = PointSet::new();
-        for p in self.iter() {
+        for p in self.iter_arcs() {
             if p.hop <= max_hop {
-                out.insert(p.clone());
+                out.insert_arc(Arc::clone(p));
             }
         }
         out
@@ -245,21 +293,37 @@ impl Extend<DataPoint> for PointSet {
     }
 }
 
+/// Takes the point out of the handle without copying when this is the last
+/// reference, cloning otherwise (the pre-1.76 `Arc::unwrap_or_clone`).
+fn unwrap_or_clone(point: Arc<DataPoint>) -> DataPoint {
+    Arc::try_unwrap(point).unwrap_or_else(|shared| (*shared).clone())
+}
+
+fn deref_arc(point: &Arc<DataPoint>) -> &DataPoint {
+    point.as_ref()
+}
+
 impl<'a> IntoIterator for &'a PointSet {
     type Item = &'a DataPoint;
-    type IntoIter = std::collections::btree_map::Values<'a, PointKey, DataPoint>;
+    type IntoIter = std::iter::Map<
+        std::collections::btree_map::Values<'a, PointKey, Arc<DataPoint>>,
+        fn(&'a Arc<DataPoint>) -> &'a DataPoint,
+    >;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.points.values()
+        self.points.values().map(deref_arc)
     }
 }
 
 impl IntoIterator for PointSet {
     type Item = DataPoint;
-    type IntoIter = std::collections::btree_map::IntoValues<PointKey, DataPoint>;
+    type IntoIter = std::iter::Map<
+        std::collections::btree_map::IntoValues<PointKey, Arc<DataPoint>>,
+        fn(Arc<DataPoint>) -> DataPoint,
+    >;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.points.into_values()
+        self.points.into_values().map(unwrap_or_clone)
     }
 }
 
@@ -371,9 +435,38 @@ mod tests {
     }
 
     #[test]
+    fn discard_drops_without_materialising() {
+        let mut s: PointSet = vec![pt(1, 0, 1.0)].into_iter().collect();
+        assert!(s.discard(&pt(1, 0, 1.0).key));
+        assert!(!s.discard(&pt(1, 0, 1.0).key));
+        assert!(s.is_empty());
+    }
+
+    #[test]
     fn wire_size_sums_points() {
         let s: PointSet = vec![pt(1, 0, 1.0), pt(1, 1, 5.0)].into_iter().collect();
         assert_eq!(s.wire_size(), 2 * pt(1, 0, 1.0).wire_size());
+    }
+
+    #[test]
+    fn derived_sets_share_storage_instead_of_copying() {
+        let a: PointSet = vec![pt(1, 0, 1.0), pt(1, 1, 2.0)].into_iter().collect();
+        let b: PointSet = vec![pt(2, 0, 3.0)].into_iter().collect();
+        let key = pt(1, 0, 1.0).key;
+        let union = a.union(&b);
+        assert!(std::sync::Arc::ptr_eq(union.get_arc(&key).unwrap(), a.get_arc(&key).unwrap()));
+        let diff = a.difference(&b);
+        assert!(std::sync::Arc::ptr_eq(diff.get_arc(&key).unwrap(), a.get_arc(&key).unwrap()));
+        let prefix = a.filter_max_hop(0);
+        assert!(std::sync::Arc::ptr_eq(prefix.get_arc(&key).unwrap(), a.get_arc(&key).unwrap()));
+        let copy = a.clone();
+        assert!(std::sync::Arc::ptr_eq(copy.get_arc(&key).unwrap(), a.get_arc(&key).unwrap()));
+        // An Arc inserted directly is stored as-is.
+        let mut c = PointSet::new();
+        let handle = std::sync::Arc::new(pt(3, 0, 9.0));
+        assert!(c.insert_arc(std::sync::Arc::clone(&handle)));
+        assert!(std::sync::Arc::ptr_eq(c.get_arc(&handle.key).unwrap(), &handle));
+        assert_eq!(c.iter_arcs().count(), 1);
     }
 
     #[test]

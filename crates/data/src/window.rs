@@ -9,6 +9,7 @@
 use crate::error::DataError;
 use crate::point::{DataPoint, Timestamp};
 use crate::set::PointSet;
+use std::sync::Arc;
 
 /// Configuration of a sliding window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,7 +79,12 @@ impl WindowConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlidingWindow {
     config: WindowConfig,
-    contents: PointSet,
+    /// The contents live behind an [`Arc`] so that [`SlidingWindow::snapshot`]
+    /// is a reference-count bump, not a copy. Mutation goes through
+    /// [`Arc::make_mut`]: copy-on-write, so the set is re-materialised only
+    /// if a snapshot taken at an earlier revision is still alive when the
+    /// window next changes.
+    contents: Arc<PointSet>,
     now: Timestamp,
     revision: u64,
 }
@@ -86,7 +92,12 @@ pub struct SlidingWindow {
 impl SlidingWindow {
     /// Creates an empty window with the given configuration.
     pub fn new(config: WindowConfig) -> Self {
-        SlidingWindow { config, contents: PointSet::new(), now: Timestamp::ZERO, revision: 0 }
+        SlidingWindow {
+            config,
+            contents: Arc::new(PointSet::new()),
+            now: Timestamp::ZERO,
+            revision: 0,
+        }
     }
 
     /// The window configuration.
@@ -104,6 +115,21 @@ impl SlidingWindow {
         &self.contents
     }
 
+    /// A shared snapshot of the current contents, keyed by
+    /// [`revision`](SlidingWindow::revision): cloning the returned [`Arc`] is
+    /// free, and the snapshot stays valid (and immutable) even while the
+    /// caller goes on to mutate other state of the node that owns the
+    /// window.
+    ///
+    /// This is what lets the detectors' `process()` paths read `P_i` without
+    /// deep-copying it: the window is only re-materialised (one copy-on-write
+    /// clone) if it is mutated while a snapshot from an earlier revision is
+    /// still held — detectors drop their snapshot at the end of the event,
+    /// so in the steady state no copy ever happens.
+    pub fn snapshot(&self) -> Arc<PointSet> {
+        Arc::clone(&self.contents)
+    }
+
     /// A counter that changes whenever [`contents`](SlidingWindow::contents)
     /// changes — on insertion, window-slide eviction and origin removal, but
     /// not on a pure clock advance that evicts nothing.
@@ -118,10 +144,16 @@ impl SlidingWindow {
     /// Inserts a point if it is still inside the window at the current time.
     /// Returns `true` if the point was added.
     pub fn insert(&mut self, point: DataPoint) -> bool {
+        self.insert_arc(Arc::new(point))
+    }
+
+    /// [`SlidingWindow::insert`] for a point already behind an [`Arc`]: on
+    /// acceptance the allocation is shared with the caller, not copied.
+    pub fn insert_arc(&mut self, point: Arc<DataPoint>) -> bool {
         if point.timestamp < self.config.cutoff(self.now) {
             return false;
         }
-        let changed = self.contents.insert_min_hop(point).changed();
+        let changed = Arc::make_mut(&mut self.contents).insert_min_hop_arc(point).changed();
         if changed {
             self.revision += 1;
         }
@@ -136,7 +168,16 @@ impl SlidingWindow {
             return 0;
         }
         self.now = now;
-        let evicted = self.contents.evict_older_than(self.config.cutoff(now));
+        let cutoff = self.config.cutoff(now);
+        // When a snapshot is live, pre-scan so a pure clock advance never
+        // re-materialises the shared contents; when unshared (the steady
+        // state), mutate in place without the extra pass.
+        if Arc::get_mut(&mut self.contents).is_none()
+            && !self.contents.iter().any(|p| p.timestamp < cutoff)
+        {
+            return 0;
+        }
+        let evicted = Arc::make_mut(&mut self.contents).evict_older_than(cutoff);
         if evicted > 0 {
             self.revision += 1;
         }
@@ -155,7 +196,12 @@ impl SlidingWindow {
 
     /// Removes every point originating at `origin` (sensor removal, §5.3).
     pub fn remove_origin(&mut self, origin: crate::point::SensorId) -> usize {
-        let removed = self.contents.remove_origin(origin);
+        if Arc::get_mut(&mut self.contents).is_none()
+            && !self.contents.iter().any(|p| p.key.origin == origin)
+        {
+            return 0;
+        }
+        let removed = Arc::make_mut(&mut self.contents).remove_origin(origin);
         if removed > 0 {
             self.revision += 1;
         }
@@ -259,6 +305,37 @@ mod tests {
         let r3 = w.revision();
         assert_eq!(w.remove_origin(SensorId(1)), 1);
         assert!(w.revision() > r3, "origin removal bumps the revision");
+    }
+
+    #[test]
+    fn snapshots_share_until_the_window_changes() {
+        let mut w = SlidingWindow::new(WindowConfig::from_secs(10).unwrap());
+        w.insert(pt(1, 0, 1));
+        let snap = w.snapshot();
+        assert!(Arc::ptr_eq(&snap, &w.snapshot()), "snapshots of one revision are the same set");
+        // A no-op advance must not re-materialise the shared contents.
+        w.advance_to(Timestamp::from_secs(5));
+        assert_eq!(w.remove_origin(SensorId(9)), 0);
+        assert!(Arc::ptr_eq(&snap, &w.snapshot()));
+        // A mutation while the snapshot is alive copies on write: the old
+        // snapshot keeps the old contents, the window moves on.
+        w.insert(pt(1, 1, 2));
+        assert!(!Arc::ptr_eq(&snap, &w.snapshot()));
+        assert_eq!(snap.len(), 1);
+        assert_eq!(w.len(), 2);
+        // Once no snapshot is outstanding, mutation is in place again.
+        drop(snap);
+        let before = Arc::as_ptr(&w.snapshot());
+        w.insert(pt(1, 2, 3));
+        assert_eq!(Arc::as_ptr(&w.snapshot()), before, "unshared contents mutate in place");
+    }
+
+    #[test]
+    fn insert_arc_shares_the_callers_allocation() {
+        let mut w = SlidingWindow::new(WindowConfig::from_secs(10).unwrap());
+        let p = Arc::new(pt(1, 0, 1));
+        assert!(w.insert_arc(Arc::clone(&p)));
+        assert!(Arc::ptr_eq(w.contents().get_arc(&p.key).unwrap(), &p));
     }
 
     #[test]

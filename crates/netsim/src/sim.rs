@@ -123,11 +123,24 @@ pub struct SimConfig {
     pub seed: u64,
 }
 
+/// One entry of a pre-planned timer batch: fire `timer` at `node` at `time`.
+pub type BatchTimerEntry = (Timestamp, SensorId, TimerId);
+
 enum EventKind<M> {
     Start(SensorId),
     Timer {
         node: SensorId,
         timer: TimerId,
+    },
+    /// A pre-sorted sequence of timers sharing **one** queue entry: the
+    /// batch sits in the heap at the time of its next undispatched entry and
+    /// re-queues itself (same allocation, advanced cursor) after each
+    /// dispatch. A periodic fan-out over every node — such as a sampling
+    /// round — therefore costs one queued event instead of one per
+    /// node × round.
+    TimerBatch {
+        entries: Arc<Vec<BatchTimerEntry>>,
+        next: usize,
     },
     /// The payload is interned behind an [`Arc`]: one transmission heard by
     /// `r` receivers queues `r` handles to a single payload instead of `r`
@@ -242,6 +255,13 @@ impl<A: Application> Simulator<A> {
         self.apps.iter().map(|(id, a)| (*id, a))
     }
 
+    /// Mutable access to all applications, for harnesses that need to
+    /// configure the apps after construction (e.g. switching them to an
+    /// externally installed timer schedule).
+    pub fn apps_mut(&mut self) -> impl Iterator<Item = (SensorId, &mut A)> {
+        self.apps.iter_mut().map(|(id, a)| (*id, a))
+    }
+
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
@@ -263,14 +283,47 @@ impl<A: Application> Simulator<A> {
         self.push_event(at, EventKind::Timer { node, timer });
     }
 
+    /// Schedules a whole batch of timers behind a **single** queue entry.
+    ///
+    /// The entries must be sorted by ascending time (equal times fire in
+    /// vector order); the batch dispatches them one by one, re-queuing
+    /// itself at the next entry's time after each dispatch, so an arbitrary
+    /// per-round fan-out (one sampling timer per node, say) never occupies
+    /// more than one slot in the event heap. Entries addressed to nodes
+    /// removed before their time are skipped silently, exactly like an
+    /// ordinary timer of a removed node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entries are not sorted by time.
+    pub fn schedule_timer_batch(&mut self, entries: Vec<BatchTimerEntry>) {
+        assert!(
+            entries.windows(2).all(|pair| pair[0].0 <= pair[1].0),
+            "timer batch entries must be sorted by ascending time"
+        );
+        if entries.is_empty() {
+            return;
+        }
+        let time = entries[0].0;
+        self.push_event(time, EventKind::TimerBatch { entries: Arc::new(entries), next: 0 });
+    }
+
     /// Removes a node from the simulation: its application stops receiving
     /// events and every remaining neighbour is notified through
     /// [`Application::on_neighborhood_change`] (the paper's link-down event).
+    ///
+    /// Only the adjacency entries of the removed node and its former
+    /// neighbours are re-derived; the rest of the cached neighbour lists are
+    /// untouched, so a node failure costs `O(degree)` map updates instead of
+    /// a full rebuild over every sensor.
     pub fn remove_node(&mut self, id: SensorId) {
         let former_neighbors = self.topology.neighbors(id);
         self.topology.remove_sensor(id);
         self.apps.remove(&id);
-        self.adjacency = Self::build_adjacency(&self.topology);
+        self.adjacency.remove(&id);
+        for n in &former_neighbors {
+            self.adjacency.insert(*n, Arc::new(self.topology.neighbors(*n)));
+        }
         for n in former_neighbors {
             if self.apps.contains_key(&n) {
                 self.dispatch(n, |app, ctx| app.on_neighborhood_change(ctx));
@@ -323,6 +376,19 @@ impl<A: Application> Simulator<A> {
                 self.dispatch(node, |app, ctx| app.on_start(ctx));
             }
             EventKind::Timer { node, timer } => {
+                self.dispatch(node, |app, ctx| app.on_timer(ctx, timer));
+            }
+            EventKind::TimerBatch { entries, next } => {
+                let (_, node, timer) = entries[next];
+                // Re-queue the batch for its next entry *before* dispatching,
+                // so a callback that inspects the queue sees it pending.
+                if next + 1 < entries.len() {
+                    let time = entries[next + 1].0;
+                    self.push_event(
+                        time,
+                        EventKind::TimerBatch { entries: Arc::clone(&entries), next: next + 1 },
+                    );
+                }
                 self.dispatch(node, |app, ctx| app.on_timer(ctx, timer));
             }
             EventKind::Deliver { to, from, payload, payload_bytes } => {
@@ -625,6 +691,71 @@ mod tests {
         let sent_before = sim.network_stats().total_packets_sent();
         sim.run_until(Timestamp::from_secs(3));
         assert_eq!(sim.network_stats().total_packets_sent(), sent_before);
+    }
+
+    #[test]
+    fn timer_batches_occupy_one_queue_slot_and_fire_in_order() {
+        let mut sim = flood_sim(3, SimConfig::default());
+        sim.run_until_quiescent(Timestamp::from_secs(1));
+        let baseline = sim.network_stats().total_packets_sent();
+        // Six timers (two rounds over three nodes) behind one queue entry.
+        let entries: Vec<BatchTimerEntry> =
+            (0..6).map(|i| (Timestamp::from_secs(10 + i), SensorId(i as u32 % 3), i)).collect();
+        sim.schedule_timer_batch(entries);
+        assert_eq!(sim.queued_events(), 1, "the whole fan-out is one queue entry");
+        sim.run_until(Timestamp::from_secs(12));
+        assert_eq!(sim.network_stats().total_packets_sent(), baseline + 3);
+        // Besides the in-flight deliveries, the remaining entries still
+        // share a single queue slot.
+        assert_eq!(sim.queued_events() - sim.messages_in_flight(), 1);
+        assert!(sim.run_until_quiescent(Timestamp::from_secs(60)));
+        assert_eq!(sim.network_stats().total_packets_sent(), baseline + 6);
+    }
+
+    #[test]
+    fn timer_batch_entries_for_removed_nodes_are_skipped() {
+        let mut sim = flood_sim(3, SimConfig::default());
+        sim.run_until_quiescent(Timestamp::from_secs(1));
+        sim.schedule_timer_batch(vec![
+            (Timestamp::from_secs(5), SensorId(1), 0),
+            (Timestamp::from_secs(6), SensorId(2), 1),
+        ]);
+        sim.remove_node(SensorId(1));
+        let before = sim.network_stats().total_packets_sent();
+        assert!(sim.run_until_quiescent(Timestamp::from_secs(60)));
+        // Only the surviving node's timer broadcast.
+        assert_eq!(sim.network_stats().total_packets_sent(), before + 1);
+    }
+
+    #[test]
+    fn empty_timer_batches_are_a_no_op() {
+        let mut sim = flood_sim(2, SimConfig::default());
+        sim.run_until_quiescent(Timestamp::from_secs(1));
+        sim.schedule_timer_batch(Vec::new());
+        assert_eq!(sim.queued_events(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by ascending time")]
+    fn unsorted_timer_batches_are_rejected() {
+        let mut sim = flood_sim(2, SimConfig::default());
+        sim.schedule_timer_batch(vec![
+            (Timestamp::from_secs(5), SensorId(0), 0),
+            (Timestamp::from_secs(4), SensorId(1), 1),
+        ]);
+    }
+
+    #[test]
+    fn removing_a_node_patches_only_affected_adjacency_entries() {
+        let mut sim = flood_sim(4, SimConfig::default());
+        sim.run_until_quiescent(Timestamp::from_secs(10));
+        let untouched = Arc::clone(&sim.adjacency[&SensorId(3)]);
+        sim.remove_node(SensorId(1));
+        assert!(!sim.adjacency.contains_key(&SensorId(1)));
+        assert_eq!(sim.adjacency[&SensorId(0)].as_slice(), &[] as &[SensorId]);
+        assert_eq!(sim.adjacency[&SensorId(2)].as_slice(), &[SensorId(3)]);
+        // Node 3 was not adjacent to node 1: its cached list is reused as-is.
+        assert!(Arc::ptr_eq(&untouched, &sim.adjacency[&SensorId(3)]));
     }
 
     #[test]

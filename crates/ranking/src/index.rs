@@ -37,10 +37,16 @@
 //! # Choosing an index
 //!
 //! [`AnyIndex::build`] with [`IndexStrategy::Auto`] picks brute force for
-//! small sets (where building a structure costs more than it saves) and the
-//! k-d tree otherwise; the grid is available for workloads known to be
-//! uniform. Sets with mixed feature dimensionality fall back to brute force,
-//! which mirrors what the brute path would have accepted.
+//! small sets (where building a structure costs more than it saves). Above
+//! the threshold it builds the grid and measures the occupancy of the cells
+//! the build just filled (build-then-measure — nothing is scanned twice):
+//! if the points spread roughly uniformly over their bounding box (most
+//! cells occupied, no cell grossly over-full) the grid is kept — its ring
+//! search beats the k-d tree on spread data — otherwise it is discarded for
+//! a k-d tree, which degrades gracefully on clustered data where most grid
+//! cells would sit empty around one overloaded cell. Sets with mixed
+//! feature dimensionality fall back to brute force, which mirrors what the
+//! brute path would have accepted.
 
 use crate::function::neighbors_by_distance;
 use std::cmp::Ordering;
@@ -50,6 +56,14 @@ use wsn_data::{DataPoint, PointSet};
 /// Below this many points, [`IndexStrategy::Auto`] keeps the brute path: the
 /// `O(w log w)` structure build does not pay for itself on tiny windows.
 pub const AUTO_BRUTE_THRESHOLD: usize = 48;
+
+/// Fraction of grid cells that must be occupied for the auto strategy's
+/// occupancy probe to call a dataset "uniformly spread".
+const AUTO_GRID_MIN_OCCUPANCY: f64 = 0.5;
+
+/// Maximum allowed ratio between the fullest grid cell and the average cell
+/// occupancy before the auto probe rejects the grid as too clustered.
+const AUTO_GRID_MAX_SKEW: f64 = 4.0;
 
 /// A queryable spatial index over one immutable snapshot of a [`PointSet`].
 ///
@@ -91,7 +105,10 @@ pub trait NeighborIndex: Send + Sync {
 /// Which index implementation to build for a dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IndexStrategy {
-    /// Brute force below [`AUTO_BRUTE_THRESHOLD`] points, k-d tree above.
+    /// Brute force below [`AUTO_BRUTE_THRESHOLD`] points; above it, the
+    /// [`GridIndex`] is built and kept when its measured cell occupancy says
+    /// the data spreads uniformly over its bounding box, with the
+    /// [`KdTreeIndex`] built instead otherwise.
     #[default]
     Auto,
     /// Always the [`BruteIndex`] baseline.
@@ -665,6 +682,27 @@ impl NeighborIndex for GridIndex {
 // Strategy dispatch
 // ---------------------------------------------------------------------------
 
+/// Occupancy verdict behind [`IndexStrategy::Auto`], measured on an already
+/// built [`GridIndex`] (build-then-measure: the cells the grid filled during
+/// construction *are* the occupancy histogram, so the probe costs one pass
+/// over the cell array and no re-binning). The grid is kept when at least
+/// [`AUTO_GRID_MIN_OCCUPANCY`] of its cells hold a point and no cell exceeds
+/// [`AUTO_GRID_MAX_SKEW`] × the average occupancy; clustered data fails
+/// both, and a degenerate grid (all extents collapsed into < 4 cells)
+/// cannot discriminate and is always rejected.
+fn grid_occupancy_is_uniform(grid: &GridIndex) -> bool {
+    let total = grid.cells.len();
+    let n = grid.len();
+    if n == 0 || total < 4 {
+        return false;
+    }
+    let occupied = grid.cells.iter().filter(|cell| !cell.is_empty()).count();
+    let fullest = grid.cells.iter().map(Vec::len).max().unwrap_or(0);
+    let average = (n as f64 / total as f64).max(1.0);
+    occupied as f64 >= AUTO_GRID_MIN_OCCUPANCY * total as f64
+        && fullest as f64 <= AUTO_GRID_MAX_SKEW * average
+}
+
 /// A concrete index of any strategy, dispatching [`NeighborIndex`] calls.
 #[derive(Debug, Clone)]
 pub enum AnyIndex {
@@ -690,24 +728,25 @@ impl AnyIndex {
                 Some(first) => dims.all(|d| d == first),
             }
         };
-        let effective = if !uniform {
-            IndexStrategy::Brute
-        } else {
-            match strategy {
-                IndexStrategy::Auto => {
-                    if data.len() < AUTO_BRUTE_THRESHOLD {
-                        IndexStrategy::Brute
-                    } else {
-                        IndexStrategy::KdTree
-                    }
-                }
-                explicit => explicit,
-            }
-        };
+        let auto_small =
+            matches!(strategy, IndexStrategy::Auto) && data.len() < AUTO_BRUTE_THRESHOLD;
+        let effective = if !uniform || auto_small { IndexStrategy::Brute } else { strategy };
         match effective {
-            IndexStrategy::Brute | IndexStrategy::Auto => AnyIndex::Brute(BruteIndex::build(data)),
+            IndexStrategy::Brute => AnyIndex::Brute(BruteIndex::build(data)),
             IndexStrategy::Grid => AnyIndex::Grid(GridIndex::build(data)),
             IndexStrategy::KdTree => AnyIndex::KdTree(KdTreeIndex::build(data)),
+            IndexStrategy::Auto => {
+                // Build-then-measure: the grid's own cell buckets are the
+                // occupancy histogram, so nothing is scanned twice. Keep the
+                // grid for uniformly spread data; fall back to the k-d tree
+                // (which degrades gracefully on clusters) otherwise.
+                let grid = GridIndex::build(data);
+                if grid_occupancy_is_uniform(&grid) {
+                    AnyIndex::Grid(grid)
+                } else {
+                    AnyIndex::KdTree(KdTreeIndex::build(data))
+                }
+            }
         }
     }
 }
@@ -960,15 +999,36 @@ mod tests {
     }
 
     #[test]
-    fn auto_strategy_picks_by_size_and_uniformity() {
+    fn auto_strategy_picks_by_size_and_occupancy() {
         let small = sample_set();
         assert!(matches!(AnyIndex::build(IndexStrategy::Auto, &small), AnyIndex::Brute(_)));
-        let big: PointSet =
+        // Evenly spread points fill the probe's cells: the grid wins.
+        let spread: PointSet =
             (0..AUTO_BRUTE_THRESHOLD as u32 + 1).map(|i| pt(i, 0, vec![i as f64, 0.5])).collect();
-        assert!(matches!(AnyIndex::build(IndexStrategy::Auto, &big), AnyIndex::KdTree(_)));
+        assert!(matches!(AnyIndex::build(IndexStrategy::Auto, &spread), AnyIndex::Grid(_)));
+        // One dense cluster plus a lone straggler leaves almost every cell
+        // empty: the probe rejects the grid and the k-d tree is built.
+        let clustered: PointSet = (0..AUTO_BRUTE_THRESHOLD as u32)
+            .map(|i| pt(i, 0, vec![i as f64 * 1e-3, 0.5]))
+            .chain(std::iter::once(pt(999, 0, vec![1000.0, 0.5])))
+            .collect();
+        assert!(matches!(AnyIndex::build(IndexStrategy::Auto, &clustered), AnyIndex::KdTree(_)));
         let mixed: PointSet =
             vec![pt(1, 0, vec![1.0]), pt(2, 0, vec![1.0, 2.0])].into_iter().collect();
         assert!(matches!(AnyIndex::build(IndexStrategy::KdTree, &mixed), AnyIndex::Brute(_)));
         assert_eq!(IndexStrategy::default(), IndexStrategy::Auto);
+    }
+
+    #[test]
+    fn occupancy_probe_handles_degenerate_shapes() {
+        // All points identical: every extent collapses into one cell, which
+        // cannot discriminate — the grid is rejected.
+        let identical: PointSet = (0..60).map(|i| pt(i, 0, vec![7.0, 7.0])).collect();
+        assert!(!grid_occupancy_is_uniform(&GridIndex::build(&identical)));
+        assert!(matches!(AnyIndex::build(IndexStrategy::Auto, &identical), AnyIndex::KdTree(_)));
+        // Zero-dimensional points: no axes to probe.
+        let zero_dim: PointSet = (0..60).map(|i| pt(i, 0, vec![])).collect();
+        assert!(!grid_occupancy_is_uniform(&GridIndex::build(&zero_dim)));
+        assert!(!grid_occupancy_is_uniform(&GridIndex::build(&PointSet::new())));
     }
 }

@@ -2,7 +2,7 @@
 //! simulated multi-hop deployments, including dynamic data, packet loss and
 //! node removal.
 
-use in_network_outlier::detection::app::{DetectorApp, SamplingSchedule};
+use in_network_outlier::detection::app::{simulator_with_sampling, DetectorApp, SamplingSchedule};
 use in_network_outlier::detection::experiment::{
     run_experiment, AlgorithmConfig, ExperimentConfig, RankingChoice,
 };
@@ -31,7 +31,7 @@ fn chain_sim(
         seed,
         ..Default::default()
     };
-    Simulator::new(config, topology, move |id| {
+    simulator_with_sampling(config, topology, &schedule, move |id| {
         let spec = specs.iter().find(|s| s.id == id).copied().unwrap();
         let mut stream = SensorStream::new(spec);
         for round in 0..rounds {

@@ -5,7 +5,7 @@
 //! network).
 
 use in_network_outlier::data::lab::{LabDeployment, LAB_SENSOR_COUNT, PAPER_TRANSMISSION_RANGE_M};
-use in_network_outlier::detection::app::{DetectorApp, SamplingSchedule};
+use in_network_outlier::detection::app::{simulator_with_sampling, DetectorApp, SamplingSchedule};
 use in_network_outlier::detection::global::GlobalNode;
 use in_network_outlier::netsim::energy::EnergyModel;
 use in_network_outlier::netsim::radio::RadioConfig;
@@ -57,7 +57,7 @@ fn every_in_range_node_pays_receive_energy_for_a_broadcast() {
     let topology = Topology::from_deployment(&deployment, PAPER_TRANSMISSION_RANGE_M);
     let schedule = SamplingSchedule::new(30.0, 2);
     let window = WindowConfig::from_samples(10, 30.0).unwrap();
-    let mut sim = Simulator::new(SimConfig::default(), topology, |id| {
+    let mut sim = simulator_with_sampling(SimConfig::default(), topology, &schedule, |id| {
         let spec = *deployment.sensors().iter().find(|s| s.id == id).unwrap();
         let mut stream = SensorStream::new(spec);
         for round in 0..2u64 {
@@ -102,7 +102,7 @@ fn packet_loss_costs_energy_but_delivers_nothing() {
                 radio: RadioConfig::with_range(PAPER_TRANSMISSION_RANGE_M).with_loss(loss),
                 ..Default::default()
             };
-            let mut sim = Simulator::new(config, topology, |id| {
+            let mut sim = simulator_with_sampling(config, topology, &schedule, |id| {
                 let spec = *deployment.sensors().iter().find(|s| s.id == id).unwrap();
                 let mut stream = SensorStream::new(spec);
                 stream.readings.push(SensorReading::present(
