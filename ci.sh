@@ -47,4 +47,15 @@ WSN_BENCH_WARMUP_MS=1 WSN_BENCH_MEASURE_MS=25 WSN_BENCH_OUT="$PWD/target/bench_s
     cargo bench --offline -p wsn-bench --bench simulation_bench -- fig4_global_vs_centralized
 cargo run --release --offline -p wsn-bench --bin json_check -- target/bench_smoke.json
 
+# Scaling smoke: the 200-sensor distributed deployment end to end, once,
+# with the minimum measurement budget — the regime where the sufficient-set
+# fixed point used to go super-linear. Gated through json_check so the
+# scaling path cannot silently regress into not completing (the harness
+# would hang or die, leaving no valid JSON behind).
+echo "== scaling smoke (200-sensor Global-NN) =="
+rm -f target/bench_scaling_smoke.json
+WSN_BENCH_WARMUP_MS=1 WSN_BENCH_MEASURE_MS=1 WSN_BENCH_OUT="$PWD/target/bench_scaling_smoke.json" \
+    cargo bench --offline -p wsn-bench --bench simulation_bench -- scaling/global_nn/200
+cargo run --release --offline -p wsn-bench --bin json_check -- target/bench_scaling_smoke.json
+
 echo "CI OK"

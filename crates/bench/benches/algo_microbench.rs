@@ -10,7 +10,9 @@ use wsn_bench::harness::Harness;
 use wsn_core::detector::OutlierDetector;
 use wsn_core::global::GlobalNode;
 use wsn_core::semiglobal::SemiGlobalNode;
-use wsn_core::sufficient::{sufficient_set, sufficient_set_indexed};
+use wsn_core::sufficient::{
+    sufficient_set, sufficient_set_indexed, sufficient_set_rebuild_reference, FixedPointEngine,
+};
 use wsn_data::rng::SeededRng;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, Epoch, PointSet, SensorId, Timestamp};
@@ -119,6 +121,57 @@ fn bench_index_strategies(h: &mut Harness) {
     }
 }
 
+/// The equation (2) fixed point head-to-head: the incremental
+/// [`FixedPointEngine`] (one dynamic index seeded per call, zero throwaway
+/// builds) against the rebuild-per-iteration reference it replaced, at the
+/// figure sweeps' window sizes and three shared-knowledge regimes — the
+/// neighbour knows nothing, a quarter of `P_i`, or all of it (`|known| ∈
+/// {0, w/4, w}`). `engine_cold` pays the per-revision seed/support caching
+/// on every call; `engine_warm` reuses one engine at a fixed revision, the
+/// way the detectors call it for every neighbour after the first.
+fn bench_fixed_point(h: &mut Harness) {
+    for &size in &[64usize, 256, 1024] {
+        let pi = dataset(size, 7);
+        let index = AnyIndex::build(IndexStrategy::Auto, &pi);
+        for (label, count) in [("none", 0usize), ("quarter", size / 4), ("all", size)] {
+            let known: PointSet = pi.iter().take(count).cloned().collect();
+            h.bench("fixed_point", &format!("reference_nn_{label}/{size}"), || {
+                black_box(sufficient_set_rebuild_reference(
+                    &NnDistance,
+                    4,
+                    &pi,
+                    &index,
+                    black_box(&known),
+                ));
+            });
+            h.bench("fixed_point", &format!("engine_cold_nn_{label}/{size}"), || {
+                let mut engine = FixedPointEngine::new();
+                black_box(engine.sufficient_set(
+                    &NnDistance,
+                    4,
+                    &pi,
+                    Some(&index),
+                    SensorId(1),
+                    black_box(&known),
+                    (0, 0),
+                ));
+            });
+            let mut warm = FixedPointEngine::new();
+            h.bench("fixed_point", &format!("engine_warm_nn_{label}/{size}"), || {
+                black_box(warm.sufficient_set(
+                    &NnDistance,
+                    4,
+                    &pi,
+                    Some(&index),
+                    SensorId(1),
+                    black_box(&known),
+                    (0, 0),
+                ));
+            });
+        }
+    }
+}
+
 fn bench_ranking_functions(h: &mut Harness) {
     let data = dataset(512, 4);
     let x = data.iter().next().unwrap().clone();
@@ -167,6 +220,7 @@ fn main() {
     bench_support_sets(&mut h);
     bench_sufficient_set(&mut h);
     bench_index_strategies(&mut h);
+    bench_fixed_point(&mut h);
     bench_ranking_functions(&mut h);
     bench_node_processing(&mut h);
     h.finish();

@@ -118,10 +118,15 @@ fn bench_scaling(h: &mut Harness) {
             black_box(run_experiment(black_box(&config)).expect("benchmark experiment failed"));
         });
     }
-    let config = full_scale(AlgorithmConfig::Global { ranking: RankingChoice::Nn }, 53, 2);
-    h.bench("scaling", "global_nn/53", || {
-        black_box(run_experiment(black_box(&config)).expect("benchmark experiment failed"));
-    });
+    // The distributed detector at full scale: 53 sensors (the paper's
+    // deployment) and the 200-sensor stretch, the regime where the
+    // pre-incremental fixed point went super-linear.
+    for &count in &[53usize, 200] {
+        let config = full_scale(AlgorithmConfig::Global { ranking: RankingChoice::Nn }, count, 2);
+        h.bench("scaling", &format!("global_nn/{count}"), || {
+            black_box(run_experiment(black_box(&config)).expect("benchmark experiment failed"));
+        });
+    }
 }
 
 fn main() {

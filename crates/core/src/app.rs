@@ -215,13 +215,13 @@ impl<D: OutlierDetector> Application for DetectorApp<D> {
         from: SensorId,
         message: Self::Message,
     ) {
-        let mine = message.points_for(ctx.id());
+        let mine = message.points_for_arcs(ctx.id());
         if mine.is_empty() {
             // Not tagged for us: receipt of M is not an event (§5.2).
             return;
         }
         self.detector.advance_time(ctx.now());
-        self.detector.receive(from, mine);
+        self.detector.receive_arcs(from, mine);
         self.react(ctx);
     }
 

@@ -39,6 +39,22 @@ pub trait OutlierDetector {
     /// (the paper's "message received" event).
     fn receive(&mut self, from: SensorId, points: Vec<DataPoint>);
 
+    /// [`receive`](OutlierDetector::receive) for points already behind
+    /// shared handles — the zero-copy path the simulator adapter feeds
+    /// broadcast payloads through, so a delivered point shares one
+    /// allocation with the sender's window and every other receiver. The
+    /// default unwraps (or copies) each handle and delegates; both shipped
+    /// detectors override it as their primary implementation.
+    fn receive_arcs(&mut self, from: SensorId, points: Vec<std::sync::Arc<DataPoint>>) {
+        self.receive(
+            from,
+            points
+                .into_iter()
+                .map(|p| std::sync::Arc::try_unwrap(p).unwrap_or_else(|shared| (*shared).clone()))
+                .collect(),
+        );
+    }
+
     /// Advances the sliding-window clock to `now`, evicting points that have
     /// fallen out of the window everywhere they are tracked (§5.3).
     fn advance_time(&mut self, now: Timestamp);

@@ -318,6 +318,12 @@ impl ExperimentOutcome {
 
 /// A detector that can be either of the two distributed algorithms, so one
 /// simulator type can run every distributed configuration.
+///
+/// The variants differ in size (the semi-global node carries per-hop engine
+/// and prefix state), but the enum is held once per simulated node inside
+/// its application — boxing the payload would buy nothing and cost an
+/// indirection on every event.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub enum AnyDetector {
     /// The global algorithm (§5).
@@ -352,6 +358,13 @@ impl OutlierDetector for AnyDetector {
         match self {
             AnyDetector::Global(d) => d.receive(from, points),
             AnyDetector::SemiGlobal(d) => d.receive(from, points),
+        }
+    }
+
+    fn receive_arcs(&mut self, from: SensorId, points: Vec<Arc<DataPoint>>) {
+        match self {
+            AnyDetector::Global(d) => d.receive_arcs(from, points),
+            AnyDetector::SemiGlobal(d) => d.receive_arcs(from, points),
         }
     }
 
@@ -524,7 +537,6 @@ fn run_distributed(
     };
     let accuracy = truth.grade(&estimates);
     let all_estimates_agree = hop_diameter.is_none() && estimates_agree(&estimates);
-
     Ok(ExperimentOutcome {
         label: config.algorithm.label(),
         config: config.clone(),

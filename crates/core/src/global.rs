@@ -14,17 +14,15 @@
 //! nothing left to send; Theorems 1 and 2 guarantee that at that moment all
 //! estimates agree and equal the true `O_n(⋃_i D_i)`.
 
-use crate::cache::RevisionCache;
 use crate::detector::OutlierDetector;
-use crate::ledger::QuietLedger;
+use crate::ledger::{fold_min_timestamp, QuietLedger};
 use crate::message::OutlierBroadcast;
-use crate::sufficient::sufficient_set_indexed;
+use crate::sufficient::FixedPointEngine;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, PointSet, SensorId, SlidingWindow, Timestamp};
-use wsn_ranking::index::{AnyIndex, IndexStrategy};
-use wsn_ranking::{top_n_outliers, top_n_outliers_indexed, OutlierEstimate, RankingFunction};
+use wsn_ranking::{top_n_outliers, OutlierEstimate, RankingFunction};
 
 /// Per-sensor state of the global algorithm.
 #[derive(Debug, Clone)]
@@ -33,14 +31,21 @@ pub struct GlobalNode<R> {
     ranking: R,
     n: usize,
     window: SlidingWindow,
-    sent_to: BTreeMap<SensorId, PointSet>,
-    recv_from: BTreeMap<SensorId, PointSet>,
+    /// Per neighbour, the points this node knows the neighbour holds —
+    /// `D^i_{i,j} ∪ D^i_{j,i}`, maintained **incrementally**: every recorded
+    /// send and every receipt inserts into it, window slides evict from it.
+    /// The sufficient-set computation only ever reads the union, so keeping
+    /// the two directions merged saves re-unioning them per neighbour per
+    /// event.
+    shared_with: BTreeMap<SensorId, PointSet>,
+    /// The smallest timestamp ever inserted into any shared-knowledge set
+    /// and still possibly present (conservative: never later than the true
+    /// minimum). Clock advances whose cutoff does not pass it skip the
+    /// whole per-neighbour eviction sweep in O(1) — the common case, since
+    /// every delivery advances the clock but only window slides evict.
+    shared_oldest: Option<Timestamp>,
     points_sent: u64,
     points_received: u64,
-    /// Neighbour index over the window contents, rebuilt only when the
-    /// window's revision moves (insertion or slide) and shared by every
-    /// per-neighbour sufficient-set fixed point of a protocol step.
-    index_cache: RevisionCache<AnyIndex>,
     /// Per-neighbour revision bookkeeping behind the "nothing to send" memo:
     /// while neither the window nor a neighbour's `sent_to` / `recv_from`
     /// sets change, [`OutlierDetector::process`] skips that neighbour
@@ -50,6 +55,12 @@ pub struct GlobalNode<R> {
     /// process pass) from re-running one fixed point per neighbour per
     /// event.
     ledger: QuietLedger,
+    /// The reusable sufficient-set evaluator: its seed and support caches
+    /// are keyed to the window revision (rolled forward on first use after a
+    /// window change), so the per-neighbour fixed points of one protocol
+    /// step — and of every later step at the same revision — share the
+    /// `O_n(P_i)` seed and all `[P_i|x]` support queries.
+    engine: FixedPointEngine,
 }
 
 impl<R: RankingFunction> GlobalNode<R> {
@@ -67,12 +78,12 @@ impl<R: RankingFunction> GlobalNode<R> {
             ranking,
             n,
             window: SlidingWindow::new(window),
-            sent_to: BTreeMap::new(),
-            recv_from: BTreeMap::new(),
+            shared_with: BTreeMap::new(),
+            shared_oldest: None,
             points_sent: 0,
             points_received: 0,
-            index_cache: RevisionCache::new(),
             ledger: QuietLedger::new(),
+            engine: FixedPointEngine::new(),
         }
     }
 
@@ -94,12 +105,7 @@ impl<R: RankingFunction> GlobalNode<R> {
     /// The points this node knows it shares with `neighbor`
     /// (`D^i_{i,j} ∪ D^i_{j,i}`). The returned set shares the stored points.
     pub fn known_common_with(&self, neighbor: SensorId) -> PointSet {
-        match (self.sent_to.get(&neighbor), self.recv_from.get(&neighbor)) {
-            (Some(sent), Some(recv)) => sent.union(recv),
-            (Some(sent), None) => sent.clone(),
-            (None, Some(recv)) => recv.clone(),
-            (None, None) => PointSet::new(),
-        }
+        self.shared_with.get(&neighbor).cloned().unwrap_or_default()
     }
 
     /// Convenience constructor of local observations for this node, used by
@@ -126,69 +132,97 @@ impl<R: RankingFunction> OutlierDetector for GlobalNode<R> {
     fn add_local_points(&mut self, points: Vec<DataPoint>) {
         for mut p in points {
             p.hop = 0;
-            self.window.insert(p);
+            let p = Arc::new(p);
+            if self.window.insert_arc(Arc::clone(&p)) {
+                self.engine.note_window_point(&p, self.window.revision());
+            }
         }
     }
 
     fn receive(&mut self, from: SensorId, points: Vec<DataPoint>) {
-        let received = self.recv_from.entry(from).or_default();
-        let mut changed = false;
+        self.receive_arcs(from, points.into_iter().map(Arc::new).collect());
+    }
+
+    fn receive_arcs(&mut self, from: SensorId, points: Vec<Arc<DataPoint>>) {
+        let shared = self.shared_with.entry(from).or_default();
+        let mut fresh: Vec<Arc<DataPoint>> = Vec::new();
         for p in points {
             // Record that the neighbour holds this point whether or not it is
             // new to us; both facts suppress future redundant sends. The
-            // bookkeeping set and the window share one allocation.
-            let p = Arc::new(p);
-            changed |= received.insert_arc(Arc::clone(&p));
-            if self.window.insert_arc(p) {
+            // bookkeeping set, the window and the sender's copy all share
+            // one allocation. (A point we previously sent to this neighbour
+            // is already recorded, so its echo changes nothing.)
+            if shared.insert_arc(Arc::clone(&p)) {
+                fresh.push(Arc::clone(&p));
+            }
+            if self.window.insert_arc(Arc::clone(&p)) {
                 self.points_received += 1;
+                self.engine.note_window_point(&p, self.window.revision());
             }
         }
-        if changed {
+        if !fresh.is_empty() {
             self.ledger.bump(from);
+            // Hand the engine the exact delta so its cached hypothetical
+            // set follows the bookkeeping revision without re-scans.
+            let revision = self.ledger.state(from, 0).1;
+            self.engine.note_shared_points(from, &fresh, revision);
+        }
+        if let Some(min_ts) = fresh.iter().map(|p| p.timestamp).min() {
+            fold_min_timestamp(&mut self.shared_oldest, min_ts);
         }
     }
 
     fn advance_time(&mut self, now: Timestamp) {
         self.window.advance_to(now);
         let cutoff = self.window.config().cutoff(now);
-        self.ledger.evict_and_bump(&mut self.sent_to, cutoff);
-        self.ledger.evict_and_bump(&mut self.recv_from, cutoff);
+        self.ledger.evict_and_bump_gated(&mut self.shared_with, cutoff, &mut self.shared_oldest);
     }
 
     fn process(&mut self, neighbors: &[SensorId]) -> Option<OutlierBroadcast> {
         // A zero-copy snapshot of P_i: the window is read, never cloned.
+        // No index is built here: the engine maintains its own dynamic
+        // index over the window, kept in sync by the insertion notes.
         let pi = self.window.snapshot();
-        let index = self
-            .index_cache
-            .get_or_build(self.window.revision(), || AnyIndex::build(IndexStrategy::Auto, &pi));
+        let revision = self.window.revision();
         let mut message = OutlierBroadcast::new();
         for &j in neighbors {
             if j == self.id {
                 continue;
             }
-            let state = self.ledger.state(j, self.window.revision());
+            let state = self.ledger.state(j, revision);
             if self.ledger.is_quiet(j, state) {
                 // Neither P_i nor the shared-knowledge sets for j changed
                 // since the last (empty) computation: same inputs, same
                 // nothing-to-send outcome.
                 continue;
             }
-            let known = self.known_common_with(j);
-            let z = sufficient_set_indexed(&self.ranking, self.n, &pi, index.as_ref(), &known);
-            let to_send = z.difference(&known);
+            // The shared-knowledge set is maintained incrementally; reading
+            // it here is free.
+            let known = self.shared_with.get(&j);
+            let empty = PointSet::new();
+            let known = known.unwrap_or(&empty);
+            let z = self.engine.sufficient_set(&self.ranking, self.n, &pi, None, j, known, state);
+            let to_send = z.difference(known);
             if to_send.is_empty() {
                 self.ledger.mark_quiet(j, state);
                 continue;
             }
-            let sent = self.sent_to.entry(j).or_default();
-            for p in to_send.iter_arcs() {
-                sent.insert_arc(Arc::clone(p));
+            let batch: Vec<Arc<DataPoint>> = to_send.iter_arcs().cloned().collect();
+            if let Some(min_ts) = batch.iter().map(|p| p.timestamp).min() {
+                fold_min_timestamp(&mut self.shared_oldest, min_ts);
+            }
+            let shared = self.shared_with.entry(j).or_default();
+            for p in &batch {
+                shared.insert_arc(Arc::clone(p));
             }
             // Recording the send changes D^i_{i,j}: the cached quiet state
-            // (if any) is stale by key and the revision moves on.
+            // (if any) is stale by key and the revision moves on. The sent
+            // points are already inside the engine's hypothetical set (they
+            // came out of Z), so the note merely rolls its sync forward.
             self.ledger.bump(j);
-            self.points_sent += to_send.len() as u64;
-            message.add_entry(j, to_send.to_vec());
+            self.engine.note_shared_points(j, &batch, self.ledger.state(j, 0).1);
+            self.points_sent += batch.len() as u64;
+            message.add_entry_arcs(j, batch);
         }
         if message.is_empty() {
             None
@@ -198,15 +232,7 @@ impl<R: RankingFunction> OutlierDetector for GlobalNode<R> {
     }
 
     fn estimate(&self) -> OutlierEstimate {
-        match self.index_cache.get(self.window.revision()) {
-            Some(index) => top_n_outliers_indexed(
-                &self.ranking,
-                self.n,
-                self.window.contents(),
-                index.as_ref(),
-            ),
-            None => top_n_outliers(&self.ranking, self.n, self.window.contents()),
-        }
+        top_n_outliers(&self.ranking, self.n, self.window.contents())
     }
 
     fn held_points(&self) -> &PointSet {

@@ -64,6 +64,34 @@ impl QuietLedger {
             }
         }
     }
+
+    /// [`QuietLedger::evict_and_bump`] behind an O(1) gate: `oldest` is the
+    /// conservative minimum timestamp across all sets (maintained by
+    /// [`fold_min_timestamp`] at every insertion site — it must never be
+    /// *later* than the true minimum, or evictions would be skipped). The
+    /// sweep only runs when the cutoff has actually passed it, and `oldest`
+    /// is recomputed exactly afterwards.
+    pub fn evict_and_bump_gated(
+        &mut self,
+        sets: &mut BTreeMap<SensorId, PointSet>,
+        cutoff: Timestamp,
+        oldest: &mut Option<Timestamp>,
+    ) {
+        if !oldest.is_some_and(|o| o < cutoff) {
+            return;
+        }
+        self.evict_and_bump(sets, cutoff);
+        *oldest = sets.values().flat_map(|s| s.iter().map(|p| p.timestamp)).min();
+    }
+}
+
+/// Lowers `slot` to `candidate` if it is earlier (or the slot is empty) —
+/// the single place the detectors' conservative shared-knowledge minimum is
+/// folded at, paired with [`QuietLedger::evict_and_bump_gated`].
+pub(crate) fn fold_min_timestamp(slot: &mut Option<Timestamp>, candidate: Timestamp) {
+    if !slot.is_some_and(|oldest| oldest <= candidate) {
+        *slot = Some(candidate);
+    }
 }
 
 #[cfg(test)]

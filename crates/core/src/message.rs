@@ -8,6 +8,7 @@
 //! extracts the points tagged with its own id and ignores the rest (though
 //! it still paid the receive energy — that is accounted by the simulator).
 
+use std::sync::Arc;
 use wsn_data::{DataPoint, SensorId};
 
 /// Fixed per-packet header bytes of the outlier protocol (sender id, entry
@@ -18,9 +19,14 @@ pub const PROTOCOL_HEADER_BYTES: usize = 8;
 pub const RECIPIENT_TAG_BYTES: usize = 4;
 
 /// The broadcast packet `M`: recipient-tagged point batches.
+///
+/// Points are carried behind [`Arc`] handles: building a packet from a
+/// sender's bookkeeping sets, fanning it out to every receiver and folding
+/// it into each receiver's window all share one allocation per point — no
+/// copy is made anywhere on the delivery path.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct OutlierBroadcast {
-    entries: Vec<(SensorId, Vec<DataPoint>)>,
+    entries: Vec<(SensorId, Vec<Arc<DataPoint>>)>,
 }
 
 impl OutlierBroadcast {
@@ -32,6 +38,12 @@ impl OutlierBroadcast {
     /// Appends a batch of points addressed to `recipient`. Empty batches are
     /// ignored (the paper only appends non-empty `Z_j` differences).
     pub fn add_entry(&mut self, recipient: SensorId, points: Vec<DataPoint>) {
+        self.add_entry_arcs(recipient, points.into_iter().map(Arc::new).collect());
+    }
+
+    /// [`OutlierBroadcast::add_entry`] for points already behind shared
+    /// handles (the detectors' bookkeeping sets store them that way).
+    pub fn add_entry_arcs(&mut self, recipient: SensorId, points: Vec<Arc<DataPoint>>) {
         if !points.is_empty() {
             self.entries.push((recipient, points));
         }
@@ -52,8 +64,15 @@ impl OutlierBroadcast {
         self.entries.iter().map(|(_, pts)| pts.len()).sum()
     }
 
-    /// The points tagged for `recipient` (what that neighbour extracts).
+    /// The points tagged for `recipient` (what that neighbour extracts),
+    /// as owned copies — the convenience form tests and examples use.
     pub fn points_for(&self, recipient: SensorId) -> Vec<DataPoint> {
+        self.points_for_arcs(recipient).into_iter().map(|p| (*p).clone()).collect()
+    }
+
+    /// The points tagged for `recipient`, sharing the stored allocations —
+    /// the zero-copy extraction the simulator adapter uses.
+    pub fn points_for_arcs(&self, recipient: SensorId) -> Vec<Arc<DataPoint>> {
         self.entries
             .iter()
             .filter(|(id, _)| *id == recipient)
@@ -62,7 +81,7 @@ impl OutlierBroadcast {
     }
 
     /// Iterates over the entries.
-    pub fn entries(&self) -> impl Iterator<Item = (SensorId, &[DataPoint])> {
+    pub fn entries(&self) -> impl Iterator<Item = (SensorId, &[Arc<DataPoint>])> {
         self.entries.iter().map(|(id, pts)| (*id, pts.as_slice()))
     }
 
@@ -74,7 +93,7 @@ impl OutlierBroadcast {
                 .entries
                 .iter()
                 .map(|(_, pts)| {
-                    RECIPIENT_TAG_BYTES + pts.iter().map(DataPoint::wire_size).sum::<usize>()
+                    RECIPIENT_TAG_BYTES + pts.iter().map(|p| p.wire_size()).sum::<usize>()
                 })
                 .sum::<usize>()
     }

@@ -13,9 +13,9 @@
 
 use crate::cache::RevisionCache;
 use crate::detector::OutlierDetector;
-use crate::ledger::QuietLedger;
+use crate::ledger::{fold_min_timestamp, QuietLedger};
 use crate::message::OutlierBroadcast;
-use crate::sufficient::sufficient_set_indexed;
+use crate::sufficient::FixedPointEngine;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use wsn_data::window::WindowConfig;
@@ -36,8 +36,19 @@ pub struct SemiGlobalNode<R> {
     n: usize,
     hop_diameter: HopCount,
     window: SlidingWindow,
-    sent_to: BTreeMap<SensorId, PointSet>,
-    recv_from: BTreeMap<SensorId, PointSet>,
+    /// Per neighbour, the points this node knows the neighbour holds at the
+    /// minimum hop count at which they were ever exchanged in either
+    /// direction (`[D^i_{i,j} ∪ D^i_{j,i}]^min`), maintained incrementally:
+    /// sends and receipts min-hop-insert into it, window slides evict from
+    /// it. Only the min-hop union is ever read, so the two directions live
+    /// merged.
+    shared_with: BTreeMap<SensorId, PointSet>,
+    /// The smallest timestamp ever inserted into any shared-knowledge set
+    /// and still possibly present (conservative: never later than the true
+    /// minimum). Clock advances whose cutoff does not pass it skip the
+    /// whole per-neighbour eviction sweep in O(1) — the common case, since
+    /// every delivery advances the clock but only window slides evict.
+    shared_oldest: Option<Timestamp>,
     points_sent: u64,
     points_received: u64,
     /// The hop-prefixes `P_i^{≤h}` for `h ∈ [0, d-1]` with their neighbour
@@ -46,6 +57,11 @@ pub struct SemiGlobalNode<R> {
     /// Per-neighbour revision bookkeeping behind the "nothing to send" memo
     /// (see [`crate::global::GlobalNode`] for the full rationale).
     ledger: QuietLedger,
+    /// One reusable sufficient-set evaluator per hop prefix `P_i^{≤h}`:
+    /// each prefix is a pure function of the window contents, so the window
+    /// revision pins engine `h`'s caches to prefix `h` and the seed/support
+    /// work is shared across all neighbours of a protocol step.
+    engines: Vec<FixedPointEngine>,
 }
 
 impl<R: RankingFunction> SemiGlobalNode<R> {
@@ -70,12 +86,13 @@ impl<R: RankingFunction> SemiGlobalNode<R> {
             n,
             hop_diameter,
             window: SlidingWindow::new(window),
-            sent_to: BTreeMap::new(),
-            recv_from: BTreeMap::new(),
+            shared_with: BTreeMap::new(),
+            shared_oldest: None,
             points_sent: 0,
             points_received: 0,
             prefix_cache: RevisionCache::new(),
             ledger: QuietLedger::new(),
+            engines: (0..hop_diameter).map(|_| FixedPointEngine::new()).collect(),
         }
     }
 
@@ -103,11 +120,21 @@ impl<R: RankingFunction> SemiGlobalNode<R> {
     /// counts at which they were exchanged (min-hop merged). The returned
     /// set shares the stored points.
     pub fn known_common_with(&self, neighbor: SensorId) -> PointSet {
-        match (self.sent_to.get(&neighbor), self.recv_from.get(&neighbor)) {
-            (Some(sent), Some(recv)) => sent.union_min_hop(recv),
-            (Some(sent), None) => sent.clone(),
-            (None, Some(recv)) => recv.clone(),
-            (None, None) => PointSet::new(),
+        self.shared_with.get(&neighbor).cloned().unwrap_or_default()
+    }
+
+    /// Forwards a just-recorded shared-knowledge delta to every hop
+    /// prefix's engine: a point at hop `v` enters `known^{≤h}` for every
+    /// `h ≥ v`, and engines whose prefix the delta does not touch still get
+    /// an (empty) note so their sync chain follows the bookkeeping
+    /// revision.
+    fn note_shared(&mut self, neighbor: SensorId, fresh: &[Arc<DataPoint>]) {
+        let revision = self.ledger.state(neighbor, 0).1;
+        let mut batch: Vec<Arc<DataPoint>> = Vec::with_capacity(fresh.len());
+        for (h, engine) in self.engines.iter_mut().enumerate() {
+            batch.clear();
+            batch.extend(fresh.iter().filter(|p| p.hop <= h as HopCount).cloned());
+            engine.note_shared_points(neighbor, &batch, revision);
         }
     }
 }
@@ -129,31 +156,40 @@ impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
     }
 
     fn receive(&mut self, from: SensorId, points: Vec<DataPoint>) {
-        let received = self.recv_from.entry(from).or_default();
-        let mut changed = false;
+        self.receive_arcs(from, points.into_iter().map(Arc::new).collect());
+    }
+
+    fn receive_arcs(&mut self, from: SensorId, points: Vec<Arc<DataPoint>>) {
+        let shared = self.shared_with.entry(from).or_default();
+        let mut fresh: Vec<Arc<DataPoint>> = Vec::new();
         for p in points {
             if p.hop > self.hop_diameter {
                 // A copy that travelled farther than the spatial extent can
                 // never influence this node's result; ignore it outright.
                 continue;
             }
-            // The bookkeeping set and the window share one allocation.
-            let p = Arc::new(p);
-            changed |= received.insert_min_hop_arc(Arc::clone(&p)).changed();
+            // The bookkeeping set, the window and the sender's copy share
+            // one allocation.
+            if shared.insert_min_hop_arc(Arc::clone(&p)).changed() {
+                fresh.push(Arc::clone(&p));
+            }
             if self.window.insert_arc(p) {
                 self.points_received += 1;
             }
         }
-        if changed {
+        if !fresh.is_empty() {
             self.ledger.bump(from);
+            self.note_shared(from, &fresh);
+        }
+        if let Some(min_ts) = fresh.iter().map(|p| p.timestamp).min() {
+            fold_min_timestamp(&mut self.shared_oldest, min_ts);
         }
     }
 
     fn advance_time(&mut self, now: Timestamp) {
         self.window.advance_to(now);
         let cutoff = self.window.config().cutoff(now);
-        self.ledger.evict_and_bump(&mut self.sent_to, cutoff);
-        self.ledger.evict_and_bump(&mut self.recv_from, cutoff);
+        self.ledger.evict_and_bump_gated(&mut self.shared_with, cutoff, &mut self.shared_oldest);
     }
 
     fn process(&mut self, neighbors: &[SensorId]) -> Option<OutlierBroadcast> {
@@ -161,7 +197,8 @@ impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
         // the hop-prefixes derived from it share its stored points.
         let pi = self.window.snapshot();
         let hop_diameter = self.hop_diameter;
-        let prefixes = self.prefix_cache.get_or_build(self.window.revision(), || {
+        let revision = self.window.revision();
+        let prefixes = self.prefix_cache.get_or_build(revision, || {
             (0..hop_diameter)
                 .map(|h| {
                     let pi_h = pi.filter_max_hop(h);
@@ -175,19 +212,30 @@ impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
             if j == self.id {
                 continue;
             }
-            let state = self.ledger.state(j, self.window.revision());
+            let state = self.ledger.state(j, revision);
             if self.ledger.is_quiet(j, state) {
                 // Same P_i, same shared knowledge: replay the empty outcome.
                 continue;
             }
-            let known = self.known_common_with(j);
+            // The min-hop shared-knowledge set is maintained incrementally;
+            // reading it here is free.
+            let empty = PointSet::new();
+            let known = self.shared_with.get(&j).unwrap_or(&empty);
             // Per-prefix sufficient sets, hop-incremented and min-merged.
             // The hop increment necessarily materialises a fresh copy of
             // each forwarded point; every set below shares those copies.
             let mut z = PointSet::new();
             for (h, (pi_h, index)) in prefixes.iter().enumerate() {
                 let known_h = known.filter_max_hop(h as HopCount);
-                let z_h = sufficient_set_indexed(&self.ranking, self.n, pi_h, index, &known_h);
+                let z_h = self.engines[h].sufficient_set(
+                    &self.ranking,
+                    self.n,
+                    pi_h,
+                    Some(index),
+                    j,
+                    &known_h,
+                    state,
+                );
                 for p in z_h.iter() {
                     z.insert_min_hop(p.with_incremented_hop());
                 }
@@ -205,13 +253,21 @@ impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
                 self.ledger.mark_quiet(j, state);
                 continue;
             }
-            let sent = self.sent_to.entry(j).or_default();
-            for p in &to_send {
-                sent.insert_min_hop_arc(Arc::clone(p));
+            let batch: Vec<Arc<DataPoint>> = to_send.into_iter().map(Arc::clone).collect();
+            if let Some(min_ts) = batch.iter().map(|p| p.timestamp).min() {
+                fold_min_timestamp(&mut self.shared_oldest, min_ts);
+            }
+            let shared = self.shared_with.entry(j).or_default();
+            let mut recorded: Vec<Arc<DataPoint>> = Vec::with_capacity(batch.len());
+            for p in &batch {
+                if shared.insert_min_hop_arc(Arc::clone(p)).changed() {
+                    recorded.push(Arc::clone(p));
+                }
             }
             self.ledger.bump(j);
-            self.points_sent += to_send.len() as u64;
-            message.add_entry(j, to_send.into_iter().map(|p| (**p).clone()).collect());
+            self.note_shared(j, &recorded);
+            self.points_sent += batch.len() as u64;
+            message.add_entry_arcs(j, batch);
         }
         if message.is_empty() {
             None

@@ -17,6 +17,7 @@
 
 use crate::point::DataPoint;
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// Compares two points under the total linear order `≺`.
 ///
@@ -63,24 +64,31 @@ pub fn compare_features(a: &[f64], b: &[f64]) -> Ordering {
 /// outlying = earlier), with ties broken by the total order `≺`. Sorting a
 /// slice of `RankedPoint`s therefore puts the top-`n` outliers first, exactly
 /// as `O_n(·)` requires.
+///
+/// The point is held behind an [`Arc`], shared with the [`crate::PointSet`]
+/// it was ranked out of: selecting an estimate and materialising it back
+/// into a set (`to_point_set` on the ranking side) only bumps reference
+/// counts, which matters inside the sufficient-set fixed point where an
+/// estimate is re-derived per iteration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RankedPoint {
     /// The rank `R(x, P)` — the degree to which `x` is an outlier.
     pub rank: f64,
-    /// The ranked point.
-    pub point: DataPoint,
+    /// The ranked point, sharing the allocation of the set it came from.
+    pub point: Arc<DataPoint>,
 }
 
 impl RankedPoint {
-    /// Creates a new ranked point.
+    /// Creates a new ranked point. Accepts either an owned [`DataPoint`] or
+    /// an [`Arc`] handle; passing the handle shares the allocation.
     ///
     /// # Panics
     ///
     /// Panics if `rank` is NaN; ranking functions must return finite or
     /// at least comparable values.
-    pub fn new(rank: f64, point: DataPoint) -> Self {
+    pub fn new(rank: f64, point: impl Into<Arc<DataPoint>>) -> Self {
         assert!(!rank.is_nan(), "ranking functions must not produce NaN");
-        RankedPoint { rank, point }
+        RankedPoint { rank, point: point.into() }
     }
 
     /// Compares two ranked points in outlier order: higher rank first, ties

@@ -87,6 +87,12 @@ pub struct SlidingWindow {
     contents: Arc<PointSet>,
     now: Timestamp,
     revision: u64,
+    /// The smallest timestamp currently held (`None` when empty), kept up
+    /// to date on insertion and recomputed after removals. Clock advances
+    /// whose cutoff does not pass this value are O(1) no-ops — the common
+    /// case, since every received message advances the clock but only
+    /// window slides actually evict.
+    oldest: Option<Timestamp>,
 }
 
 impl SlidingWindow {
@@ -97,6 +103,7 @@ impl SlidingWindow {
             contents: Arc::new(PointSet::new()),
             now: Timestamp::ZERO,
             revision: 0,
+            oldest: None,
         }
     }
 
@@ -153,35 +160,41 @@ impl SlidingWindow {
         if point.timestamp < self.config.cutoff(self.now) {
             return false;
         }
+        let timestamp = point.timestamp;
         let changed = Arc::make_mut(&mut self.contents).insert_min_hop_arc(point).changed();
         if changed {
             self.revision += 1;
+            if !self.oldest.is_some_and(|oldest| oldest <= timestamp) {
+                self.oldest = Some(timestamp);
+            }
         }
         changed
     }
 
     /// Advances the window to `now`, evicting stale points. Returns the
     /// number of evicted points. Time never moves backwards: advancing to an
-    /// earlier time is a no-op.
+    /// earlier time is a no-op, and so is any advance whose cutoff does not
+    /// pass the oldest held timestamp (checked in O(1), no scan).
     pub fn advance_to(&mut self, now: Timestamp) -> usize {
         if now <= self.now {
             return 0;
         }
         self.now = now;
         let cutoff = self.config.cutoff(now);
-        // When a snapshot is live, pre-scan so a pure clock advance never
-        // re-materialises the shared contents; when unshared (the steady
-        // state), mutate in place without the extra pass.
-        if Arc::get_mut(&mut self.contents).is_none()
-            && !self.contents.iter().any(|p| p.timestamp < cutoff)
-        {
+        if !self.oldest.is_some_and(|oldest| oldest < cutoff) {
             return 0;
         }
         let evicted = Arc::make_mut(&mut self.contents).evict_older_than(cutoff);
         if evicted > 0 {
             self.revision += 1;
         }
+        self.refresh_oldest();
         evicted
+    }
+
+    /// Recomputes the cached oldest timestamp after removals.
+    fn refresh_oldest(&mut self) {
+        self.oldest = self.contents.iter().map(|p| p.timestamp).min();
     }
 
     /// Number of points currently held.
@@ -204,6 +217,7 @@ impl SlidingWindow {
         let removed = Arc::make_mut(&mut self.contents).remove_origin(origin);
         if removed > 0 {
             self.revision += 1;
+            self.refresh_oldest();
         }
         removed
     }

@@ -74,6 +74,11 @@ impl RankingFunction for NeighborCountInverse {
     fn support_set_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> PointSet {
         index.within_radius(x, self.alpha).into_iter().map(|(_, p)| p.clone()).collect()
     }
+
+    fn affection_radius(&self, _rank: f64) -> f64 {
+        // Only points inside the counting radius change the count.
+        self.alpha
+    }
 }
 
 #[cfg(test)]

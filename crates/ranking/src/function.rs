@@ -65,6 +65,42 @@ pub trait RankingFunction: Send + Sync {
             None => self.support_set(x, &index.to_point_set()),
         }
     }
+
+    /// An upper bound on how far away a **newly added** dataset point can
+    /// still change the rank of a point whose current rank is `rank`: if
+    /// `‖x − y‖ > affection_radius(R(x, D))` then `R(x, D ∪ {y})` equals
+    /// `R(x, D)` — not just approximately, but as the identical `f64` (the
+    /// addition leaves `x`'s rank-determining neighbourhood untouched).
+    ///
+    /// Incremental evaluators (the sufficient-set fixed-point engine in
+    /// `wsn-core`) use this to keep cached ranks *exact* across insertions
+    /// instead of merely anti-monotone upper bounds, re-ranking only points
+    /// whose neighbourhood an insertion actually entered. The default of
+    /// `f64::INFINITY` is always sound: it declares every cached rank stale
+    /// on any insertion, which degrades performance, never correctness.
+    ///
+    /// Implementations must be conservative: returning a radius that is too
+    /// small breaks the exactness guarantee, returning one too large only
+    /// costs re-ranking work.
+    fn affection_radius(&self, rank: f64) -> f64 {
+        let _ = rank;
+        f64::INFINITY
+    }
+
+    /// The exact rank over `D ∪ {y}` of a point whose exact rank over `D`
+    /// is `rank`, where `distance = ‖x − y‖` — for rankings that can derive
+    /// it from those two values alone (`None` otherwise, the default).
+    /// When `Some` is returned, it must be the identical `f64` a fresh
+    /// [`rank`](RankingFunction::rank) over the grown set would produce.
+    ///
+    /// The nearest-neighbour ranking overrides this (`min(rank, distance)`),
+    /// which lets incremental evaluators absorb insertions with one
+    /// subtraction-free comparison per cached rank instead of re-querying
+    /// the index at all.
+    fn rank_after_insertion(&self, rank: f64, distance: f64) -> Option<f64> {
+        let _ = (rank, distance);
+        None
+    }
 }
 
 /// Blanket implementation so `&R`, `Box<R>`, `Arc<R>` can be used wherever a
@@ -85,6 +121,12 @@ impl<R: RankingFunction + ?Sized> RankingFunction for &R {
     fn support_set_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> PointSet {
         (**self).support_set_indexed(x, index)
     }
+    fn affection_radius(&self, rank: f64) -> f64 {
+        (**self).affection_radius(rank)
+    }
+    fn rank_after_insertion(&self, rank: f64, distance: f64) -> Option<f64> {
+        (**self).rank_after_insertion(rank, distance)
+    }
 }
 
 impl<R: RankingFunction + ?Sized> RankingFunction for std::sync::Arc<R> {
@@ -102,6 +144,12 @@ impl<R: RankingFunction + ?Sized> RankingFunction for std::sync::Arc<R> {
     }
     fn support_set_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> PointSet {
         (**self).support_set_indexed(x, index)
+    }
+    fn affection_radius(&self, rank: f64) -> f64 {
+        (**self).affection_radius(rank)
+    }
+    fn rank_after_insertion(&self, rank: f64, distance: f64) -> Option<f64> {
+        (**self).rank_after_insertion(rank, distance)
     }
 }
 

@@ -8,7 +8,7 @@
 //! query and makes `top_n_outliers` quadratic in the window size `w`.
 //!
 //! A [`NeighborIndex`] is built **once** per dataset and then answers many
-//! queries cheaply. Three implementations ship:
+//! queries cheaply. Three static implementations ship:
 //!
 //! * [`BruteIndex`] — the baseline: a thin wrapper over the original
 //!   full-sort path. Cheapest to build, `O(w log w)` per query; right for
@@ -18,6 +18,13 @@
 //!   paper uses (`[temperature, x, y]`).
 //! * [`GridIndex`] — a uniform grid over the bounding box of feature space,
 //!   searched in expanding cell rings; excellent for evenly spread data.
+//!
+//! For growing datasets — the sufficient-set fixed point of `wsn-core`
+//! extends its hypothetical set a handful of points per iteration — the
+//! [`DynamicIndex`] wraps a static base index with an LSM-style brute-force
+//! spill buffer: [`DynamicIndex::insert_arc`] is a set insertion, queries
+//! merge the base and spill candidate streams exactly, and the spill is
+//! folded into a rebuilt base only once it grows past a threshold.
 //!
 //! # Exactness and tie-breaking
 //!
@@ -50,6 +57,7 @@
 
 use crate::function::neighbors_by_distance;
 use std::cmp::Ordering;
+use std::sync::Arc;
 use wsn_data::order::total_order;
 use wsn_data::{DataPoint, PointSet};
 
@@ -797,6 +805,174 @@ impl NeighborIndex for AnyIndex {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Dynamic (insertable) index
+// ---------------------------------------------------------------------------
+
+/// Minimum spill-buffer size the [`DynamicIndex`] tolerates before folding
+/// the spill into a rebuilt base index; for larger sets the threshold grows
+/// to [`DYNAMIC_SPILL_FRACTION`] of the indexed set so rebuild work stays an
+/// amortised constant per inserted point.
+pub const DYNAMIC_SPILL_MIN: usize = 32;
+
+/// Denominator of the proportional spill threshold: the spill may grow to
+/// `len / DYNAMIC_SPILL_FRACTION` points (but at least
+/// [`DYNAMIC_SPILL_MIN`]) before the base index is rebuilt.
+pub const DYNAMIC_SPILL_FRACTION: usize = 8;
+
+/// A [`NeighborIndex`] that supports **insertion** without per-insert
+/// rebuilds, in the style of an LSM tree: a static base index (any
+/// [`IndexStrategy`]) plus a small brute-force *spill* buffer of the points
+/// inserted since the base was last built.
+///
+/// # Contract
+///
+/// * **Bit-identical ordering.** Every query returns exactly the candidate
+///   list a freshly built index (equivalently, the brute path
+///   [`neighbors_by_distance`]) would return over the same point set:
+///   distances use the same [`DataPoint::feature_distance`] arithmetic and
+///   ties resolve by the same total order `≺`. Because the base and spill
+///   are disjoint and each side's candidates arrive sorted by
+///   `(distance, ≺)`, a two-way merge of the streams *is* the sorted order
+///   of their union — no re-sorting, no approximation.
+/// * **Set semantics.** [`DynamicIndex::insert_arc`] follows
+///   [`PointSet::insert_arc`]: points are keyed by observation identity and
+///   a duplicate key is a no-op (the first stored copy wins, exactly like
+///   [`PointSet::union`] — the operation the sufficient-set fixed point
+///   replaces with inserts).
+/// * **Spill/rebuild policy.** An insert appends to the spill buffer, whose
+///   queries cost `O(s log s)` for `s` spilled points. Once the spill
+///   exceeds `max(`[`DYNAMIC_SPILL_MIN`]`, len /`
+///   [`DYNAMIC_SPILL_FRACTION`]`)`, the base is rebuilt over the whole set
+///   (under the construction-time [`IndexStrategy`]) and the spill empties.
+///   Workloads that insert a bounded trickle of points — the fixed point
+///   adds at most a few support points per iteration — therefore never
+///   rebuild at all, and unbounded insert streams pay amortised
+///   `O(log)`-ish work per point instead of a rebuild per iteration.
+#[derive(Debug, Clone)]
+pub struct DynamicIndex {
+    strategy: IndexStrategy,
+    base: AnyIndex,
+    /// Points inserted since `base` was built; disjoint from `base` by key.
+    spill: PointSet,
+    /// `base ∪ spill` — the indexed set, sharing every stored handle.
+    all: PointSet,
+}
+
+impl DynamicIndex {
+    /// Builds the index over a snapshot of `data`, remembering `strategy`
+    /// for future rebuilds (the strategy's small-set / occupancy heuristics
+    /// are re-evaluated against the grown set on every rebuild).
+    pub fn build(strategy: IndexStrategy, data: &PointSet) -> Self {
+        DynamicIndex {
+            strategy,
+            base: AnyIndex::build(strategy, data),
+            spill: PointSet::new(),
+            all: data.clone(),
+        }
+    }
+
+    /// Inserts a point, sharing the caller's allocation. Returns `true` if
+    /// the identity was new; a duplicate key leaves the index untouched.
+    pub fn insert_arc(&mut self, point: Arc<DataPoint>) -> bool {
+        if !self.all.insert_arc(Arc::clone(&point)) {
+            return false;
+        }
+        self.spill.insert_arc(point);
+        if self.spill.len() > DYNAMIC_SPILL_MIN.max(self.all.len() / DYNAMIC_SPILL_FRACTION) {
+            self.base = AnyIndex::build(self.strategy, &self.all);
+            self.spill = PointSet::new();
+        }
+        true
+    }
+
+    /// [`DynamicIndex::insert_arc`] for a point not yet behind an [`Arc`].
+    pub fn insert(&mut self, point: DataPoint) -> bool {
+        self.insert_arc(Arc::new(point))
+    }
+
+    /// The indexed set (`base ∪ spill`), borrowed — callers iterating the
+    /// set they query (as `top_n_outliers_indexed` does) read it here
+    /// without any materialisation.
+    pub fn contents(&self) -> &PointSet {
+        &self.all
+    }
+
+    /// Number of points currently sitting in the spill buffer (0 right
+    /// after a build or rebuild). Exposed for tests and diagnostics.
+    pub fn spilled(&self) -> usize {
+        self.spill.len()
+    }
+}
+
+/// Merges two candidate lists that are each sorted by `(distance, ≺)` and
+/// drawn from disjoint point sets, keeping at most `limit` entries — the
+/// exact sorted prefix of their union.
+fn merge_candidates<'a>(
+    a: Vec<(f64, &'a DataPoint)>,
+    b: Vec<(f64, &'a DataPoint)>,
+    limit: usize,
+) -> Vec<(f64, &'a DataPoint)> {
+    if b.is_empty() {
+        let mut a = a;
+        a.truncate(limit);
+        return a;
+    }
+    let mut out = Vec::with_capacity((a.len() + b.len()).min(limit));
+    let (mut ia, mut ib) = (0, 0);
+    while out.len() < limit && (ia < a.len() || ib < b.len()) {
+        let from_a = match (a.get(ia), b.get(ib)) {
+            (Some(x), Some(y)) => candidate_order(x, y) != Ordering::Greater,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if from_a {
+            out.push(a[ia]);
+            ia += 1;
+        } else {
+            out.push(b[ib]);
+            ib += 1;
+        }
+    }
+    out
+}
+
+impl NeighborIndex for DynamicIndex {
+    fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    fn k_nearest(&self, x: &DataPoint, k: usize) -> Vec<(f64, &DataPoint)> {
+        let base = self.base.k_nearest(x, k);
+        if self.spill.is_empty() {
+            return base;
+        }
+        let mut spill = neighbors_by_distance(x, &self.spill);
+        spill.truncate(k);
+        merge_candidates(base, spill, k)
+    }
+
+    fn within_radius(&self, x: &DataPoint, radius: f64) -> Vec<(f64, &DataPoint)> {
+        let base = self.base.within_radius(x, radius);
+        if self.spill.is_empty() {
+            return base;
+        }
+        let spill: Vec<(f64, &DataPoint)> = neighbors_by_distance(x, &self.spill)
+            .into_iter()
+            .take_while(|(d, _)| *d <= radius)
+            .collect();
+        merge_candidates(base, spill, usize::MAX)
+    }
+
+    fn to_point_set(&self) -> PointSet {
+        self.all.clone()
+    }
+
+    fn snapshot(&self) -> Option<&PointSet> {
+        Some(&self.all)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1017,6 +1193,88 @@ mod tests {
             vec![pt(1, 0, vec![1.0]), pt(2, 0, vec![1.0, 2.0])].into_iter().collect();
         assert!(matches!(AnyIndex::build(IndexStrategy::KdTree, &mixed), AnyIndex::Brute(_)));
         assert_eq!(IndexStrategy::default(), IndexStrategy::Auto);
+    }
+
+    #[test]
+    fn dynamic_index_matches_fresh_build_after_inserts() {
+        let mut dynamic = DynamicIndex::build(IndexStrategy::Auto, &sample_set());
+        let mut contents = sample_set();
+        // Grow one point at a time, including a duplicate-coordinate twin
+        // (tie under ≺) and a duplicate key (no-op).
+        let inserts = vec![
+            pt(7, 0, vec![1.0, 0.0]), // same coordinates as pt(2), distinct key
+            pt(8, 0, vec![-4.0, 4.0]),
+            pt(1, 0, vec![0.0, 0.0]), // duplicate key: must be a no-op
+            pt(9, 0, vec![2.5, 2.5]),
+        ];
+        for p in inserts {
+            let fresh_key = !contents.contains(&p);
+            assert_eq!(dynamic.insert(p.clone()), fresh_key);
+            contents.insert(p);
+            assert_eq!(dynamic.len(), contents.len());
+            let fresh = BruteIndex::build(&contents);
+            for q in [pt(1, 0, vec![0.0, 0.0]), pt(50, 0, vec![1.0, 1.0])] {
+                for k in [1, 3, contents.len() + 1] {
+                    let expected = fresh.k_nearest(&q, k);
+                    let got = dynamic.k_nearest(&q, k);
+                    assert_eq!(expected.len(), got.len());
+                    for (e, g) in expected.iter().zip(got.iter()) {
+                        assert_eq!(e.0.to_bits(), g.0.to_bits());
+                        assert_eq!(e.1.key, g.1.key);
+                    }
+                }
+                for radius in [0.0, 1.0, 100.0] {
+                    let expected = fresh.within_radius(&q, radius);
+                    let got = dynamic.within_radius(&q, radius);
+                    assert_eq!(expected.len(), got.len(), "radius {radius}");
+                    for (e, g) in expected.iter().zip(got.iter()) {
+                        assert_eq!(e.1.key, g.1.key);
+                    }
+                }
+            }
+        }
+        assert_eq!(dynamic.to_point_set(), contents);
+        assert_eq!(dynamic.snapshot(), Some(&contents));
+        assert_eq!(dynamic.contents(), &contents);
+    }
+
+    #[test]
+    fn dynamic_index_rebuilds_once_the_spill_overflows() {
+        let mut dynamic = DynamicIndex::build(IndexStrategy::Auto, &PointSet::new());
+        let mut inserted = 0u32;
+        // Insert well past the minimum spill size: the spill must have been
+        // folded into the base at least once (spilled() < total inserted).
+        for i in 0..(DYNAMIC_SPILL_MIN as u32 * 2) {
+            assert!(dynamic.insert(pt(i, 0, vec![i as f64, (i % 7) as f64])));
+            inserted += 1;
+        }
+        assert_eq!(dynamic.len(), inserted as usize);
+        assert!(
+            dynamic.spilled() < inserted as usize,
+            "spill was never folded into the base: {} of {}",
+            dynamic.spilled(),
+            inserted
+        );
+        // And the rebuilt index still answers exactly.
+        let fresh = BruteIndex::build(&dynamic.to_point_set());
+        let q = pt(90, 0, vec![10.2, 3.3]);
+        let expected = fresh.k_nearest(&q, 5);
+        let got = dynamic.k_nearest(&q, 5);
+        assert_eq!(expected.len(), got.len());
+        for (e, g) in expected.iter().zip(got.iter()) {
+            assert_eq!(e.0.to_bits(), g.0.to_bits());
+            assert_eq!(e.1.key, g.1.key);
+        }
+    }
+
+    #[test]
+    fn dynamic_insert_arc_shares_the_callers_allocation() {
+        let mut dynamic = DynamicIndex::build(IndexStrategy::Auto, &sample_set());
+        let handle = Arc::new(pt(40, 0, vec![9.0, 9.0]));
+        assert!(dynamic.insert_arc(Arc::clone(&handle)));
+        assert!(Arc::ptr_eq(dynamic.contents().get_arc(&handle.key).unwrap(), &handle));
+        assert!(!dynamic.insert_arc(Arc::clone(&handle)), "duplicate key is a no-op");
+        assert_eq!(dynamic.spilled(), 1);
     }
 
     #[test]

@@ -108,6 +108,30 @@ impl RankingFunction for KnnAverageDistance {
     fn support_set_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> PointSet {
         index.k_nearest(x, self.k).into_iter().map(|(_, p)| p.clone()).collect()
     }
+
+    fn affection_radius(&self, rank: f64) -> f64 {
+        // The k-th neighbour distance is at most the sum of the k nearest,
+        // i.e. `k · rank`: nothing farther can enter the k-neighbourhood
+        // (an equal-distance tie may swap the k-th *identity*, but the
+        // distance multiset — and hence the average — keeps its value).
+        // `rank` and the product are each rounded, so when the k-th
+        // neighbour carries (almost) the whole sum — duplicate-coordinate
+        // ties make that common — `k · rank` can land a few ulps *below*
+        // the true k-th distance; inflate the bound so rounding can only
+        // ever overestimate (a too-large radius costs a re-rank, a
+        // too-small one would break exactness). With missing-neighbour
+        // penalties in play (`rank ≥ penalty / k`) any insertion fills a
+        // slot, so the radius must be unbounded; the k·rank bound then
+        // already exceeds the penalty, which dominates every admissible
+        // feature distance, but return infinity outright so soundness does
+        // not lean on that convention.
+        let radius = rank * self.k as f64 * (1.0 + 4.0 * f64::EPSILON);
+        if radius >= MISSING_NEIGHBOR_PENALTY {
+            f64::INFINITY
+        } else {
+            radius
+        }
+    }
 }
 
 /// Distance to the `k`-th nearest neighbour.
@@ -180,6 +204,18 @@ impl RankingFunction for KthNeighborDistance {
 
     fn support_set_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> PointSet {
         index.k_nearest(x, self.k).into_iter().map(|(_, p)| p.clone()).collect()
+    }
+
+    fn affection_radius(&self, rank: f64) -> f64 {
+        // The rank is the k-th neighbour distance: nothing strictly farther
+        // can displace the first k, and an equal-distance tie keeps the
+        // k-th *distance* — the rank value — intact. A penalty-inflated
+        // rank means a slot is missing and any insertion changes the rank.
+        if rank >= MISSING_NEIGHBOR_PENALTY {
+            f64::INFINITY
+        } else {
+            rank
+        }
     }
 }
 

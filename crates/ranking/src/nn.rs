@@ -47,6 +47,20 @@ impl RankingFunction for NnDistance {
     fn support_set_indexed(&self, x: &DataPoint, index: &dyn NeighborIndex) -> PointSet {
         index.k_nearest(x, 1).into_iter().map(|(_, nn)| nn.clone()).collect()
     }
+
+    fn affection_radius(&self, rank: f64) -> f64 {
+        // The rank is the nearest distance itself: a new point strictly
+        // farther than it cannot become the nearest neighbour, and one at
+        // exactly the rank leaves the minimum's value unchanged.
+        rank
+    }
+
+    fn rank_after_insertion(&self, rank: f64, distance: f64) -> Option<f64> {
+        // The minimum distance folds one insertion at a time: exactly what
+        // a fresh query over the grown set computes. (Distances are never
+        // NaN and never negative zero, so `f64::min` is total here.)
+        Some(rank.min(distance))
+    }
 }
 
 #[cfg(test)]

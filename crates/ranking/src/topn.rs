@@ -6,25 +6,47 @@
 
 use crate::function::RankingFunction;
 use crate::index::{AnyIndex, IndexStrategy, NeighborIndex};
+use std::sync::Arc;
 use wsn_data::order::{sort_by_outlier_order, RankedPoint};
 use wsn_data::{DataPoint, PointKey, PointSet};
 
 /// The result of an `O_n(·)` computation: the selected outliers in rank
 /// order, together with their ranks.
+///
+/// The points are shared ([`Arc`]) with the dataset they were selected
+/// from, and the outlier identities are additionally kept in sorted order,
+/// so the membership and agreement queries the detectors run on every
+/// convergence check ([`OutlierEstimate::contains_key`],
+/// [`OutlierEstimate::same_outliers_as`]) are a binary search and a slice
+/// comparison — no scans, no per-call sort allocations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OutlierEstimate {
     ranked: Vec<RankedPoint>,
+    /// The outlier identities in ascending [`PointKey`] order, fixed at
+    /// construction.
+    sorted_keys: Vec<PointKey>,
 }
 
 impl OutlierEstimate {
-    /// The outliers in descending rank order (most outlying first).
-    pub fn points(&self) -> Vec<&DataPoint> {
-        self.ranked.iter().map(|r| &r.point).collect()
+    /// Wraps an already rank-ordered selection, caching its sorted keys.
+    fn from_ranked(ranked: Vec<RankedPoint>) -> Self {
+        let mut sorted_keys: Vec<PointKey> = ranked.iter().map(|r| r.point.key).collect();
+        sorted_keys.sort_unstable();
+        OutlierEstimate { ranked, sorted_keys }
     }
 
-    /// The outliers as an owned [`PointSet`].
+    /// The outliers in descending rank order (most outlying first).
+    pub fn points(&self) -> Vec<&DataPoint> {
+        self.ranked.iter().map(|r| r.point.as_ref()).collect()
+    }
+
+    /// The outliers as an owned [`PointSet`], sharing the stored points.
     pub fn to_point_set(&self) -> PointSet {
-        self.ranked.iter().map(|r| r.point.clone()).collect()
+        let mut out = PointSet::new();
+        for r in &self.ranked {
+            out.insert_arc(Arc::clone(&r.point));
+        }
+        out
     }
 
     /// The `(rank, point)` pairs in descending rank order.
@@ -47,22 +69,17 @@ impl OutlierEstimate {
         self.ranked.is_empty()
     }
 
-    /// Returns `true` if the given point identity is among the outliers.
+    /// Returns `true` if the given point identity is among the outliers —
+    /// a binary search over the cached sorted keys.
     pub fn contains_key(&self, key: &PointKey) -> bool {
-        self.ranked.iter().any(|r| r.point.key == *key)
+        self.sorted_keys.binary_search(key).is_ok()
     }
 
     /// Set equality on the reported outlier identities (ignores rank values
     /// and ordering) — the notion of agreement used by Theorems 1 and 2.
+    /// Compares the cached sorted keys directly.
     pub fn same_outliers_as(&self, other: &OutlierEstimate) -> bool {
-        if self.len() != other.len() {
-            return false;
-        }
-        let mut a = self.keys();
-        let mut b = other.keys();
-        a.sort();
-        b.sort();
-        a == b
+        self.sorted_keys == other.sorted_keys
     }
 }
 
@@ -93,11 +110,13 @@ pub fn top_n_outliers_indexed<R: RankingFunction + ?Sized>(
     data: &PointSet,
     index: &dyn NeighborIndex,
 ) -> OutlierEstimate {
-    let mut ranked: Vec<RankedPoint> =
-        data.iter().map(|x| RankedPoint::new(ranking.rank_indexed(x, index), x.clone())).collect();
+    let mut ranked: Vec<RankedPoint> = data
+        .iter_arcs()
+        .map(|x| RankedPoint::new(ranking.rank_indexed(x, index), Arc::clone(x)))
+        .collect();
     sort_by_outlier_order(&mut ranked);
     ranked.truncate(n);
-    OutlierEstimate { ranked }
+    OutlierEstimate::from_ranked(ranked)
 }
 
 #[cfg(test)]

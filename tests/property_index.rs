@@ -9,11 +9,14 @@
 //! coarse lattice) so equal-distance ties are frequent and the `≺`
 //! tie-breaking of every index is exercised, not just its metric pruning.
 
-use in_network_outlier::detection::sufficient::{sufficient_set, sufficient_set_indexed};
+use in_network_outlier::detection::sufficient::{
+    sufficient_set, sufficient_set_indexed, sufficient_set_rebuild_reference, FixedPointEngine,
+};
 use in_network_outlier::prelude::*;
+use std::sync::Arc;
 use wsn_data::rng::SeededRng;
 use wsn_ranking::function::{support_of_set, support_of_set_indexed};
-use wsn_ranking::index::{AnyIndex, IndexStrategy, NeighborIndex};
+use wsn_ranking::index::{AnyIndex, DynamicIndex, IndexStrategy, NeighborIndex};
 use wsn_ranking::{top_n_outliers_indexed, KthNeighborDistance, NeighborCountInverse};
 
 /// Fixed seed for the property loops.
@@ -187,7 +190,36 @@ fn protocol_kernels_are_identical_across_index_strategies() {
             let reference_estimate = top_n_outliers_indexed(ranking, n, &data, &brute);
             let reference_support =
                 support_of_set(ranking, &data, &reference_estimate.to_point_set());
-            let reference_sufficient = sufficient_set_indexed(ranking, n, &data, &brute, &known);
+            let reference_sufficient =
+                sufficient_set_rebuild_reference(ranking, n, &data, &brute, &known);
+            // The incremental fixed-point engine agrees with the
+            // rebuild-per-iteration reference across the whole corpus, both
+            // cold and with caches warmed by a previous call.
+            let mut engine = FixedPointEngine::new();
+            for round in 0..2 {
+                assert_eq!(
+                    engine
+                        .sufficient_set(
+                            ranking,
+                            n,
+                            &data,
+                            Some(&brute),
+                            SensorId(7),
+                            &known,
+                            (42, 0)
+                        )
+                        .as_ref(),
+                    &reference_sufficient,
+                    "incremental engine differs from the rebuild reference (round {round}): {}",
+                    context()
+                );
+            }
+            assert_eq!(
+                sufficient_set_indexed(ranking, n, &data, &brute, &known),
+                reference_sufficient,
+                "sufficient_set_indexed differs from the rebuild reference: {}",
+                context()
+            );
             // The public auto-strategy entry points agree with the explicit
             // brute baseline.
             assert_eq!(
@@ -222,5 +254,98 @@ fn protocol_kernels_are_identical_across_index_strategies() {
                 );
             }
         }
+    }
+}
+
+/// A [`DynamicIndex`] grown by interleaved inserts answers every query —
+/// raw lookups, top-`n` estimates, sufficient sets — exactly like an index
+/// freshly rebuilt over the same set, across 256 seeded cases. The insert
+/// stream draws from the same coarse lattice as the datasets, so
+/// duplicate-coordinate ties (resolved by `≺`) and duplicate identities
+/// (set-semantics no-ops) both occur, and the longest streams push the
+/// spill buffer over its rebuild threshold.
+#[test]
+fn dynamic_index_matches_fresh_rebuild_under_interleaved_inserts() {
+    let mut rng = SeededRng::seed_from_u64(SEED ^ 3);
+    let strategies = [
+        ("auto", IndexStrategy::Auto),
+        ("brute", IndexStrategy::Brute),
+        ("grid", IndexStrategy::Grid),
+        ("kd", IndexStrategy::KdTree),
+    ];
+    for case in 0..CASES {
+        let dim = rng.gen_range(1usize..4);
+        let initial_len = rng.gen_range(0usize..40);
+        let initial = gen_dataset(&mut rng, initial_len, dim);
+        let (label, strategy) = strategies[case % strategies.len()];
+        let mut dynamic = DynamicIndex::build(strategy, &initial);
+        let mut contents = initial.clone();
+        let k = rng.gen_range(1usize..6);
+        let radius = rng.gen_range(0.0..12.0);
+        // Interleave: a few insert/query rounds per case; the stream of
+        // inserted points reuses dataset identities half the time so
+        // duplicate-key no-ops are exercised.
+        let rounds = rng.gen_range(1usize..5);
+        for round in 0..rounds {
+            let burst = rng.gen_range(1usize..25);
+            let fresh_points = gen_dataset(&mut rng, burst, dim);
+            for (i, p) in fresh_points.iter().enumerate() {
+                let p = if rng.gen_bool(0.5) {
+                    // A brand-new identity disjoint from the dataset's.
+                    DataPoint::new(
+                        SensorId(40 + (round % 4) as u32),
+                        Epoch((case * 1000 + round * 100 + i) as u64),
+                        Timestamp::ZERO,
+                        p.features.clone(),
+                    )
+                    .unwrap()
+                } else {
+                    p.clone()
+                };
+                let expect_new = !contents.contains(&p);
+                let arc = Arc::new(p);
+                assert_eq!(
+                    dynamic.insert_arc(Arc::clone(&arc)),
+                    expect_new,
+                    "case {case} (seed {SEED:#x}) {label}: insert outcome differs"
+                );
+                contents.insert_arc(arc);
+            }
+            assert_eq!(dynamic.len(), contents.len());
+            let fresh = AnyIndex::build(IndexStrategy::Brute, &contents);
+            let queries = gen_queries(&mut rng, &contents, dim);
+            for (qi, x) in queries.iter().enumerate().step_by(3) {
+                let context = format!(
+                    "case {case} (seed {SEED:#x}) {label}, dim={dim}, round={round}, q#{qi}"
+                );
+                assert_same_candidates(
+                    &fresh.k_nearest(x, k),
+                    &dynamic.k_nearest(x, k),
+                    &format!("k_nearest k={k}, {context}"),
+                );
+                assert_same_candidates(
+                    &fresh.within_radius(x, radius),
+                    &dynamic.within_radius(x, radius),
+                    &format!("within_radius r={radius}, {context}"),
+                );
+            }
+        }
+        // The protocol kernels through the grown dynamic index equal the
+        // fresh rebuild too.
+        let fresh = AnyIndex::build(IndexStrategy::Brute, &contents);
+        let n = rng.gen_range(1usize..4);
+        let estimate = top_n_outliers_indexed(&NnDistance, n, &contents, &dynamic);
+        assert_eq!(
+            estimate.ranked(),
+            top_n_outliers_indexed(&NnDistance, n, &contents, &fresh).ranked(),
+            "case {case} (seed {SEED:#x}) {label}: top-n through the dynamic index differs"
+        );
+        let known: PointSet = contents.iter().filter(|_| rng.gen_bool(0.3)).cloned().collect();
+        assert_eq!(
+            sufficient_set_indexed(&NnDistance, n, &contents, &dynamic, &known),
+            sufficient_set_rebuild_reference(&NnDistance, n, &contents, &fresh, &known),
+            "case {case} (seed {SEED:#x}) {label}: sufficient set through the dynamic index differs"
+        );
+        assert_eq!(dynamic.to_point_set(), contents);
     }
 }
