@@ -58,4 +58,19 @@ WSN_BENCH_WARMUP_MS=1 WSN_BENCH_MEASURE_MS=1 WSN_BENCH_OUT="$PWD/target/bench_sc
     cargo bench --offline -p wsn-bench --bench simulation_bench -- scaling/global_nn/200
 cargo run --release --offline -p wsn-bench --bin json_check -- target/bench_scaling_smoke.json
 
+# Streaming-scenario smoke: the scenario bench group (workload generation +
+# streaming window-slide driver + per-slide grading) with a tiny measurement
+# budget, then the fig_scenarios sweep at --quick scale. Both are gated
+# through json_check (non-empty rows/results, finite positive medians), and
+# both write to scratch paths so the committed bench/figure JSONs stay
+# intact.
+echo "== streaming scenario smoke (scenario bench group + fig_scenarios --quick) =="
+rm -f target/bench_scenario_smoke.json
+WSN_BENCH_WARMUP_MS=1 WSN_BENCH_MEASURE_MS=25 WSN_BENCH_OUT="$PWD/target/bench_scenario_smoke.json" \
+    cargo bench --offline -p wsn-bench --bench simulation_bench -- scenario/
+cargo run --release --offline -p wsn-bench --bin json_check -- target/bench_scenario_smoke.json
+rm -f results/fig_scenarios.json
+cargo run --release --offline -p wsn-bench --bin fig_scenarios -- --quick
+cargo run --release --offline -p wsn-bench --bin json_check -- results/fig_scenarios.json
+
 echo "CI OK"

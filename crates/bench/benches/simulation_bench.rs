@@ -17,7 +17,10 @@ use std::hint::black_box;
 
 use wsn_bench::harness::Harness;
 use wsn_core::experiment::{run_experiment, AlgorithmConfig, ExperimentConfig, RankingChoice};
+use wsn_core::streaming::StreamingExperiment;
+use wsn_data::lab::LabDeployment;
 use wsn_data::synth::SyntheticTraceConfig;
+use wsn_workload::Scenario;
 
 /// A reduced experiment: 12 sensors, 5 rounds, widened radio range so the
 /// sparse layout stays connected. Small enough for a quick bench run, large
@@ -129,6 +132,37 @@ fn bench_scaling(h: &mut Harness) {
     }
 }
 
+/// The streaming window-slide driver over workload scenarios: a reduced
+/// 12-sensor deployment, one labelled scenario trace per taxonomy case of
+/// interest, evaluated at every slide. This is the hot path of the
+/// `fig_scenarios` sweep (per-slide ground truth + label grading on top of
+/// the simulation itself).
+fn bench_scenarios(h: &mut Harness) {
+    let deployment = LabDeployment::with_sensor_count(12, 1).expect("deployment builds");
+    let config = ExperimentConfig {
+        sensor_count: 12,
+        window_samples: 10,
+        n: 4,
+        transmission_range_m: 18.0,
+        ..Default::default()
+    }
+    .with_algorithm(AlgorithmConfig::Global { ranking: RankingChoice::Nn });
+    let wanted = ["point_spikes", "correlated_burst", "adversarial_inside"];
+    for scenario in Scenario::catalog(5) {
+        if !wanted.contains(&scenario.name.as_str()) {
+            continue;
+        }
+        // Seed 41 injects labels for every benched scenario at this scale.
+        let trace = scenario.generate(deployment.sensors(), 41).expect("scenario generates");
+        let experiment = StreamingExperiment::new(config.clone());
+        h.bench("scenario", &scenario.name, || {
+            black_box(
+                experiment.run_on_trace(black_box(&trace)).expect("benchmark streaming run failed"),
+            );
+        });
+    }
+}
+
 fn main() {
     let mut h = Harness::from_args("simulation_bench");
     bench_fig4_point(&mut h);
@@ -136,5 +170,6 @@ fn main() {
     bench_fig7_8_semiglobal_epsilon(&mut h);
     bench_fig9_n_scaling(&mut h);
     bench_scaling(&mut h);
+    bench_scenarios(&mut h);
     h.finish();
 }

@@ -1,0 +1,110 @@
+//! Scenario-diversity sweep: every `wsn-workload` catalog scenario × a grid
+//! of algorithms, each run through the **streaming window-slide driver**
+//! (`wsn_core::streaming`) instead of the one-shot batch runner.
+//!
+//! For every cell the table reports slide-averaged exact-match accuracy,
+//! label recall (against the scenario's injected ground truth), per-slide
+//! energy and protocol traffic; the per-cell log lines additionally carry
+//! label precision, the convergence latency in slides and the agreement
+//! rate. The correlated-burst and adversarial rows are the interesting
+//! ones — they are exactly the workloads the paper's Bernoulli model cannot
+//! produce.
+//!
+//! Run with `--quick` for a reduced (12-node, 8-round) sweep.
+
+use wsn_bench::pool;
+use wsn_bench::report::{FigureReport, SeriesRow};
+use wsn_bench::runner::{emit, TableStyle};
+use wsn_core::experiment::{AlgorithmConfig, ExperimentConfig, RankingChoice};
+use wsn_core::streaming::{StreamingExperiment, StreamingOutcome};
+use wsn_core::CoreError;
+use wsn_data::lab::{LabDeployment, PAPER_TRANSMISSION_RANGE_M};
+use wsn_workload::Scenario;
+
+fn row_from_outcome(x: f64, outcome: &StreamingOutcome) -> SeriesRow {
+    let total = outcome.final_stats.total_energy_summary();
+    SeriesRow {
+        x,
+        label: outcome.label.clone(),
+        avg_tx_per_round: outcome.avg_tx_per_node_per_slide(),
+        avg_rx_per_round: outcome.avg_rx_per_node_per_slide(),
+        min_total_energy: total.min,
+        avg_total_energy: total.avg,
+        max_total_energy: total.max,
+        accuracy: outcome.mean_slide_accuracy(),
+        mean_recall: outcome.mean_label_recall(),
+        traffic_imbalance: outcome.final_stats.traffic_imbalance(),
+        data_points_sent: outcome.data_points_sent as f64,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sensor_count, rounds, range_m) =
+        if quick { (12usize, 8usize, 18.0) } else { (53, 24, PAPER_TRANSMISSION_RANGE_M) };
+    let algorithms = [
+        AlgorithmConfig::Global { ranking: RankingChoice::Nn },
+        AlgorithmConfig::Global { ranking: RankingChoice::KnnAverage { k: 4 } },
+        AlgorithmConfig::SemiGlobal { ranking: RankingChoice::Nn, hop_diameter: 2 },
+    ];
+    let deployment = LabDeployment::with_sensor_count(sensor_count, 1).expect("deployment builds");
+    let scenarios = Scenario::catalog(rounds);
+
+    // Submit the whole scenario × algorithm grid to the shared worker pool,
+    // then collect in sweep order (the same discipline as the window/n
+    // sweeps of the other figure binaries).
+    let pool = pool::global();
+    let mut pending = Vec::new();
+    for (index, scenario) in scenarios.iter().enumerate() {
+        for &algorithm in &algorithms {
+            let config = ExperimentConfig {
+                sensor_count,
+                window_samples: 10,
+                n: 4,
+                transmission_range_m: range_m,
+                ..Default::default()
+            }
+            .with_algorithm(algorithm);
+            let name = scenario.name.clone();
+            let cell = scenario.clone();
+            let sensors = deployment.sensors().to_vec();
+            let handle = pool.submit(move || -> Result<StreamingOutcome, CoreError> {
+                // Seed 41 injects a non-empty label set for every labelled
+                // catalog scenario even at --quick scale (96 readings), so
+                // no row of the figure is vacuous.
+                let trace = cell.generate(&sensors, 41).map_err(CoreError::from)?;
+                StreamingExperiment::new(config).run_on_trace(&trace)
+            });
+            pending.push((index, name, handle));
+        }
+    }
+
+    let legend: Vec<String> =
+        scenarios.iter().enumerate().map(|(i, s)| format!("{i}={}", s.name)).collect();
+    let mut report = FigureReport::new(
+        "Streaming scenario sweep (per-slide evaluation)",
+        format!(
+            "{sensor_count} sensors, {rounds} rounds, w=10, n=4, one seed; scenarios: {}",
+            legend.join(", ")
+        ),
+        "scenario",
+    );
+    for (index, name, handle) in pending {
+        let outcome = handle.join().expect("scenario cell failed");
+        eprintln!(
+            "  [fig_scenarios] {} on {name}: acc/slide={:.3} label p/r={:.3}/{:.3} \
+             agree={:.2} conv={} pts={}",
+            outcome.label,
+            outcome.mean_slide_accuracy(),
+            outcome.mean_label_precision(),
+            outcome.mean_label_recall(),
+            outcome.agreement_rate(),
+            outcome
+                .convergence_latency_slides
+                .map_or_else(|| "never".to_string(), |s| format!("{s} slides")),
+            outcome.data_points_sent,
+        );
+        report.push(row_from_outcome(index as f64, &outcome));
+    }
+    emit(&report, "fig_scenarios", TableStyle::Energy);
+}

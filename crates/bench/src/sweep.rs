@@ -37,6 +37,12 @@ pub struct AveragedOutcome {
     pub accuracy: f64,
     /// Mean per-node recall of the true outliers, averaged across seeds.
     pub mean_recall: f64,
+    /// Mean per-node precision against the injected ground-truth labels,
+    /// averaged across seeds.
+    pub label_precision: f64,
+    /// Mean per-node recall against the injected ground-truth labels,
+    /// averaged across seeds.
+    pub label_recall: f64,
     /// Fraction of seeds in which every node's estimate agreed with every
     /// other node's (Theorem 1; global algorithm only).
     pub agreement_rate: f64,
@@ -102,6 +108,8 @@ fn aggregate(runs: &[ExperimentOutcome]) -> AveragedOutcome {
         total_energy,
         accuracy: mean(&|r| r.accuracy()),
         mean_recall: mean(&|r| r.mean_recall()),
+        label_precision: mean(&|r| r.label_precision()),
+        label_recall: mean(&|r| r.label_recall()),
         agreement_rate: mean(&|r| if r.all_estimates_agree { 1.0 } else { 0.0 }),
         quiescence_rate: mean(&|r| if r.quiescent { 1.0 } else { 0.0 }),
         avg_data_points_sent: mean(&|r| r.data_points_sent as f64),

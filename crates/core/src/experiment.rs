@@ -8,7 +8,7 @@
 //! detection accuracy. [`run_experiment`] packages exactly that; the examples
 //! and the `wsn-bench` figure harness are thin loops around it.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use crate::app::{DetectorApp, SamplingSchedule};
@@ -17,7 +17,7 @@ use crate::detector::OutlierDetector;
 use crate::error::CoreError;
 use crate::global::GlobalNode;
 use crate::message::OutlierBroadcast;
-use crate::metrics::{estimates_agree, AccuracyReport, GroundTruth};
+use crate::metrics::{estimates_agree, paired_truths, AccuracyReport, LabelReport};
 use crate::semiglobal::SemiGlobalNode;
 use wsn_data::impute::WindowMeanImputer;
 use wsn_data::lab::{LabDeployment, PAPER_TRANSMISSION_RANGE_M};
@@ -255,6 +255,9 @@ pub struct ExperimentOutcome {
     pub stats: NetworkStats,
     /// Per-node detection accuracy at the end of the run.
     pub accuracy: AccuracyReport,
+    /// Per-node precision/recall against the trace's injected ground-truth
+    /// labels (each node graded over the labels in its algorithm's scope).
+    pub labels: LabelReport,
     /// Whether every node's estimate agreed with every other node's
     /// (Theorem 1's property; only meaningful for the global algorithm).
     pub all_estimates_agree: bool,
@@ -305,6 +308,20 @@ impl ExperimentOutcome {
     /// exact-set accuracy above).
     pub fn mean_recall(&self) -> f64 {
         self.accuracy.mean_recall()
+    }
+
+    /// Mean per-node precision against the injected ground-truth labels: of
+    /// the outliers each node reported, the fraction that the workload
+    /// generator actually injected.
+    pub fn label_precision(&self) -> f64 {
+        self.labels.mean_precision()
+    }
+
+    /// Mean per-node recall against the injected ground-truth labels: of the
+    /// anomalies injected within each node's scope, the fraction reported
+    /// (capped below 1.0 when more than `n` anomalies are in scope).
+    pub fn label_recall(&self) -> f64 {
+        self.labels.mean_recall()
     }
 
     fn per_node_per_round(&self, per_node_total: f64) -> f64 {
@@ -525,23 +542,23 @@ fn run_distributed(
         estimates.insert(id, app.detector().estimate());
         data_points_sent += app.detector().points_sent();
     }
-    let truth = match hop_diameter {
-        None => GroundTruth::global(&ranking, config.n, &local_data),
-        Some(d) => GroundTruth::semi_global(
-            &ranking,
-            config.n,
-            &local_data,
-            &grading_topology,
-            u32::from(d),
-        ),
-    };
+    let label_keys: BTreeSet<wsn_data::PointKey> = trace.anomaly_keys().into_iter().collect();
+    let (truth, label_truth) = paired_truths(
+        &ranking,
+        config.n,
+        &label_keys,
+        &local_data,
+        hop_diameter.map(|d| (&grading_topology, u32::from(d))),
+    );
     let accuracy = truth.grade(&estimates);
+    let labels = label_truth.grade(&estimates);
     let all_estimates_agree = hop_diameter.is_none() && estimates_agree(&estimates);
     Ok(ExperimentOutcome {
         label: config.algorithm.label(),
         config: config.clone(),
         stats: sim.network_stats(),
         accuracy,
+        labels,
         all_estimates_agree,
         quiescent,
         data_points_sent,
@@ -579,8 +596,10 @@ fn run_centralized(
         local_data.insert(id, app.local_window().to_vec());
         estimates.insert(id, app.estimate());
     }
-    let truth = GroundTruth::global(&ranking, config.n, &local_data);
+    let label_keys: BTreeSet<wsn_data::PointKey> = trace.anomaly_keys().into_iter().collect();
+    let (truth, label_truth) = paired_truths(&ranking, config.n, &label_keys, &local_data, None);
     let accuracy = truth.grade(&estimates);
+    let labels = label_truth.grade(&estimates);
     let all_estimates_agree = estimates_agree(&estimates);
 
     Ok(ExperimentOutcome {
@@ -588,6 +607,7 @@ fn run_centralized(
         config: config.clone(),
         stats: sim.network_stats(),
         accuracy,
+        labels,
         all_estimates_agree,
         quiescent,
         data_points_sent: 0,
@@ -691,6 +711,26 @@ mod tests {
         let outcome = run_experiment(&config).unwrap();
         assert!(outcome.quiescent);
         assert!(outcome.accuracy() >= 0.7, "semi-global accuracy was {}", outcome.accuracy());
+    }
+
+    #[test]
+    fn label_metrics_are_reported_alongside_agreement_accuracy() {
+        let mut config = small(AlgorithmConfig::Global { ranking: RankingChoice::Nn });
+        config.trace.rounds = 8;
+        config.trace.missing_probability = 0.0;
+        config.trace.anomalies = wsn_data::synth::AnomalyModel {
+            spike_probability: 0.10,
+            spike_magnitude: 80.0,
+            ..wsn_data::synth::AnomalyModel::none()
+        };
+        config.n = 3;
+        let outcome = run_experiment(&config).unwrap();
+        assert_eq!(outcome.labels.total_nodes, 9);
+        assert!(outcome.labels.has_labels(), "10% spikes over 72 readings must label something");
+        // The huge spikes dominate the feature space, so the reported
+        // outliers overlap the injected labels.
+        assert!(outcome.label_precision() > 0.0);
+        assert!(outcome.label_recall() > 0.0);
     }
 
     #[test]

@@ -61,6 +61,7 @@ mod ledger;
 pub mod message;
 pub mod metrics;
 pub mod semiglobal;
+pub mod streaming;
 pub mod sufficient;
 
 pub use detector::OutlierDetector;
@@ -68,3 +69,4 @@ pub use error::CoreError;
 pub use global::GlobalNode;
 pub use message::OutlierBroadcast;
 pub use semiglobal::SemiGlobalNode;
+pub use streaming::{SlideReport, StreamingExperiment, StreamingOutcome};

@@ -12,10 +12,10 @@
 //!   truth, summarised as the fraction of nodes whose estimate is exactly
 //!   correct (the paper's detection accuracy).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use wsn_data::{DataPoint, PointSet, SensorId};
+use wsn_data::{DataPoint, PointKey, PointSet, SensorId};
 use wsn_netsim::topology::Topology;
 use wsn_ranking::{top_n_outliers, OutlierEstimate, RankingFunction};
 
@@ -59,13 +59,7 @@ impl GroundTruth {
         let per_node = local_data
             .keys()
             .map(|&id| {
-                let in_range = topology.within_hops(id, hop_diameter);
-                let union: PointSet = in_range
-                    .iter()
-                    .filter_map(|peer| local_data.get(peer))
-                    .flatten()
-                    .cloned()
-                    .collect();
+                let union = hop_scoped_union(id, local_data, topology, hop_diameter);
                 (id, Arc::new(top_n_outliers(ranking, n, &union)))
             })
             .collect();
@@ -158,6 +152,199 @@ impl AccuracyReport {
     /// packet loss.
     pub fn all_correct(&self) -> bool {
         self.correct_nodes == self.total_nodes
+    }
+}
+
+/// The **label-based** ground truth: which of the injected-anomaly labels
+/// are *in scope* for each sensor — i.e. carried by a point of the dataset
+/// its estimate is computed over (everyone's union for the global algorithm,
+/// the `d`-hop union for the semi-global one).
+///
+/// Complements [`GroundTruth`], which grades against what a perfectly
+/// informed ranking would report: `LabelTruth` instead grades against what
+/// the workload *generator* injected, yielding the precision/recall numbers
+/// a deployment operator would see.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelTruth {
+    /// Per-sensor in-scope label sets, shared where identical (global).
+    per_node: BTreeMap<SensorId, Arc<BTreeSet<PointKey>>>,
+}
+
+impl LabelTruth {
+    /// Global scope: every sensor is graded against the labels carried by
+    /// the union of all sensors' local data (one shared set).
+    pub fn global(
+        labels: &BTreeSet<PointKey>,
+        local_data: &BTreeMap<SensorId, Vec<DataPoint>>,
+    ) -> Self {
+        let in_scope = Arc::new(labels_among(labels, local_data.values().flatten()));
+        let per_node = local_data.keys().map(|id| (*id, Arc::clone(&in_scope))).collect();
+        LabelTruth { per_node }
+    }
+
+    /// Semi-global scope: sensor `p_i` is graded against the labels carried
+    /// by the local data of sensors within `hop_diameter` hops of it.
+    pub fn semi_global(
+        labels: &BTreeSet<PointKey>,
+        local_data: &BTreeMap<SensorId, Vec<DataPoint>>,
+        topology: &Topology,
+        hop_diameter: u32,
+    ) -> Self {
+        let per_node = local_data
+            .keys()
+            .map(|&id| {
+                let union = hop_scoped_union(id, local_data, topology, hop_diameter);
+                (id, Arc::new(labels_among(labels, union.iter())))
+            })
+            .collect();
+        LabelTruth { per_node }
+    }
+
+    /// The in-scope labels of one sensor.
+    pub fn scope_for(&self, id: SensorId) -> Option<&BTreeSet<PointKey>> {
+        self.per_node.get(&id).map(|s| s.as_ref())
+    }
+
+    /// Grades per-node estimates against the injected labels.
+    ///
+    /// Per node, with `hits = |estimate ∩ in-scope labels|`:
+    /// precision is `hits / |estimate|` and recall is
+    /// `hits / |in-scope labels|`. Both are vacuously 1.0 when they have
+    /// nothing to measure — an empty estimate for precision (no false
+    /// positives), an empty label scope for both (on unlabelled data the
+    /// protocol still legitimately reports its `O_n`; only
+    /// agreement-based accuracy is meaningful there, see
+    /// [`LabelReport::has_labels`]). A sensor that supplied no estimate
+    /// counts as an empty one. Note the recall of a correctly working
+    /// protocol is capped below 1.0 whenever more than `n` labelled
+    /// anomalies are in scope — the protocol reports `O_n`, not every
+    /// anomaly.
+    pub fn grade(&self, estimates: &BTreeMap<SensorId, OutlierEstimate>) -> LabelReport {
+        let mut report = LabelReport::default();
+        for (id, scope) in &self.per_node {
+            report.total_nodes += 1;
+            if !scope.is_empty() {
+                report.labelled_nodes += 1;
+            }
+            let (est_len, hits) = match estimates.get(id) {
+                Some(estimate) => {
+                    let hits = estimate.keys().iter().filter(|key| scope.contains(key)).count();
+                    (estimate.len(), hits)
+                }
+                None => (0, 0),
+            };
+            report.precision_sum +=
+                if scope.is_empty() || est_len == 0 { 1.0 } else { hits as f64 / est_len as f64 };
+            report.recall_sum +=
+                if scope.is_empty() { 1.0 } else { hits as f64 / scope.len() as f64 };
+        }
+        report
+    }
+}
+
+/// The result of grading estimates against injected ground-truth labels.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LabelReport {
+    /// Number of sensors graded.
+    pub total_nodes: usize,
+    /// Number of sensors with at least one labelled anomaly in scope.
+    pub labelled_nodes: usize,
+    /// Sum over sensors of the per-node label precision.
+    pub precision_sum: f64,
+    /// Sum over sensors of the per-node label recall.
+    pub recall_sum: f64,
+}
+
+impl LabelReport {
+    /// Mean per-node precision: of the outliers reported, the fraction that
+    /// are injected anomalies. 1.0 for an empty deployment.
+    pub fn mean_precision(&self) -> f64 {
+        if self.total_nodes == 0 {
+            return 1.0;
+        }
+        self.precision_sum / self.total_nodes as f64
+    }
+
+    /// Mean per-node recall: of the in-scope injected anomalies, the
+    /// fraction reported. 1.0 for an empty deployment.
+    pub fn mean_recall(&self) -> f64 {
+        if self.total_nodes == 0 {
+            return 1.0;
+        }
+        self.recall_sum / self.total_nodes as f64
+    }
+
+    /// Returns `true` if any graded sensor had labelled anomalies in scope
+    /// (without which the recall numbers are vacuous).
+    pub fn has_labels(&self) -> bool {
+        self.labelled_nodes > 0
+    }
+}
+
+/// The union of the local data of every sensor within `hop_diameter` hops
+/// of `id` — the single source of the semi-global scoping rule shared by
+/// [`GroundTruth`], [`LabelTruth`] and [`paired_truths`].
+fn hop_scoped_union(
+    id: SensorId,
+    local_data: &BTreeMap<SensorId, Vec<DataPoint>>,
+    topology: &Topology,
+    hop_diameter: u32,
+) -> PointSet {
+    topology
+        .within_hops(id, hop_diameter)
+        .iter()
+        .filter_map(|peer| local_data.get(peer))
+        .flatten()
+        .cloned()
+        .collect()
+}
+
+/// The label keys carried by `points`.
+fn labels_among<'a>(
+    labels: &BTreeSet<PointKey>,
+    points: impl IntoIterator<Item = &'a DataPoint>,
+) -> BTreeSet<PointKey> {
+    points.into_iter().filter(|p| labels.contains(&p.key)).map(|p| p.key).collect()
+}
+
+/// Builds the detection-accuracy and label ground truths over **identical**
+/// scoping in one pass: the global union (or, semi-globally, each node's
+/// `d`-hop BFS and union) is computed once and feeds both the `O_n` answer
+/// and the label scope. This is what the batch and streaming runners call —
+/// it halves the per-slide scoping cost of the streaming driver and keeps
+/// the two metrics guaranteed-consistent. `hop_scope` is `None` for global
+/// (and centralized) scoping, `Some((topology, d))` for semi-global.
+pub fn paired_truths<R: RankingFunction + ?Sized>(
+    ranking: &R,
+    n: usize,
+    labels: &BTreeSet<PointKey>,
+    local_data: &BTreeMap<SensorId, Vec<DataPoint>>,
+    hop_scope: Option<(&Topology, u32)>,
+) -> (GroundTruth, LabelTruth) {
+    match hop_scope {
+        None => {
+            let union: PointSet = local_data.values().flatten().cloned().collect();
+            let answer = Arc::new(top_n_outliers(ranking, n, &union));
+            let scope = Arc::new(labels_among(labels, union.iter()));
+            (
+                GroundTruth {
+                    per_node: local_data.keys().map(|id| (*id, Arc::clone(&answer))).collect(),
+                },
+                LabelTruth {
+                    per_node: local_data.keys().map(|id| (*id, Arc::clone(&scope))).collect(),
+                },
+            )
+        }
+        Some((topology, hop_diameter)) => {
+            let mut truth = BTreeMap::new();
+            let mut scopes = BTreeMap::new();
+            for &id in local_data.keys() {
+                let union = hop_scoped_union(id, local_data, topology, hop_diameter);
+                scopes.insert(id, Arc::new(labels_among(labels, union.iter())));
+                truth.insert(id, Arc::new(top_n_outliers(ranking, n, &union)));
+            }
+            (GroundTruth { per_node: truth }, LabelTruth { per_node: scopes })
+        }
     }
 }
 
@@ -279,6 +466,66 @@ mod tests {
         assert_eq!(report.accuracy(), 1.0);
         assert_eq!(report.mean_recall(), 1.0);
         assert!(report.all_correct());
+    }
+
+    #[test]
+    fn label_truth_grades_precision_and_recall() {
+        let data = local_data();
+        // The single injected anomaly is node 0's extreme value.
+        let labels: BTreeSet<PointKey> = [pt(0, 0, -100.0).key].into_iter().collect();
+        let truth = LabelTruth::global(&labels, &data);
+        assert_eq!(truth.scope_for(SensorId(1)).unwrap().len(), 1);
+        assert!(truth.scope_for(SensorId(9)).is_none());
+
+        let correct = global_answer(&NnDistance, 1, &data); // reports the -100 point
+        let wrong = top_n_outliers(&NnDistance, 1, &data[&SensorId(1)].iter().cloned().collect());
+        let mut estimates = BTreeMap::new();
+        estimates.insert(SensorId(0), correct);
+        estimates.insert(SensorId(1), wrong);
+        // Node 2 supplies nothing: empty estimate, precision 1, recall 0.
+        let report = truth.grade(&estimates);
+        assert_eq!(report.total_nodes, 3);
+        assert_eq!(report.labelled_nodes, 3);
+        assert!(report.has_labels());
+        // Precision: node 0 = 1.0, node 1 = 0.0, node 2 (empty) = 1.0.
+        assert!((report.mean_precision() - 2.0 / 3.0).abs() < 1e-12);
+        // Recall: node 0 = 1.0, nodes 1 and 2 = 0.0.
+        assert!((report.mean_recall() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_truth_semi_global_restricts_scope_by_hops() {
+        let data = local_data();
+        let labels: BTreeSet<PointKey> = [pt(0, 0, -100.0).key].into_iter().collect();
+        let truth = LabelTruth::semi_global(&labels, &data, &chain_topology(), 1);
+        // Node 2 is two hops from the label's origin: nothing in scope.
+        assert!(truth.scope_for(SensorId(2)).unwrap().is_empty());
+        assert_eq!(truth.scope_for(SensorId(1)).unwrap().len(), 1);
+        // With nothing in scope and an empty estimate, node 2 scores 1/1.
+        let report = truth.grade(&BTreeMap::new());
+        assert_eq!(report.labelled_nodes, 2);
+        assert!((report.recall_sum - 1.0).abs() < 1e-12, "only node 2 recalls vacuously");
+    }
+
+    #[test]
+    fn paired_truths_match_the_individual_constructors() {
+        let data = local_data();
+        let labels: BTreeSet<PointKey> = [pt(0, 0, -100.0).key].into_iter().collect();
+        let (truth, label_truth) = paired_truths(&NnDistance, 1, &labels, &data, None);
+        assert_eq!(truth, GroundTruth::global(&NnDistance, 1, &data));
+        assert_eq!(label_truth, LabelTruth::global(&labels, &data));
+        let topo = chain_topology();
+        let (truth, label_truth) = paired_truths(&NnDistance, 1, &labels, &data, Some((&topo, 1)));
+        assert_eq!(truth, GroundTruth::semi_global(&NnDistance, 1, &data, &topo, 1));
+        assert_eq!(label_truth, LabelTruth::semi_global(&labels, &data, &topo, 1));
+    }
+
+    #[test]
+    fn empty_label_report_is_perfect() {
+        let report = LabelReport::default();
+        assert_eq!(report.mean_precision(), 1.0);
+        assert_eq!(report.mean_recall(), 1.0);
+        assert!(!report.has_labels());
     }
 
     #[test]

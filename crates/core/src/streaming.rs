@@ -1,0 +1,561 @@
+//! The streaming (window-slide) experiment driver.
+//!
+//! [`crate::experiment::run_experiment`] judges a protocol once, at the end
+//! of a batch — the paper's evaluation mode. A deployed network is never in
+//! that state: data keeps arriving, the window keeps sliding, and what
+//! matters is how the protocol tracks the moving answer *while it runs*.
+//! [`StreamingExperiment`] drives the same simulator continuously and
+//! evaluates at **every window slide** (every sampling round):
+//!
+//! * a per-slide [`AccuracyReport`] against the slide's own ground truth
+//!   `O_n` (recomputed over what the nodes hold at that instant),
+//! * a per-slide [`LabelReport`] (precision/recall against the injected
+//!   ground-truth labels of `wsn-workload` scenarios),
+//! * whether the estimates currently agree ([`estimates_agree`], Theorem 1's
+//!   property — the convergence-latency clock), and
+//! * the slide's marginal cost: packets, bytes, protocol data points and
+//!   per-node TX/RX energy spent since the previous slide.
+//!
+//! The driver accepts any [`DeploymentTrace`] — synthetic, a `wsn-workload`
+//! scenario, or a replayed Intel trace — and any [`AlgorithmConfig`]
+//! (global, semi-global, centralized).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crate::app::{DetectorApp, SamplingSchedule, ScheduleDriven};
+use crate::centralized::CentralizedApp;
+use crate::detector::OutlierDetector;
+use crate::error::CoreError;
+use crate::experiment::{AlgorithmConfig, AnyDetector, ExperimentConfig};
+use crate::global::GlobalNode;
+use crate::metrics::{estimates_agree, paired_truths, AccuracyReport, LabelReport};
+use crate::semiglobal::SemiGlobalNode;
+use wsn_data::impute::WindowMeanImputer;
+use wsn_data::lab::LabDeployment;
+use wsn_data::stream::{DeploymentTrace, SensorStream};
+use wsn_data::window::WindowConfig;
+use wsn_data::{DataPoint, HopCount, PointKey, SensorId, Timestamp};
+use wsn_netsim::radio::RadioConfig;
+use wsn_netsim::sim::{Application, SimConfig, Simulator};
+use wsn_netsim::stats::NetworkStats;
+use wsn_netsim::topology::Topology;
+use wsn_ranking::{OutlierEstimate, RankingFunction};
+
+/// What the streaming driver needs to read off a running application at
+/// every slide, over and above [`Application`].
+trait StreamingProbe {
+    /// The node's current outlier estimate.
+    fn streaming_estimate(&self) -> OutlierEstimate;
+    /// The node's own current data `D_i` (what the ground truth is over).
+    fn streaming_own_points(&self, id: SensorId) -> Vec<DataPoint>;
+    /// Cumulative protocol data points this node has broadcast.
+    fn streaming_points_sent(&self) -> u64;
+}
+
+impl StreamingProbe for DetectorApp<AnyDetector> {
+    fn streaming_estimate(&self) -> OutlierEstimate {
+        self.detector().estimate()
+    }
+
+    fn streaming_own_points(&self, id: SensorId) -> Vec<DataPoint> {
+        self.detector().held_points().iter().filter(|p| p.key.origin == id).cloned().collect()
+    }
+
+    fn streaming_points_sent(&self) -> u64 {
+        self.detector().points_sent()
+    }
+}
+
+impl StreamingProbe for CentralizedApp<Arc<dyn RankingFunction>> {
+    fn streaming_estimate(&self) -> OutlierEstimate {
+        self.estimate()
+    }
+
+    fn streaming_own_points(&self, _id: SensorId) -> Vec<DataPoint> {
+        self.local_window().to_vec()
+    }
+
+    fn streaming_points_sent(&self) -> u64 {
+        0 // the centralized baseline ships windows, not protocol points
+    }
+}
+
+/// The measurements taken at one window slide.
+#[derive(Debug, Clone)]
+pub struct SlideReport {
+    /// The slide (= sampling round) index, starting at 0.
+    pub slide: usize,
+    /// Simulation time at which the slide was evaluated (just before the
+    /// next round's first sample).
+    pub at: Timestamp,
+    /// Number of points currently held across all nodes' own windows.
+    pub window_points: usize,
+    /// Per-node accuracy against this slide's ground truth `O_n`.
+    pub accuracy: AccuracyReport,
+    /// Per-node precision/recall against the injected ground-truth labels
+    /// currently in scope.
+    pub labels: LabelReport,
+    /// Whether every node's estimate agreed with every other node's at this
+    /// slide (global/centralized; for the semi-global algorithm, whether
+    /// every node matched its own `d`-hop ground truth).
+    pub estimates_agree: bool,
+    /// Packets transmitted network-wide since the previous slide.
+    pub packets_delta: u64,
+    /// Payload bytes transmitted network-wide since the previous slide.
+    pub bytes_delta: u64,
+    /// Protocol data points broadcast since the previous slide (zero for
+    /// the centralized baseline).
+    pub data_points_delta: u64,
+    /// Average per-node transmit energy spent this slide, in joules.
+    pub avg_tx_energy_delta: f64,
+    /// Average per-node receive energy spent this slide, in joules.
+    pub avg_rx_energy_delta: f64,
+}
+
+/// Cumulative totals used to derive per-slide deltas.
+#[derive(Debug, Clone, Copy, Default)]
+struct Totals {
+    packets: u64,
+    bytes: u64,
+    tx_joules: f64,
+    rx_joules: f64,
+    data_points: u64,
+}
+
+impl Totals {
+    fn of(stats: &NetworkStats, data_points: u64) -> Totals {
+        Totals {
+            packets: stats.total_packets_sent(),
+            bytes: stats.total_bytes_sent(),
+            tx_joules: stats.tx_energy_per_node().iter().sum(),
+            rx_joules: stats.rx_energy_per_node().iter().sum(),
+            data_points,
+        }
+    }
+}
+
+/// The full time series a streaming run produces.
+#[derive(Debug, Clone)]
+pub struct StreamingOutcome {
+    /// The plot label of the algorithm that ran.
+    pub label: String,
+    /// One report per window slide, in time order.
+    pub slides: Vec<SlideReport>,
+    /// The first slide at which the estimates agreed (see
+    /// [`SlideReport::estimates_agree`]) — the convergence latency in
+    /// slides, `None` if they never did.
+    pub convergence_latency_slides: Option<usize>,
+    /// Whether the protocol reached quiescence after the last sample — the
+    /// "quiescent tail": once injection (and sampling) stops, the chatter
+    /// must die out before the deadline.
+    pub quiescent_tail: bool,
+    /// Link and energy statistics of the whole run (including the tail).
+    pub final_stats: NetworkStats,
+    /// Total protocol data points broadcast over the whole run.
+    pub data_points_sent: u64,
+    /// Number of sensors simulated.
+    pub node_count: usize,
+    /// Number of sampling rounds (= slides) simulated.
+    pub rounds: usize,
+}
+
+impl StreamingOutcome {
+    /// Mean, over slides, of the per-slide exact-match accuracy.
+    pub fn mean_slide_accuracy(&self) -> f64 {
+        self.mean_over_slides(|s| s.accuracy.accuracy())
+    }
+
+    /// Mean, over slides, of the per-slide label precision.
+    pub fn mean_label_precision(&self) -> f64 {
+        self.mean_over_slides(|s| s.labels.mean_precision())
+    }
+
+    /// Mean, over slides, of the per-slide label recall.
+    pub fn mean_label_recall(&self) -> f64 {
+        self.mean_over_slides(|s| s.labels.mean_recall())
+    }
+
+    /// Fraction of slides at which the estimates agreed.
+    pub fn agreement_rate(&self) -> f64 {
+        self.mean_over_slides(|s| if s.estimates_agree { 1.0 } else { 0.0 })
+    }
+
+    /// Average per-node transmit energy per slide, in joules.
+    pub fn avg_tx_per_node_per_slide(&self) -> f64 {
+        self.per_node_per_slide(self.final_stats.tx_energy_summary().avg)
+    }
+
+    /// Average per-node receive energy per slide, in joules.
+    pub fn avg_rx_per_node_per_slide(&self) -> f64 {
+        self.per_node_per_slide(self.final_stats.rx_energy_summary().avg)
+    }
+
+    /// The last slide's report, if any slides ran.
+    pub fn final_slide(&self) -> Option<&SlideReport> {
+        self.slides.last()
+    }
+
+    fn mean_over_slides(&self, f: impl Fn(&SlideReport) -> f64) -> f64 {
+        if self.slides.is_empty() {
+            return 1.0;
+        }
+        self.slides.iter().map(f).sum::<f64>() / self.slides.len() as f64
+    }
+
+    fn per_node_per_slide(&self, per_node_total: f64) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            per_node_total / self.rounds as f64
+        }
+    }
+}
+
+/// A continuously evaluated experiment: the streaming counterpart of
+/// [`crate::experiment::run_experiment`].
+#[derive(Debug, Clone)]
+pub struct StreamingExperiment {
+    config: ExperimentConfig,
+}
+
+impl StreamingExperiment {
+    /// Wraps an experiment configuration for streaming evaluation.
+    pub fn new(config: ExperimentConfig) -> Self {
+        StreamingExperiment { config }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Generates the configured deployment and synthetic trace (exactly as
+    /// [`crate::experiment::run_experiment`] would) and streams it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid parameters,
+    /// [`CoreError::DisconnectedNetwork`] for a disconnected layout, and
+    /// propagates trace-generation errors.
+    pub fn run(&self) -> Result<StreamingOutcome, CoreError> {
+        self.config.validate()?;
+        let deployment = LabDeployment::with_sensor_count(
+            self.config.sensor_count,
+            self.config.deployment_seed,
+        )?;
+        let trace = deployment.generate_trace(&self.config.trace, self.config.trace_seed)?;
+        self.run_on_trace(&trace)
+    }
+
+    /// Streams an explicit trace — a `wsn-workload` scenario, a replayed
+    /// Intel trace, anything. The trace supplies the sensors (positions and
+    /// count), the sampling interval and the number of rounds; the
+    /// configuration supplies everything else (algorithm, `w`, `n`, radio
+    /// range, loss model, seeds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the trace is empty and
+    /// [`CoreError::DisconnectedNetwork`] if the trace's sensor layout is
+    /// not connected at the configured radio range.
+    pub fn run_on_trace(&self, trace: &DeploymentTrace) -> Result<StreamingOutcome, CoreError> {
+        let config = &self.config;
+        config.validate()?;
+        let specs = trace.sensor_specs();
+        let rounds = trace.round_count();
+        if specs.is_empty() || rounds == 0 {
+            return Err(CoreError::InvalidConfig(
+                "a streaming run needs at least one sensor and one round".into(),
+            ));
+        }
+        let topology = Topology::from_specs(&specs, config.transmission_range_m);
+        if !topology.is_connected() {
+            return Err(CoreError::DisconnectedNetwork);
+        }
+        let labels: BTreeSet<PointKey> = trace.anomaly_keys().into_iter().collect();
+        let mut imputed = trace.clone();
+        WindowMeanImputer::new(config.window_samples as usize).impute_trace(&mut imputed);
+
+        let interval = trace.sample_interval_secs;
+        let window = WindowConfig::from_samples(config.window_samples, interval)?;
+        let schedule = SamplingSchedule::new(interval, rounds);
+        let sim_config = SimConfig {
+            radio: RadioConfig::with_range(config.transmission_range_m).with_loss(config.loss),
+            seed: config.sim_seed,
+            ..Default::default()
+        };
+        let ranking = config.algorithm.ranking().build();
+        // The same settling margin run_experiment's deadline allows.
+        let deadline = Timestamp::from_secs_f64(interval * (rounds as f64 + 2.0) + 600.0);
+
+        let stream_for = |id: SensorId| -> SensorStream {
+            imputed.stream(id).ok().cloned().unwrap_or_else(|| SensorStream::new(specs[0]))
+        };
+
+        match config.algorithm {
+            AlgorithmConfig::Global { .. } | AlgorithmConfig::SemiGlobal { .. } => {
+                let hop_diameter = match config.algorithm {
+                    AlgorithmConfig::SemiGlobal { hop_diameter, .. } => Some(hop_diameter),
+                    _ => None,
+                };
+                let grading_topology = topology.clone();
+                let mut sim: Simulator<DetectorApp<AnyDetector>> =
+                    crate::app::simulator_with_sampling(sim_config, topology, &schedule, |id| {
+                        let detector = match hop_diameter {
+                            None => AnyDetector::Global(GlobalNode::new(
+                                id,
+                                ranking.clone(),
+                                config.n,
+                                window,
+                            )),
+                            Some(d) => AnyDetector::SemiGlobal(SemiGlobalNode::new(
+                                id,
+                                ranking.clone(),
+                                config.n,
+                                d,
+                                window,
+                            )),
+                        };
+                        DetectorApp::new(detector, stream_for(id), schedule)
+                    });
+                Ok(drive(
+                    &mut sim,
+                    &schedule,
+                    &ranking,
+                    config.n,
+                    hop_diameter,
+                    &grading_topology,
+                    &labels,
+                    deadline,
+                    config.algorithm.label(),
+                ))
+            }
+            AlgorithmConfig::Centralized { .. } => {
+                let sink = wsn_data::lab::default_sink(&specs).expect("at least one sensor exists");
+                let grading_topology = topology.clone();
+                let mut sim: Simulator<CentralizedApp<Arc<dyn RankingFunction>>> =
+                    crate::app::simulator_with_sampling(sim_config, topology, &schedule, |id| {
+                        CentralizedApp::new(
+                            id,
+                            sink,
+                            ranking.clone(),
+                            config.n,
+                            window,
+                            stream_for(id),
+                            schedule,
+                        )
+                    });
+                Ok(drive(
+                    &mut sim,
+                    &schedule,
+                    &ranking,
+                    config.n,
+                    None,
+                    &grading_topology,
+                    &labels,
+                    deadline,
+                    config.algorithm.label(),
+                ))
+            }
+        }
+    }
+}
+
+/// Runs the slide loop on a built simulator: advance to just before each
+/// next sampling round, snapshot every node, grade, and account the slide's
+/// marginal cost.
+#[allow(clippy::too_many_arguments)]
+fn drive<A>(
+    sim: &mut Simulator<A>,
+    schedule: &SamplingSchedule,
+    ranking: &Arc<dyn RankingFunction>,
+    n: usize,
+    hop_diameter: Option<HopCount>,
+    topology: &Topology,
+    labels: &BTreeSet<PointKey>,
+    deadline: Timestamp,
+    label: String,
+) -> StreamingOutcome
+where
+    A: Application + StreamingProbe + ScheduleDriven,
+{
+    let mut slides = Vec::with_capacity(schedule.rounds);
+    let mut previous = Totals::default();
+    let mut convergence_latency = None;
+    let node_count = sim.topology().len();
+    for round in 0..schedule.rounds {
+        // Evaluate 1 µs before the next round's earliest (unstaggered)
+        // sample, so the slide sees everything of round `round` and nothing
+        // of round `round + 1`.
+        let next_round_start =
+            Timestamp::from_secs_f64((round + 1) as f64 * schedule.sample_interval_secs);
+        let eval_at = Timestamp::from_micros(next_round_start.as_micros().saturating_sub(1));
+        sim.run_until(eval_at);
+
+        let mut local_data: BTreeMap<SensorId, Vec<DataPoint>> = BTreeMap::new();
+        let mut estimates: BTreeMap<SensorId, OutlierEstimate> = BTreeMap::new();
+        let mut data_points = 0u64;
+        for (id, app) in sim.apps() {
+            local_data.insert(id, app.streaming_own_points(id));
+            estimates.insert(id, app.streaming_estimate());
+            data_points += app.streaming_points_sent();
+        }
+        let window_points = local_data.values().map(Vec::len).sum();
+        let (truth, label_truth) = paired_truths(
+            ranking,
+            n,
+            labels,
+            &local_data,
+            hop_diameter.map(|d| (topology, u32::from(d))),
+        );
+        let accuracy = truth.grade(&estimates);
+        let label_report = label_truth.grade(&estimates);
+        let agree = match hop_diameter {
+            None => estimates_agree(&estimates),
+            // Pairwise agreement is meaningless for hop-local answers; the
+            // semi-global convergence event is "everyone matches their own
+            // d-hop ground truth".
+            Some(_) => accuracy.all_correct(),
+        };
+        if agree && convergence_latency.is_none() {
+            convergence_latency = Some(round);
+        }
+        let stats = sim.network_stats();
+        let totals = Totals::of(&stats, data_points);
+        slides.push(SlideReport {
+            slide: round,
+            at: sim.now(),
+            window_points,
+            accuracy,
+            labels: label_report,
+            estimates_agree: agree,
+            packets_delta: totals.packets - previous.packets,
+            bytes_delta: totals.bytes - previous.bytes,
+            data_points_delta: totals.data_points - previous.data_points,
+            avg_tx_energy_delta: (totals.tx_joules - previous.tx_joules) / node_count as f64,
+            avg_rx_energy_delta: (totals.rx_joules - previous.rx_joules) / node_count as f64,
+        });
+        previous = totals;
+    }
+    let quiescent_tail = sim.run_until_quiescent(deadline);
+    let data_points_sent = sim.apps().map(|(_, a)| a.streaming_points_sent()).sum();
+    StreamingOutcome {
+        label,
+        slides,
+        convergence_latency_slides: convergence_latency,
+        quiescent_tail,
+        final_stats: sim.network_stats(),
+        data_points_sent,
+        node_count,
+        rounds: schedule.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_experiment, RankingChoice};
+    use wsn_data::synth::AnomalyModel;
+
+    fn spiky_small(algorithm: AlgorithmConfig) -> ExperimentConfig {
+        let mut config = ExperimentConfig::small().with_algorithm(algorithm);
+        config.trace.rounds = 6;
+        config.trace.anomalies =
+            AnomalyModel { spike_probability: 0.08, spike_magnitude: 70.0, ..AnomalyModel::none() };
+        config.trace.missing_probability = 0.0;
+        config
+    }
+
+    #[test]
+    fn streaming_produces_one_report_per_slide() {
+        let config = spiky_small(AlgorithmConfig::Global { ranking: RankingChoice::Nn });
+        let outcome = StreamingExperiment::new(config).run().unwrap();
+        assert_eq!(outcome.slides.len(), 6);
+        assert_eq!(outcome.rounds, 6);
+        assert_eq!(outcome.node_count, 9);
+        for (i, slide) in outcome.slides.iter().enumerate() {
+            assert_eq!(slide.slide, i);
+            assert_eq!(slide.accuracy.total_nodes, 9);
+        }
+        // Reports are monotone in time.
+        for pair in outcome.slides.windows(2) {
+            assert!(pair[0].at < pair[1].at);
+        }
+        assert!(outcome.quiescent_tail, "chatter must die out after the last sample");
+        assert!(outcome.data_points_sent > 0);
+    }
+
+    #[test]
+    fn streaming_converges_and_matches_the_batch_experiment_at_the_end() {
+        let config = spiky_small(AlgorithmConfig::Global { ranking: RankingChoice::Nn });
+        let streaming = StreamingExperiment::new(config.clone()).run().unwrap();
+        // The protocol must have agreed at some slide.
+        assert!(streaming.convergence_latency_slides.is_some());
+        // And the whole run's energy matches the one-shot runner's (same
+        // simulation, just observed mid-flight).
+        let batch = run_experiment(&config).unwrap();
+        let streaming_tx = streaming.final_stats.tx_energy_summary().avg;
+        let batch_tx = batch.stats.tx_energy_summary().avg;
+        assert!(
+            (streaming_tx - batch_tx).abs() < 1e-9,
+            "observing slides must not change what the network does: {streaming_tx} vs {batch_tx}"
+        );
+        assert_eq!(streaming.data_points_sent, batch.data_points_sent);
+    }
+
+    #[test]
+    fn streaming_reports_label_precision_and_recall() {
+        let config = spiky_small(AlgorithmConfig::Global { ranking: RankingChoice::Nn });
+        let outcome = StreamingExperiment::new(config).run().unwrap();
+        let labelled_slides = outcome.slides.iter().filter(|s| s.labels.has_labels()).count();
+        assert!(labelled_slides > 0, "8% spikes over 54 readings must label some slides");
+        assert!(outcome.mean_label_precision() > 0.0);
+        assert!(outcome.mean_label_recall() > 0.0);
+    }
+
+    #[test]
+    fn streaming_supports_semi_global_and_centralized() {
+        let semi = spiky_small(AlgorithmConfig::SemiGlobal {
+            ranking: RankingChoice::Nn,
+            hop_diameter: 2,
+        });
+        let outcome = StreamingExperiment::new(semi).run().unwrap();
+        assert_eq!(outcome.slides.len(), 6);
+        assert!(outcome.quiescent_tail);
+
+        let central = spiky_small(AlgorithmConfig::Centralized { ranking: RankingChoice::Nn });
+        let outcome = StreamingExperiment::new(central).run().unwrap();
+        assert_eq!(outcome.slides.len(), 6);
+        assert_eq!(outcome.data_points_sent, 0);
+        assert!(outcome.final_stats.total_packets_sent() > 0);
+    }
+
+    #[test]
+    fn slide_deltas_sum_to_no_more_than_the_final_totals() {
+        let config = spiky_small(AlgorithmConfig::Global { ranking: RankingChoice::Nn });
+        let outcome = StreamingExperiment::new(config).run().unwrap();
+        let packets: u64 = outcome.slides.iter().map(|s| s.packets_delta).sum();
+        let bytes: u64 = outcome.slides.iter().map(|s| s.bytes_delta).sum();
+        // The tail (after the last slide) may still transmit, so the slide
+        // deltas bound the totals from below.
+        assert!(packets <= outcome.final_stats.total_packets_sent());
+        assert!(bytes <= outcome.final_stats.total_bytes_sent());
+        assert!(packets > 0);
+    }
+
+    #[test]
+    fn invalid_streaming_configs_are_rejected() {
+        let mut config = ExperimentConfig::small();
+        config.transmission_range_m = 0.5;
+        assert_eq!(
+            StreamingExperiment::new(config).run().unwrap_err(),
+            CoreError::DisconnectedNetwork
+        );
+        let empty = DeploymentTrace::new(30.0).unwrap();
+        assert!(matches!(
+            StreamingExperiment::new(ExperimentConfig::small()).run_on_trace(&empty),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+}

@@ -81,17 +81,7 @@ impl LabDeployment {
             .enumerate()
             .map(|(i, p)| SensorSpec::new(SensorId(i as u32), p))
             .collect();
-        // The sink of the centralized baseline sits near the corner of the
-        // floor plan, as a base station typically does.
-        let sink = sensors
-            .iter()
-            .min_by(|a, b| {
-                let da = a.position.distance_squared(&Position::new(0.0, 0.0));
-                let db = b.position.distance_squared(&Position::new(0.0, 0.0));
-                da.total_cmp(&db)
-            })
-            .map(|s| s.id)
-            .expect("at least one sensor exists");
+        let sink = default_sink(&sensors).expect("at least one sensor exists");
         Ok(LabDeployment { terrain, sensors, sink })
     }
 
@@ -176,6 +166,21 @@ impl LabDeployment {
     ) -> Result<DeploymentTrace, DataError> {
         generate_trace(config, &self.sensors, seed)
     }
+}
+
+/// The default sink of a deployment's centralized baseline: the sensor
+/// nearest the terrain corner (origin), as a base station typically sits.
+/// Single-sourced here so every consumer — [`LabDeployment`] and harnesses
+/// that build topologies straight from replayed trace specs — anchors the
+/// same node. Returns `None` for an empty deployment.
+pub fn default_sink(sensors: &[SensorSpec]) -> Option<SensorId> {
+    let origin = Position::new(0.0, 0.0);
+    sensors
+        .iter()
+        .min_by(|a, b| {
+            a.position.distance_squared(&origin).total_cmp(&b.position.distance_squared(&origin))
+        })
+        .map(|s| s.id)
 }
 
 /// Returns `true` if the unit-disc graph over `positions` at `range` metres

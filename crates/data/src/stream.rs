@@ -9,7 +9,7 @@
 
 use crate::error::DataError;
 use crate::geometry::Position;
-use crate::point::{DataPoint, Epoch, SensorId, Timestamp};
+use crate::point::{DataPoint, Epoch, PointKey, SensorId, Timestamp};
 
 /// Static description of one deployed sensor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -204,6 +204,38 @@ impl DeploymentTrace {
         Ok(out)
     }
 
+    /// The identities of every **present** reading flagged as an injected
+    /// ground-truth anomaly, across the whole trace — the label set the
+    /// accuracy metrics grade estimates against. (A flag on a missing
+    /// reading labels nothing: no data point is ever built from it.)
+    pub fn anomaly_keys(&self) -> Vec<PointKey> {
+        let mut keys = Vec::new();
+        for stream in &self.streams {
+            for reading in &stream.readings {
+                if reading.injected_anomaly && !reading.is_missing() {
+                    keys.push(PointKey::new(stream.spec.id, reading.epoch));
+                }
+            }
+        }
+        keys
+    }
+
+    /// The labelled anomaly identities of one sampling round (present
+    /// readings only). Round-local labels for per-round consumers (e.g. a
+    /// naive one-round detector); note the streaming driver instead scopes
+    /// the whole-trace [`DeploymentTrace::anomaly_keys`] set by what each
+    /// node's window currently holds.
+    pub fn labels_at_round(&self, round: usize) -> Vec<PointKey> {
+        self.streams
+            .iter()
+            .filter_map(|s| {
+                let reading = s.readings.get(round)?;
+                (reading.injected_anomaly && !reading.is_missing())
+                    .then(|| PointKey::new(s.spec.id, reading.epoch))
+            })
+            .collect()
+    }
+
     /// Fraction of readings across all streams that carry the injected
     /// ground-truth-anomaly flag.
     pub fn anomaly_fraction(&self) -> f64 {
@@ -286,6 +318,25 @@ mod tests {
         assert_eq!(trace.sensor_specs().len(), 2);
         assert!(trace.stream(SensorId(2)).is_ok());
         assert_eq!(trace.stream(SensorId(9)).unwrap_err(), DataError::UnknownSensor(9));
+    }
+
+    #[test]
+    fn anomaly_keys_cover_present_flagged_readings_only() {
+        let mut trace = DeploymentTrace::new(1.0).unwrap();
+        let mut s = SensorStream::new(spec(3, 0.0, 0.0));
+        s.readings
+            .push(SensorReading::present(Epoch(0), Timestamp::ZERO, 1.0).with_anomaly_flag(true));
+        s.readings.push(SensorReading::present(Epoch(1), Timestamp::from_secs(1), 2.0));
+        // A flagged-but-missing reading labels nothing.
+        s.readings.push(
+            SensorReading::missing(Epoch(2), Timestamp::from_secs(2)).with_anomaly_flag(true),
+        );
+        trace.streams.push(s);
+        assert_eq!(trace.anomaly_keys(), vec![PointKey::new(SensorId(3), Epoch(0))]);
+        assert_eq!(trace.labels_at_round(0), vec![PointKey::new(SensorId(3), Epoch(0))]);
+        assert!(trace.labels_at_round(1).is_empty());
+        assert!(trace.labels_at_round(2).is_empty());
+        assert!(trace.labels_at_round(9).is_empty());
     }
 
     #[test]

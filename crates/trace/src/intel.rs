@@ -8,10 +8,18 @@
 //! that the imputation step of §7.1 can fill them in downstream.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 
 use crate::error::TraceError;
 use wsn_data::stream::{DeploymentTrace, SensorReading, SensorSpec, SensorStream};
 use wsn_data::{Epoch, Position, SensorId, Timestamp};
+
+/// File name of the readings file within an Intel-lab dataset directory.
+pub const READINGS_FILE: &str = "data.txt";
+
+/// File name of the mote-locations file within an Intel-lab dataset
+/// directory.
+pub const LOCATIONS_FILE: &str = "mote_locs.txt";
 
 /// One line of the Intel-lab readings file.
 #[derive(Debug, Clone, PartialEq)]
@@ -197,6 +205,40 @@ pub fn build_trace(
         trace.streams.push(stream);
     }
     Ok(trace)
+}
+
+/// Loads the Intel-lab dataset from a directory containing
+/// [`READINGS_FILE`] and [`LOCATIONS_FILE`], if both are present.
+///
+/// The dataset is not redistributable with this repository, so its absence
+/// is the *normal* case: this returns `Ok(None)` (rather than an error) when
+/// either file is missing, letting examples and experiment drivers skip with
+/// a message instead of panicking or bubbling an `Err`. A directory that
+/// *does* carry both files but fails to parse is a real error and is
+/// reported as one.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Invalid`] if a present file cannot be read, and
+/// propagates parse/assembly errors from [`parse_readings`],
+/// [`parse_locations`] and [`build_trace`].
+pub fn try_load_dir(
+    dir: impl AsRef<Path>,
+    sample_interval_secs: f64,
+) -> Result<Option<DeploymentTrace>, TraceError> {
+    let dir = dir.as_ref();
+    let readings_path = dir.join(READINGS_FILE);
+    let locations_path = dir.join(LOCATIONS_FILE);
+    if !readings_path.is_file() || !locations_path.is_file() {
+        return Ok(None);
+    }
+    let read = |path: &Path| {
+        std::fs::read_to_string(path)
+            .map_err(|e| TraceError::Invalid(format!("cannot read {}: {e}", path.display())))
+    };
+    let readings = parse_readings(&read(&readings_path)?)?;
+    let locations = parse_locations(&read(&locations_path)?)?;
+    build_trace(&readings, &locations, sample_interval_secs).map(Some)
 }
 
 #[cfg(test)]

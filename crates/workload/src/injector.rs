@@ -1,0 +1,808 @@
+//! The [`Injector`] trait and the sensor-fault / anomaly taxonomy.
+//!
+//! An injector mutates a (typically clean) [`DeploymentTrace`] in place,
+//! seeded and fully deterministic, and **labels every reading it turns into
+//! an anomaly** by setting [`SensorReading::injected_anomaly`] — the
+//! ground-truth flag the accuracy metrics grade against. The detection
+//! algorithms never see the flag.
+//!
+//! The shipped implementations cover the classic sensor-fault taxonomy plus
+//! the two structured cases the Bernoulli model of `wsn_data::synth` cannot
+//! express:
+//!
+//! | injector | fault class | labelled? |
+//! |----------|-------------|-----------|
+//! | [`SpikeInjector`] | isolated point spike ("SHORT") | yes |
+//! | [`StuckAtInjector`] | stuck-at / constant fault | yes |
+//! | [`DriftInjector`] | offset / calibration drift | yes |
+//! | [`NoiseFaultInjector`] | noise-variance fault | yes |
+//! | [`CorrelatedBurstInjector`] | spatio-temporally correlated burst (a moving hot region) | yes |
+//! | [`AdversarialInjector`] | rank-boundary placement against a [`RankingFunction`] | inside: yes, outside: no |
+//!
+//! Injection contract, relied upon by the property suite
+//! (`tests/property_workload.rs`): an injector only modifies **present**
+//! readings, every reading whose value it changes is flagged (the adversarial
+//! *outside* variant is the deliberate exception — it plants unlabelled
+//! near-outlier camouflage), and the result is a pure function of
+//! `(injector, trace, seed)`.
+
+use std::sync::Arc;
+
+use wsn_data::rng::SeededRng;
+use wsn_data::stream::{DeploymentTrace, SensorReading};
+use wsn_data::{DataPoint, PointSet, Position};
+use wsn_ranking::{top_n_outliers, RankingFunction};
+
+/// Mixing constant used to derive independent per-stream RNG streams (the
+/// same one `wsn_data::synth` uses).
+const STREAM_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A seeded, deterministic anomaly source that rewrites readings of a
+/// [`DeploymentTrace`] and labels them.
+pub trait Injector: Send + Sync {
+    /// Short machine-readable name (used as the scenario / bench label).
+    fn name(&self) -> &'static str;
+
+    /// Applies the injector to `trace`. Must be deterministic in
+    /// `(self, trace, seed)` and must only touch present readings.
+    fn inject(&self, trace: &mut DeploymentTrace, seed: u64);
+}
+
+/// One independent RNG per stream, so adding a sensor never reshuffles the
+/// faults injected into the others.
+fn stream_rng(seed: u64, stream_index: usize) -> SeededRng {
+    SeededRng::seed_from_u64(seed ^ ((stream_index as u64 + 1).wrapping_mul(STREAM_MIX)))
+}
+
+/// Isolated point spikes: each present reading independently jumps by
+/// `±magnitude` with probability `probability` — the "SHORT" fault of the
+/// sensor-fault taxonomy and the dominant anomaly of the Intel-lab trace.
+///
+/// ```
+/// use wsn_data::stream::SensorSpec;
+/// use wsn_data::synth::{generate_trace, AnomalyModel, SyntheticTraceConfig};
+/// use wsn_data::{Position, SensorId};
+/// use wsn_workload::injector::{Injector, SpikeInjector};
+///
+/// let cfg = SyntheticTraceConfig {
+///     rounds: 50,
+///     anomalies: AnomalyModel::none(),
+///     missing_probability: 0.0,
+///     ..Default::default()
+/// };
+/// let sensors: Vec<SensorSpec> = (0..4)
+///     .map(|i| SensorSpec::new(SensorId(i), Position::new(i as f64 * 5.0, 0.0)))
+///     .collect();
+/// let mut trace = generate_trace(&cfg, &sensors, 1).unwrap();
+/// SpikeInjector { probability: 0.1, magnitude: 40.0 }.inject(&mut trace, 7);
+/// assert!(trace.anomaly_fraction() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeInjector {
+    /// Per-reading probability of a spike.
+    pub probability: f64,
+    /// Spike magnitude (sign drawn at random).
+    pub magnitude: f64,
+}
+
+impl Injector for SpikeInjector {
+    fn name(&self) -> &'static str {
+        "point_spikes"
+    }
+
+    fn inject(&self, trace: &mut DeploymentTrace, seed: u64) {
+        for (idx, stream) in trace.streams.iter_mut().enumerate() {
+            let mut rng = stream_rng(seed, idx);
+            for reading in &mut stream.readings {
+                let Some(value) = reading.value else { continue };
+                if rng.gen_bool(self.probability) {
+                    let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                    reading.value = Some(value + sign * self.magnitude);
+                    reading.injected_anomaly = true;
+                }
+            }
+        }
+    }
+}
+
+/// Stuck-at faults: a sensor freezes on a reading's value and then repeats
+/// it for the **following** `duration` present readings, every repeat
+/// labelled. The freeze-point reading itself is untouched and unlabelled —
+/// its value is genuinely clean, so no detector could (or should) flag it;
+/// labelling it would deflate every recall number with unwinnable targets.
+///
+/// ```
+/// use wsn_data::stream::SensorSpec;
+/// use wsn_data::synth::{generate_trace, AnomalyModel, SyntheticTraceConfig};
+/// use wsn_data::{Position, SensorId};
+/// use wsn_workload::injector::{Injector, StuckAtInjector};
+///
+/// let cfg = SyntheticTraceConfig {
+///     rounds: 60,
+///     anomalies: AnomalyModel::none(),
+///     missing_probability: 0.0,
+///     ..Default::default()
+/// };
+/// let sensors =
+///     vec![SensorSpec::new(SensorId(0), Position::new(0.0, 0.0))];
+/// let mut trace = generate_trace(&cfg, &sensors, 2).unwrap();
+/// StuckAtInjector { probability: 0.1, duration: 3 }.inject(&mut trace, 5);
+/// // Somewhere a labelled run repeats one value for the full duration.
+/// let s = &trace.streams[0];
+/// let frozen_run = s.readings.windows(3).any(|w| {
+///     w.iter().all(|r| r.injected_anomaly) && w[0].value == w[1].value && w[1].value == w[2].value
+/// });
+/// assert!(frozen_run);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StuckAtInjector {
+    /// Per-reading probability of entering a stuck-at fault while healthy.
+    pub probability: f64,
+    /// Number of repeated (labelled) present readings following the
+    /// freeze point.
+    pub duration: usize,
+}
+
+impl Injector for StuckAtInjector {
+    fn name(&self) -> &'static str {
+        "stuck_at"
+    }
+
+    fn inject(&self, trace: &mut DeploymentTrace, seed: u64) {
+        if self.duration == 0 {
+            return;
+        }
+        for (idx, stream) in trace.streams.iter_mut().enumerate() {
+            let mut rng = stream_rng(seed, idx);
+            let mut stuck: Option<(f64, usize)> = None;
+            for reading in &mut stream.readings {
+                let Some(value) = reading.value else { continue };
+                match stuck.take() {
+                    Some((frozen, remaining)) => {
+                        reading.value = Some(frozen);
+                        reading.injected_anomaly = true;
+                        if remaining > 1 {
+                            stuck = Some((frozen, remaining - 1));
+                        }
+                    }
+                    None => {
+                        if rng.gen_bool(self.probability) {
+                            // The sensor freezes on this clean value; the
+                            // following `duration` readings repeat it.
+                            stuck = Some((value, self.duration));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Offset / calibration-drift faults: the sensor's values run away from the
+/// field by `rate` more per reading, for `duration` readings.
+///
+/// ```
+/// use wsn_data::stream::SensorSpec;
+/// use wsn_data::synth::{generate_trace, AnomalyModel, SyntheticTraceConfig};
+/// use wsn_data::{Position, SensorId};
+/// use wsn_workload::injector::{DriftInjector, Injector};
+///
+/// let cfg = SyntheticTraceConfig {
+///     rounds: 60,
+///     anomalies: AnomalyModel::none(),
+///     missing_probability: 0.0,
+///     ..Default::default()
+/// };
+/// let sensors =
+///     vec![SensorSpec::new(SensorId(0), Position::new(0.0, 0.0))];
+/// let clean = generate_trace(&cfg, &sensors, 3).unwrap();
+/// let mut faulted = clean.clone();
+/// DriftInjector { probability: 0.08, rate: 2.0, duration: 5 }.inject(&mut faulted, 9);
+/// // Drifted readings sit strictly above their clean counterparts.
+/// for (c, f) in clean.streams[0].readings.iter().zip(&faulted.streams[0].readings) {
+///     if f.injected_anomaly {
+///         assert!(f.value.unwrap() > c.value.unwrap());
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftInjector {
+    /// Per-reading probability of entering a drift fault while healthy.
+    pub probability: f64,
+    /// Per-reading increment of the drift offset.
+    pub rate: f64,
+    /// Number of consecutive present readings the fault lasts.
+    pub duration: usize,
+}
+
+impl Injector for DriftInjector {
+    fn name(&self) -> &'static str {
+        "offset_drift"
+    }
+
+    fn inject(&self, trace: &mut DeploymentTrace, seed: u64) {
+        if self.duration == 0 {
+            return;
+        }
+        for (idx, stream) in trace.streams.iter_mut().enumerate() {
+            let mut rng = stream_rng(seed, idx);
+            let mut drift: Option<(f64, usize)> = None;
+            for reading in &mut stream.readings {
+                let Some(value) = reading.value else { continue };
+                match drift.take() {
+                    Some((offset, remaining)) => {
+                        reading.value = Some(value + offset);
+                        reading.injected_anomaly = true;
+                        if remaining > 1 {
+                            drift = Some((offset + self.rate, remaining - 1));
+                        }
+                    }
+                    None => {
+                        if rng.gen_bool(self.probability) {
+                            reading.value = Some(value + self.rate);
+                            reading.injected_anomaly = true;
+                            if self.duration > 1 {
+                                drift = Some((2.0 * self.rate, self.duration - 1));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Noise-variance faults: for `duration` readings the sensor's output gains
+/// zero-mean Gaussian noise of standard deviation `noise_std` — the "erratic
+/// but unbiased" failure mode of the taxonomy.
+///
+/// ```
+/// use wsn_data::stream::SensorSpec;
+/// use wsn_data::synth::{generate_trace, AnomalyModel, SyntheticTraceConfig};
+/// use wsn_data::{Position, SensorId};
+/// use wsn_workload::injector::{Injector, NoiseFaultInjector};
+///
+/// let cfg = SyntheticTraceConfig {
+///     rounds: 80,
+///     anomalies: AnomalyModel::none(),
+///     missing_probability: 0.0,
+///     ..Default::default()
+/// };
+/// let sensors =
+///     vec![SensorSpec::new(SensorId(0), Position::new(0.0, 0.0))];
+/// let mut trace = generate_trace(&cfg, &sensors, 4).unwrap();
+/// NoiseFaultInjector { probability: 0.05, duration: 4, noise_std: 10.0 }.inject(&mut trace, 3);
+/// assert!(trace.anomaly_fraction() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseFaultInjector {
+    /// Per-reading probability of entering a noise fault while healthy.
+    pub probability: f64,
+    /// Number of consecutive present readings the fault lasts.
+    pub duration: usize,
+    /// Standard deviation of the added noise.
+    pub noise_std: f64,
+}
+
+impl Injector for NoiseFaultInjector {
+    fn name(&self) -> &'static str {
+        "noise_variance"
+    }
+
+    fn inject(&self, trace: &mut DeploymentTrace, seed: u64) {
+        if self.duration == 0 {
+            return;
+        }
+        for (idx, stream) in trace.streams.iter_mut().enumerate() {
+            let mut rng = stream_rng(seed, idx);
+            let mut remaining = 0usize;
+            for reading in &mut stream.readings {
+                let Some(value) = reading.value else { continue };
+                if remaining == 0 && rng.gen_bool(self.probability) {
+                    remaining = self.duration;
+                }
+                if remaining > 0 {
+                    remaining -= 1;
+                    reading.value = Some(value + rng.gen_gaussian(0.0, self.noise_std));
+                    reading.injected_anomaly = true;
+                }
+            }
+        }
+    }
+}
+
+/// A spatio-temporally **correlated burst**: a hot region of radius
+/// `radius_m` moves across the deployment for `duration` rounds, offsetting
+/// every sensor inside it by `offset` — so the anomalous points are *locally
+/// dense* in feature space (each has anomalous neighbours at similar
+/// values), the hard case for rank-based detection that the per-reading
+/// Bernoulli model cannot produce.
+///
+/// The region's centre starts at a seeded position inside the deployment's
+/// bounding box, moves by `velocity_m_per_round` each round, and is clamped
+/// to the box (the property suite asserts it never leaves).
+///
+/// ```
+/// use wsn_data::stream::SensorSpec;
+/// use wsn_data::synth::{generate_trace, AnomalyModel, SyntheticTraceConfig};
+/// use wsn_data::{Position, SensorId};
+/// use wsn_workload::injector::{CorrelatedBurstInjector, Injector};
+///
+/// let cfg = SyntheticTraceConfig {
+///     rounds: 12,
+///     anomalies: AnomalyModel::none(),
+///     missing_probability: 0.0,
+///     ..Default::default()
+/// };
+/// let sensors: Vec<SensorSpec> = (0..9)
+///     .map(|i| SensorSpec::new(SensorId(i), Position::new((i % 3) as f64 * 5.0, (i / 3) as f64 * 5.0)))
+///     .collect();
+/// let mut trace = generate_trace(&cfg, &sensors, 1).unwrap();
+/// let burst = CorrelatedBurstInjector {
+///     start_round: 3,
+///     duration: 6,
+///     radius_m: 6.0,
+///     offset: 30.0,
+///     velocity_m_per_round: (2.0, 1.0),
+/// };
+/// burst.inject(&mut trace, 11);
+/// // The burst hits several sensors in the same round: locally dense outliers.
+/// let dense_round = (3..9).any(|r| {
+///     trace.streams.iter().filter(|s| s.readings[r].injected_anomaly).count() >= 2
+/// });
+/// assert!(dense_round);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelatedBurstInjector {
+    /// First affected sampling round.
+    pub start_round: usize,
+    /// Number of affected rounds.
+    pub duration: usize,
+    /// Radius of the hot region, in metres.
+    pub radius_m: f64,
+    /// Value offset applied inside the region.
+    pub offset: f64,
+    /// Movement of the region's centre per round, in metres.
+    pub velocity_m_per_round: (f64, f64),
+}
+
+impl CorrelatedBurstInjector {
+    /// The axis-aligned bounding box of the deployment's sensor positions,
+    /// `(lower-left, upper-right)`. Returns `None` for a trace with no
+    /// sensors.
+    pub fn bounding_box(trace: &DeploymentTrace) -> Option<(Position, Position)> {
+        let mut it = trace.streams.iter().map(|s| s.spec.position);
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for p in it {
+            lo = Position::new(lo.x.min(p.x), lo.y.min(p.y));
+            hi = Position::new(hi.x.max(p.x), hi.y.max(p.y));
+        }
+        Some((lo, hi))
+    }
+
+    /// The region-centre path this injector follows on `trace` under `seed`:
+    /// `(round, centre)` pairs, clamped to the deployment's bounding box.
+    /// [`Injector::inject`] uses exactly this path, so properties proven
+    /// about it (e.g. staying inside the box) hold for the injection too.
+    pub fn centers(&self, trace: &DeploymentTrace, seed: u64) -> Vec<(usize, Position)> {
+        let Some((lo, hi)) = Self::bounding_box(trace) else {
+            return Vec::new();
+        };
+        let clamp = |p: Position| Position::new(p.x.clamp(lo.x, hi.x), p.y.clamp(lo.y, hi.y));
+        let mut rng = SeededRng::seed_from_u64(seed ^ 0x0B0B_57ED_u64.wrapping_mul(STREAM_MIX));
+        let start = Position::new(
+            if hi.x > lo.x { rng.gen_range(lo.x..hi.x) } else { lo.x },
+            if hi.y > lo.y { rng.gen_range(lo.y..hi.y) } else { lo.y },
+        );
+        let last = trace.round_count().min(self.start_round.saturating_add(self.duration));
+        let mut centers = Vec::new();
+        let mut center = clamp(start);
+        for round in self.start_round..last {
+            centers.push((round, center));
+            center = clamp(Position::new(
+                center.x + self.velocity_m_per_round.0,
+                center.y + self.velocity_m_per_round.1,
+            ));
+        }
+        centers
+    }
+}
+
+impl Injector for CorrelatedBurstInjector {
+    fn name(&self) -> &'static str {
+        "correlated_burst"
+    }
+
+    fn inject(&self, trace: &mut DeploymentTrace, seed: u64) {
+        let centers = self.centers(trace, seed);
+        for (round, center) in centers {
+            for stream in &mut trace.streams {
+                if stream.spec.position.distance(&center) > self.radius_m {
+                    continue;
+                }
+                if let Some(reading) = stream.readings.get_mut(round) {
+                    if let Some(value) = reading.value {
+                        reading.value = Some(value + self.offset);
+                        reading.injected_anomaly = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adversarial rank-boundary placement: in a fraction of the rounds, one
+/// sensor's reading is replaced by a value engineered to land **just inside**
+/// (`inside = true`) or **just outside** (`inside = false`) the top-`n` rank
+/// boundary of the configured [`RankingFunction`] over that round's points.
+///
+/// *Inside* placements are barely-outliers (labelled anomalous) that stress
+/// the protocol's boundary precision; *outside* placements are unlabelled
+/// near-outlier camouflage — a naive detector that flags them loses
+/// precision, and they are deliberately **not** labelled.
+///
+/// ```
+/// use std::sync::Arc;
+/// use wsn_data::stream::SensorSpec;
+/// use wsn_data::synth::{generate_trace, AnomalyModel, SyntheticTraceConfig};
+/// use wsn_data::{Position, SensorId};
+/// use wsn_workload::injector::{AdversarialInjector, Injector};
+/// use wsn_ranking::NnDistance;
+///
+/// let cfg = SyntheticTraceConfig {
+///     rounds: 10,
+///     anomalies: AnomalyModel::none(),
+///     missing_probability: 0.0,
+///     ..Default::default()
+/// };
+/// let sensors: Vec<SensorSpec> = (0..8)
+///     .map(|i| SensorSpec::new(SensorId(i), Position::new(i as f64 * 4.0, 0.0)))
+///     .collect();
+/// let clean = generate_trace(&cfg, &sensors, 1).unwrap();
+/// let mut attacked = clean.clone();
+/// let adversary = AdversarialInjector::new(Arc::new(NnDistance), 2, true, 1.0, 0.05);
+/// adversary.inject(&mut attacked, 13);
+/// // Inside placements are labelled; the attack modified at least one round.
+/// assert!(attacked.anomaly_fraction() > 0.0);
+/// assert_ne!(clean, attacked);
+/// ```
+#[derive(Clone)]
+pub struct AdversarialInjector {
+    /// The ranking function whose top-`n` boundary the placements target.
+    pub ranking: Arc<dyn RankingFunction>,
+    /// The `n` of the targeted `O_n` boundary.
+    pub n: usize,
+    /// `true` places points just inside the boundary (barely outliers,
+    /// labelled); `false` places them just outside (camouflage, unlabelled).
+    pub inside: bool,
+    /// Per-round probability of attacking that round.
+    pub probability: f64,
+    /// Placement resolution: the value-scan step, as a fraction of the
+    /// round's value span (clamped to at least `1e-3`).
+    pub step_fraction: f64,
+}
+
+impl std::fmt::Debug for AdversarialInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdversarialInjector")
+            .field("ranking", &self.ranking.name())
+            .field("n", &self.n)
+            .field("inside", &self.inside)
+            .field("probability", &self.probability)
+            .field("step_fraction", &self.step_fraction)
+            .finish()
+    }
+}
+
+impl AdversarialInjector {
+    /// Creates an adversarial injector.
+    pub fn new(
+        ranking: Arc<dyn RankingFunction>,
+        n: usize,
+        inside: bool,
+        probability: f64,
+        step_fraction: f64,
+    ) -> Self {
+        AdversarialInjector { ranking, n, inside, probability, step_fraction }
+    }
+
+    /// Scans values outward from `base` until the candidate point's rank
+    /// against `others` crosses `boundary`; returns the last value ranked
+    /// below the boundary and the first ranked above it.
+    fn scan(
+        &self,
+        others: &PointSet,
+        template: &DataPoint,
+        base: f64,
+        step: f64,
+        direction: f64,
+        boundary: f64,
+    ) -> (Option<f64>, Option<f64>) {
+        let mut below = None;
+        for k in 0..4096u32 {
+            let v = base + direction * step * f64::from(k);
+            if !v.is_finite() {
+                break;
+            }
+            let mut candidate = template.clone();
+            candidate.features[0] = v;
+            let rank = self.ranking.rank(&candidate, others);
+            if rank < boundary {
+                below = Some(v);
+            } else if rank > boundary {
+                return (below, Some(v));
+            }
+        }
+        (below, None)
+    }
+}
+
+impl Injector for AdversarialInjector {
+    fn name(&self) -> &'static str {
+        if self.inside {
+            "adversarial_inside"
+        } else {
+            "adversarial_outside"
+        }
+    }
+
+    fn inject(&self, trace: &mut DeploymentTrace, seed: u64) {
+        let mut rng = SeededRng::seed_from_u64(seed ^ 0xAD7E_12A1_u64.wrapping_mul(STREAM_MIX));
+        for round in 0..trace.round_count() {
+            if !rng.gen_bool(self.probability) {
+                continue;
+            }
+            let present: Vec<usize> = trace
+                .streams
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.readings.get(round).is_some_and(|r| !r.is_missing()))
+                .map(|(i, _)| i)
+                .collect();
+            // The boundary needs n + 1 other points to be meaningful.
+            if present.len() < self.n + 2 {
+                continue;
+            }
+            let victim = present[rng.gen_index(present.len())];
+            let mut others = PointSet::new();
+            for (i, stream) in trace.streams.iter().enumerate() {
+                if i == victim {
+                    continue;
+                }
+                if let Ok(Some(p)) = stream.point_at(round) {
+                    others.insert(p);
+                }
+            }
+            if others.len() <= self.n {
+                continue;
+            }
+            let estimate = top_n_outliers(self.ranking.as_ref(), self.n, &others);
+            let Some(boundary) = estimate.ranked().last().map(|r| r.rank) else {
+                continue;
+            };
+            if !boundary.is_finite() || boundary <= 0.0 {
+                continue;
+            }
+            let values: Vec<f64> = others.iter().map(|p| p.features[0]).collect();
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            let step = (max - min).max(1.0) * self.step_fraction.max(1e-3);
+            let direction = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let template = match trace.streams[victim].point_at(round) {
+                Ok(Some(p)) => p,
+                _ => continue,
+            };
+            let (below, above) = self.scan(&others, &template, mean, step, direction, boundary);
+            let chosen = if self.inside { above } else { below };
+            let Some(value) = chosen else { continue };
+            let reading: &mut SensorReading = &mut trace.streams[victim].readings[round];
+            reading.value = Some(value);
+            reading.injected_anomaly = self.inside;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_data::stream::SensorSpec;
+    use wsn_data::synth::{generate_trace, AnomalyModel, SyntheticTraceConfig};
+    use wsn_data::SensorId;
+    use wsn_ranking::NnDistance;
+
+    fn clean_trace(sensors: u32, rounds: usize, seed: u64) -> DeploymentTrace {
+        let cfg = SyntheticTraceConfig {
+            rounds,
+            anomalies: AnomalyModel::none(),
+            missing_probability: 0.0,
+            ..Default::default()
+        };
+        let specs: Vec<SensorSpec> = (0..sensors)
+            .map(|i| {
+                SensorSpec::new(
+                    SensorId(i),
+                    Position::new((i % 4) as f64 * 5.0, (i / 4) as f64 * 5.0),
+                )
+            })
+            .collect();
+        generate_trace(&cfg, &specs, seed).unwrap()
+    }
+
+    #[test]
+    fn spike_injector_labels_exactly_what_it_modifies() {
+        let clean = clean_trace(5, 60, 1);
+        let mut spiked = clean.clone();
+        SpikeInjector { probability: 0.05, magnitude: 30.0 }.inject(&mut spiked, 9);
+        let mut modified = 0;
+        for (c, s) in clean.streams.iter().zip(&spiked.streams) {
+            for (cr, sr) in c.readings.iter().zip(&s.readings) {
+                if cr.value != sr.value {
+                    modified += 1;
+                    assert!(sr.injected_anomaly, "modified reading must be labelled");
+                    assert!((sr.value.unwrap() - cr.value.unwrap()).abs() > 29.0);
+                }
+                assert_eq!(cr.value != sr.value, sr.injected_anomaly);
+            }
+        }
+        assert!(modified > 0, "the injector should have fired at this rate");
+    }
+
+    #[test]
+    fn stuck_at_labels_exactly_the_repeated_readings() {
+        let clean = clean_trace(3, 200, 2);
+        let mut trace = clean.clone();
+        StuckAtInjector { probability: 0.03, duration: 4 }.inject(&mut trace, 4);
+        let mut found_run = false;
+        for (cs, s) in clean.streams.iter().zip(&trace.streams) {
+            for i in 0..s.readings.len() {
+                let r = &s.readings[i];
+                if !r.injected_anomaly {
+                    // The freeze point (and everything healthy) is untouched.
+                    assert_eq!(r.value, cs.readings[i].value);
+                    continue;
+                }
+                found_run = true;
+                // Every labelled reading repeats the previous reading's
+                // value (the frozen one) and genuinely differs from clean.
+                assert!(i > 0, "a repeat needs a freeze point before it");
+                assert_eq!(r.value, s.readings[i - 1].value);
+                assert_ne!(r.value, cs.readings[i].value, "labelled readings are modified");
+            }
+        }
+        assert!(found_run, "expected at least one stuck run");
+    }
+
+    #[test]
+    fn drift_grows_monotonically_within_a_fault() {
+        let clean = clean_trace(2, 200, 3);
+        let mut drifted = clean.clone();
+        DriftInjector { probability: 0.02, rate: 1.5, duration: 6 }.inject(&mut drifted, 8);
+        let mut checked = 0;
+        for (c, d) in clean.streams.iter().zip(&drifted.streams) {
+            let mut previous_offset: Option<f64> = None;
+            for (cr, dr) in c.readings.iter().zip(&d.readings) {
+                if dr.injected_anomaly {
+                    let offset = dr.value.unwrap() - cr.value.unwrap();
+                    assert!(offset > 0.0);
+                    if let Some(prev) = previous_offset {
+                        assert!(offset > prev, "drift offset must grow within a fault");
+                        checked += 1;
+                    }
+                    previous_offset = Some(offset);
+                } else {
+                    previous_offset = None;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn noise_fault_perturbs_and_labels() {
+        let clean = clean_trace(3, 150, 4);
+        let mut noisy = clean.clone();
+        NoiseFaultInjector { probability: 0.02, duration: 5, noise_std: 12.0 }
+            .inject(&mut noisy, 6);
+        let flagged: usize = noisy
+            .streams
+            .iter()
+            .map(|s| s.readings.iter().filter(|r| r.injected_anomaly).count())
+            .sum();
+        assert!(flagged > 0);
+        for (c, s) in clean.streams.iter().zip(&noisy.streams) {
+            for (cr, sr) in c.readings.iter().zip(&s.readings) {
+                if cr.value != sr.value {
+                    assert!(sr.injected_anomaly);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn burst_centers_stay_inside_the_bounding_box_and_affect_neighbours() {
+        let mut trace = clean_trace(12, 10, 5);
+        let burst = CorrelatedBurstInjector {
+            start_round: 2,
+            duration: 6,
+            radius_m: 7.0,
+            offset: 40.0,
+            velocity_m_per_round: (4.0, 3.0),
+        };
+        let (lo, hi) = CorrelatedBurstInjector::bounding_box(&trace).unwrap();
+        for (_, c) in burst.centers(&trace, 3) {
+            assert!(c.x >= lo.x && c.x <= hi.x && c.y >= lo.y && c.y <= hi.y);
+        }
+        burst.inject(&mut trace, 3);
+        // At least one affected round hits two or more sensors at once.
+        let dense = (0..trace.round_count())
+            .any(|r| trace.streams.iter().filter(|s| s.readings[r].injected_anomaly).count() >= 2);
+        assert!(dense, "a 7 m region over a 5 m grid must cover several sensors");
+    }
+
+    #[test]
+    fn adversarial_inside_places_a_barely_outlier() {
+        let clean = clean_trace(8, 20, 6);
+        let mut attacked = clean.clone();
+        let adversary = AdversarialInjector::new(Arc::new(NnDistance), 2, true, 1.0, 0.02);
+        adversary.inject(&mut attacked, 10);
+        let mut verified = 0;
+        for round in 0..attacked.round_count() {
+            let points: PointSet = attacked.points_at_round(round).unwrap().into_iter().collect();
+            let labelled: Vec<_> = attacked
+                .streams
+                .iter()
+                .filter(|s| s.readings[round].injected_anomaly)
+                .map(|s| s.spec.id)
+                .collect();
+            for id in labelled {
+                // The planted point must actually be reported in O_n.
+                let estimate = top_n_outliers(&NnDistance, 2, &points);
+                assert!(
+                    estimate.points().iter().any(|p| p.key.origin == id),
+                    "inside placement at round {round} must enter the top-n"
+                );
+                verified += 1;
+            }
+        }
+        assert!(verified > 0, "at probability 1.0 some round must have been attacked");
+    }
+
+    #[test]
+    fn adversarial_outside_modifies_without_labelling() {
+        let clean = clean_trace(8, 20, 7);
+        let mut attacked = clean.clone();
+        let adversary = AdversarialInjector::new(Arc::new(NnDistance), 2, false, 1.0, 0.02);
+        adversary.inject(&mut attacked, 10);
+        assert_ne!(clean, attacked, "the camouflage attack must modify readings");
+        assert_eq!(attacked.anomaly_fraction(), 0.0, "outside placements are unlabelled");
+    }
+
+    #[test]
+    fn injectors_are_deterministic() {
+        let clean = clean_trace(6, 40, 8);
+        let injectors: Vec<Box<dyn Injector>> = vec![
+            Box::new(SpikeInjector { probability: 0.05, magnitude: 25.0 }),
+            Box::new(StuckAtInjector { probability: 0.03, duration: 3 }),
+            Box::new(DriftInjector { probability: 0.02, rate: 1.0, duration: 4 }),
+            Box::new(NoiseFaultInjector { probability: 0.02, duration: 3, noise_std: 9.0 }),
+            Box::new(CorrelatedBurstInjector {
+                start_round: 5,
+                duration: 10,
+                radius_m: 8.0,
+                offset: 30.0,
+                velocity_m_per_round: (1.0, 1.0),
+            }),
+            Box::new(AdversarialInjector::new(Arc::new(NnDistance), 2, true, 0.3, 0.05)),
+        ];
+        for injector in &injectors {
+            let mut a = clean.clone();
+            let mut b = clean.clone();
+            injector.inject(&mut a, 42);
+            injector.inject(&mut b, 42);
+            assert_eq!(a, b, "{} must be deterministic per seed", injector.name());
+        }
+    }
+}

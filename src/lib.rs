@@ -20,8 +20,9 @@
 //! | [`data`] | `wsn-data` | data points, tie-breaking total order, sliding windows, sensor streams, the 53-sensor Intel-lab-like deployment and its synthetic trace |
 //! | [`ranking`] | `wsn-ranking` | the outlier ranking functions (NN, average k-NN, k-th-NN, inverse neighbour count), support sets, top-`n` selection, axiom checks |
 //! | [`netsim`] | `wsn-netsim` | the discrete-event WSN simulator: unit-disc radio, broadcast MAC with promiscuous listening, Crossbow-mote energy model, AODV-style routing, packet loss |
-//! | [`detection`] | `wsn-core` | Algorithms 1 and 2 (global and semi-global detection), the centralized baseline, accuracy metrics, and the experiment runner behind every figure |
+//! | [`detection`] | `wsn-core` | Algorithms 1 and 2 (global and semi-global detection), the centralized baseline, accuracy metrics, and the batch + streaming experiment runners behind every figure |
 //! | [`trace`] | `wsn-trace` | import of the real Intel-lab trace files and lossless CSV archiving of any deployment trace |
+//! | [`workload`] | `wsn-workload` | scenario/anomaly-injection layer: the sensor-fault taxonomy, correlated bursts, adversarial rank-boundary placements, multi-field stacks and Intel-trace replay |
 //!
 //! # Building and verifying
 //!
@@ -99,6 +100,7 @@ pub use wsn_data as data;
 pub use wsn_netsim as netsim;
 pub use wsn_ranking as ranking;
 pub use wsn_trace as trace;
+pub use wsn_workload as workload;
 
 /// The most commonly used types, re-exported for `use
 /// in_network_outlier::prelude::*`.
@@ -109,6 +111,7 @@ pub mod prelude {
     };
     pub use wsn_core::global::GlobalNode;
     pub use wsn_core::semiglobal::SemiGlobalNode;
+    pub use wsn_core::streaming::{SlideReport, StreamingExperiment, StreamingOutcome};
     pub use wsn_core::{CoreError, OutlierBroadcast};
     pub use wsn_data::window::WindowConfig;
     pub use wsn_data::{DataPoint, Epoch, PointSet, SensorId, Timestamp};
@@ -117,6 +120,7 @@ pub mod prelude {
         top_n_outliers, top_n_outliers_indexed, AnyIndex, IndexStrategy, KnnAverageDistance,
         NeighborIndex, NnDistance, OutlierEstimate, RankingFunction,
     };
+    pub use wsn_workload::{FieldStack, Injector, Scenario, TraceReplay};
 }
 
 #[cfg(test)]

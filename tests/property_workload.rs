@@ -1,0 +1,365 @@
+//! Seeded-loop property suite for the `wsn-workload` subsystem and the
+//! streaming window-slide driver (256 cases per injector property, fixed
+//! seed, failing cases print their generated inputs).
+//!
+//! Properties:
+//! 1. every injector is a pure function of `(injector, trace, seed)`;
+//! 2. the ground-truth labels exactly cover the injected points (every
+//!    modified reading is flagged; the adversarial *outside* camouflage is
+//!    the documented exception and flags nothing);
+//! 3. the correlated burst's moving region never leaves the deployment's
+//!    bounding box, and only sensors inside the region are labelled;
+//! 4. the streaming driver's per-slide reports are monotone in time with
+//!    one report per slide, slide deltas never exceed the run totals, and
+//!    the protocol goes quiescent once injection stops.
+
+use std::sync::Arc;
+
+use in_network_outlier::data::rng::SeededRng;
+use in_network_outlier::data::stream::{DeploymentTrace, SensorSpec};
+use in_network_outlier::data::synth::{generate_trace, AnomalyModel, SyntheticTraceConfig};
+use in_network_outlier::data::{Position, SensorId};
+use in_network_outlier::prelude::*;
+use in_network_outlier::workload::{
+    AdversarialInjector, CorrelatedBurstInjector, DriftInjector, NoiseFaultInjector, SpikeInjector,
+    StuckAtInjector,
+};
+
+const SEED: u64 = 0x5EED_A005;
+
+fn grid_sensors(count: u32, pitch: f64) -> Vec<SensorSpec> {
+    (0..count)
+        .map(|i| {
+            SensorSpec::new(
+                SensorId(i),
+                Position::new((i % 4) as f64 * pitch, (i / 4) as f64 * pitch),
+            )
+        })
+        .collect()
+}
+
+fn clean_trace(sensors: u32, rounds: usize, seed: u64) -> DeploymentTrace {
+    let cfg = SyntheticTraceConfig {
+        rounds,
+        anomalies: AnomalyModel::none(),
+        missing_probability: 0.0,
+        ..Default::default()
+    };
+    generate_trace(&cfg, &grid_sensors(sensors, 5.0), seed).expect("clean trace generates")
+}
+
+/// A randomly parameterised injector drawn from the whole taxonomy.
+/// Returns the injector plus whether it labels everything it modifies
+/// (false only for the adversarial *outside* camouflage).
+fn random_injector(rng: &mut SeededRng) -> (Box<dyn Injector>, bool) {
+    match rng.gen_index(7) {
+        0 => (
+            Box::new(SpikeInjector {
+                probability: rng.gen_range(0.01..0.2),
+                magnitude: rng.gen_range(20.0..80.0),
+            }),
+            true,
+        ),
+        1 => (
+            Box::new(StuckAtInjector {
+                probability: rng.gen_range(0.01..0.1),
+                duration: rng.gen_range(1usize..6),
+            }),
+            true,
+        ),
+        2 => (
+            Box::new(DriftInjector {
+                probability: rng.gen_range(0.01..0.1),
+                rate: rng.gen_range(0.5..4.0),
+                duration: rng.gen_range(1usize..8),
+            }),
+            true,
+        ),
+        3 => (
+            Box::new(NoiseFaultInjector {
+                probability: rng.gen_range(0.01..0.1),
+                duration: rng.gen_range(1usize..6),
+                noise_std: rng.gen_range(5.0..30.0),
+            }),
+            true,
+        ),
+        4 => (
+            Box::new(CorrelatedBurstInjector {
+                start_round: rng.gen_range(0usize..4),
+                duration: rng.gen_range(1usize..8),
+                radius_m: rng.gen_range(3.0..12.0),
+                offset: rng.gen_range(20.0..60.0),
+                velocity_m_per_round: (rng.gen_range(-4.0..4.0), rng.gen_range(-4.0..4.0)),
+            }),
+            true,
+        ),
+        5 => (
+            Box::new(AdversarialInjector::new(
+                Arc::new(NnDistance),
+                rng.gen_range(1usize..4),
+                true,
+                rng.gen_range(0.2..0.8),
+                0.05,
+            )),
+            true,
+        ),
+        _ => (
+            Box::new(AdversarialInjector::new(
+                Arc::new(NnDistance),
+                rng.gen_range(1usize..4),
+                false,
+                rng.gen_range(0.2..0.8),
+                0.05,
+            )),
+            false,
+        ),
+    }
+}
+
+#[test]
+fn injectors_are_deterministic_per_seed() {
+    let mut rng = SeededRng::seed_from_u64(SEED);
+    let mut differing_seeds_differed = 0usize;
+    for case in 0..256 {
+        let sensors = rng.gen_range(4u32..9);
+        let rounds = rng.gen_range(4usize..12);
+        let trace_seed = rng.gen_range(0u64..1_000);
+        let inject_seed = rng.gen_range(0u64..1_000);
+        let (injector, _) = random_injector(&mut rng);
+        let clean = clean_trace(sensors, rounds, trace_seed);
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        injector.inject(&mut a, inject_seed);
+        injector.inject(&mut b, inject_seed);
+        assert_eq!(
+            a,
+            b,
+            "case {case} (seed {SEED:#x}): {} with sensors={sensors} rounds={rounds} \
+             trace_seed={trace_seed} inject_seed={inject_seed} is not deterministic",
+            injector.name()
+        );
+        let mut c = clean.clone();
+        injector.inject(&mut c, inject_seed.wrapping_add(1));
+        if a != c {
+            differing_seeds_differed += 1;
+        }
+    }
+    assert!(
+        differing_seeds_differed > 64,
+        "different seeds almost never changed the injection ({differing_seeds_differed}/256) — \
+         the seed is probably ignored"
+    );
+}
+
+#[test]
+fn labels_exactly_cover_the_injected_points() {
+    let mut rng = SeededRng::seed_from_u64(SEED ^ 1);
+    let mut labelled_cases = 0usize;
+    for case in 0..256 {
+        let sensors = rng.gen_range(4u32..9);
+        let rounds = rng.gen_range(4usize..12);
+        let trace_seed = rng.gen_range(0u64..1_000);
+        let inject_seed = rng.gen_range(0u64..1_000);
+        let (injector, labels_all_modifications) = random_injector(&mut rng);
+        let clean = clean_trace(sensors, rounds, trace_seed);
+        let mut injected = clean.clone();
+        injector.inject(&mut injected, inject_seed);
+        let context = format!(
+            "case {case} (seed {SEED:#x}): {} sensors={sensors} rounds={rounds} \
+             trace_seed={trace_seed} inject_seed={inject_seed}",
+            injector.name()
+        );
+        for (cs, is) in clean.streams.iter().zip(&injected.streams) {
+            for (cr, ir) in cs.readings.iter().zip(&is.readings) {
+                // Injectors never touch missing-ness.
+                assert_eq!(cr.is_missing(), ir.is_missing(), "{context}");
+                if labels_all_modifications && cr.value != ir.value {
+                    assert!(ir.injected_anomaly, "{context}: modified reading not labelled");
+                }
+                if !labels_all_modifications {
+                    assert!(!ir.injected_anomaly, "{context}: camouflage must stay unlabelled");
+                }
+                // Labels only appear on present readings.
+                if ir.injected_anomaly {
+                    assert!(!ir.is_missing(), "{context}: label on a missing reading");
+                }
+            }
+        }
+        // The label bookkeeping helpers agree with the flags.
+        let key_count = injected.anomaly_keys().len();
+        let flag_count: usize = injected
+            .streams
+            .iter()
+            .map(|s| s.readings.iter().filter(|r| r.injected_anomaly).count())
+            .sum();
+        assert_eq!(key_count, flag_count, "{context}");
+        if key_count > 0 {
+            labelled_cases += 1;
+        }
+    }
+    assert!(labelled_cases > 100, "only {labelled_cases}/256 cases injected anything");
+}
+
+#[test]
+fn correlated_burst_region_stays_inside_the_bounding_box() {
+    let mut rng = SeededRng::seed_from_u64(SEED ^ 2);
+    for case in 0..256 {
+        let sensors = rng.gen_range(4u32..13);
+        let rounds = rng.gen_range(2usize..12);
+        let trace_seed = rng.gen_range(0u64..1_000);
+        let inject_seed = rng.gen_range(0u64..1_000);
+        let burst = CorrelatedBurstInjector {
+            start_round: rng.gen_range(0usize..6),
+            duration: rng.gen_range(1usize..10),
+            radius_m: rng.gen_range(2.0..10.0),
+            offset: rng.gen_range(10.0..50.0),
+            velocity_m_per_round: (rng.gen_range(-8.0..8.0), rng.gen_range(-8.0..8.0)),
+        };
+        let mut trace = clean_trace(sensors, rounds, trace_seed);
+        let (lo, hi) = CorrelatedBurstInjector::bounding_box(&trace).expect("sensors exist");
+        let centers = burst.centers(&trace, inject_seed);
+        let context = format!(
+            "case {case} (seed {SEED:#x}): sensors={sensors} rounds={rounds} \
+             trace_seed={trace_seed} inject_seed={inject_seed} burst={burst:?}"
+        );
+        for (round, center) in &centers {
+            assert!(*round < rounds, "{context}");
+            assert!(
+                center.x >= lo.x && center.x <= hi.x && center.y >= lo.y && center.y <= hi.y,
+                "{context}: centre {center:?} left the box ({lo:?}, {hi:?})"
+            );
+        }
+        burst.inject(&mut trace, inject_seed);
+        // Labels appear only within the region's radius of that round's centre.
+        for stream in &trace.streams {
+            for (round, reading) in stream.readings.iter().enumerate() {
+                if reading.injected_anomaly {
+                    let center = centers
+                        .iter()
+                        .find(|(r, _)| *r == round)
+                        .map(|(_, c)| c)
+                        .expect("label outside any burst round");
+                    assert!(
+                        stream.spec.position.distance(center) <= burst.radius_m,
+                        "{context}: labelled sensor outside the region"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_driver_slides_are_monotone_and_tail_is_quiescent() {
+    let mut rng = SeededRng::seed_from_u64(SEED ^ 3);
+    // Full end-to-end simulations are expensive; 16 seeded cases mirror the
+    // scale of tests/property_full_simulator.rs.
+    for case in 0..16 {
+        let rounds = rng.gen_range(3usize..7);
+        let trace_seed = rng.gen_range(0u64..1_000);
+        let scenarios = Scenario::catalog(rounds);
+        let scenario = &scenarios[rng.gen_index(scenarios.len())];
+        let trace =
+            scenario.generate(&grid_sensors(8, 5.0), trace_seed).expect("scenario generates");
+        let config = ExperimentConfig {
+            sensor_count: 8,
+            window_samples: rng.gen_range(3u64..9),
+            n: rng.gen_range(1usize..4),
+            transmission_range_m: 18.0,
+            ..Default::default()
+        }
+        .with_algorithm(AlgorithmConfig::Global { ranking: RankingChoice::Nn });
+        let outcome =
+            StreamingExperiment::new(config).run_on_trace(&trace).expect("streaming run succeeds");
+        let context = format!(
+            "case {case} (seed {SEED:#x}): scenario={} rounds={rounds} trace_seed={trace_seed}",
+            scenario.name
+        );
+        assert_eq!(outcome.slides.len(), rounds, "{context}");
+        for (i, slide) in outcome.slides.iter().enumerate() {
+            assert_eq!(slide.slide, i, "{context}");
+            assert_eq!(slide.accuracy.total_nodes, 8, "{context}");
+        }
+        for pair in outcome.slides.windows(2) {
+            assert!(pair[0].at < pair[1].at, "{context}: slide times must increase");
+        }
+        // Slide deltas bound the final totals from below (the tail may
+        // still transmit while draining).
+        let packets: u64 = outcome.slides.iter().map(|s| s.packets_delta).sum();
+        assert!(packets <= outcome.final_stats.total_packets_sent(), "{context}");
+        let points: u64 = outcome.slides.iter().map(|s| s.data_points_delta).sum();
+        assert!(points <= outcome.data_points_sent, "{context}");
+        // Once injection (and sampling) stops, the protocol must go quiet.
+        assert!(outcome.quiescent_tail, "{context}: tail never went quiescent");
+    }
+}
+
+/// The acceptance-criteria scenario: locally dense correlated-burst
+/// anomalies degrade a naive rank-based detector's label recall relative to
+/// isolated spikes of the same magnitude, while the streaming driver still
+/// reports per-slide precision/recall and a convergence latency for the
+/// protocol end to end.
+#[test]
+fn correlated_burst_degrades_naive_recall_and_streams_end_to_end() {
+    let sensors = grid_sensors(12, 5.0);
+    let rounds = 10;
+    // Same anomaly magnitude; the only difference is the spatial structure.
+    let spikes = Scenario::clean("spikes", rounds)
+        .with(SpikeInjector { probability: 0.04, magnitude: 45.0 });
+    let burst = Scenario::clean("burst", rounds).with(CorrelatedBurstInjector {
+        start_round: 2,
+        duration: 6,
+        radius_m: 8.0,
+        offset: 45.0,
+        velocity_m_per_round: (1.0, 0.5),
+    });
+
+    // Naive detector: per round, rank the round's points and report the top
+    // `labelled` outliers; recall = labelled points found / labelled points.
+    let naive_recall = |trace: &DeploymentTrace| -> f64 {
+        let mut found = 0usize;
+        let mut labelled = 0usize;
+        for round in 0..trace.round_count() {
+            let labels = trace.labels_at_round(round);
+            if labels.is_empty() {
+                continue;
+            }
+            let points: PointSet =
+                trace.points_at_round(round).expect("round points build").into_iter().collect();
+            let estimate = top_n_outliers(&NnDistance, labels.len(), &points);
+            labelled += labels.len();
+            found += labels.iter().filter(|k| estimate.contains_key(k)).count();
+        }
+        assert!(labelled > 0, "the scenario must inject something");
+        found as f64 / labelled as f64
+    };
+
+    let spike_trace = spikes.generate(&sensors, 11).unwrap();
+    let burst_trace = burst.generate(&sensors, 11).unwrap();
+    let spike_recall = naive_recall(&spike_trace);
+    let burst_recall = naive_recall(&burst_trace);
+    assert!(
+        burst_recall < spike_recall,
+        "locally dense anomalies must be harder for rank-based detection: \
+         burst {burst_recall} vs spikes {spike_recall}"
+    );
+
+    // The protocol still runs the hard scenario end to end, with per-slide
+    // label metrics and a convergence latency reported.
+    let config = ExperimentConfig {
+        sensor_count: 12,
+        window_samples: 6,
+        n: 4,
+        transmission_range_m: 18.0,
+        ..Default::default()
+    }
+    .with_algorithm(AlgorithmConfig::Global { ranking: RankingChoice::Nn });
+    let outcome = StreamingExperiment::new(config).run_on_trace(&burst_trace).unwrap();
+    assert_eq!(outcome.slides.len(), rounds);
+    assert!(
+        outcome.slides.iter().any(|s| s.labels.has_labels()),
+        "burst labels must reach the per-slide reports"
+    );
+    assert!(outcome.convergence_latency_slides.is_some(), "the protocol must converge");
+    assert!(outcome.quiescent_tail);
+}

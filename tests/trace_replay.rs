@@ -1,0 +1,75 @@
+//! The committed Intel-shaped fixture under `tests/fixtures/intel/`
+//! exercises the real-dataset parser (`wsn_trace::intel`), the graceful
+//! skip-with-message loader, and the `wsn-workload` `TraceReplay` source
+//! end to end — including a streaming run over the replayed trace.
+
+use in_network_outlier::prelude::*;
+use in_network_outlier::trace::intel;
+use in_network_outlier::workload::replay::{ReplaySource, INTEL_SAMPLE_INTERVAL_SECS};
+
+const FIXTURE_DIR: &str = "tests/fixtures/intel";
+
+#[test]
+fn fixture_directory_parses_like_the_real_dataset() {
+    let trace = intel::try_load_dir(FIXTURE_DIR, INTEL_SAMPLE_INTERVAL_SECS)
+        .expect("fixture parses")
+        .expect("both fixture files are present");
+    assert_eq!(trace.sensor_count(), 8, "one stream per located mote");
+    assert_eq!(trace.round_count(), 12, "epochs 2..=13 normalise to rounds 0..=11");
+    // The reading from the unknown mote 99 was dropped.
+    assert!(trace.stream(SensorId(99)).is_err());
+    // Truncated lines and absent epochs surface as missing readings.
+    let mote5 = trace.stream(SensorId(5)).unwrap();
+    assert!(mote5.readings.iter().any(|r| r.is_missing()));
+    // Mote 7's battery death: monotone wild temperatures at the tail.
+    let mote7 = trace.stream(SensorId(7)).unwrap();
+    let last = mote7.readings.last().unwrap().value.unwrap();
+    assert!(last > 100.0, "the dying mote must report a wild value, got {last}");
+}
+
+#[test]
+fn loader_skips_gracefully_when_the_dataset_is_absent() {
+    // A directory without the dataset files is the normal case: Ok(None),
+    // not an error, so examples can print a message and move on.
+    let missing = intel::try_load_dir("/definitely/not/a/dataset", 31.0).unwrap();
+    assert!(missing.is_none());
+    let also_missing = intel::try_load_dir("tests", 31.0).unwrap();
+    assert!(also_missing.is_none(), "tests/ holds no data.txt at its top level");
+}
+
+#[test]
+fn trace_replay_prefers_files_and_falls_back_to_the_fixture() {
+    let from_dir =
+        TraceReplay::intel_or_fixture(Some(FIXTURE_DIR.as_ref()), INTEL_SAMPLE_INTERVAL_SECS)
+            .unwrap();
+    assert!(matches!(from_dir.source, ReplaySource::IntelFiles(_)));
+    let fallback = TraceReplay::intel_or_fixture(None, INTEL_SAMPLE_INTERVAL_SECS).unwrap();
+    assert_eq!(fallback.source, ReplaySource::Fixture);
+    // The embedded fixture and the on-disk fixture are the same files.
+    assert_eq!(from_dir.trace, fallback.trace);
+    assert!(fallback.describe().contains("fixture"));
+}
+
+#[test]
+fn replayed_fixture_streams_through_the_window_slide_driver() {
+    let replay = TraceReplay::intel_or_fixture(None, INTEL_SAMPLE_INTERVAL_SECS).unwrap();
+    let config = ExperimentConfig {
+        sensor_count: replay.trace.sensor_count(),
+        window_samples: 6,
+        n: 2,
+        transmission_range_m: 6.77,
+        ..Default::default()
+    }
+    .with_algorithm(AlgorithmConfig::Global { ranking: RankingChoice::Nn });
+    let outcome = StreamingExperiment::new(config).run_on_trace(&replay.trace).unwrap();
+    assert_eq!(outcome.slides.len(), 12);
+    assert!(outcome.quiescent_tail);
+    // The dying mote's wild values dominate the window: once its readings
+    // arrive, the converged estimates contain a mote-7 point.
+    let last = outcome.slides.last().unwrap();
+    assert!(last.estimates_agree, "the global protocol must agree on the replayed data");
+    // Replayed data carries no injected labels: the label metrics are
+    // vacuously perfect rather than misleadingly low.
+    assert!(!last.labels.has_labels());
+    assert_eq!(last.labels.mean_precision(), 1.0);
+}
