@@ -58,6 +58,18 @@ WSN_BENCH_WARMUP_MS=1 WSN_BENCH_MEASURE_MS=1 WSN_BENCH_OUT="$PWD/target/bench_sc
     cargo bench --offline -p wsn-bench --bench simulation_bench -- scaling/global_nn/200
 cargo run --release --offline -p wsn-bench --bin json_check -- target/bench_scaling_smoke.json
 
+# Partitioned-backend smoke: the 10 000-sensor city deployment streamed end
+# to end on both backends (sequential oracle and spatially partitioned
+# regions), once each with the minimum measurement budget. This is the
+# city-scale acceptance path: it proves the partitioned epoch protocol
+# completes at four orders of magnitude more sensors than the paper's 53,
+# and json_check gates it the same way as the other smokes.
+echo "== partitioned smoke (10k-sensor city, both backends) =="
+rm -f target/bench_partitioned_smoke.json
+WSN_BENCH_WARMUP_MS=1 WSN_BENCH_MEASURE_MS=1 WSN_BENCH_OUT="$PWD/target/bench_partitioned_smoke.json" \
+    cargo bench --offline -p wsn-bench --bench simulation_bench -- scaling/partitioned/10000
+cargo run --release --offline -p wsn-bench --bin json_check -- target/bench_partitioned_smoke.json
+
 # Streaming-scenario smoke: the scenario bench group (workload generation +
 # streaming window-slide driver + per-slide grading) with a tiny measurement
 # budget, then the fig_scenarios sweep at --quick scale. Both are gated

@@ -11,7 +11,9 @@
 //! baseline at both sizes (the netsim event loop, AODV routing funnel and
 //! the sink's incrementally maintained union are the hot paths there), plus
 //! one 53-sensor run of the distributed Global-NN detector, the cost that
-//! dominates the full figure sweeps.
+//! dominates the full figure sweeps. The `scaling/partitioned/*` entries pit
+//! the spatially partitioned parallel backend against the sequential oracle
+//! on constant-density city deployments up to 10 000 sensors.
 
 use std::hint::black_box;
 
@@ -20,6 +22,7 @@ use wsn_core::experiment::{run_experiment, AlgorithmConfig, ExperimentConfig, Ra
 use wsn_core::streaming::StreamingExperiment;
 use wsn_data::lab::LabDeployment;
 use wsn_data::synth::SyntheticTraceConfig;
+use wsn_netsim::region::SimBackend;
 use wsn_workload::Scenario;
 
 /// A reduced experiment: 12 sensors, 5 rounds, widened radio range so the
@@ -132,6 +135,42 @@ fn bench_scaling(h: &mut Harness) {
     }
 }
 
+/// The spatially partitioned backend against the sequential oracle on
+/// city-scale deployments: the constant-density city grid at 53, 200, 2 000
+/// and 10 000 sensors, streaming the semi-global (ε = 1) detector for a
+/// couple of rounds, once per backend. The two runs produce bit-identical
+/// outcomes (enforced by `tests/property_partitioned_sim.rs`), so the pair
+/// measures exactly the wall-clock effect of region parallelism.
+fn bench_partitioned_scaling(h: &mut Harness) {
+    for &(count, regions) in &[(53usize, 2usize), (200, 4), (2_000, 4), (10_000, 4)] {
+        let deployment = LabDeployment::city(count, 1).expect("city deployment builds");
+        let trace_config = SyntheticTraceConfig { rounds: 2, ..Default::default() };
+        let trace = deployment.generate_trace(&trace_config, 7).expect("trace generates");
+        let base = ExperimentConfig {
+            sensor_count: count,
+            window_samples: 10,
+            n: 4,
+            ..Default::default()
+        }
+        .with_algorithm(AlgorithmConfig::SemiGlobal {
+            ranking: RankingChoice::Nn,
+            hop_diameter: 1,
+        });
+        for (backend_name, backend) in
+            [("seq", SimBackend::Sequential), ("par", SimBackend::Partitioned { regions })]
+        {
+            let experiment = StreamingExperiment::new(base.clone().with_backend(backend));
+            h.bench("scaling", &format!("partitioned/{count}/{backend_name}"), || {
+                black_box(
+                    experiment
+                        .run_on_trace(black_box(&trace))
+                        .expect("benchmark streaming run failed"),
+                );
+            });
+        }
+    }
+}
+
 /// The streaming window-slide driver over workload scenarios: a reduced
 /// 12-sensor deployment, one labelled scenario trace per taxonomy case of
 /// interest, evaluated at every slide. This is the hot path of the
@@ -170,6 +209,7 @@ fn main() {
     bench_fig7_8_semiglobal_epsilon(&mut h);
     bench_fig9_n_scaling(&mut h);
     bench_scaling(&mut h);
+    bench_partitioned_scaling(&mut h);
     bench_scenarios(&mut h);
     h.finish();
 }

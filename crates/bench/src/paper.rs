@@ -156,6 +156,7 @@ impl PaperScenario {
             algorithm: AlgorithmConfig::Global { ranking: RankingChoice::Nn },
             loss: wsn_netsim::radio::LossModel::Reliable,
             transmission_range_m: self.transmission_range_m(),
+            backend: wsn_netsim::region::SimBackend::Sequential,
         }
     }
 

@@ -15,7 +15,15 @@ use crate::detector::OutlierDetector;
 use crate::message::OutlierBroadcast;
 use wsn_data::stream::SensorStream;
 use wsn_data::{SensorId, Timestamp};
+use wsn_netsim::region::{AnySimulator, SimBackend, SimHandle};
 use wsn_netsim::sim::{Application, BatchTimerEntry, NodeContext, Simulator, TimerId};
+
+/// Number of distinct stagger slots the sampling schedule spreads a round's
+/// radios over. Nodes share slots modulo this count, so the stagger span
+/// stays bounded (12.8 ms) no matter how many sensors are deployed — at 10k
+/// sensors an unbounded per-node stagger would smear a round over two
+/// seconds and serialize the whole network behind one radio at a time.
+pub const STAGGER_SLOTS: u64 = 64;
 
 /// Sampling schedule shared by every node of an experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,9 +52,10 @@ impl SamplingSchedule {
     }
 
     /// The time at which `round` is sampled (with a tiny per-node stagger so
-    /// that 53 radios do not fire in the same microsecond).
+    /// that the radios do not all fire in the same microsecond; nodes share
+    /// one of [`STAGGER_SLOTS`] slots, 200 µs apart).
     pub fn sample_time(&self, round: usize, node: SensorId) -> Timestamp {
-        let offset_micros = u64::from(node.raw()) * 200;
+        let offset_micros = (u64::from(node.raw()) % STAGGER_SLOTS) * 200;
         Timestamp::from_secs_f64(round as f64 * self.sample_interval_secs)
             .advanced_by_micros(offset_micros)
     }
@@ -81,13 +90,12 @@ pub trait ScheduleDriven {
 /// [`SamplingSchedule`] ([`DetectorApp`] and
 /// [`crate::centralized::CentralizedApp`]) — or use
 /// [`simulator_with_sampling`], which does both steps.
-pub fn install_sampling<A: Application + ScheduleDriven>(
-    sim: &mut Simulator<A>,
-    schedule: &SamplingSchedule,
-) {
-    for (_, app) in sim.apps_mut() {
-        app.sampling_installed();
-    }
+pub fn install_sampling<A, S>(sim: &mut S, schedule: &SamplingSchedule)
+where
+    A: Application + ScheduleDriven,
+    S: SimHandle<A> + ?Sized,
+{
+    sim.for_each_app_mut(&mut |_, app| app.sampling_installed());
     let ids = sim.topology().sensor_ids();
     for round in 0..schedule.rounds {
         sim.schedule_timer_batch(schedule.round_batch(round, &ids));
@@ -106,6 +114,27 @@ pub fn simulator_with_sampling<A: Application + ScheduleDriven>(
     make_app: impl FnMut(SensorId) -> A,
 ) -> Simulator<A> {
     let mut sim = Simulator::new(config, topology, make_app);
+    install_sampling(&mut sim, schedule);
+    sim
+}
+
+/// [`simulator_with_sampling`] with a [`SimBackend`] choice: builds either
+/// the sequential engine or the spatially partitioned parallel one behind
+/// [`AnySimulator`], and installs the batched sampling schedule on it. The
+/// two backends produce bit-for-bit identical results, so the choice is a
+/// pure wall-clock decision.
+pub fn any_simulator_with_sampling<A>(
+    backend: SimBackend,
+    config: wsn_netsim::sim::SimConfig,
+    topology: wsn_netsim::topology::Topology,
+    schedule: &SamplingSchedule,
+    make_app: impl FnMut(SensorId) -> A,
+) -> AnySimulator<A>
+where
+    A: Application + ScheduleDriven + Send + 'static,
+    A::Message: Send + Sync,
+{
+    let mut sim = AnySimulator::build(backend, config, topology, make_app);
     install_sampling(&mut sim, schedule);
     sim
 }

@@ -26,7 +26,8 @@ use wsn_data::synth::SyntheticTraceConfig;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, HopCount, PointSet, SensorId, Timestamp};
 use wsn_netsim::radio::{LossModel, RadioConfig};
-use wsn_netsim::sim::{SimConfig, Simulator};
+use wsn_netsim::region::{AnySimulator, SimBackend, SimHandle};
+use wsn_netsim::sim::SimConfig;
 use wsn_netsim::stats::{MinAvgMax, NetworkStats};
 use wsn_netsim::topology::Topology;
 use wsn_ranking::{
@@ -150,6 +151,10 @@ pub struct ExperimentConfig {
     pub loss: LossModel,
     /// Radio range in metres.
     pub transmission_range_m: f64,
+    /// Which simulation engine runs the experiment. Both backends produce
+    /// bit-for-bit identical outcomes; the partitioned one trades worker
+    /// threads for wall-clock time on large deployments.
+    pub backend: SimBackend,
 }
 
 impl Default for ExperimentConfig {
@@ -165,6 +170,7 @@ impl Default for ExperimentConfig {
             algorithm: AlgorithmConfig::Global { ranking: RankingChoice::Nn },
             loss: LossModel::Reliable,
             transmission_range_m: PAPER_TRANSMISSION_RANGE_M,
+            backend: SimBackend::Sequential,
         }
     }
 }
@@ -206,6 +212,12 @@ impl ExperimentConfig {
     /// Replaces the simulation seed (the paper averages four seeds per point).
     pub fn with_sim_seed(mut self, seed: u64) -> Self {
         self.sim_seed = seed;
+        self
+    }
+
+    /// Replaces the simulation backend.
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -509,8 +521,12 @@ fn run_distributed(
         _ => None,
     };
     let grading_topology = topology.clone();
-    let mut sim: Simulator<DetectorApp<AnyDetector>> =
-        crate::app::simulator_with_sampling(sim_config, topology, &schedule, |id| {
+    let mut sim: AnySimulator<DetectorApp<AnyDetector>> = crate::app::any_simulator_with_sampling(
+        config.backend,
+        sim_config,
+        topology,
+        &schedule,
+        |id| {
             let stream = trace
                 .stream(id)
                 .ok()
@@ -527,7 +543,8 @@ fn run_distributed(
                 )),
             };
             DetectorApp::new(detector, stream, schedule)
-        });
+        },
+    );
     let quiescent = sim.run_until_quiescent(config.deadline());
 
     // Each node's own data D_i is whatever it currently holds that originated
@@ -535,13 +552,13 @@ fn run_distributed(
     let mut local_data: BTreeMap<SensorId, Vec<DataPoint>> = BTreeMap::new();
     let mut estimates: BTreeMap<SensorId, OutlierEstimate> = BTreeMap::new();
     let mut data_points_sent = 0;
-    for (id, app) in sim.apps() {
+    sim.for_each_app(&mut |id, app| {
         let own: Vec<DataPoint> =
             app.detector().held_points().iter().filter(|p| p.key.origin == id).cloned().collect();
         local_data.insert(id, own);
         estimates.insert(id, app.detector().estimate());
         data_points_sent += app.detector().points_sent();
-    }
+    });
     let label_keys: BTreeSet<wsn_data::PointKey> = trace.anomaly_keys().into_iter().collect();
     let (truth, label_truth) = paired_truths(
         &ranking,
@@ -579,23 +596,29 @@ fn run_centralized(
     ranking: Arc<dyn RankingFunction>,
 ) -> Result<ExperimentOutcome, CoreError> {
     let sink = deployment.sink();
-    let mut sim: Simulator<CentralizedApp<Arc<dyn RankingFunction>>> =
-        crate::app::simulator_with_sampling(sim_config, topology, &schedule, |id| {
-            let stream = trace
-                .stream(id)
-                .ok()
-                .cloned()
-                .unwrap_or_else(|| SensorStream::new(deployment.sensors()[0]));
-            CentralizedApp::new(id, sink, ranking.clone(), config.n, window, stream, schedule)
-        });
+    let mut sim: AnySimulator<CentralizedApp<Arc<dyn RankingFunction>>> =
+        crate::app::any_simulator_with_sampling(
+            config.backend,
+            sim_config,
+            topology,
+            &schedule,
+            |id| {
+                let stream = trace
+                    .stream(id)
+                    .ok()
+                    .cloned()
+                    .unwrap_or_else(|| SensorStream::new(deployment.sensors()[0]));
+                CentralizedApp::new(id, sink, ranking.clone(), config.n, window, stream, schedule)
+            },
+        );
     let quiescent = sim.run_until_quiescent(config.deadline());
 
     let mut local_data: BTreeMap<SensorId, Vec<DataPoint>> = BTreeMap::new();
     let mut estimates: BTreeMap<SensorId, OutlierEstimate> = BTreeMap::new();
-    for (id, app) in sim.apps() {
+    sim.for_each_app(&mut |id, app| {
         local_data.insert(id, app.local_window().to_vec());
         estimates.insert(id, app.estimate());
-    }
+    });
     let label_keys: BTreeSet<wsn_data::PointKey> = trace.anomaly_keys().into_iter().collect();
     let (truth, label_truth) = paired_truths(&ranking, config.n, &label_keys, &local_data, None);
     let accuracy = truth.grade(&estimates);

@@ -37,7 +37,8 @@ use wsn_data::stream::{DeploymentTrace, SensorStream};
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, HopCount, PointKey, SensorId, Timestamp};
 use wsn_netsim::radio::RadioConfig;
-use wsn_netsim::sim::{Application, SimConfig, Simulator};
+use wsn_netsim::region::{AnySimulator, SimHandle};
+use wsn_netsim::sim::{Application, SimConfig};
 use wsn_netsim::stats::NetworkStats;
 use wsn_netsim::topology::Topology;
 use wsn_ranking::{OutlierEstimate, RankingFunction};
@@ -300,25 +301,31 @@ impl StreamingExperiment {
                     _ => None,
                 };
                 let grading_topology = topology.clone();
-                let mut sim: Simulator<DetectorApp<AnyDetector>> =
-                    crate::app::simulator_with_sampling(sim_config, topology, &schedule, |id| {
-                        let detector = match hop_diameter {
-                            None => AnyDetector::Global(GlobalNode::new(
-                                id,
-                                ranking.clone(),
-                                config.n,
-                                window,
-                            )),
-                            Some(d) => AnyDetector::SemiGlobal(SemiGlobalNode::new(
-                                id,
-                                ranking.clone(),
-                                config.n,
-                                d,
-                                window,
-                            )),
-                        };
-                        DetectorApp::new(detector, stream_for(id), schedule)
-                    });
+                let mut sim: AnySimulator<DetectorApp<AnyDetector>> =
+                    crate::app::any_simulator_with_sampling(
+                        config.backend,
+                        sim_config,
+                        topology,
+                        &schedule,
+                        |id| {
+                            let detector = match hop_diameter {
+                                None => AnyDetector::Global(GlobalNode::new(
+                                    id,
+                                    ranking.clone(),
+                                    config.n,
+                                    window,
+                                )),
+                                Some(d) => AnyDetector::SemiGlobal(SemiGlobalNode::new(
+                                    id,
+                                    ranking.clone(),
+                                    config.n,
+                                    d,
+                                    window,
+                                )),
+                            };
+                            DetectorApp::new(detector, stream_for(id), schedule)
+                        },
+                    );
                 Ok(drive(
                     &mut sim,
                     &schedule,
@@ -334,18 +341,24 @@ impl StreamingExperiment {
             AlgorithmConfig::Centralized { .. } => {
                 let sink = wsn_data::lab::default_sink(&specs).expect("at least one sensor exists");
                 let grading_topology = topology.clone();
-                let mut sim: Simulator<CentralizedApp<Arc<dyn RankingFunction>>> =
-                    crate::app::simulator_with_sampling(sim_config, topology, &schedule, |id| {
-                        CentralizedApp::new(
-                            id,
-                            sink,
-                            ranking.clone(),
-                            config.n,
-                            window,
-                            stream_for(id),
-                            schedule,
-                        )
-                    });
+                let mut sim: AnySimulator<CentralizedApp<Arc<dyn RankingFunction>>> =
+                    crate::app::any_simulator_with_sampling(
+                        config.backend,
+                        sim_config,
+                        topology,
+                        &schedule,
+                        |id| {
+                            CentralizedApp::new(
+                                id,
+                                sink,
+                                ranking.clone(),
+                                config.n,
+                                window,
+                                stream_for(id),
+                                schedule,
+                            )
+                        },
+                    );
                 Ok(drive(
                     &mut sim,
                     &schedule,
@@ -366,8 +379,8 @@ impl StreamingExperiment {
 /// next sampling round, snapshot every node, grade, and account the slide's
 /// marginal cost.
 #[allow(clippy::too_many_arguments)]
-fn drive<A>(
-    sim: &mut Simulator<A>,
+fn drive<A, S>(
+    sim: &mut S,
     schedule: &SamplingSchedule,
     ranking: &Arc<dyn RankingFunction>,
     n: usize,
@@ -379,6 +392,7 @@ fn drive<A>(
 ) -> StreamingOutcome
 where
     A: Application + StreamingProbe + ScheduleDriven,
+    S: SimHandle<A>,
 {
     let mut slides = Vec::with_capacity(schedule.rounds);
     let mut previous = Totals::default();
@@ -396,11 +410,11 @@ where
         let mut local_data: BTreeMap<SensorId, Vec<DataPoint>> = BTreeMap::new();
         let mut estimates: BTreeMap<SensorId, OutlierEstimate> = BTreeMap::new();
         let mut data_points = 0u64;
-        for (id, app) in sim.apps() {
+        sim.for_each_app(&mut |id, app| {
             local_data.insert(id, app.streaming_own_points(id));
             estimates.insert(id, app.streaming_estimate());
             data_points += app.streaming_points_sent();
-        }
+        });
         let window_points = local_data.values().map(Vec::len).sum();
         let (truth, label_truth) = paired_truths(
             ranking,
@@ -439,7 +453,8 @@ where
         previous = totals;
     }
     let quiescent_tail = sim.run_until_quiescent(deadline);
-    let data_points_sent = sim.apps().map(|(_, a)| a.streaming_points_sent()).sum();
+    let mut data_points_sent = 0;
+    sim.for_each_app(&mut |_, a| data_points_sent += a.streaming_points_sent());
     StreamingOutcome {
         label,
         slides,

@@ -96,6 +96,75 @@ impl Default for Terrain {
     }
 }
 
+/// A rectangular grid of `cols × rows` cells over an axis-aligned extent,
+/// used to tile a deployment into spatial regions (the partitioned
+/// simulator's unit of parallelism).
+///
+/// Cells are indexed row-major; positions outside the extent are clamped to
+/// the nearest cell, so every position maps to exactly one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridTiling {
+    origin: Position,
+    cell_width: f64,
+    cell_height: f64,
+    cols: usize,
+    rows: usize,
+}
+
+impl GridTiling {
+    /// Tiles the extent starting at `origin` with `cols × rows` cells.
+    ///
+    /// A degenerate extent (zero width or height) is valid: the collapsed
+    /// axis maps every position to its first cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero, or if the extent is negative or
+    /// non-finite.
+    pub fn new(origin: Position, width: f64, height: f64, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "a grid tiling needs at least one cell");
+        assert!(
+            width >= 0.0 && height >= 0.0 && width.is_finite() && height.is_finite(),
+            "a grid tiling's extent must be finite and non-negative"
+        );
+        GridTiling {
+            origin,
+            cell_width: width / cols as f64,
+            cell_height: height / rows as f64,
+            cols,
+            rows,
+        }
+    }
+
+    /// Number of cell columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of cell rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// The row-major cell index of a position (clamped into the extent).
+    pub fn cell_of(&self, p: &Position) -> usize {
+        let axis = |offset: f64, cell: f64, count: usize| -> usize {
+            if cell <= 0.0 {
+                return 0;
+            }
+            ((offset / cell).floor().max(0.0) as usize).min(count - 1)
+        };
+        let col = axis(p.x - self.origin.x, self.cell_width, self.cols);
+        let row = axis(p.y - self.origin.y, self.cell_height, self.rows);
+        row * self.cols + col
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +207,33 @@ mod tests {
     fn position_from_tuple() {
         let p: Position = (1.0, 2.0).into();
         assert_eq!(p, Position::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn grid_tiling_maps_positions_row_major_and_clamps() {
+        let g = GridTiling::new(Position::new(10.0, 20.0), 40.0, 20.0, 4, 2);
+        assert_eq!((g.cols(), g.rows(), g.cell_count()), (4, 2, 8));
+        // Cell (0,0) starts at the origin.
+        assert_eq!(g.cell_of(&Position::new(10.0, 20.0)), 0);
+        // One cell right, one row down.
+        assert_eq!(g.cell_of(&Position::new(21.0, 20.0)), 1);
+        assert_eq!(g.cell_of(&Position::new(10.0, 31.0)), 4);
+        // The far corner lands in the last cell, not out of range.
+        assert_eq!(g.cell_of(&Position::new(50.0, 40.0)), 7);
+        // Outside positions clamp to the nearest cell.
+        assert_eq!(g.cell_of(&Position::new(-5.0, 100.0)), 4);
+    }
+
+    #[test]
+    fn degenerate_grid_extents_collapse_to_the_first_cell() {
+        let g = GridTiling::new(Position::new(0.0, 0.0), 0.0, 10.0, 3, 2);
+        assert_eq!(g.cell_of(&Position::new(0.0, 6.0)), 3);
+        assert_eq!(g.cell_of(&Position::new(99.0, 0.0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cell_grids_are_rejected() {
+        let _ = GridTiling::new(Position::new(0.0, 0.0), 1.0, 1.0, 0, 1);
     }
 }

@@ -85,6 +85,51 @@ impl LabDeployment {
         Ok(LabDeployment { terrain, sensors, sink })
     }
 
+    /// Builds a city-scale deployment: `count` sensors at the *lab's*
+    /// constant density on a terrain that grows with the sensor count,
+    /// rather than packing ever more sensors onto the fixed 50 m floor.
+    ///
+    /// Sensors sit on a square grid of [`CITY_GRID_PITCH_M`] metre pitch
+    /// with up to ±[`CITY_JITTER_M`] metres of per-coordinate jitter. The
+    /// worst-case distance between grid neighbours is
+    /// `sqrt((pitch + 2·jitter)² + (2·jitter)²) ≈ 6.60 m`, strictly below
+    /// the paper's 6.77 m radio range, so the deployment is connected *by
+    /// construction* for every seed — no connectivity redraw loop is needed
+    /// (or affordable) at 10 000 sensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] if `count` is zero.
+    pub fn city(count: usize, seed: u64) -> Result<Self, DataError> {
+        if count == 0 {
+            return Err(DataError::InvalidParameter("sensor count must be positive".into()));
+        }
+        let cols = ((count as f64).sqrt().ceil() as usize).max(1);
+        let rows = count.div_ceil(cols);
+        let terrain = Terrain::new(
+            CITY_GRID_PITCH_M * (cols as f64 + 1.0),
+            CITY_GRID_PITCH_M * (rows as f64 + 1.0),
+        );
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let mut sensors = Vec::with_capacity(count);
+        'outer: for r in 0..rows {
+            for c in 0..cols {
+                if sensors.len() >= count {
+                    break 'outer;
+                }
+                let p = Position::new(
+                    (c as f64 + 1.0) * CITY_GRID_PITCH_M
+                        + rng.gen_range(-CITY_JITTER_M..CITY_JITTER_M),
+                    (r as f64 + 1.0) * CITY_GRID_PITCH_M
+                        + rng.gen_range(-CITY_JITTER_M..CITY_JITTER_M),
+                );
+                sensors.push(SensorSpec::new(SensorId(sensors.len() as u32), terrain.clamp(p)));
+            }
+        }
+        let sink = default_sink(&sensors).expect("at least one sensor exists");
+        Ok(LabDeployment { terrain, sensors, sink })
+    }
+
     /// Uniformly subsamples the deployment down to `count` sensors (used for
     /// the 32-node scaling study, §7.1). Sensor ids are preserved.
     ///
@@ -207,6 +252,14 @@ fn connected_at(positions: &[Position], range: f64) -> bool {
 /// Amplitude of the placement jitter, in metres.
 const JITTER_M: f64 = 0.8;
 
+/// Grid pitch of the city-scale deployment, in metres. Chosen so the lab's
+/// node density is preserved and grid neighbours stay within the paper's
+/// radio range even at worst-case jitter (see [`LabDeployment::city`]).
+pub const CITY_GRID_PITCH_M: f64 = 4.8;
+
+/// Placement jitter of the city-scale deployment, in metres.
+pub const CITY_JITTER_M: f64 = 0.8;
+
 /// Lays out `count` sensors on a lab-like floor plan: a perimeter ring and
 /// interior rows with a small jitter, spaced so that the paper's 6.77 m radio
 /// range yields a connected multi-hop network. A `jitter` of zero produces
@@ -325,6 +378,39 @@ mod tests {
         let t = d.generate_trace(&cfg, 1).unwrap();
         assert_eq!(t.sensor_count(), 53);
         assert_eq!(t.round_count(), 5);
+    }
+
+    #[test]
+    fn city_deployment_is_connected_by_construction_at_any_seed() {
+        for seed in [0, 1, 17, 999] {
+            let d = LabDeployment::city(400, seed).unwrap();
+            assert_eq!(d.sensor_count(), 400);
+            assert!(
+                d.is_connected(PAPER_TRANSMISSION_RANGE_M),
+                "city deployment with seed {seed} must be connected"
+            );
+            let t = d.terrain();
+            assert!(d.sensors().iter().all(|s| t.contains(&s.position)));
+        }
+    }
+
+    #[test]
+    fn city_deployment_keeps_density_constant_as_it_scales() {
+        let small = LabDeployment::city(100, 0).unwrap();
+        let large = LabDeployment::city(2500, 0).unwrap();
+        let density = |d: &LabDeployment| d.sensor_count() as f64 / d.terrain().area();
+        let ratio = density(&large) / density(&small);
+        assert!(
+            (0.8..=1.25).contains(&ratio),
+            "density must stay roughly constant while the terrain grows, got ratio {ratio}"
+        );
+        assert!(large.terrain().area() > 20.0 * small.terrain().area() * 0.8);
+    }
+
+    #[test]
+    fn city_deployment_is_deterministic_and_rejects_zero() {
+        assert_eq!(LabDeployment::city(64, 3).unwrap(), LabDeployment::city(64, 3).unwrap());
+        assert!(LabDeployment::city(0, 1).is_err());
     }
 
     #[test]

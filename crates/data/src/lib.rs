@@ -54,7 +54,7 @@ pub mod synth;
 pub mod window;
 
 pub use error::DataError;
-pub use geometry::Position;
+pub use geometry::{GridTiling, Position};
 pub use point::{DataPoint, Epoch, FeatureVec, HopCount, PointKey, SensorId, Timestamp};
 pub use rng::SeededRng;
 pub use set::PointSet;

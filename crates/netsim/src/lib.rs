@@ -40,16 +40,20 @@
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod event;
 pub mod mac;
 pub mod packet;
 pub mod radio;
+pub mod region;
 pub mod routing;
 pub mod sim;
 pub mod stats;
 pub mod topology;
 
 pub use energy::{EnergyModel, EnergyReport};
+pub use event::{EventKey, EventQueue};
 pub use radio::{LossModel, RadioConfig};
+pub use region::{AnySimulator, Partition, PartitionedSimulator, SimBackend, SimHandle};
 pub use sim::{Application, NodeContext, SimConfig, Simulator};
 pub use stats::{NetworkStats, NodeStats};
 pub use topology::Topology;

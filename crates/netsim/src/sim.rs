@@ -1,24 +1,44 @@
-//! The discrete-event simulation engine.
+//! The WSN domain layer of the simulator, built on the generic event core.
 //!
 //! The simulator owns one [`Application`] instance per sensor and delivers
-//! three kinds of events to it — start-up, timer expiry, and message arrival
-//! — in global timestamp order. Every transmission an application requests is
-//! run through the MAC/radio model, charged to the per-node energy meters,
-//! and (when it survives the loss model) scheduled for delivery one airtime
-//! later. The design mirrors how the paper's protocols are specified:
-//! entirely event-driven, with all communication restricted to single-hop
-//! neighbours (§4.2, §5.2).
+//! four kinds of events to it — start-up, timer expiry, message arrival and
+//! neighbourhood change — in global [`EventKey`] order. Every transmission an
+//! application requests is run through the MAC/radio model, charged to the
+//! per-node energy meters, and scheduled for reception one airtime later.
+//! The design mirrors how the paper's protocols are specified: entirely
+//! event-driven, with all communication restricted to single-hop neighbours
+//! (§4.2, §5.2).
+//!
+//! Since the restructuring onto [`crate::event`], this type is a *domain
+//! layer* over [`SimCore`]: applications are wrapped in a [`Component`]
+//! adapter, the old hand-rolled heap is gone, and three properties were made
+//! engine-topology-independent so the same `Simulator` can serve either as
+//! the whole simulation or as one region of a [`crate::region`] partition:
+//!
+//! 1. **Intrinsic event order.** Events are ordered by `(time, class,
+//!    source, source_seq, target)`, never by queue-insertion sequence.
+//! 2. **Event-keyed packet loss.** The loss model's RNG is derived per
+//!    transmission from `(seed, sender, sender's emission counter)` instead
+//!    of a single shared stream, so the outcome of a transmission does not
+//!    depend on which other transmissions happened to be sampled before it.
+//! 3. **Reception-time effects.** Receive energy and the overheard/dropped
+//!    counters are charged when the reception event *fires* at the receiver
+//!    (one airtime after the transmission), not when the sender transmits —
+//!    a receiver may live in a different region than the sender.
 
 use crate::energy::{EnergyMeter, EnergyModel};
+use crate::event::{
+    Component, ComponentContext, EventHandle, EventKey, SimCore, CLASS_CONTROL, CLASS_RECEPTION,
+    CLASS_START, CLASS_TIMER, EXTERNAL_SOURCE,
+};
 use crate::mac;
 use crate::packet::{Destination, OutgoingPacket};
 use crate::radio::RadioConfig;
 use crate::stats::{NetworkStats, NodeStats};
 use crate::topology::Topology;
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
-use wsn_data::rng::SeededRng;
+use wsn_data::rng::{SeededRng, SplitMix64};
 use wsn_data::{SensorId, Timestamp};
 
 /// Identifier an application assigns to a timer it sets.
@@ -126,113 +146,193 @@ pub struct SimConfig {
 /// One entry of a pre-planned timer batch: fire `timer` at `node` at `time`.
 pub type BatchTimerEntry = (Timestamp, SensorId, TimerId);
 
-enum EventKind<M> {
-    Start(SensorId),
-    Timer {
-        node: SensorId,
-        timer: TimerId,
-    },
-    /// A pre-sorted sequence of timers sharing **one** queue entry: the
-    /// batch sits in the heap at the time of its next undispatched entry and
-    /// re-queues itself (same allocation, advanced cursor) after each
-    /// dispatch. A periodic fan-out over every node — such as a sampling
-    /// round — therefore costs one queued event instead of one per
-    /// node × round.
-    TimerBatch {
-        entries: Arc<Vec<BatchTimerEntry>>,
-        next: usize,
-    },
-    /// The payload is interned behind an [`Arc`]: one transmission heard by
-    /// `r` receivers queues `r` handles to a single payload instead of `r`
-    /// deep copies.
-    Deliver {
-        to: SensorId,
+/// A cancellation handle for an externally scheduled timer (see
+/// [`Simulator::schedule_timer`] / [`Simulator::cancel_timer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle {
+    handle: EventHandle,
+}
+
+/// The event payload delivered through the generic core. The engine (not the
+/// node component) interprets the accounting fields of `Reception`; the
+/// component only ever sees receptions that carry a payload.
+pub(crate) enum NetEvent<M> {
+    /// The node's start-up event.
+    Start,
+    /// An expiring timer.
+    Timer(TimerId),
+    /// A radio reception, one airtime after its transmission. `payload` is
+    /// `None` for overheard / lost packets, which cost receive energy and
+    /// count in the overheard (and possibly dropped) statistics but deliver
+    /// nothing to the application. The payload is interned behind an
+    /// [`Arc`]: one transmission heard by `r` receivers queues `r` handles
+    /// to a single allocation instead of `r` deep copies.
+    Reception {
         from: SensorId,
-        payload: Arc<M>,
+        payload: Option<Arc<M>>,
         payload_bytes: usize,
+        airtime_secs: f64,
+        dropped: bool,
     },
+    /// The node's single-hop neighbourhood changed.
+    NeighborhoodChanged,
 }
 
-struct QueuedEvent<M> {
-    time: Timestamp,
-    seq: u64,
-    kind: EventKind<M>,
+impl<M> Clone for NetEvent<M> {
+    fn clone(&self) -> Self {
+        match self {
+            NetEvent::Start => NetEvent::Start,
+            NetEvent::Timer(t) => NetEvent::Timer(*t),
+            NetEvent::Reception { from, payload, payload_bytes, airtime_secs, dropped } => {
+                NetEvent::Reception {
+                    from: *from,
+                    payload: payload.clone(),
+                    payload_bytes: *payload_bytes,
+                    airtime_secs: *airtime_secs,
+                    dropped: *dropped,
+                }
+            }
+            NetEvent::NeighborhoodChanged => NetEvent::NeighborhoodChanged,
+        }
+    }
 }
 
-impl<M> PartialEq for QueuedEvent<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
+/// What a node asks the engine to do in reaction to an event, in emission
+/// order (packets before timers, matching the pre-refactor dispatch order).
+pub(crate) enum NodeEmission<M> {
+    Packet(OutgoingPacket<M>),
+    Timer { delay_micros: u64, timer: TimerId },
 }
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// The [`Component`] adapter wrapping one [`Application`] instance.
+pub(crate) struct NodeComponent<A: Application> {
+    pub(crate) app: A,
 }
-impl<M> Ord for QueuedEvent<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so that the std max-heap pops the *earliest* event first.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+
+impl<A: Application> Component for NodeComponent<A> {
+    type Event = NetEvent<A::Message>;
+    type Emission = NodeEmission<A::Message>;
+    /// The node's cached neighbour list, shared with the context.
+    type Env = Arc<Vec<SensorId>>;
+
+    fn on_event(
+        &mut self,
+        ctx: &mut ComponentContext<Self::Emission>,
+        env: &Arc<Vec<SensorId>>,
+        event: NetEvent<A::Message>,
+    ) {
+        let mut node_ctx = NodeContext {
+            id: SensorId(ctx.component_id()),
+            now: ctx.time(),
+            neighbors: Arc::clone(env),
+            outgoing: Vec::new(),
+            timers: Vec::new(),
+        };
+        match event {
+            NetEvent::Start => self.app.on_start(&mut node_ctx),
+            NetEvent::Timer(timer) => self.app.on_timer(&mut node_ctx, timer),
+            NetEvent::Reception { from, payload: Some(payload), .. } => {
+                // The last receiver of an interned payload takes it by move;
+                // earlier ones clone.
+                let payload = Arc::try_unwrap(payload).unwrap_or_else(|shared| (*shared).clone());
+                self.app.on_message(&mut node_ctx, from, payload);
+            }
+            // Payload-less receptions are pure accounting; the engine handles
+            // them before dispatch and never routes them here.
+            NetEvent::Reception { payload: None, .. } => {}
+            NetEvent::NeighborhoodChanged => self.app.on_neighborhood_change(&mut node_ctx),
+        }
+        let NodeContext { outgoing, timers, .. } = node_ctx;
+        for packet in outgoing {
+            ctx.emit(NodeEmission::Packet(packet));
+        }
+        for (delay_micros, timer) in timers {
+            ctx.emit(NodeEmission::Timer { delay_micros, timer });
+        }
     }
 }
 
 /// The discrete-event simulator.
+///
+/// One `Simulator` instance runs either the whole network (the sequential
+/// backend) or the *owned* subset of it — one region of a
+/// [`crate::region::PartitionedSimulator`]. A region holds the full
+/// [`Topology`] (needed to compute every transmission's fan-out) but
+/// applications, energy meters and statistics only for its owned nodes;
+/// receptions addressed to nodes owned elsewhere are diverted to an outbox
+/// the partition coordinator routes at epoch barriers.
 pub struct Simulator<A: Application> {
     config: SimConfig,
     topology: Topology,
     /// Per-node neighbour lists, derived from the topology once and shared
     /// with every [`NodeContext`]; rebuilt only on topology changes.
     adjacency: BTreeMap<SensorId, Arc<Vec<SensorId>>>,
-    apps: BTreeMap<SensorId, A>,
+    core: SimCore<NodeComponent<A>>,
     meters: BTreeMap<SensorId, EnergyMeter>,
     node_stats: BTreeMap<SensorId, NodeStats>,
-    queue: BinaryHeap<QueuedEvent<A::Message>>,
     pending_deliveries: usize,
-    now: Timestamp,
-    seq: u64,
-    rng: SeededRng,
-    events_processed: u64,
+    /// Receptions addressed to nodes this engine does not own, keyed and
+    /// ready for the coordinator to inject into the owner's queue.
+    outbox: Vec<(EventKey, NetEvent<A::Message>)>,
 }
 
 impl<A: Application> Simulator<A> {
     /// Builds a simulator over `topology`, constructing one application per
     /// sensor with `make_app`, and schedules every node's start event at
     /// time zero.
-    pub fn new(
-        config: SimConfig,
-        topology: Topology,
-        mut make_app: impl FnMut(SensorId) -> A,
-    ) -> Self {
+    pub fn new(config: SimConfig, topology: Topology, make_app: impl FnMut(SensorId) -> A) -> Self {
         let ids = topology.sensor_ids();
-        let apps: BTreeMap<SensorId, A> = ids.iter().map(|id| (*id, make_app(*id))).collect();
-        let meters = ids.iter().map(|id| (*id, EnergyMeter::new())).collect();
-        let node_stats = ids.iter().map(|id| (*id, NodeStats::default())).collect();
-        let rng = SeededRng::seed_from_u64(config.seed);
-        let adjacency = Self::build_adjacency(&topology);
-        let mut sim = Simulator {
-            config,
-            topology,
-            adjacency,
-            apps,
-            meters,
-            node_stats,
-            queue: BinaryHeap::new(),
-            pending_deliveries: 0,
-            now: Timestamp::ZERO,
-            seq: 0,
-            rng,
-            events_processed: 0,
-        };
-        for id in ids {
-            sim.push_event(Timestamp::ZERO, EventKind::Start(id));
+        let mut sim = Self::new_owned(config, topology, ids.clone(), make_app);
+        let base = sim.core.alloc_external_seqs(ids.len() as u64);
+        for (i, id) in ids.into_iter().enumerate() {
+            let key = EventKey::new(
+                Timestamp::ZERO,
+                CLASS_START,
+                EXTERNAL_SOURCE,
+                base + i as u64,
+                id.raw(),
+            );
+            sim.core.queue_mut().push(key, NetEvent::Start);
         }
         sim
     }
 
+    /// Builds a simulator that owns only `owned` (applications, meters and
+    /// statistics), while carrying the full `topology` for fan-out
+    /// computation. Schedules **no** start events and allocates **no**
+    /// external sequence numbers — the partition coordinator does both, with
+    /// one shared counter, so event keys come out identical to the
+    /// sequential engine's.
+    pub(crate) fn new_owned(
+        config: SimConfig,
+        topology: Topology,
+        owned: impl IntoIterator<Item = SensorId>,
+        mut make_app: impl FnMut(SensorId) -> A,
+    ) -> Self {
+        let adjacency = Self::build_adjacency(&topology);
+        let mut core = SimCore::new();
+        let mut meters = BTreeMap::new();
+        let mut node_stats = BTreeMap::new();
+        for id in owned {
+            core.insert_component(id.raw(), NodeComponent { app: make_app(id) });
+            meters.insert(id, EnergyMeter::new());
+            node_stats.insert(id, NodeStats::default());
+        }
+        Simulator {
+            config,
+            topology,
+            adjacency,
+            core,
+            meters,
+            node_stats,
+            pending_deliveries: 0,
+            outbox: Vec::new(),
+        }
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> Timestamp {
-        self.now
+        self.core.now()
     }
 
     /// The communication topology.
@@ -247,40 +347,52 @@ impl<A: Application> Simulator<A> {
 
     /// Immutable access to a node's application.
     pub fn app(&self, id: SensorId) -> Option<&A> {
-        self.apps.get(&id)
+        self.core.component(id.raw()).map(|c| &c.app)
     }
 
     /// Iterates over all applications in ascending node order.
     pub fn apps(&self) -> impl Iterator<Item = (SensorId, &A)> {
-        self.apps.iter().map(|(id, a)| (*id, a))
+        self.core.components().map(|(id, c)| (SensorId(id), &c.app))
     }
 
     /// Mutable access to all applications, for harnesses that need to
     /// configure the apps after construction (e.g. switching them to an
     /// externally installed timer schedule).
     pub fn apps_mut(&mut self) -> impl Iterator<Item = (SensorId, &mut A)> {
-        self.apps.iter_mut().map(|(id, a)| (*id, a))
+        self.core.components_mut().map(|(id, c)| (SensorId(id), &mut c.app))
     }
 
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.core.events_processed()
     }
 
-    /// Number of transmissions currently in flight (scheduled deliveries).
+    /// Number of payload-carrying transmissions currently in flight
+    /// (scheduled deliveries).
     pub fn messages_in_flight(&self) -> usize {
         self.pending_deliveries
     }
 
-    /// Number of events (of any kind) still queued.
+    /// Number of queue slots occupied (a timer batch counts as one however
+    /// many entries it still carries).
     pub fn queued_events(&self) -> usize {
-        self.queue.len()
+        self.core.queue().len()
     }
 
     /// Schedules a timer for `node` at absolute time `at` from outside the
-    /// application (used by harnesses to drive sampling rounds).
-    pub fn schedule_timer(&mut self, node: SensorId, at: Timestamp, timer: TimerId) {
-        self.push_event(at, EventKind::Timer { node, timer });
+    /// application (used by harnesses to drive sampling rounds). Returns a
+    /// handle that can cancel the timer while it is still pending.
+    pub fn schedule_timer(&mut self, node: SensorId, at: Timestamp, timer: TimerId) -> TimerHandle {
+        let seq = self.core.alloc_external_seqs(1);
+        let key = EventKey::new(at, CLASS_TIMER, EXTERNAL_SOURCE, seq, node.raw());
+        let handle = self.core.queue_mut().push(key, NetEvent::Timer(timer));
+        TimerHandle { handle }
+    }
+
+    /// Cancels a timer scheduled through [`Simulator::schedule_timer`].
+    /// Returns `false` if it already fired or was cancelled before.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.core.queue_mut().cancel(handle.handle)
     }
 
     /// Schedules a whole batch of timers behind a **single** queue entry.
@@ -304,31 +416,67 @@ impl<A: Application> Simulator<A> {
         if entries.is_empty() {
             return;
         }
-        let time = entries[0].0;
-        self.push_event(time, EventKind::TimerBatch { entries: Arc::new(entries), next: 0 });
+        let base = self.core.alloc_external_seqs(entries.len() as u64);
+        let keyed = Self::keyed_batch(&entries, base);
+        self.core.queue_mut().push_batch(keyed);
+    }
+
+    /// Derives the event keys of a timer batch from its external base
+    /// sequence. Time-sorted entries yield key-sorted events because the
+    /// sequence numbers ascend with the entry index.
+    pub(crate) fn keyed_batch(
+        entries: &[BatchTimerEntry],
+        base_seq: u64,
+    ) -> Vec<(EventKey, NetEvent<A::Message>)> {
+        entries
+            .iter()
+            .enumerate()
+            .map(|(i, (time, node, timer))| {
+                let key = EventKey::new(
+                    *time,
+                    CLASS_TIMER,
+                    EXTERNAL_SOURCE,
+                    base_seq + i as u64,
+                    node.raw(),
+                );
+                (key, NetEvent::Timer(*timer))
+            })
+            .collect()
     }
 
     /// Removes a node from the simulation: its application stops receiving
     /// events and every remaining neighbour is notified through
-    /// [`Application::on_neighborhood_change`] (the paper's link-down event).
+    /// [`Application::on_neighborhood_change`] (the paper's link-down
+    /// event). The notifications are ordinary control-class events at the
+    /// current time, delivered by the event core on the next run.
     ///
     /// Only the adjacency entries of the removed node and its former
     /// neighbours are re-derived; the rest of the cached neighbour lists are
     /// untouched, so a node failure costs `O(degree)` map updates instead of
     /// a full rebuild over every sensor.
     pub fn remove_node(&mut self, id: SensorId) {
+        let former_neighbors = self.remove_node_local(id);
+        let base = self.core.alloc_external_seqs(former_neighbors.len() as u64);
+        let now = self.core.now();
+        for (i, n) in former_neighbors.into_iter().enumerate() {
+            let key = EventKey::new(now, CLASS_CONTROL, EXTERNAL_SOURCE, base + i as u64, n.raw());
+            self.core.queue_mut().push(key, NetEvent::NeighborhoodChanged);
+        }
+    }
+
+    /// The topology/adjacency/application surgery of [`Simulator::remove_node`],
+    /// without the notification events. Returns the former neighbours in
+    /// ascending order; the caller (this engine, or the partition
+    /// coordinator patching every region) schedules the notifications.
+    pub(crate) fn remove_node_local(&mut self, id: SensorId) -> Vec<SensorId> {
         let former_neighbors = self.topology.neighbors(id);
         self.topology.remove_sensor(id);
-        self.apps.remove(&id);
+        self.core.remove_component(id.raw());
         self.adjacency.remove(&id);
         for n in &former_neighbors {
             self.adjacency.insert(*n, Arc::new(self.topology.neighbors(*n)));
         }
-        for n in former_neighbors {
-            if self.apps.contains_key(&n) {
-                self.dispatch(n, |app, ctx| app.on_neighborhood_change(ctx));
-            }
-        }
+        former_neighbors
     }
 
     /// Runs the simulation until `deadline` (inclusive), processing every
@@ -336,16 +484,14 @@ impl<A: Application> Simulator<A> {
     /// Returns the number of events processed by this call.
     pub fn run_until(&mut self, deadline: Timestamp) -> u64 {
         let mut processed = 0;
-        while let Some(next) = self.queue.peek() {
-            if next.time > deadline {
+        while let Some(key) = self.core.queue().peek_key() {
+            if key.time > deadline {
                 break;
             }
             self.step();
             processed += 1;
         }
-        if deadline > self.now {
-            self.now = deadline;
-        }
+        self.core.advance_now(deadline);
         processed
     }
 
@@ -353,8 +499,8 @@ impl<A: Application> Simulator<A> {
     /// lies beyond `deadline`. Returns `true` if the queue drained (the
     /// network is quiescent: no messages in flight and no timers pending).
     pub fn run_until_quiescent(&mut self, deadline: Timestamp) -> bool {
-        while let Some(next) = self.queue.peek() {
-            if next.time > deadline {
+        while let Some(key) = self.core.queue().peek_key() {
+            if key.time > deadline {
                 return false;
             }
             self.step();
@@ -365,54 +511,26 @@ impl<A: Application> Simulator<A> {
     /// Processes the single earliest queued event, if any. Returns `false`
     /// when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(event) = self.queue.pop() else {
+        let Some((key, event)) = self.core.pop_event() else {
             return false;
         };
-        debug_assert!(event.time >= self.now, "events must be processed in time order");
-        self.now = event.time;
-        self.events_processed += 1;
-        match event.kind {
-            EventKind::Start(node) => {
-                self.dispatch(node, |app, ctx| app.on_start(ctx));
-            }
-            EventKind::Timer { node, timer } => {
-                self.dispatch(node, |app, ctx| app.on_timer(ctx, timer));
-            }
-            EventKind::TimerBatch { entries, next } => {
-                let (_, node, timer) = entries[next];
-                // Re-queue the batch for its next entry *before* dispatching,
-                // so a callback that inspects the queue sees it pending.
-                if next + 1 < entries.len() {
-                    let time = entries[next + 1].0;
-                    self.push_event(
-                        time,
-                        EventKind::TimerBatch { entries: Arc::clone(&entries), next: next + 1 },
-                    );
-                }
-                self.dispatch(node, |app, ctx| app.on_timer(ctx, timer));
-            }
-            EventKind::Deliver { to, from, payload, payload_bytes } => {
-                self.pending_deliveries -= 1;
-                if self.apps.contains_key(&to) {
-                    let stats = self.node_stats.entry(to).or_default();
-                    stats.packets_received += 1;
-                    stats.bytes_received += payload_bytes as u64;
-                    // The last receiver of an interned payload takes it by
-                    // move; earlier ones clone.
-                    let payload =
-                        Arc::try_unwrap(payload).unwrap_or_else(|shared| (*shared).clone());
-                    self.dispatch(to, |app, ctx| app.on_message(ctx, from, payload));
-                }
-            }
-        }
+        self.process(key, event);
         true
     }
 
     /// A snapshot of the per-node link counters and energy reports, with idle
     /// energy charged up to the current simulation time.
     pub fn network_stats(&self) -> NetworkStats {
+        self.network_stats_at(self.core.now())
+    }
+
+    /// Like [`Simulator::network_stats`], but charging idle energy up to an
+    /// explicit time — the partition coordinator passes the *global* clock so
+    /// regions whose local clocks stopped at different last events still
+    /// produce the idle totals the sequential engine would.
+    pub(crate) fn network_stats_at(&self, at: Timestamp) -> NetworkStats {
         let mut stats = NetworkStats::default();
-        let elapsed_secs = self.now.as_secs_f64();
+        let elapsed_secs = at.as_secs_f64();
         for (id, meter) in &self.meters {
             let mut report = meter.report();
             // Idle power is drawn for the whole run; the radio-active time is
@@ -427,13 +545,58 @@ impl<A: Application> Simulator<A> {
         stats
     }
 
-    fn push_event(&mut self, time: Timestamp, kind: EventKind<A::Message>) {
-        let seq = self.seq;
-        self.seq += 1;
-        if matches!(kind, EventKind::Deliver { .. }) {
+    // ------------------------------------------------------------------
+    // Region hooks: the narrow surface the partition coordinator drives a
+    // region through. All pub(crate); see crate::region for the protocol.
+    // ------------------------------------------------------------------
+
+    /// The time of the earliest queued event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<Timestamp> {
+        self.core.queue().peek_key().map(|k| k.time)
+    }
+
+    /// Processes every queued event with `time < exclusive_bound` (one
+    /// conservative epoch). Cross-region receptions generated inside the
+    /// window land in the outbox.
+    pub(crate) fn run_window(&mut self, exclusive_bound: Timestamp) {
+        while let Some(key) = self.core.queue().peek_key() {
+            if key.time >= exclusive_bound {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Injects an externally keyed event (a boundary reception routed from
+    /// another region, or a coordinator-scheduled start/timer/control event).
+    pub(crate) fn inject_keyed(&mut self, key: EventKey, event: NetEvent<A::Message>) {
+        if matches!(&event, NetEvent::Reception { payload: Some(_), .. }) {
             self.pending_deliveries += 1;
         }
-        self.queue.push(QueuedEvent { time, seq, kind });
+        self.core.queue_mut().push(key, event);
+    }
+
+    /// Injects a pre-keyed timer batch (one queue slot).
+    pub(crate) fn inject_batch(&mut self, entries: Vec<(EventKey, NetEvent<A::Message>)>) {
+        self.core.queue_mut().push_batch(entries);
+    }
+
+    /// Drains the receptions addressed to nodes owned by other regions.
+    pub(crate) fn take_outbox(&mut self) -> Vec<(EventKey, NetEvent<A::Message>)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Moves the clock forward (never backwards) — the coordinator aligns
+    /// every region on the global clock at deadlines.
+    pub(crate) fn advance_clock(&mut self, to: Timestamp) {
+        self.core.advance_now(to);
+    }
+
+    /// Whether this engine owns `id` (executes its events and accounts its
+    /// energy). Meters are created for owned nodes only and survive node
+    /// removal, exactly like the accounting state they guard.
+    fn owns(&self, id: SensorId) -> bool {
+        self.meters.contains_key(&id)
     }
 
     /// Materialises the per-node neighbour lists shared by every dispatch.
@@ -441,38 +604,90 @@ impl<A: Application> Simulator<A> {
         topology.sensor_ids().into_iter().map(|id| (id, Arc::new(topology.neighbors(id)))).collect()
     }
 
-    fn dispatch(
-        &mut self,
-        node: SensorId,
-        callback: impl FnOnce(&mut A, &mut NodeContext<A::Message>),
-    ) {
-        let mut ctx = NodeContext {
-            id: node,
-            now: self.now,
-            neighbors: self.adjacency.get(&node).cloned().unwrap_or_default(),
-            outgoing: Vec::new(),
-            timers: Vec::new(),
-        };
-        let Some(app) = self.apps.get_mut(&node) else {
-            return;
-        };
-        callback(app, &mut ctx);
-        let NodeContext { outgoing, timers, .. } = ctx;
-        for packet in outgoing {
-            self.transmit(node, packet);
+    /// Applies one popped event: engine-side accounting first, then (when the
+    /// event concerns the application) component dispatch.
+    fn process(&mut self, key: EventKey, event: NetEvent<A::Message>) {
+        let target = SensorId(key.target);
+        match event {
+            NetEvent::Reception { from, payload, payload_bytes, airtime_secs, dropped } => {
+                // Every in-range node pays receive energy (promiscuous
+                // listening), whether or not the packet was addressed to it
+                // or survived the loss model.
+                if let Some(meter) = self.meters.get_mut(&target) {
+                    meter.charge_rx(&self.config.energy, airtime_secs);
+                }
+                match payload {
+                    Some(payload) => {
+                        self.pending_deliveries -= 1;
+                        if self.core.component(target.raw()).is_some() {
+                            let stats = self.node_stats.entry(target).or_default();
+                            stats.packets_received += 1;
+                            stats.bytes_received += payload_bytes as u64;
+                            self.dispatch_event(
+                                target,
+                                NetEvent::Reception {
+                                    from,
+                                    payload: Some(payload),
+                                    payload_bytes,
+                                    airtime_secs,
+                                    dropped,
+                                },
+                            );
+                        }
+                    }
+                    None => {
+                        let stats = self.node_stats.entry(target).or_default();
+                        stats.packets_overheard += 1;
+                        if dropped {
+                            stats.packets_dropped += 1;
+                        }
+                    }
+                }
+            }
+            other => self.dispatch_event(target, other),
         }
-        for (delay_micros, timer) in timers {
-            let at = self.now.advanced_by_micros(delay_micros);
-            self.push_event(at, EventKind::Timer { node, timer });
+    }
+
+    /// Dispatches an event to a node's component and interprets its
+    /// emissions (packets first, then timers).
+    fn dispatch_event(&mut self, node: SensorId, event: NetEvent<A::Message>) {
+        let env = self.adjacency.get(&node).cloned().unwrap_or_default();
+        let emissions = self.core.dispatch(node.raw(), &env, event);
+        for emission in emissions {
+            match emission {
+                NodeEmission::Packet(packet) => self.transmit(node, packet),
+                NodeEmission::Timer { delay_micros, timer } => {
+                    let at = self.core.now().advanced_by_micros(delay_micros);
+                    let seq = self.core.next_emission_seq(node.raw());
+                    let key = EventKey::new(at, CLASS_TIMER, node.raw(), seq, node.raw());
+                    self.core.queue_mut().push(key, NetEvent::Timer(timer));
+                }
+            }
         }
+    }
+
+    /// The loss model's RNG for one transmission, derived from the seed, the
+    /// sender and the sender's emission counter. A pure function of the
+    /// transmission's identity: the outcome is the same whether the network
+    /// runs on one queue or on many regional queues.
+    fn transmission_rng(&self, sender: SensorId, seq: u64) -> SeededRng {
+        let mut mix = SplitMix64::new(
+            self.config
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(sender.raw()))),
+        );
+        let keyed = mix.next_u64() ^ seq;
+        SeededRng::seed_from_u64(SplitMix64::new(keyed).next_u64())
     }
 
     fn transmit(&mut self, sender: SensorId, packet: OutgoingPacket<A::Message>) {
         let OutgoingPacket { destination, payload, payload_bytes } = packet;
+        let seq = self.core.next_emission_seq(sender.raw());
+        let mut rng = self.transmission_rng(sender, seq);
         let outcome = mac::transmit(
             &self.topology,
             &self.config.radio,
-            &mut self.rng,
+            &mut rng,
             sender,
             destination,
             payload_bytes,
@@ -484,32 +699,33 @@ impl<A: Application> Simulator<A> {
         let sender_stats = self.node_stats.entry(sender).or_default();
         sender_stats.packets_sent += 1;
         sender_stats.bytes_sent += payload_bytes as u64;
-        // Every in-range node pays receive energy (promiscuous listening);
-        // addressed receivers that survive the loss model get the payload
-        // delivered one airtime later. The payload itself is interned once —
-        // receivers share the allocation until delivery.
+        // Schedule one reception per in-range node, one airtime out. All
+        // receiver-side effects (energy, statistics, delivery) happen when
+        // the reception fires — possibly in another region's engine.
         let payload = Arc::new(payload);
-        let delivery_time = self.now.advanced_by_secs_f64(outcome.airtime_secs);
+        let delivery_time = self.core.now().advanced_by_secs_f64(outcome.airtime_secs);
         for reception in outcome.receptions {
-            if let Some(meter) = self.meters.get_mut(&reception.receiver) {
-                meter.charge_rx(&self.config.energy, outcome.airtime_secs);
-            }
-            let stats = self.node_stats.entry(reception.receiver).or_default();
-            if reception.delivers_payload {
-                self.push_event(
-                    delivery_time,
-                    EventKind::Deliver {
-                        to: reception.receiver,
-                        from: sender,
-                        payload: Arc::clone(&payload),
-                        payload_bytes,
-                    },
-                );
-            } else {
-                stats.packets_overheard += 1;
-                if reception.dropped {
-                    stats.packets_dropped += 1;
+            let key = EventKey::new(
+                delivery_time,
+                CLASS_RECEPTION,
+                sender.raw(),
+                seq,
+                reception.receiver.raw(),
+            );
+            let event = NetEvent::Reception {
+                from: sender,
+                payload: reception.delivers_payload.then(|| Arc::clone(&payload)),
+                payload_bytes,
+                airtime_secs: outcome.airtime_secs,
+                dropped: reception.dropped,
+            };
+            if self.owns(reception.receiver) {
+                if reception.delivers_payload {
+                    self.pending_deliveries += 1;
                 }
+                self.core.queue_mut().push(key, event);
+            } else {
+                self.outbox.push((key, event));
             }
         }
 
@@ -517,10 +733,13 @@ impl<A: Application> Simulator<A> {
         // receives the packet; the energy was still spent. Match the paper's
         // assumption that senders learn about undeliverable messages through
         // the link layer by notifying the application of a neighbourhood
-        // change if it unicasts to a vanished neighbour.
+        // change if it unicasts to a vanished neighbour. The notification is
+        // sender-local and synchronous, so it is region-safe.
         if let Destination::Unicast(target) = destination {
-            if !self.topology.are_neighbors(sender, target) && self.apps.contains_key(&sender) {
-                self.dispatch(sender, |app, ctx| app.on_neighborhood_change(ctx));
+            if !self.topology.are_neighbors(sender, target)
+                && self.core.component(sender.raw()).is_some()
+            {
+                self.dispatch_event(sender, NetEvent::NeighborhoodChanged);
             }
         }
     }
@@ -680,6 +899,20 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_timers_never_fire() {
+        let mut sim = flood_sim(2, SimConfig::default());
+        sim.run_until_quiescent(Timestamp::from_secs(1));
+        let before = sim.network_stats().total_packets_sent();
+        let keep = sim.schedule_timer(SensorId(0), Timestamp::from_secs(5), 1);
+        let cancel = sim.schedule_timer(SensorId(1), Timestamp::from_secs(5), 2);
+        assert!(sim.cancel_timer(cancel));
+        assert!(!sim.cancel_timer(cancel), "double cancel is a stale no-op");
+        sim.run_until(Timestamp::from_secs(6));
+        assert_eq!(sim.network_stats().total_packets_sent(), before + 1);
+        assert!(!sim.cancel_timer(keep), "a fired timer can no longer be cancelled");
+    }
+
+    #[test]
     fn removing_a_node_notifies_neighbors_and_stops_its_events() {
         let mut sim = flood_sim(3, SimConfig::default());
         sim.run_until_quiescent(Timestamp::from_secs(1));
@@ -691,6 +924,33 @@ mod tests {
         let sent_before = sim.network_stats().total_packets_sent();
         sim.run_until(Timestamp::from_secs(3));
         assert_eq!(sim.network_stats().total_packets_sent(), sent_before);
+    }
+
+    #[test]
+    fn removal_notifications_are_delivered_as_control_events() {
+        struct CountChanges {
+            changes: u32,
+        }
+        impl Application for CountChanges {
+            type Message = ();
+            fn on_start(&mut self, _ctx: &mut NodeContext<()>) {}
+            fn on_message(&mut self, _ctx: &mut NodeContext<()>, _from: SensorId, _m: ()) {}
+            fn on_timer(&mut self, _ctx: &mut NodeContext<()>, _t: TimerId) {}
+            fn on_neighborhood_change(&mut self, _ctx: &mut NodeContext<()>) {
+                self.changes += 1;
+            }
+        }
+        let mut sim = Simulator::new(SimConfig::default(), chain_topology(3), |_| CountChanges {
+            changes: 0,
+        });
+        sim.run_until_quiescent(Timestamp::from_secs(1));
+        sim.remove_node(SensorId(1));
+        // The notification is an ordinary queued event at the current time…
+        assert_eq!(sim.queued_events(), 2);
+        sim.run_until(Timestamp::from_secs(1));
+        // …delivered to both former neighbours, and only to them.
+        assert_eq!(sim.app(SensorId(0)).unwrap().changes, 1);
+        assert_eq!(sim.app(SensorId(2)).unwrap().changes, 1);
     }
 
     #[test]

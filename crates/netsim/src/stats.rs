@@ -32,6 +32,18 @@ impl NodeStats {
     pub fn radio_activity(&self) -> u64 {
         self.packets_sent + self.packets_received + self.packets_overheard
     }
+
+    /// Adds another counter set into this one. Counter addition is
+    /// commutative and associative, so merging shards in any order yields
+    /// the same totals.
+    pub fn merge(&mut self, other: &NodeStats) {
+        self.packets_sent += other.packets_sent;
+        self.packets_received += other.packets_received;
+        self.packets_overheard += other.packets_overheard;
+        self.packets_dropped += other.packets_dropped;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+    }
 }
 
 /// A snapshot of the whole network's statistics.
@@ -134,6 +146,21 @@ impl NetworkStats {
         }
     }
 
+    /// Merges another snapshot (a shard of the network — e.g. one region of
+    /// the partitioned simulator) into this one. Per-node counters add and
+    /// energy reports accumulate, so the merge is order-independent: any
+    /// permutation of shards produces identical totals. Disjoint shards
+    /// (each node reported by exactly one) reassemble the exact sequential
+    /// snapshot, including bit-identical energy floats.
+    pub fn merge(&mut self, shard: &NetworkStats) {
+        for (id, ns) in &shard.nodes {
+            self.nodes.entry(*id).or_default().merge(ns);
+        }
+        for (id, e) in &shard.energy {
+            self.energy.entry(*id).or_default().accumulate(e);
+        }
+    }
+
     /// Energy delta between two snapshots (`self − earlier`), per node.
     pub fn energy_delta_since(&self, earlier: &NetworkStats) -> BTreeMap<SensorId, EnergyReport> {
         self.energy
@@ -228,6 +255,53 @@ mod tests {
         assert_eq!(delta[&SensorId(0)].tx_joules, 2.0);
         assert_eq!(delta[&SensorId(0)].rx_joules, 3.0);
         assert_eq!(delta[&SensorId(1)].tx_joules, 2.0);
+    }
+
+    #[test]
+    fn merging_shuffled_shards_matches_the_sequential_totals() {
+        // Build 8 single-node shards with distinct counters and energy.
+        let shard = |i: u32| {
+            let mut s = NetworkStats::default();
+            s.nodes.insert(
+                SensorId(i % 5),
+                NodeStats {
+                    packets_sent: u64::from(i) + 1,
+                    packets_received: u64::from(i) * 2,
+                    packets_overheard: 3,
+                    packets_dropped: u64::from(i % 2),
+                    bytes_sent: 10 * u64::from(i),
+                    bytes_received: 7,
+                },
+            );
+            s.energy.insert(
+                SensorId(i % 5),
+                EnergyReport {
+                    tx_joules: f64::from(i) * 0.125,
+                    rx_joules: 0.25,
+                    idle_joules: f64::from(i),
+                },
+            );
+            s
+        };
+        let shards: Vec<NetworkStats> = (0..8).map(shard).collect();
+        let mut sequential = NetworkStats::default();
+        for s in &shards {
+            sequential.merge(s);
+        }
+        // Any shard permutation must reassemble the same snapshot exactly
+        // (the energy values are powers of two, so float addition is exact
+        // and even reassociation cannot hide behind rounding).
+        let mut rng = wsn_data::rng::SeededRng::seed_from_u64(7);
+        for _ in 0..16 {
+            let mut shuffled = shards.clone();
+            rng.shuffle(&mut shuffled);
+            let mut merged = NetworkStats::default();
+            for s in &shuffled {
+                merged.merge(s);
+            }
+            assert_eq!(merged, sequential);
+        }
+        assert_eq!(sequential.total_packets_sent(), (1..=8).sum::<u64>());
     }
 
     #[test]

@@ -129,13 +129,34 @@ impl Topology {
         *self.hop_distances_from(a).get(&b).unwrap_or(&UNREACHABLE)
     }
 
-    /// The sensors within `d` hops of `source` (including `source` itself).
+    /// The sensors within `d` hops of `source` (including `source` itself),
+    /// in ascending id order.
+    ///
+    /// Runs a depth-bounded BFS that stops expanding at `d` hops, so the
+    /// cost is proportional to the `d`-hop ball rather than to the whole
+    /// network — the distinction that keeps semi-global ground-truth grading
+    /// (one small-`d` ball per sensor) affordable at city scale.
     pub fn within_hops(&self, source: SensorId, d: u32) -> Vec<SensorId> {
-        self.hop_distances_from(source)
-            .into_iter()
-            .filter(|(_, dist)| *dist <= d)
-            .map(|(id, _)| id)
-            .collect()
+        if !self.positions.contains_key(&source) {
+            return Vec::new();
+        }
+        let mut dist: BTreeMap<SensorId, u32> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        dist.insert(source, 0);
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[&v];
+            if dv == d {
+                continue;
+            }
+            for w in self.neighbors_iter(v) {
+                if let std::collections::btree_map::Entry::Vacant(slot) = dist.entry(w) {
+                    slot.insert(dv + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist.into_keys().collect()
     }
 
     /// Returns `true` if every sensor can reach every other sensor.

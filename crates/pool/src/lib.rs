@@ -1,26 +1,36 @@
-//! A std-only fixed-size worker pool for sweep sharding.
+//! A std-only fixed-size worker pool.
 //!
-//! The paper's figures are grids of `(configuration, seed)` cells, each an
-//! independent simulation. The first parallel implementation spawned one
-//! thread per seed per cell, which serialises the grid (cells run one after
-//! another) and oversubscribes the machine as soon as the seed count exceeds
-//! the core count. [`WorkerPool`] replaces that: a fixed set of worker
-//! threads created once and shared across an **entire sweep grid** — every
-//! cell of every figure submits its per-seed jobs to the same pool, so the
-//! machine runs exactly `size` simulations at a time regardless of how many
-//! cells are in flight, and deployments far beyond the paper's 53 sensors
-//! do not multiply the thread count.
+//! The pool has two independent customers in this workspace, which is why it
+//! lives in its own leaf crate (below `wsn-netsim` *and* `wsn-bench` in the
+//! dependency order):
+//!
+//! * **Sweep sharding** (`wsn_bench::sweep`). The paper's figures are grids
+//!   of `(configuration, seed)` cells, each an independent simulation. The
+//!   first parallel implementation spawned one thread per seed per cell,
+//!   which serialises the grid and oversubscribes the machine as soon as the
+//!   seed count exceeds the core count. [`WorkerPool`] replaces that: a
+//!   fixed set of worker threads created once and shared across an entire
+//!   sweep grid, so the machine runs exactly `size` simulations at a time.
+//! * **Region execution** (`wsn_netsim::region`). The spatially partitioned
+//!   simulator runs every region's event window of an epoch as one pool job
+//!   and joins them at the epoch barrier.
 //!
 //! Results are returned through [`JobHandle`]s, so callers collect them in
 //! whatever order they submitted — the pool's scheduling never influences
-//! the aggregated output. [`crate::sweep::run_averaged`] is proven
-//! bit-identical to its sequential reference implementation
-//! ([`crate::sweep::run_averaged_sequential`]) by an equality test.
+//! the aggregated output. `wsn_bench::sweep::run_averaged` is proven
+//! bit-identical to its sequential reference implementation by an equality
+//! test, and `tests/property_partitioned_sim.rs` proves the same for the
+//! partitioned simulator.
 //!
 //! One rule: a job must never block on the [`JobHandle`] of another job of
 //! the same pool (a worker waiting on work only a busy worker can do is a
 //! deadlock). The sweep code satisfies this trivially — jobs are whole
-//! simulations and only the submitting (non-worker) thread joins.
+//! simulations and only the submitting (non-worker) thread joins. The
+//! partitioned simulator satisfies it by giving every simulator a dedicated
+//! pool: its epoch jobs never land on the pool the sweep layer joins.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};

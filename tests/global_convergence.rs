@@ -83,7 +83,7 @@ fn modest_packet_loss_does_not_break_detection() {
     // nodes across seeds.
     let mut correct = 0usize;
     let mut total = 0usize;
-    for seed in 0..4 {
+    for seed in 0..16 {
         let mut sim = chain_sim(6, 4, LossModel::bernoulli(0.05), seed);
         sim.run_until_quiescent(Timestamp::from_secs(600));
         for (_, app) in sim.apps() {
