@@ -7,6 +7,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# This default-features build doubles as the telemetry-off proof: the
+# `wsn-obs` instrumentation compiles to zero-sized no-ops unless the
+# `telemetry` feature is requested, and every crate must build that way.
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace
 
@@ -84,5 +87,22 @@ cargo run --release --offline -p wsn-bench --bin json_check -- target/bench_scen
 rm -f results/fig_scenarios.json
 cargo run --release --offline -p wsn-bench --bin fig_scenarios -- --quick
 cargo run --release --offline -p wsn-bench --bin json_check -- results/fig_scenarios.json
+
+# Telemetry gate: build the instrumented configuration, prove it is
+# observationally free (the property suite pairs collection-on and
+# collection-off runs and asserts bit-identical outcomes), then run the
+# instrumented 2k-city streaming profile end to end. fig_telemetry exits
+# non-zero if the per-slide stage breakdown does not reconcile within 10%,
+# and json_check validates the sidecar schema (non-empty registries, finite
+# non-negative values, strictly increasing histogram bounds).
+echo "== telemetry build + property suite (--features telemetry) =="
+cargo build --release --offline --features telemetry
+cargo test -q --offline --features telemetry --test property_telemetry
+
+echo "== telemetry smoke (fig_telemetry -> TELEMETRY json) =="
+rm -f target/TELEMETRY_smoke.json
+WSN_TELEMETRY_OUT="$PWD/target/TELEMETRY_smoke.json" \
+    cargo run --release --offline --features telemetry -p wsn-bench --bin fig_telemetry
+cargo run --release --offline -p wsn-bench --bin json_check -- target/TELEMETRY_smoke.json
 
 echo "CI OK"

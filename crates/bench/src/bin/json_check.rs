@@ -1,56 +1,16 @@
-//! CI helper: validates that a figure or benchmark JSON file is well-formed.
+//! CI helper: validates that a figure, benchmark or telemetry JSON file is
+//! well-formed.
 //!
-//! Parses the file with the in-repo JSON parser (`wsn_bench::json`) and
-//! requires the document to be an object carrying a non-empty `rows` (figure
-//! reports) or `results` (benchmark suites) array. Benchmark entries are
-//! additionally required to carry a non-empty `group` and a finite, positive
-//! `median_ns` — a bench run that produced NaN/infinite timings or lost its
-//! group labels is as useless as an empty one. Exits non-zero on any
-//! violation, so `ci.sh` can gate on the figure and benchmark binaries
-//! actually producing usable output rather than just exiting zero.
+//! All the actual validation lives in `wsn_bench::check`, which dispatches
+//! on the document's shape: a `kind: "telemetry"` discriminator selects the
+//! telemetry-sidecar schema (non-empty registries, finite non-negative
+//! values, strictly increasing histogram bounds), a `rows` key the figure
+//! schema, a `results` key the benchmark schema (non-empty groups, finite
+//! positive medians). Exits non-zero on any violation, so `ci.sh` can gate
+//! on the binaries actually producing usable output rather than just
+//! exiting zero.
 
 use std::process::ExitCode;
-
-use wsn_bench::json::JsonValue;
-
-fn check(path: &str) -> Result<String, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
-    let value = JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    if !matches!(value, JsonValue::Object(_)) {
-        return Err(format!("{path}: top-level value is not an object"));
-    }
-    let data = value
-        .get("rows")
-        .or_else(|| value.get("results"))
-        .ok_or_else(|| format!("{path}: object has neither a \"rows\" nor a \"results\" key"))?;
-    let entries =
-        data.as_array().ok_or_else(|| format!("{path}: \"rows\"/\"results\" is not an array"))?;
-    if entries.is_empty() {
-        return Err(format!("{path}: \"rows\"/\"results\" array is empty"));
-    }
-    // Benchmark-suite entries (the `results` shape) carry group labels and
-    // median timings; validate both.
-    if value.get("results").is_some() {
-        for (index, entry) in entries.iter().enumerate() {
-            let group = entry.get("group").and_then(|g| g.as_str()).unwrap_or("");
-            if group.is_empty() {
-                return Err(format!("{path}: results[{index}] has an empty or missing group"));
-            }
-            let median = entry
-                .get("median_ns")
-                .and_then(|m| m.as_f64())
-                .ok_or_else(|| format!("{path}: results[{index}] has no median_ns"))?;
-            if !median.is_finite() || median <= 0.0 {
-                return Err(format!(
-                    "{path}: results[{index}] ({group}) has a non-finite or non-positive \
-                     median_ns ({median})"
-                ));
-            }
-        }
-    }
-    Ok(format!("{path}: valid JSON, {} entries, {} bytes", entries.len(), text.len()))
-}
 
 fn main() -> ExitCode {
     let paths: Vec<String> = std::env::args().skip(1).collect();
@@ -60,7 +20,7 @@ fn main() -> ExitCode {
     }
     let mut ok = true;
     for path in &paths {
-        match check(path) {
+        match wsn_bench::check::check_file(path) {
             Ok(message) => println!("{message}"),
             Err(message) => {
                 eprintln!("json_check: {message}");

@@ -1,0 +1,283 @@
+//! Shared validators for the JSON artifacts this repository commits or
+//! emits in CI: figure reports (`rows`), benchmark suites (`results`) and
+//! telemetry sidecars (`kind: "telemetry"`, see [`crate::telemetry`]).
+//!
+//! The `json_check` binary is a thin dispatcher over [`check_file`]; the
+//! validators live here so the three schemas share the finite/non-empty
+//! helpers and the unit tests can exercise every rejection path without
+//! spawning a process.
+
+use crate::json::JsonValue;
+
+/// Reads and validates one JSON artifact. Returns a one-line success
+/// summary, or a message naming the first violation.
+pub fn check_file(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
+    check_text(path, &text)
+}
+
+/// Validates JSON text against whichever schema its shape declares:
+/// `kind == "telemetry"` → telemetry sidecar, a `rows` key → figure report,
+/// a `results` key → benchmark suite. `path` only labels error messages.
+pub fn check_text(path: &str, text: &str) -> Result<String, String> {
+    let value = JsonValue::parse(text).map_err(|e| format!("{path}: {e}"))?;
+    if !matches!(value, JsonValue::Object(_)) {
+        return Err(format!("{path}: top-level value is not an object"));
+    }
+    if value.get("kind").and_then(|k| k.as_str()) == Some("telemetry") {
+        return check_telemetry(path, &value).map(|entries| {
+            format!("{path}: valid telemetry, {entries} entries, {} bytes", text.len())
+        });
+    }
+    let data = value
+        .get("rows")
+        .or_else(|| value.get("results"))
+        .ok_or_else(|| format!("{path}: object has neither a \"rows\" nor a \"results\" key"))?;
+    let entries = non_empty_array(path, "rows/results", data)?;
+    if value.get("results").is_some() {
+        check_bench_results(path, entries)?;
+    }
+    Ok(format!("{path}: valid JSON, {} entries, {} bytes", entries.len(), text.len()))
+}
+
+/// Benchmark-suite entries carry group labels and median timings; a run that
+/// produced NaN/infinite timings or lost its group labels is as useless as
+/// an empty one.
+fn check_bench_results(path: &str, entries: &[JsonValue]) -> Result<(), String> {
+    for (index, entry) in entries.iter().enumerate() {
+        let group = entry.get("group").and_then(|g| g.as_str()).unwrap_or("");
+        if group.is_empty() {
+            return Err(format!("{path}: results[{index}] has an empty or missing group"));
+        }
+        let median =
+            finite_number(path, &format!("results[{index}].median_ns"), entry.get("median_ns"))?;
+        if median <= 0.0 {
+            return Err(format!(
+                "{path}: results[{index}] ({group}) has a non-positive median_ns ({median})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Telemetry sidecars must prove the instrumented run actually recorded
+/// something: non-empty counter registry and span list, every value finite
+/// and non-negative, histogram bucket bounds strictly increasing. Returns
+/// the total entry count (counters + gauges + histograms + spans).
+fn check_telemetry(path: &str, value: &JsonValue) -> Result<usize, String> {
+    let label = value.get("label").and_then(|l| l.as_str()).unwrap_or("");
+    if label.is_empty() {
+        return Err(format!("{path}: telemetry document has an empty or missing label"));
+    }
+    finite_nonneg(path, "wall_ns", value.get("wall_ns"))?;
+
+    let counters = object_entries(path, "counters", value.get("counters"))?;
+    if counters.is_empty() {
+        return Err(format!("{path}: \"counters\" object is empty — nothing was recorded"));
+    }
+    for (name, v) in counters {
+        finite_nonneg(path, &format!("counters.{name}"), Some(v))?;
+    }
+
+    // Gauges may legitimately be absent from a run that records none.
+    let gauges = object_entries(path, "gauges", value.get("gauges"))?;
+    for (name, v) in gauges {
+        finite_nonneg(path, &format!("gauges.{name}"), Some(v))?;
+    }
+
+    let histograms = object_entries(path, "histograms", value.get("histograms"))?;
+    for (name, h) in histograms {
+        check_histogram(path, name, h)?;
+    }
+
+    let spans = non_empty_array(path, "spans", value.get("spans").unwrap_or(&JsonValue::Null))?;
+    for (index, span) in spans.iter().enumerate() {
+        check_span(path, index, span)?;
+    }
+
+    Ok(counters.len() + gauges.len() + histograms.len() + spans.len())
+}
+
+fn check_histogram(path: &str, name: &str, h: &JsonValue) -> Result<(), String> {
+    let bounds = h
+        .get("bounds")
+        .and_then(|b| b.as_array())
+        .ok_or_else(|| format!("{path}: histograms.{name} has no bounds array"))?;
+    let counts = h
+        .get("counts")
+        .and_then(|c| c.as_array())
+        .ok_or_else(|| format!("{path}: histograms.{name} has no counts array"))?;
+    if bounds.len() != counts.len() {
+        return Err(format!(
+            "{path}: histograms.{name} has {} bounds but {} counts",
+            bounds.len(),
+            counts.len()
+        ));
+    }
+    let mut previous: Option<f64> = None;
+    for (index, bound) in bounds.iter().enumerate() {
+        let b = finite_nonneg(path, &format!("histograms.{name}.bounds[{index}]"), Some(bound))?;
+        if previous.is_some_and(|p| p >= b) {
+            return Err(format!(
+                "{path}: histograms.{name} bucket bounds are not strictly increasing at [{index}]"
+            ));
+        }
+        previous = Some(b);
+    }
+    let mut bucket_total = 0.0;
+    for (index, count) in counts.iter().enumerate() {
+        bucket_total +=
+            finite_nonneg(path, &format!("histograms.{name}.counts[{index}]"), Some(count))?;
+    }
+    let count = finite_nonneg(path, &format!("histograms.{name}.count"), h.get("count"))?;
+    finite_nonneg(path, &format!("histograms.{name}.sum"), h.get("sum"))?;
+    if bucket_total != count {
+        return Err(format!(
+            "{path}: histograms.{name} bucket counts sum to {bucket_total} but count is {count}"
+        ));
+    }
+    Ok(())
+}
+
+fn check_span(path: &str, index: usize, span: &JsonValue) -> Result<(), String> {
+    let span_path = span.get("path").and_then(|p| p.as_str()).unwrap_or("");
+    if span_path.is_empty() {
+        return Err(format!("{path}: spans[{index}] has an empty or missing path"));
+    }
+    let count = finite_nonneg(path, &format!("spans[{index}].count"), span.get("count"))?;
+    if count < 1.0 {
+        return Err(format!("{path}: spans[{index}] ({span_path}) has a zero count"));
+    }
+    let total = finite_nonneg(path, &format!("spans[{index}].total_ns"), span.get("total_ns"))?;
+    let min = finite_nonneg(path, &format!("spans[{index}].min_ns"), span.get("min_ns"))?;
+    let max = finite_nonneg(path, &format!("spans[{index}].max_ns"), span.get("max_ns"))?;
+    if min > max || max > total {
+        return Err(format!(
+            "{path}: spans[{index}] ({span_path}) has inconsistent timings \
+             (min {min}, max {max}, total {total})"
+        ));
+    }
+    Ok(())
+}
+
+/// Shared helper: the value must be a finite, non-negative number.
+fn finite_nonneg(path: &str, what: &str, value: Option<&JsonValue>) -> Result<f64, String> {
+    let n = finite_number(path, what, value)?;
+    if n < 0.0 {
+        return Err(format!("{path}: {what} is negative ({n})"));
+    }
+    Ok(n)
+}
+
+/// Shared helper: the value must be a finite number.
+fn finite_number(path: &str, what: &str, value: Option<&JsonValue>) -> Result<f64, String> {
+    let n = value
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("{path}: {what} is missing or not a number"))?;
+    if !n.is_finite() {
+        return Err(format!("{path}: {what} is not finite ({n})"));
+    }
+    Ok(n)
+}
+
+/// Shared helper: the value must be a non-empty array.
+fn non_empty_array<'v>(
+    path: &str,
+    what: &str,
+    value: &'v JsonValue,
+) -> Result<&'v [JsonValue], String> {
+    let entries = value.as_array().ok_or_else(|| format!("{path}: \"{what}\" is not an array"))?;
+    if entries.is_empty() {
+        return Err(format!("{path}: \"{what}\" array is empty"));
+    }
+    Ok(entries)
+}
+
+/// Shared helper: the value must be an object; returns its entries.
+fn object_entries<'v>(
+    path: &str,
+    what: &str,
+    value: Option<&'v JsonValue>,
+) -> Result<&'v [(String, JsonValue)], String> {
+    match value {
+        Some(JsonValue::Object(pairs)) => Ok(pairs),
+        _ => Err(format!("{path}: \"{what}\" is missing or not an object")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telemetry_doc() -> String {
+        r#"{
+            "kind": "telemetry",
+            "label": "smoke",
+            "wall_ns": 1000,
+            "counters": { "engine.calls": 3 },
+            "gauges": {},
+            "histograms": {
+                "sim.queue_depth": { "bounds": [0, 1, 3], "counts": [1, 1, 1], "count": 3, "sum": 4 }
+            },
+            "spans": [
+                { "path": "slide", "count": 2, "total_ns": 10, "min_ns": 3, "max_ns": 7 }
+            ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn valid_documents_of_all_three_schemas_pass() {
+        check_text("t.json", &telemetry_doc()).unwrap();
+        check_text("f.json", r#"{ "rows": [ { "x": 1 } ] }"#).unwrap();
+        check_text("b.json", r#"{ "results": [ { "group": "g", "median_ns": 1.5 } ] }"#).unwrap();
+    }
+
+    #[test]
+    fn bench_rejections_still_fire() {
+        let empty = r#"{ "results": [] }"#;
+        assert!(check_text("b.json", empty).unwrap_err().contains("empty"));
+        let no_group = r#"{ "results": [ { "median_ns": 1.0 } ] }"#;
+        assert!(check_text("b.json", no_group).unwrap_err().contains("group"));
+        let bad_median = r#"{ "results": [ { "group": "g", "median_ns": 0.0 } ] }"#;
+        assert!(check_text("b.json", bad_median).unwrap_err().contains("median_ns"));
+    }
+
+    #[test]
+    fn telemetry_requires_non_empty_counters_and_spans() {
+        let no_counters = telemetry_doc().replace(r#"{ "engine.calls": 3 }"#, "{}");
+        assert!(check_text("t.json", &no_counters).unwrap_err().contains("counters"));
+        let no_spans = telemetry_doc().replace(
+            r#"{ "path": "slide", "count": 2, "total_ns": 10, "min_ns": 3, "max_ns": 7 }"#,
+            "",
+        );
+        assert!(check_text("t.json", &no_spans).unwrap_err().contains("spans"));
+    }
+
+    #[test]
+    fn telemetry_rejects_negative_and_inconsistent_values() {
+        let negative = telemetry_doc().replace(r#""engine.calls": 3"#, r#""engine.calls": -1"#);
+        assert!(check_text("t.json", &negative).unwrap_err().contains("negative"));
+        let bad_span = telemetry_doc().replace(r#""min_ns": 3"#, r#""min_ns": 9"#);
+        assert!(check_text("t.json", &bad_span).unwrap_err().contains("inconsistent"));
+    }
+
+    #[test]
+    fn histogram_bounds_must_increase_and_counts_must_reconcile() {
+        let flat_bounds = telemetry_doc().replace("[0, 1, 3]", "[0, 1, 1]");
+        assert!(check_text("t.json", &flat_bounds).unwrap_err().contains("strictly increasing"));
+        let bad_total = telemetry_doc().replace(r#""count": 3"#, r#""count": 5"#);
+        assert!(check_text("t.json", &bad_total).unwrap_err().contains("sum to"));
+        let ragged = telemetry_doc().replace("[1, 1, 1]", "[1, 1]");
+        assert!(check_text("t.json", &ragged).unwrap_err().contains("bounds but"));
+    }
+
+    #[test]
+    fn unknown_shapes_are_rejected() {
+        assert!(check_text("x.json", "[1, 2]").unwrap_err().contains("not an object"));
+        assert!(check_text("x.json", r#"{ "other": 1 }"#)
+            .unwrap_err()
+            .contains("neither a \"rows\" nor a \"results\""));
+    }
+}

@@ -71,14 +71,25 @@ pub struct Harness {
     warmup: Duration,
     measure: Duration,
     results: Vec<Measurement>,
+    started: Instant,
 }
 
 impl Harness {
     /// Creates a harness for `suite`, reading the filter from the process
     /// arguments (the first argument that does not start with `-`) and the
     /// measurement budget from `WSN_BENCH_MEASURE_MS` / `WSN_BENCH_WARMUP_MS`.
+    ///
+    /// When the workspace is built with the `telemetry` feature, this also
+    /// switches `wsn_obs` collection on, so [`Harness::finish`] can emit a
+    /// `TELEMETRY_<suite>.json` sidecar of everything the benched code
+    /// recorded. (The numbers then include the enabled-telemetry overhead;
+    /// regression medians are tracked with the feature off.)
     pub fn from_args(suite: &str) -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        if wsn_obs::compiled() {
+            wsn_obs::set_enabled(true);
+            wsn_obs::reset();
+        }
         Harness::new(suite, filter)
     }
 
@@ -93,6 +104,7 @@ impl Harness {
             warmup: Duration::from_millis(millis_env("WSN_BENCH_WARMUP_MS", 200)),
             measure: Duration::from_millis(millis_env("WSN_BENCH_MEASURE_MS", 1_000)),
             results: Vec::new(),
+            started: Instant::now(),
         }
     }
 
@@ -219,6 +231,20 @@ impl Harness {
         match std::fs::write(&path, self.to_json()) {
             Ok(()) => println!("\n{} benchmarks -> {path}", self.results.len()),
             Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+        }
+        // With the `telemetry` feature on (see [`Harness::from_args`]),
+        // everything the benched code recorded rides along as a
+        // `TELEMETRY_<suite>.json` sidecar (path override:
+        // `WSN_TELEMETRY_OUT`), validated in CI by `json_check`.
+        if wsn_obs::compiled() && wsn_obs::enabled() {
+            let report = wsn_obs::report();
+            if !report.is_empty() {
+                let wall_ns = self.started.elapsed().as_nanos() as u64;
+                match crate::telemetry::write_sidecar(&self.suite, &report, wall_ns) {
+                    Ok(sidecar) => println!("telemetry sidecar -> {sidecar}"),
+                    Err(e) => eprintln!("failed to write telemetry sidecar: {e}"),
+                }
+            }
         }
     }
 }

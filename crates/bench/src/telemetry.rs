@@ -1,0 +1,147 @@
+//! Renders a [`wsn_obs::TelemetryReport`] as a `TELEMETRY_<label>.json`
+//! document via the in-repo [`crate::json`] emitter.
+//!
+//! The schema mirrors the report structure directly:
+//!
+//! ```json
+//! {
+//!   "kind": "telemetry",
+//!   "label": "fig_telemetry",
+//!   "wall_ns": 123456789,
+//!   "counters": { "engine.calls": 42 },
+//!   "gauges": { "fleet.load": 0.5 },
+//!   "histograms": { "sim.queue_depth": { "bounds": [...], "counts": [...], "count": 9, "sum": 17 } },
+//!   "spans": [ { "path": "slide/sim", "count": 2, "total_ns": 1, "min_ns": 0, "max_ns": 1 } ]
+//! }
+//! ```
+//!
+//! The `kind` discriminator is what `json_check` dispatches on (see
+//! [`crate::check`]); `wall_ns` is the caller-measured wall clock of the run
+//! the report covers, so consumers can relate span totals to real time.
+//! Every `u64` is carried as a JSON number; the metrics this repository
+//! records stay far below 2^53, where `f64` round-trips integers exactly.
+
+use wsn_obs::TelemetryReport;
+
+use crate::json::JsonValue;
+
+/// Converts a telemetry report into the sidecar JSON document.
+pub fn report_to_json(label: &str, report: &TelemetryReport, wall_ns: u64) -> JsonValue {
+    let counters = JsonValue::Object(
+        report.counters.iter().map(|(k, v)| (k.clone(), JsonValue::from(*v as f64))).collect(),
+    );
+    let gauges = JsonValue::Object(
+        report.gauges.iter().map(|(k, v)| (k.clone(), JsonValue::from(*v))).collect(),
+    );
+    let histograms = JsonValue::Object(
+        report
+            .histograms
+            .iter()
+            .map(|h| {
+                (
+                    h.name.clone(),
+                    JsonValue::object([
+                        ("bounds", u64_array(&h.bounds)),
+                        ("counts", u64_array(&h.counts)),
+                        ("count", JsonValue::from(h.count as f64)),
+                        ("sum", JsonValue::from(h.sum as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let spans = JsonValue::Array(
+        report
+            .spans
+            .iter()
+            .map(|s| {
+                JsonValue::object([
+                    ("path", JsonValue::from(s.path.clone())),
+                    ("count", JsonValue::from(s.count as f64)),
+                    ("total_ns", JsonValue::from(s.total_ns as f64)),
+                    ("min_ns", JsonValue::from(s.min_ns as f64)),
+                    ("max_ns", JsonValue::from(s.max_ns as f64)),
+                ])
+            })
+            .collect(),
+    );
+    JsonValue::object([
+        ("kind", JsonValue::from("telemetry")),
+        ("label", JsonValue::from(label)),
+        ("wall_ns", JsonValue::from(wall_ns as f64)),
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+        ("spans", spans),
+    ])
+}
+
+fn u64_array(values: &[u64]) -> JsonValue {
+    JsonValue::Array(values.iter().map(|&v| JsonValue::from(v as f64)).collect())
+}
+
+/// Writes the sidecar to `TELEMETRY_<label>.json` in the current directory —
+/// or to the path in the `WSN_TELEMETRY_OUT` environment variable, which the
+/// CI smoke uses to keep run artifacts out of the tree. Returns the path
+/// written.
+pub fn write_sidecar(
+    label: &str,
+    report: &TelemetryReport,
+    wall_ns: u64,
+) -> std::io::Result<String> {
+    let path =
+        std::env::var("WSN_TELEMETRY_OUT").unwrap_or_else(|_| format!("TELEMETRY_{label}.json"));
+    std::fs::write(&path, report_to_json(label, report, wall_ns).to_pretty_string())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use wsn_obs::{HistogramSnapshot, SpanStat, TelemetryReport};
+
+    use super::*;
+
+    fn sample_report() -> TelemetryReport {
+        TelemetryReport {
+            counters: BTreeMap::from([("engine.calls".to_string(), 42u64)]),
+            gauges: BTreeMap::from([("fleet.load".to_string(), 0.5f64)]),
+            histograms: vec![HistogramSnapshot {
+                name: "sim.queue_depth".to_string(),
+                bounds: vec![0, 1, 3],
+                counts: vec![4, 3, 2],
+                count: 9,
+                sum: 17,
+            }],
+            spans: vec![SpanStat {
+                path: "slide/sim".to_string(),
+                count: 2,
+                total_ns: 10,
+                min_ns: 3,
+                max_ns: 7,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_the_json_layer() {
+        let json = report_to_json("unit", &sample_report(), 1234);
+        let text = json.to_pretty_string();
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(back, json);
+        assert_eq!(back.get("kind").and_then(|v| v.as_str()), Some("telemetry"));
+        assert_eq!(back.get("label").and_then(|v| v.as_str()), Some("unit"));
+        assert_eq!(back.get("wall_ns").and_then(|v| v.as_f64()), Some(1234.0));
+        let calls = back.get("counters").and_then(|c| c.get("engine.calls"));
+        assert_eq!(calls.and_then(|v| v.as_f64()), Some(42.0));
+        let spans = back.get("spans").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(spans[0].get("path").and_then(|v| v.as_str()), Some("slide/sim"));
+    }
+
+    #[test]
+    fn sidecar_document_passes_the_shared_validator() {
+        let text = report_to_json("unit", &sample_report(), 1234).to_pretty_string();
+        crate::check::check_text("unit.json", &text).expect("sample sidecar must validate");
+    }
+}

@@ -189,9 +189,13 @@ impl<D: OutlierDetector> DetectorApp<D> {
 
     fn react(&mut self, ctx: &mut NodeContext<OutlierBroadcast>) {
         self.events_handled += 1;
+        let _detect_span = wsn_obs::span("detect");
         if let Some(message) = self.detector.process(ctx.neighbors()) {
             let size = message.wire_size();
             self.packets_broadcast += 1;
+            crate::telemetry::BROADCASTS.add(1);
+            crate::telemetry::BROADCAST_BYTES.add(size as u64);
+            crate::telemetry::BROADCAST_WIRE_SIZE.record(size as u64);
             ctx.broadcast(message, size);
         }
     }

@@ -222,6 +222,8 @@ impl<R: RankingFunction> OutlierDetector for GlobalNode<R> {
             self.ledger.bump(j);
             self.engine.note_shared_points(j, &batch, self.ledger.state(j, 0).1);
             self.points_sent += batch.len() as u64;
+            crate::telemetry::POINTS_BROADCAST.add(batch.len() as u64);
+            crate::telemetry::NEIGHBOR_BATCH_POINTS.record(batch.len() as u64);
             message.add_entry_arcs(j, batch);
         }
         if message.is_empty() {

@@ -15,6 +15,11 @@
 use std::collections::BTreeMap;
 use wsn_data::{PointSet, SensorId, Timestamp};
 
+/// Telemetry ([`wsn_obs`]): quiet-memo lookups and the subset that hit —
+/// every hit is one whole sufficient-set computation skipped.
+static OBS_QUIET_QUERIES: wsn_obs::Counter = wsn_obs::Counter::new("ledger.quiet_queries");
+static OBS_QUIET_HITS: wsn_obs::Counter = wsn_obs::Counter::new("ledger.quiet_hits");
+
 /// The memo key pinning the inputs of one per-neighbour computation.
 pub(crate) type LedgerState = (u64, u64);
 
@@ -47,7 +52,12 @@ impl QuietLedger {
     /// Returns `true` if the last computation at exactly this state produced
     /// nothing to send — same inputs, same (empty) outcome, skip the work.
     pub fn is_quiet(&self, neighbor: SensorId, state: LedgerState) -> bool {
-        self.quiet_at.get(&neighbor) == Some(&state)
+        let quiet = self.quiet_at.get(&neighbor) == Some(&state);
+        OBS_QUIET_QUERIES.add(1);
+        if quiet {
+            OBS_QUIET_HITS.add(1);
+        }
+        quiet
     }
 
     /// Records that the computation at `state` produced nothing to send.

@@ -63,6 +63,7 @@ pub mod metrics;
 pub mod semiglobal;
 pub mod streaming;
 pub mod sufficient;
+mod telemetry;
 
 pub use detector::OutlierDetector;
 pub use error::CoreError;

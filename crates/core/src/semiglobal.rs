@@ -267,6 +267,8 @@ impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
             self.ledger.bump(j);
             self.note_shared(j, &recorded);
             self.points_sent += batch.len() as u64;
+            crate::telemetry::POINTS_BROADCAST.add(batch.len() as u64);
+            crate::telemetry::NEIGHBOR_BATCH_POINTS.record(batch.len() as u64);
             message.add_entry_arcs(j, batch);
         }
         if message.is_empty() {

@@ -405,17 +405,29 @@ where
         let next_round_start =
             Timestamp::from_secs_f64((round + 1) as f64 * schedule.sample_interval_secs);
         let eval_at = Timestamp::from_micros(next_round_start.as_micros().saturating_sub(1));
-        sim.run_until(eval_at);
+        // Telemetry spans: the per-slide latency breakdown. Children of
+        // "slide" cover the whole body, so `slide/sim + slide/collect +
+        // slide/evaluate ≈ slide` (detector and fixed-point time nests
+        // under `slide/sim` via the dispatch-site spans).
+        let _slide_span = wsn_obs::span("slide");
+        {
+            let _sim_span = wsn_obs::span("sim");
+            sim.run_until(eval_at);
+        }
 
         let mut local_data: BTreeMap<SensorId, Vec<DataPoint>> = BTreeMap::new();
         let mut estimates: BTreeMap<SensorId, OutlierEstimate> = BTreeMap::new();
         let mut data_points = 0u64;
-        sim.for_each_app(&mut |id, app| {
-            local_data.insert(id, app.streaming_own_points(id));
-            estimates.insert(id, app.streaming_estimate());
-            data_points += app.streaming_points_sent();
-        });
+        {
+            let _collect_span = wsn_obs::span("collect");
+            sim.for_each_app(&mut |id, app| {
+                local_data.insert(id, app.streaming_own_points(id));
+                estimates.insert(id, app.streaming_estimate());
+                data_points += app.streaming_points_sent();
+            });
+        }
         let window_points = local_data.values().map(Vec::len).sum();
+        let eval_span = wsn_obs::span("evaluate");
         let (truth, label_truth) = paired_truths(
             ranking,
             n,
@@ -437,6 +449,7 @@ where
         }
         let stats = sim.network_stats();
         let totals = Totals::of(&stats, data_points);
+        drop(eval_span);
         slides.push(SlideReport {
             slide: round,
             at: sim.now(),
@@ -452,7 +465,10 @@ where
         });
         previous = totals;
     }
-    let quiescent_tail = sim.run_until_quiescent(deadline);
+    let quiescent_tail = {
+        let _tail_span = wsn_obs::span("tail");
+        sim.run_until_quiescent(deadline)
+    };
     let mut data_points_sent = 0;
     sim.for_each_app(&mut |_, a| data_points_sent += a.streaming_points_sent());
     StreamingOutcome {

@@ -24,6 +24,30 @@ use wsn_ranking::function::support_of_set_indexed;
 use wsn_ranking::index::{AnyIndex, DynamicIndex, IndexStrategy, NeighborIndex};
 use wsn_ranking::{top_n_outliers, top_n_outliers_indexed, RankingFunction};
 
+/// Telemetry ([`wsn_obs`]): engine calls.
+static OBS_FP_CALLS: wsn_obs::Counter = wsn_obs::Counter::new("engine.calls");
+/// Telemetry: calls served by the no-scan fast path (sync chain intact).
+static OBS_FP_CHAIN_FAST: wsn_obs::Counter = wsn_obs::Counter::new("engine.chain_fast");
+/// Telemetry: first-contact builds of a neighbour's hypothetical state.
+static OBS_FP_COLD_BUILDS: wsn_obs::Counter = wsn_obs::Counter::new("engine.cold_builds");
+/// Telemetry: desync re-scans whose reason was a bookkeeping-revision gap
+/// (a missed delta note or an eviction bumping `known`'s revision).
+static OBS_FP_RESCAN_REVISION_GAP: wsn_obs::Counter =
+    wsn_obs::Counter::new("engine.desync_rescans_revision_gap");
+/// Telemetry: desync re-scans whose reason was unrecorded points the caller
+/// never folded into `known`.
+static OBS_FP_RESCAN_UNRECORDED: wsn_obs::Counter =
+    wsn_obs::Counter::new("engine.desync_rescans_unrecorded");
+/// Telemetry: full per-neighbour rebuilds (the size check caught stale
+/// identities — `known` shrank under the cached H, i.e. an eviction).
+static OBS_FP_DESYNC_REBUILDS: wsn_obs::Counter = wsn_obs::Counter::new("engine.desync_rebuilds");
+/// Telemetry: per-revision seed computed (miss) vs handed out cached (hit).
+static OBS_SEED_BUILDS: wsn_obs::Counter = wsn_obs::Counter::new("engine.seed_builds");
+static OBS_SEED_REUSES: wsn_obs::Counter = wsn_obs::Counter::new("engine.seed_reuses");
+/// Telemetry: support-set cache lookups and the subset that computed.
+static OBS_SUPPORT_QUERIES: wsn_obs::Counter = wsn_obs::Counter::new("engine.support_queries");
+static OBS_SUPPORT_MISSES: wsn_obs::Counter = wsn_obs::Counter::new("engine.support_misses");
+
 /// Computes a set `Z_j` satisfying equation (2) for one neighbour.
 ///
 /// * `pi` — the points this sensor currently holds (`P_i`),
@@ -446,6 +470,8 @@ impl FixedPointEngine {
         known_common: &PointSet,
         revisions: (u64, u64),
     ) -> Arc<PointSet> {
+        OBS_FP_CALLS.add(1);
+        let _fp_span = wsn_obs::span("fixed_point");
         self.roll_to(revisions.0);
         // Resolve the index over P_i: a synced own-window state answers
         // every query (bit-identically — the property suites pin dynamic
@@ -461,6 +487,11 @@ impl FixedPointEngine {
             self.own = Some(rebuilt);
         }
         let use_own = own_synced || index.is_none();
+        if self.own_seed.is_some() {
+            OBS_SEED_REUSES.add(1);
+        } else {
+            OBS_SEED_BUILDS.add(1);
+        }
         if self.own_seed.is_none() {
             let own_estimate = if use_own {
                 // Lazy selection over the window: only contenders re-rank.
@@ -476,7 +507,9 @@ impl FixedPointEngine {
             };
             let mut seed = own_estimate.clone();
             for x in own_estimate.iter() {
+                OBS_SUPPORT_QUERIES.add(1);
                 let support = self.support_cache.entry(x.key).or_insert_with(|| {
+                    OBS_SUPPORT_MISSES.add(1);
                     if use_own {
                         let own = self.own.as_ref().expect("own-window state just ensured");
                         ranking.support_set_indexed(x, &own.index)
@@ -514,12 +547,14 @@ impl FixedPointEngine {
         let chain_intact = state.synced_at == Some(revisions.1)
             && state.unrecorded.iter().all(|k| known_common.contains_key(k));
         if state.index.is_empty() && !(known_common.is_empty() && z.is_empty()) {
+            OBS_FP_COLD_BUILDS.add(1);
             *state = HypotheticalState::build(&known_common.union(&z));
             state.synced_at = Some(revisions.1);
             state.seed_at = Some(revisions.0);
             state.unrecorded =
                 z.keys().filter(|k| !known_common.contains_key(k)).copied().collect();
         } else if chain_intact {
+            OBS_FP_CHAIN_FAST.add(1);
             // Chain intact and every previously unrecorded point has been
             // recorded into `known`: H equals known ∪ Z without any
             // scanning. Fold this revision's seed once.
@@ -539,6 +574,13 @@ impl FixedPointEngine {
             // H must hold exactly |known ∪ Z| identities, or it carries
             // identities `known` no longer covers and its ranks would be
             // too low. Start this neighbour over in that case.
+            if wsn_obs::enabled() {
+                if state.synced_at != Some(revisions.1) {
+                    OBS_FP_RESCAN_REVISION_GAP.add(1);
+                } else {
+                    OBS_FP_RESCAN_UNRECORDED.add(1);
+                }
+            }
             for p in known_common.iter_arcs() {
                 state.insert(Arc::clone(p));
             }
@@ -557,6 +599,7 @@ impl FixedPointEngine {
                 expected
             };
             if state.index.len() != expected {
+                OBS_FP_DESYNC_REBUILDS.add(1);
                 *state = HypotheticalState::build(&known_common.union(&z));
             }
             state.synced_at = Some(revisions.1);
@@ -583,7 +626,9 @@ impl FixedPointEngine {
                 }
                 processed.push(x.key);
                 let own = &self.own;
+                OBS_SUPPORT_QUERIES.add(1);
                 let support = self.support_cache.entry(x.key).or_insert_with(|| {
+                    OBS_SUPPORT_MISSES.add(1);
                     if use_own {
                         let own = own.as_ref().expect("own-window state ensured above");
                         ranking.support_set_indexed(&x, &own.index)

@@ -47,6 +47,13 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use wsn_data::Timestamp;
 
+/// Telemetry ([`wsn_obs`]): events popped across every engine in the
+/// process. Statics inside generic impls are shared across component types,
+/// which is exactly the process-wide aggregation we want.
+static OBS_EVENTS_POPPED: wsn_obs::Counter = wsn_obs::Counter::new("sim.events_popped");
+/// Telemetry: heap-slot depth of the queue observed at each pop.
+static OBS_QUEUE_DEPTH: wsn_obs::Histogram = wsn_obs::Histogram::new("sim.queue_depth");
+
 /// Event class of node start-up events (processed first at equal times).
 pub const CLASS_START: u8 = 0;
 /// Event class of timer expiries.
@@ -527,6 +534,10 @@ impl<C: Component> SimCore<C> {
         debug_assert!(key.time >= self.now, "events must pop in time order");
         self.now = key.time;
         self.events_processed += 1;
+        if wsn_obs::enabled() {
+            OBS_EVENTS_POPPED.add(1);
+            OBS_QUEUE_DEPTH.record(self.queue.len() as u64);
+        }
         Some((key, event))
     }
 

@@ -46,11 +46,27 @@
 
 use crate::event::{EventKey, CLASS_CONTROL, CLASS_START, CLASS_TIMER, EXTERNAL_SOURCE};
 use crate::sim::{Application, BatchTimerEntry, NetEvent, SimConfig, Simulator, TimerId};
-use crate::stats::NetworkStats;
+use crate::stats::{NetworkStats, RegionStats};
 use crate::topology::Topology;
 use std::collections::{BTreeMap, BTreeSet};
 use wsn_data::{GridTiling, Position, SensorId, Timestamp};
 use wsn_pool::WorkerPool;
+
+/// Telemetry ([`wsn_obs`]): conservative epochs executed.
+static OBS_EPOCHS: wsn_obs::Counter = wsn_obs::Counter::new("region.epochs");
+/// Telemetry: events processed per epoch (across all runnable regions).
+static OBS_EPOCH_EVENTS: wsn_obs::Histogram = wsn_obs::Histogram::new("region.epoch_events");
+/// Telemetry: how many regions had work in each epoch.
+static OBS_RUNNABLE: wsn_obs::Histogram = wsn_obs::Histogram::new("region.epoch_runnable_regions");
+/// Telemetry: wall-clock time the coordinator spent joining pool jobs at the
+/// epoch barrier (absent when regions ran inline on a single-core pool).
+static OBS_BARRIER_STALL: wsn_obs::Histogram = wsn_obs::Histogram::new("region.barrier_stall_ns");
+/// Telemetry: boundary receptions routed between regions at barriers.
+static OBS_OUTBOX_ROUTED: wsn_obs::Counter = wsn_obs::Counter::new("region.outbox_routed");
+/// Telemetry: per-epoch load imbalance, `100 × busiest-region events / mean`
+/// over the runnable regions (100 = perfectly balanced).
+static OBS_IMBALANCE_PCT: wsn_obs::Histogram =
+    wsn_obs::Histogram::new("region.epoch_imbalance_pct");
 
 /// Events carrying their definitive [`EventKey`], ready for queue injection.
 type KeyedEvents<M> = Vec<(EventKey, NetEvent<M>)>;
@@ -305,6 +321,9 @@ where
     /// Conservative epochs executed (diagnostics: parallel efficiency is
     /// roughly events-per-epoch against the per-epoch barrier cost).
     epochs: u64,
+    /// Boundary receptions each region routed out at epoch barriers
+    /// (feeds [`RegionStats::boundary_crossings`]).
+    outbox_routed: Vec<u64>,
 }
 
 impl<A> PartitionedSimulator<A>
@@ -341,6 +360,7 @@ where
         let pool_size = partition.region_count().min(wsn_pool::default_size()).max(1);
         let mut sim = PartitionedSimulator {
             regions,
+            outbox_routed: vec![0; partition.region_count()],
             partition,
             pool: WorkerPool::new(pool_size),
             config,
@@ -502,6 +522,26 @@ where
         stats
     }
 
+    /// Like [`PartitionedSimulator::network_stats`], additionally filling
+    /// the per-region aggregates ([`NetworkStats::regions`]): events
+    /// processed by each region's engine and boundary receptions it routed
+    /// out at epoch barriers. Kept out of the plain snapshot so that one
+    /// stays field-for-field comparable with the sequential engine's (which
+    /// has no regions to report).
+    pub fn network_stats_by_region(&self) -> NetworkStats {
+        let mut stats = self.network_stats();
+        for r in 0..self.regions.len() {
+            stats.regions.insert(
+                r as u32,
+                RegionStats {
+                    events_processed: self.region(r).events_processed(),
+                    boundary_crossings: self.outbox_routed[r],
+                },
+            );
+        }
+        stats
+    }
+
     /// Iterates applications in ascending global id order (regions own
     /// disjoint id sets; the owner map provides the global order).
     pub fn for_each_app(&self, f: &mut dyn FnMut(SensorId, &A)) {
@@ -548,6 +588,14 @@ where
             let runnable: Vec<usize> = (0..self.regions.len())
                 .filter(|&r| self.region(r).next_event_time().is_some_and(|t| t < bound))
                 .collect();
+            // Telemetry (write-only; nothing below branches on it): snapshot
+            // the runnable regions' event counters so the per-epoch deltas
+            // can be histogrammed after the run.
+            let obs_before: Vec<(usize, u64)> = if wsn_obs::enabled() {
+                runnable.iter().map(|&r| (r, self.region(r).events_processed())).collect()
+            } else {
+                Vec::new()
+            };
             if runnable.len() == 1 || self.pool.size() == 1 {
                 // A lone runnable region — or a single-core pool, where a
                 // worker round-trip buys nothing but context switches —
@@ -569,15 +617,37 @@ where
                         )
                     })
                     .collect();
+                let stall_start =
+                    if wsn_obs::enabled() { Some(std::time::Instant::now()) } else { None };
                 // Join in region index order: the order is irrelevant for
                 // determinism (keys are intrinsic) but fixed for sanity.
                 for (r, job) in jobs {
                     self.regions[r] = Some(job.join());
                 }
+                if let Some(t0) = stall_start {
+                    OBS_BARRIER_STALL.record(t0.elapsed().as_nanos() as u64);
+                }
+            }
+            if wsn_obs::enabled() {
+                OBS_EPOCHS.add(1);
+                OBS_RUNNABLE.record(obs_before.len() as u64);
+                let deltas: Vec<u64> = obs_before
+                    .iter()
+                    .map(|&(r, before)| self.region(r).events_processed() - before)
+                    .collect();
+                let total: u64 = deltas.iter().sum();
+                OBS_EPOCH_EVENTS.record(total);
+                if let Some(&max) = deltas.iter().max() {
+                    if let Some(pct) = (max * deltas.len() as u64 * 100).checked_div(total) {
+                        OBS_IMBALANCE_PCT.record(pct);
+                    }
+                }
             }
             // Barrier: route boundary receptions to their owner regions.
             for r in 0..self.regions.len() {
                 let outbox = self.regions[r].as_mut().expect("region present").take_outbox();
+                self.outbox_routed[r] += outbox.len() as u64;
+                OBS_OUTBOX_ROUTED.add(outbox.len() as u64);
                 for (key, event) in outbox {
                     debug_assert!(
                         key.time >= bound,
@@ -899,6 +969,21 @@ mod tests {
         let stats = par.network_stats();
         assert!(stats.energy.values().all(|e| e.idle_joules > 0.0));
         assert_eq!(stats.energy.len(), 16);
+    }
+
+    #[test]
+    fn per_region_stats_sum_to_global_totals() {
+        let topo = grid_topology(6, 5.0, 6.0);
+        let config = flood_config(LossModel::Reliable, 3);
+        let mut par = PartitionedSimulator::new(config, topo, 4, flood_app);
+        par.run_until_quiescent(Timestamp::from_secs(10));
+        let stats = par.network_stats_by_region();
+        assert_eq!(stats.regions.len(), par.region_count());
+        assert_eq!(stats.total_region_events(), par.events_processed());
+        assert!(stats.total_boundary_crossings() > 0, "a flood crosses region boundaries");
+        // The plain snapshot stays region-free so it remains bit-comparable
+        // with the sequential engine's.
+        assert!(par.network_stats().regions.is_empty());
     }
 
     #[test]

@@ -46,6 +46,25 @@ impl NodeStats {
     }
 }
 
+/// Execution counters of one region of the partitioned simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Events this region's engine processed.
+    pub events_processed: u64,
+    /// Events this region routed to other regions at epoch barriers
+    /// (cross-region receptions originating here).
+    pub boundary_crossings: u64,
+}
+
+impl RegionStats {
+    /// Adds another region's counters into this one (commutative, like
+    /// [`NodeStats::merge`]).
+    pub fn merge(&mut self, other: &RegionStats) {
+        self.events_processed += other.events_processed;
+        self.boundary_crossings += other.boundary_crossings;
+    }
+}
+
 /// A snapshot of the whole network's statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetworkStats {
@@ -53,6 +72,11 @@ pub struct NetworkStats {
     pub nodes: BTreeMap<SensorId, NodeStats>,
     /// Per-node energy reports.
     pub energy: BTreeMap<SensorId, EnergyReport>,
+    /// Per-region execution counters. Empty on the sequential engine **and**
+    /// on [`NetworkStats`] snapshots meant for cross-backend equality checks;
+    /// populated only by
+    /// `PartitionedSimulator::network_stats_by_region`.
+    pub regions: BTreeMap<u32, RegionStats>,
 }
 
 /// Minimum / average / maximum summary of a per-node quantity.
@@ -159,6 +183,19 @@ impl NetworkStats {
         for (id, e) in &shard.energy {
             self.energy.entry(*id).or_default().accumulate(e);
         }
+        for (r, rs) in &shard.regions {
+            self.regions.entry(*r).or_default().merge(rs);
+        }
+    }
+
+    /// Total events processed across all reported regions.
+    pub fn total_region_events(&self) -> u64 {
+        self.regions.values().map(|r| r.events_processed).sum()
+    }
+
+    /// Total cross-region boundary crossings across all reported regions.
+    pub fn total_boundary_crossings(&self) -> u64 {
+        self.regions.values().map(|r| r.boundary_crossings).sum()
     }
 
     /// Energy delta between two snapshots (`self − earlier`), per node.
@@ -281,6 +318,13 @@ mod tests {
                     idle_joules: f64::from(i),
                 },
             );
+            s.regions.insert(
+                i % 3,
+                RegionStats {
+                    events_processed: u64::from(i) * 11 + 1,
+                    boundary_crossings: u64::from(i % 4),
+                },
+            );
             s
         };
         let shards: Vec<NetworkStats> = (0..8).map(shard).collect();
@@ -302,6 +346,10 @@ mod tests {
             assert_eq!(merged, sequential);
         }
         assert_eq!(sequential.total_packets_sent(), (1..=8).sum::<u64>());
+        // Region aggregates merge like node counters: order-independent sums.
+        assert_eq!(sequential.regions.len(), 3);
+        assert_eq!(sequential.total_region_events(), (0..8).map(|i| i * 11 + 1).sum::<u64>());
+        assert_eq!(sequential.total_boundary_crossings(), (0..8).map(|i| i % 4).sum::<u64>());
     }
 
     #[test]

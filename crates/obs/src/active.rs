@@ -1,0 +1,403 @@
+//! The real telemetry machinery, compiled only with the `telemetry` feature.
+//!
+//! Everything is gated at runtime by one process-wide [`AtomicBool`]: a
+//! disabled metric touch is a relaxed load plus a predictable branch, and a
+//! disabled [`span`] returns an inert guard without reading the clock.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::{HistogramSnapshot, SpanStat, TelemetryReport};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is telemetry currently recording?
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// What a metric static registers itself as.
+enum MetricRef {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// Every metric that has ever been touched while enabled. Metrics lazily
+/// self-register on first touch, so there is no central list to maintain.
+static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
+
+/// A monotonically increasing event count.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// Add `n`; a no-op unless telemetry is enabled.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) {
+            register(self.name, &self.registered, MetricRef::Counter(self));
+        }
+    }
+
+    /// Current value (0 until first enabled touch).
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` value (stored as bits in an atomic).
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    pub const fn new(name: &'static str) -> Self {
+        Gauge { name, bits: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// Set the value; a no-op unless telemetry is enabled.
+    #[inline]
+    pub fn set(&'static self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) {
+            register(self.name, &self.registered, MetricRef::Gauge(self));
+        }
+    }
+
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+const BUCKETS: usize = 64;
+
+/// A fixed power-of-two-bucket histogram of `u64` samples (latencies in
+/// nanoseconds, sizes in bytes, counts). Bucket `i` holds values whose bit
+/// length is `i`, i.e. `v == 0` lands in bucket 0 and otherwise
+/// `2^(i-1) <= v < 2^i`; the top bucket absorbs everything else.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    pub const fn new(name: &'static str) -> Self {
+        // An array-repeat of a const item is the pre-1.79 way to initialise
+        // an array of non-Copy atomics in a const fn. The interior
+        // mutability is the point: each array slot gets its own fresh
+        // atomic, the named const itself is never shared.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            buckets: [ZERO; BUCKETS],
+            sum: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Record one sample; a no-op unless telemetry is enabled.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        let idx = (u64::BITS - v.leading_zeros()).min(BUCKETS as u32 - 1) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) {
+            register(self.name, &self.registered, MetricRef::Histogram(self));
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        while counts.len() > 1 && *counts.last().unwrap() == 0 {
+            counts.pop();
+        }
+        // Upper bound of bucket i: the largest value with bit length i.
+        let bounds: Vec<u64> = (0..counts.len())
+            .map(|i| if i >= BUCKETS - 1 { u64::MAX } else { (1u64 << i) - 1 })
+            .collect();
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count: counts.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            bounds,
+            counts,
+        }
+    }
+
+    fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One-time registration, off the hot path. The `swap` makes exactly one
+/// thread win the race to push.
+#[cold]
+fn register(_name: &'static str, flag: &AtomicBool, entry: MetricRef) {
+    if !flag.swap(true, Ordering::SeqCst) {
+        REGISTRY.lock().unwrap().push(entry);
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl SpanAgg {
+    const EMPTY: SpanAgg = SpanAgg { count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0 };
+
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    fn merge(&mut self, other: &SpanAgg) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+type Sink = Arc<Mutex<BTreeMap<String, SpanAgg>>>;
+
+/// Every thread that ever opened a span parks its sink here so [`report`]
+/// (crate root) can merge buffers from worker-pool threads too.
+static SINKS: Mutex<Vec<Sink>> = Mutex::new(Vec::new());
+
+struct Tls {
+    /// Names of the currently open spans on this thread, outermost first.
+    stack: Vec<&'static str>,
+    sink: Sink,
+}
+
+thread_local! {
+    static TLS: RefCell<Option<Tls>> = const { RefCell::new(None) };
+}
+
+/// Time a named scope until the returned guard drops. Nested spans report
+/// under their `/`-joined ancestor path ("slide/sim"). Inert when telemetry
+/// is disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { start: None };
+    }
+    TLS.with(|tls| {
+        let mut tls = tls.borrow_mut();
+        let state = tls.get_or_insert_with(|| {
+            let sink: Sink = Arc::new(Mutex::new(BTreeMap::new()));
+            SINKS.lock().unwrap().push(sink.clone());
+            Tls { stack: Vec::new(), sink }
+        });
+        state.stack.push(name);
+    });
+    SpanGuard { start: Some(Instant::now()) }
+}
+
+/// Guard returned by [`span`]; records the elapsed time on drop.
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ns = start.elapsed().as_nanos() as u64;
+        // try_with: a guard may drop during thread teardown after the TLS
+        // slot is gone; losing that sample beats aborting the process.
+        let _ = TLS.try_with(|tls| {
+            let mut tls = tls.borrow_mut();
+            if let Some(state) = tls.as_mut() {
+                let path = state.stack.join("/");
+                state.stack.pop();
+                state.sink.lock().unwrap().entry(path).or_insert(SpanAgg::EMPTY).record(ns);
+            }
+        });
+    }
+}
+
+/// Zero every registered metric and clear every thread's span buffer.
+/// Registration survives, so a metric touched before a reset still appears
+/// (with value 0) in later reports.
+pub fn reset() {
+    for m in REGISTRY.lock().unwrap().iter() {
+        match m {
+            MetricRef::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            MetricRef::Gauge(g) => g.bits.store(0, Ordering::Relaxed),
+            MetricRef::Histogram(h) => h.clear(),
+        }
+    }
+    for sink in SINKS.lock().unwrap().iter() {
+        sink.lock().unwrap().clear();
+    }
+}
+
+pub(crate) fn build_report() -> TelemetryReport {
+    let mut report = TelemetryReport::default();
+    for m in REGISTRY.lock().unwrap().iter() {
+        match m {
+            MetricRef::Counter(c) => {
+                report.counters.insert(c.name.to_string(), c.value());
+            }
+            MetricRef::Gauge(g) => {
+                report.gauges.insert(g.name.to_string(), g.value());
+            }
+            MetricRef::Histogram(h) => report.histograms.push(h.snapshot()),
+        }
+    }
+    report.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut merged: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    for sink in SINKS.lock().unwrap().iter() {
+        for (path, agg) in sink.lock().unwrap().iter() {
+            merged.entry(path.clone()).or_insert(SpanAgg::EMPTY).merge(agg);
+        }
+    }
+    report.spans = merged
+        .into_iter()
+        .map(|(path, agg)| SpanStat {
+            path,
+            count: agg.count,
+            total_ns: agg.total_ns,
+            min_ns: agg.min_ns,
+            max_ns: agg.max_ns,
+        })
+        .collect();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Telemetry state is process-wide; serialize the tests that mutate it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    static TEST_COUNTER: Counter = Counter::new("test.counter");
+    static TEST_GAUGE: Gauge = Gauge::new("test.gauge");
+    static TEST_HIST: Histogram = Histogram::new("test.hist");
+
+    fn with_telemetry<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        let out = f();
+        set_enabled(false);
+        out
+    }
+
+    #[test]
+    fn disabled_touches_record_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        reset();
+        TEST_COUNTER.add(7);
+        TEST_HIST.record(9);
+        let _span = span("ghost");
+        drop(_span);
+        let report = build_report();
+        assert_eq!(report.counter("test.counter"), 0);
+        assert!(report.span("ghost").is_none());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_register_and_reset() {
+        with_telemetry(|| {
+            TEST_COUNTER.add(2);
+            TEST_COUNTER.add(3);
+            TEST_GAUGE.set(1.5);
+            TEST_HIST.record(0);
+            TEST_HIST.record(1);
+            TEST_HIST.record(1000);
+            let report = build_report();
+            assert_eq!(report.counter("test.counter"), 5);
+            assert_eq!(report.gauges.get("test.gauge"), Some(&1.5));
+            let hist =
+                report.histograms.iter().find(|h| h.name == "test.hist").expect("hist registered");
+            assert_eq!(hist.count, 3);
+            assert_eq!(hist.sum, 1001);
+            assert!(hist.bounds.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(hist.counts.iter().sum::<u64>(), 3);
+            reset();
+            let report = build_report();
+            assert_eq!(report.counter("test.counter"), 0);
+        });
+    }
+
+    #[test]
+    fn nested_spans_report_joined_paths() {
+        with_telemetry(|| {
+            for _ in 0..3 {
+                let _outer = span("outer");
+                let _inner = span("inner");
+            }
+            let report = build_report();
+            let outer = report.span("outer").expect("outer recorded");
+            let inner = report.span("outer/inner").expect("inner nested");
+            assert_eq!(outer.count, 3);
+            assert_eq!(inner.count, 3);
+            assert!(outer.min_ns <= outer.max_ns);
+            assert!(outer.total_ns >= inner.total_ns.saturating_sub(outer.count));
+        });
+    }
+
+    #[test]
+    fn spans_merge_across_threads() {
+        with_telemetry(|| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    std::thread::spawn(|| {
+                        for _ in 0..5 {
+                            let _s = span("worker");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let report = build_report();
+            assert_eq!(report.span("worker").expect("merged").count, 20);
+        });
+    }
+}

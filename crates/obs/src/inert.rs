@@ -1,0 +1,114 @@
+//! Zero-sized no-op stand-ins used when the `telemetry` feature is off.
+//!
+//! Every item mirrors the `active` module's public surface so instrumented
+//! code compiles identically in both modes; here each body is empty and
+//! [`enabled`] is a constant `false`, so the optimizer erases every call
+//! site outright.
+
+/// Always `false` in a build without the `telemetry` feature; guarded
+/// blocks (`if wsn_obs::enabled() { ... }`) are removed as dead code.
+#[inline(always)]
+pub fn enabled() -> bool {
+    false
+}
+
+/// No-op: there is nothing to enable in this build.
+#[inline(always)]
+pub fn set_enabled(_on: bool) {}
+
+/// No-op: there is no state to reset in this build.
+#[inline(always)]
+pub fn reset() {}
+
+/// A zero-sized counter; [`Counter::add`] compiles to nothing.
+pub struct Counter {
+    _priv: (),
+}
+
+impl Counter {
+    pub const fn new(_name: &'static str) -> Self {
+        Counter { _priv: () }
+    }
+
+    #[inline(always)]
+    pub fn add(&'static self, _n: u64) {}
+
+    #[inline(always)]
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// A zero-sized gauge; [`Gauge::set`] compiles to nothing.
+pub struct Gauge {
+    _priv: (),
+}
+
+impl Gauge {
+    pub const fn new(_name: &'static str) -> Self {
+        Gauge { _priv: () }
+    }
+
+    #[inline(always)]
+    pub fn set(&'static self, _v: f64) {}
+
+    #[inline(always)]
+    pub fn value(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A zero-sized histogram; [`Histogram::record`] compiles to nothing.
+pub struct Histogram {
+    _priv: (),
+}
+
+impl Histogram {
+    pub const fn new(_name: &'static str) -> Self {
+        Histogram { _priv: () }
+    }
+
+    #[inline(always)]
+    pub fn record(&'static self, _v: u64) {}
+}
+
+/// A zero-sized guard; creating and dropping it compiles to nothing. The
+/// explicit empty `Drop` keeps the guard's semantics (and lints like
+/// `drop_non_drop`) identical to the active build, where dropping records
+/// the span.
+pub struct SpanGuard {
+    _priv: (),
+}
+
+impl Drop for SpanGuard {
+    #[inline(always)]
+    fn drop(&mut self) {}
+}
+
+/// No-op span: never reads the clock, never touches thread-local state.
+#[inline(always)]
+pub fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard { _priv: () }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static C: Counter = Counter::new("inert.counter");
+    static H: Histogram = Histogram::new("inert.hist");
+
+    #[test]
+    fn inert_surface_is_callable_and_empty() {
+        set_enabled(true);
+        assert!(!enabled());
+        C.add(5);
+        H.record(5);
+        let _s = span("nothing");
+        reset();
+        assert_eq!(C.value(), 0);
+        let report = crate::report();
+        assert!(report.is_empty());
+        assert_eq!(report.counter("inert.counter"), 0);
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`detection`] | `wsn-core` | Algorithms 1 and 2 (global and semi-global detection), the centralized baseline, accuracy metrics, and the batch + streaming experiment runners behind every figure |
 //! | [`trace`] | `wsn-trace` | import of the real Intel-lab trace files and lossless CSV archiving of any deployment trace |
 //! | [`workload`] | `wsn-workload` | scenario/anomaly-injection layer: the sensor-fault taxonomy, correlated bursts, adversarial rank-boundary placements, multi-field stacks and Intel-trace replay |
+//! | [`obs`] | `wsn-obs` | zero-cost metrics + span tracing woven through the simulator, detectors and streaming driver; compiled out unless the `telemetry` cargo feature is on |
 //!
 //! # Building and verifying
 //!
@@ -98,6 +99,7 @@
 pub use wsn_core as detection;
 pub use wsn_data as data;
 pub use wsn_netsim as netsim;
+pub use wsn_obs as obs;
 pub use wsn_ranking as ranking;
 pub use wsn_trace as trace;
 pub use wsn_workload as workload;
