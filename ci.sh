@@ -88,6 +88,20 @@ rm -f results/fig_scenarios.json
 cargo run --release --offline -p wsn-bench --bin fig_scenarios -- --quick
 cargo run --release --offline -p wsn-bench --bin json_check -- results/fig_scenarios.json
 
+# Churn smoke: the dynamic-network rows (battery-death churn with rejoins,
+# radio duty-cycling) must be present in the validated quick sweep — they run
+# the fault plan end to end through the streaming driver on every algorithm.
+# The figure keys rows by scenario index and names the scenarios in its
+# legend string, so presence in the legend means the scenario was swept.
+# (Their correctness properties — per-seed determinism, partitioned ≡
+# sequential under faults, no dead-neighbour state — are the
+# `property_churn` suite in the default test pass above.)
+echo "== churn smoke (fig_scenarios dynamic-network rows) =="
+for scenario in node_churn duty_cycle; do
+    grep -q "=$scenario" results/fig_scenarios.json \
+        || { echo "fig_scenarios --quick output is missing the $scenario scenario"; exit 1; }
+done
+
 # Telemetry gate: build the instrumented configuration, prove it is
 # observationally free (the property suite pairs collection-on and
 # collection-off runs and asserts bit-identical outcomes), then run the

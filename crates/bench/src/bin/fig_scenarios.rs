@@ -57,7 +57,7 @@ fn main() {
     let mut pending = Vec::new();
     for (index, scenario) in scenarios.iter().enumerate() {
         for &algorithm in &algorithms {
-            let config = ExperimentConfig {
+            let mut config = ExperimentConfig {
                 sensor_count,
                 window_samples: 10,
                 n: 4,
@@ -65,6 +65,20 @@ fn main() {
                 ..Default::default()
             }
             .with_algorithm(algorithm);
+            // Dynamic-network scenarios carry a declarative fault profile:
+            // instantiate it for this layout and let the detectors prune
+            // neighbours that go silent for ~3 sampling rounds.
+            if let Some(profile) = scenario.faults {
+                let plan = profile.instantiate(
+                    deployment.sensors(),
+                    scenario.trace.sample_interval_secs,
+                    rounds,
+                    41,
+                );
+                config = config
+                    .with_fault_plan(plan)
+                    .with_liveness_timeout(3.0 * scenario.trace.sample_interval_secs);
+            }
             let name = scenario.name.clone();
             let cell = scenario.clone();
             let sensors = deployment.sensors().to_vec();

@@ -31,9 +31,18 @@ use wsn_data::lab::LabDeployment;
 use wsn_data::synth::SyntheticTraceConfig;
 use wsn_netsim::region::SimBackend;
 use wsn_obs::TelemetryReport;
+use wsn_workload::FaultProfile;
 
 const SENSORS: usize = 2_000;
 const REGIONS: usize = 4;
+
+/// Light churn plus duty-cycling, so the fault-model counters
+/// (`sim.node_deaths`, `sim.node_joins`, `sim.dropped_asleep`,
+/// `detector.stale_neighbors_pruned`) show up in the table with live values:
+/// 1% of the city dies mid-run, half of those rejoin, and every radio sleeps
+/// 10% of each 2 s cycle.
+const FAULTS: FaultProfile =
+    FaultProfile { death_fraction: 0.01, rejoin_fraction: 0.5, duty_cycle: Some((2.0, 0.9)) };
 
 fn main() -> ExitCode {
     if !wsn_obs::compiled() {
@@ -50,13 +59,23 @@ fn main() -> ExitCode {
     let deployment = LabDeployment::city(SENSORS, 1).expect("city deployment builds");
     let trace_config = SyntheticTraceConfig { rounds: 2, ..Default::default() };
     let trace = deployment.generate_trace(&trace_config, 7).expect("trace generates");
+    let plan = FAULTS.instantiate(
+        deployment.sensors(),
+        trace_config.sample_interval_secs,
+        trace_config.rounds,
+        41,
+    );
     let config =
         ExperimentConfig { sensor_count: SENSORS, window_samples: 10, n: 4, ..Default::default() }
             .with_algorithm(AlgorithmConfig::SemiGlobal {
                 ranking: RankingChoice::Nn,
                 hop_diameter: 1,
             })
-            .with_backend(SimBackend::Partitioned { regions: REGIONS });
+            .with_backend(SimBackend::Partitioned { regions: REGIONS })
+            .with_fault_plan(plan)
+            // Short enough that a mid-run death is noticed and pruned by the
+            // final sampling round, exercising the stale-neighbour counter.
+            .with_liveness_timeout(0.7 * trace_config.sample_interval_secs);
     let experiment = StreamingExperiment::new(config);
 
     println!(

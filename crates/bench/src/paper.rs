@@ -157,6 +157,8 @@ impl PaperScenario {
             loss: wsn_netsim::radio::LossModel::Reliable,
             transmission_range_m: self.transmission_range_m(),
             backend: wsn_netsim::region::SimBackend::Sequential,
+            fault_plan: None,
+            liveness_timeout_secs: None,
         }
     }
 

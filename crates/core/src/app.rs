@@ -69,6 +69,20 @@ impl SamplingSchedule {
         entries.sort_by_key(|&(time, id, _)| (time, id));
         entries
     }
+
+    /// The remaining sampling timers of a single node, starting with the
+    /// first round whose staggered time is strictly after `now` — the batch
+    /// to install for a node that joins the network mid-experiment. (Rounds
+    /// already in the past are skipped, not replayed: a late joiner has no
+    /// data for them.)
+    pub fn node_batch_after(&self, now: Timestamp, id: SensorId) -> Vec<BatchTimerEntry> {
+        (0..self.rounds)
+            .filter_map(|round| {
+                let time = self.sample_time(round, id);
+                (time > now).then_some((time, id, round as TimerId))
+            })
+            .collect()
+    }
 }
 
 /// A [`SamplingSchedule`]-driven application that can hand its sampling
@@ -259,6 +273,12 @@ impl<D: OutlierDetector> Application for DetectorApp<D> {
     }
 
     fn on_neighborhood_change(&mut self, ctx: &mut NodeContext<Self::Message>) {
+        // Self-healing: drop all per-neighbour state for neighbours no
+        // longer in radio range (death or departure) before reacting — a
+        // dead neighbour must not pin shared-knowledge sets, quiet memos, or
+        // fixed-point hypothetical state, and a *re*-joining neighbour must
+        // be re-synced from scratch rather than against stale bookkeeping.
+        self.detector.retain_neighbors(ctx.neighbors());
         self.detector.advance_time(ctx.now());
         self.react(ctx);
     }

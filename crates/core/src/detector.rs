@@ -66,6 +66,17 @@ pub trait OutlierDetector {
     /// condition of §5).
     fn process(&mut self, neighbors: &[SensorId]) -> Option<OutlierBroadcast>;
 
+    /// Forgets every neighbour **not** in `live` — the self-healing reaction
+    /// to a neighbourhood change (a neighbour died or moved out of range).
+    /// All per-neighbour protocol state for the departed — shared-knowledge
+    /// sets, revision bookkeeping, fixed-point chains — must be dropped, so
+    /// no dead neighbour pins window points or suppresses convergence over
+    /// the surviving live set. The default is a no-op (for detectors without
+    /// per-neighbour state); both shipped detectors override it.
+    fn retain_neighbors(&mut self, live: &[SensorId]) {
+        let _ = live;
+    }
+
     /// The node's current outlier estimate.
     fn estimate(&self) -> OutlierEstimate;
 

@@ -25,6 +25,7 @@ use wsn_data::stream::SensorStream;
 use wsn_data::synth::SyntheticTraceConfig;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, HopCount, PointSet, SensorId, Timestamp};
+use wsn_netsim::fault::{FaultAction, FaultPlan};
 use wsn_netsim::radio::{LossModel, RadioConfig};
 use wsn_netsim::region::{AnySimulator, SimBackend, SimHandle};
 use wsn_netsim::sim::SimConfig;
@@ -155,6 +156,16 @@ pub struct ExperimentConfig {
     /// bit-for-bit identical outcomes; the partitioned one trades worker
     /// threads for wall-clock time on large deployments.
     pub backend: SimBackend,
+    /// Scheduled node deaths, late joins and per-node duty cycles (see
+    /// [`wsn_netsim::fault`]). `None` runs the paper's static network. Not
+    /// supported by the centralized baseline (its AODV routes assume a
+    /// static sink tree).
+    pub fault_plan: Option<FaultPlan>,
+    /// Staleness threshold, in seconds, after which the distributed
+    /// detectors presume a silent neighbour dead and prune its state
+    /// ([`GlobalNode::with_liveness_timeout`]). `None` (the default)
+    /// preserves the paper's static-network behaviour exactly.
+    pub liveness_timeout_secs: Option<f64>,
 }
 
 impl Default for ExperimentConfig {
@@ -171,6 +182,8 @@ impl Default for ExperimentConfig {
             loss: LossModel::Reliable,
             transmission_range_m: PAPER_TRANSMISSION_RANGE_M,
             backend: SimBackend::Sequential,
+            fault_plan: None,
+            liveness_timeout_secs: None,
         }
     }
 }
@@ -221,6 +234,18 @@ impl ExperimentConfig {
         self
     }
 
+    /// Installs a fault plan (deaths, late joins, duty cycles).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables the detectors' staleness-based neighbour liveness timeout.
+    pub fn with_liveness_timeout(mut self, secs: f64) -> Self {
+        self.liveness_timeout_secs = Some(secs);
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -239,6 +264,18 @@ impl ExperimentConfig {
         }
         if !self.transmission_range_m.is_finite() || self.transmission_range_m <= 0.0 {
             return Err(CoreError::InvalidConfig("transmission range must be positive".into()));
+        }
+        if let Some(t) = self.liveness_timeout_secs {
+            if !t.is_finite() || t <= 0.0 {
+                return Err(CoreError::InvalidConfig("liveness timeout must be positive".into()));
+            }
+        }
+        if self.fault_plan.as_ref().is_some_and(|p| !p.is_empty())
+            && matches!(self.algorithm, AlgorithmConfig::Centralized { .. })
+        {
+            return Err(CoreError::InvalidConfig(
+                "fault plans are not supported by the centralized baseline".into(),
+            ));
         }
         self.trace.validate().map_err(CoreError::from)
     }
@@ -404,6 +441,13 @@ impl OutlierDetector for AnyDetector {
         }
     }
 
+    fn retain_neighbors(&mut self, live: &[SensorId]) {
+        match self {
+            AnyDetector::Global(d) => d.retain_neighbors(live),
+            AnyDetector::SemiGlobal(d) => d.retain_neighbors(live),
+        }
+    }
+
     fn process(&mut self, neighbors: &[SensorId]) -> Option<OutlierBroadcast> {
         match self {
             AnyDetector::Global(d) => d.process(neighbors),
@@ -434,6 +478,15 @@ impl AnyDetector {
             AnyDetector::SemiGlobal(d) => d.points_sent(),
         }
     }
+
+    /// Enables the staleness-based neighbour liveness timeout on whichever
+    /// detector this is.
+    pub fn with_liveness_timeout(self, secs: f64) -> Self {
+        match self {
+            AnyDetector::Global(d) => AnyDetector::Global(d.with_liveness_timeout(secs)),
+            AnyDetector::SemiGlobal(d) => AnyDetector::SemiGlobal(d.with_liveness_timeout(secs)),
+        }
+    }
 }
 
 impl std::fmt::Debug for AnyDetector {
@@ -453,6 +506,59 @@ impl std::fmt::Debug for AnyDetector {
     }
 }
 
+/// Replays a [`FaultPlan`] onto a running simulator, in-band: the simulator
+/// is advanced to each event's time before the event is applied, so deaths
+/// and joins interleave with protocol traffic exactly where the plan puts
+/// them. Joins construct a fresh application via the experiment's app
+/// factory, mark it schedule-driven, and install the node's *remaining*
+/// sampling rounds (past rounds are skipped, not replayed — a late joiner
+/// has no data for them).
+pub(crate) struct FaultDriver<'a, A> {
+    plan: &'a FaultPlan,
+    schedule: &'a SamplingSchedule,
+    make_app: Box<dyn FnMut(SensorId) -> A + 'a>,
+    /// Index of the next unapplied event of `plan.events()`.
+    next: usize,
+}
+
+impl<'a, A> FaultDriver<'a, A>
+where
+    A: wsn_netsim::sim::Application + crate::app::ScheduleDriven,
+{
+    pub fn new(
+        plan: &'a FaultPlan,
+        schedule: &'a SamplingSchedule,
+        make_app: Box<dyn FnMut(SensorId) -> A + 'a>,
+    ) -> Self {
+        FaultDriver { plan, schedule, make_app, next: 0 }
+    }
+
+    /// Applies every not-yet-applied event scheduled at or before `until`.
+    pub fn apply_through<S: SimHandle<A> + ?Sized>(&mut self, sim: &mut S, until: Timestamp) {
+        while let Some(ev) = self.plan.events().get(self.next) {
+            if ev.at > until {
+                break;
+            }
+            self.next += 1;
+            sim.run_until(ev.at);
+            match &ev.action {
+                FaultAction::Death(id) => sim.remove_node(*id),
+                FaultAction::Join { id, position } => {
+                    let mut app = (self.make_app)(*id);
+                    app.sampling_installed();
+                    let _ = sim.add_node(*id, *position, app);
+                    sim.schedule_timer_batch(self.schedule.node_batch_after(sim.now(), *id));
+                }
+            }
+        }
+    }
+
+    /// Applies all remaining events (call before waiting for quiescence).
+    pub fn finish<S: SimHandle<A> + ?Sized>(&mut self, sim: &mut S) {
+        self.apply_through(sim, Timestamp::from_micros(u64::MAX));
+    }
+}
+
 /// Runs one experiment end to end: deployment → trace → simulation → metrics.
 ///
 /// # Errors
@@ -463,7 +569,16 @@ impl std::fmt::Debug for AnyDetector {
 pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentOutcome, CoreError> {
     config.validate()?;
     let deployment = LabDeployment::with_sensor_count(config.sensor_count, config.deployment_seed)?;
-    let topology = Topology::from_deployment(&deployment, config.transmission_range_m);
+    // Nodes whose first fault event is a join start outside the network and
+    // are added by the fault loop when their time comes.
+    let absent = config.fault_plan.as_ref().map(FaultPlan::initially_absent).unwrap_or_default();
+    let topology = if absent.is_empty() {
+        Topology::from_deployment(&deployment, config.transmission_range_m)
+    } else {
+        let specs: Vec<wsn_data::stream::SensorSpec> =
+            deployment.sensors().iter().filter(|s| !absent.contains(&s.id)).copied().collect();
+        Topology::from_specs(&specs, config.transmission_range_m)
+    };
     if !topology.is_connected() {
         return Err(CoreError::DisconnectedNetwork);
     }
@@ -520,32 +635,45 @@ fn run_distributed(
         AlgorithmConfig::SemiGlobal { hop_diameter, .. } => Some(hop_diameter),
         _ => None,
     };
-    let grading_topology = topology.clone();
+    let make_app = |id: SensorId| {
+        let stream = trace
+            .stream(id)
+            .ok()
+            .cloned()
+            .unwrap_or_else(|| SensorStream::new(deployment.sensors()[0]));
+        let detector = match hop_diameter {
+            None => AnyDetector::Global(GlobalNode::new(id, ranking.clone(), config.n, window)),
+            Some(d) => AnyDetector::SemiGlobal(SemiGlobalNode::new(
+                id,
+                ranking.clone(),
+                config.n,
+                d,
+                window,
+            )),
+        };
+        let detector = match config.liveness_timeout_secs {
+            Some(t) => detector.with_liveness_timeout(t),
+            None => detector,
+        };
+        DetectorApp::new(detector, stream, schedule)
+    };
     let mut sim: AnySimulator<DetectorApp<AnyDetector>> = crate::app::any_simulator_with_sampling(
         config.backend,
         sim_config,
         topology,
         &schedule,
-        |id| {
-            let stream = trace
-                .stream(id)
-                .ok()
-                .cloned()
-                .unwrap_or_else(|| SensorStream::new(deployment.sensors()[0]));
-            let detector = match hop_diameter {
-                None => AnyDetector::Global(GlobalNode::new(id, ranking.clone(), config.n, window)),
-                Some(d) => AnyDetector::SemiGlobal(SemiGlobalNode::new(
-                    id,
-                    ranking.clone(),
-                    config.n,
-                    d,
-                    window,
-                )),
-            };
-            DetectorApp::new(detector, stream, schedule)
-        },
+        &make_app,
     );
+    if let Some(plan) = &config.fault_plan {
+        sim.set_duty_cycles(Arc::new(plan.duty_cycles().clone()));
+        let mut driver = FaultDriver::new(plan, &schedule, Box::new(make_app));
+        driver.finish(&mut sim);
+    }
     let quiescent = sim.run_until_quiescent(config.deadline());
+    // Under churn the radio graph at the end differs from the initial one;
+    // the semi-global d-hop grading scopes are taken over what is actually
+    // deployed when the verdict is read.
+    let grading_topology = sim.topology().clone();
 
     // Each node's own data D_i is whatever it currently holds that originated
     // at itself; this is the dataset the correctness theorems are stated over.

@@ -18,7 +18,7 @@ use crate::detector::OutlierDetector;
 use crate::ledger::{fold_min_timestamp, QuietLedger};
 use crate::message::OutlierBroadcast;
 use crate::sufficient::FixedPointEngine;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, PointSet, SensorId, SlidingWindow, Timestamp};
@@ -61,6 +61,21 @@ pub struct GlobalNode<R> {
     /// step — and of every later step at the same revision — share the
     /// `O_n(P_i)` seed and all `[P_i|x]` support queries.
     engine: FixedPointEngine,
+    /// Silence threshold in seconds after which a neighbour is presumed dead
+    /// and its per-neighbour state pruned (`None` = disabled, the default —
+    /// the paper assumes a static network).
+    liveness_timeout_secs: Option<f64>,
+    /// The clock of the most recent [`OutlierDetector::advance_time`] call —
+    /// the node's notion of "now" for liveness bookkeeping.
+    last_now: Timestamp,
+    /// When each neighbour was last heard from (entry created at first
+    /// receipt, or at the first send attempt so silent-from-the-start
+    /// neighbours also age out). Maintained only while the timeout is on.
+    last_heard: BTreeMap<SensorId, Timestamp>,
+    /// Neighbours aged out by the timeout: skipped by
+    /// [`OutlierDetector::process`] until they speak again, at which point
+    /// they re-sync from scratch.
+    presumed_dead: BTreeSet<SensorId>,
 }
 
 impl<R: RankingFunction> GlobalNode<R> {
@@ -84,7 +99,44 @@ impl<R: RankingFunction> GlobalNode<R> {
             points_received: 0,
             ledger: QuietLedger::new(),
             engine: FixedPointEngine::new(),
+            liveness_timeout_secs: None,
+            last_now: Timestamp::ZERO,
+            last_heard: BTreeMap::new(),
+            presumed_dead: BTreeSet::new(),
         }
+    }
+
+    /// Enables the staleness liveness timeout: a neighbour not heard from
+    /// for more than `secs` seconds is presumed dead, its per-neighbour
+    /// state (shared-knowledge set, ledger bookkeeping, fixed-point chain)
+    /// is pruned, and it is excluded from processing until it speaks again —
+    /// at which point it re-syncs from scratch, like a brand-new neighbour.
+    pub fn with_liveness_timeout(mut self, secs: f64) -> Self {
+        self.liveness_timeout_secs = Some(secs);
+        self
+    }
+
+    /// Whether this node currently retains any per-neighbour protocol state
+    /// for `neighbor` (diagnostics: the churn tests assert dead neighbours
+    /// leak nothing).
+    pub fn shares_state_with(&self, neighbor: SensorId) -> bool {
+        self.shared_with.contains_key(&neighbor)
+            || self.engine.tracks_neighbor(neighbor)
+            || self.last_heard.contains_key(&neighbor)
+    }
+
+    /// Whether the liveness timeout has aged `neighbor` out.
+    pub fn presumes_dead(&self, neighbor: SensorId) -> bool {
+        self.presumed_dead.contains(&neighbor)
+    }
+
+    /// Drops all per-neighbour state for `neighbor` (shared-knowledge set,
+    /// revision bookkeeping, cached fixed-point chain, liveness entry).
+    fn forget_neighbor(&mut self, neighbor: SensorId) {
+        self.shared_with.remove(&neighbor);
+        self.ledger.forget(neighbor);
+        self.engine.forget_neighbor(neighbor);
+        self.last_heard.remove(&neighbor);
     }
 
     /// The ranking function in use.
@@ -144,6 +196,10 @@ impl<R: RankingFunction> OutlierDetector for GlobalNode<R> {
     }
 
     fn receive_arcs(&mut self, from: SensorId, points: Vec<Arc<DataPoint>>) {
+        if self.liveness_timeout_secs.is_some() {
+            self.last_heard.insert(from, self.last_now);
+            self.presumed_dead.remove(&from);
+        }
         let shared = self.shared_with.entry(from).or_default();
         let mut fresh: Vec<Arc<DataPoint>> = Vec::new();
         for p in points {
@@ -173,9 +229,41 @@ impl<R: RankingFunction> OutlierDetector for GlobalNode<R> {
     }
 
     fn advance_time(&mut self, now: Timestamp) {
+        self.last_now = now;
+        if let Some(timeout) = self.liveness_timeout_secs {
+            let stale: Vec<SensorId> = self
+                .last_heard
+                .iter()
+                .filter(|(_, heard)| now.as_secs_f64() - heard.as_secs_f64() > timeout)
+                .map(|(j, _)| *j)
+                .collect();
+            for j in stale {
+                self.forget_neighbor(j);
+                self.presumed_dead.insert(j);
+                crate::telemetry::STALE_NEIGHBORS_PRUNED.add(1);
+            }
+        }
         self.window.advance_to(now);
         let cutoff = self.window.config().cutoff(now);
         self.ledger.evict_and_bump_gated(&mut self.shared_with, cutoff, &mut self.shared_oldest);
+    }
+
+    fn retain_neighbors(&mut self, live: &[SensorId]) {
+        let tracked: BTreeSet<SensorId> = self
+            .shared_with
+            .keys()
+            .copied()
+            .chain(self.engine.tracked_neighbors())
+            .chain(self.last_heard.keys().copied())
+            .chain(self.presumed_dead.iter().copied())
+            .collect();
+        for j in tracked {
+            if !live.contains(&j) {
+                self.forget_neighbor(j);
+                self.presumed_dead.remove(&j);
+                crate::telemetry::STALE_NEIGHBORS_PRUNED.add(1);
+            }
+        }
     }
 
     fn process(&mut self, neighbors: &[SensorId]) -> Option<OutlierBroadcast> {
@@ -186,8 +274,13 @@ impl<R: RankingFunction> OutlierDetector for GlobalNode<R> {
         let revision = self.window.revision();
         let mut message = OutlierBroadcast::new();
         for &j in neighbors {
-            if j == self.id {
+            if j == self.id || self.presumed_dead.contains(&j) {
                 continue;
+            }
+            if self.liveness_timeout_secs.is_some() {
+                // First contact attempt starts the liveness clock, so a
+                // neighbour that never answers also ages out.
+                self.last_heard.entry(j).or_insert(self.last_now);
             }
             let state = self.ledger.state(j, revision);
             if self.ledger.is_quiet(j, state) {
@@ -440,6 +533,68 @@ mod tests {
         assert!(node.process(&[SensorId(2)]).is_none());
         // A new neighbour, however, still needs the same points.
         assert!(node.process(&[SensorId(3)]).is_some());
+    }
+
+    #[test]
+    fn dead_neighbor_state_is_pruned_and_pins_no_points() {
+        let mut node = GlobalNode::new(SensorId(1), NnDistance, 1, window());
+        node.add_local_points((0..5).map(|e| pt(1, e, e as f64)).collect());
+        let p = Arc::new(pt(2, 0, 100.0));
+        node.receive_arcs(SensorId(2), vec![Arc::clone(&p)]);
+        let _ = node.process(&[SensorId(2)]);
+        assert!(node.shares_state_with(SensorId(2)));
+        // The neighbour dies. Without pruning, the engine's cached
+        // fixed-point state would pin its points beyond the window lifetime.
+        node.retain_neighbors(&[]);
+        assert!(!node.shares_state_with(SensorId(2)));
+        node.advance_time(Timestamp::from_secs(5_000));
+        // One protocol step against a live neighbour rolls the engine's
+        // revision-scoped own-window caches forward. The dead neighbour's
+        // hypothetical-set state would survive that roll — only the explicit
+        // prune above removes it, which is exactly what this test pins down.
+        let _ = node.process(&[SensorId(3)]);
+        assert_eq!(Arc::strong_count(&p), 1, "only the test handle remains");
+    }
+
+    #[test]
+    fn retain_neighbors_keeps_live_neighbors_untouched() {
+        let mut node = GlobalNode::new(SensorId(1), NnDistance, 1, window());
+        node.add_local_points(vec![pt(1, 0, 1.0)]);
+        node.receive(SensorId(2), vec![pt(2, 0, 2.0)]);
+        node.receive(SensorId(3), vec![pt(3, 0, 3.0)]);
+        node.retain_neighbors(&[SensorId(3)]);
+        assert!(!node.shares_state_with(SensorId(2)));
+        assert!(node.known_common_with(SensorId(2)).is_empty());
+        assert!(!node.known_common_with(SensorId(3)).is_empty());
+    }
+
+    #[test]
+    fn silent_neighbors_age_out_and_resync_on_return() {
+        let mut node =
+            GlobalNode::new(SensorId(1), NnDistance, 1, window()).with_liveness_timeout(30.0);
+        node.advance_time(Timestamp::from_secs(1));
+        node.add_local_points(vec![pt(1, 0, 1.0), pt(1, 1, 5.0)]);
+        assert!(node.process(&[SensorId(2)]).is_some());
+        // The neighbour never answers: past the timeout it is presumed dead
+        // and its bookkeeping is gone.
+        node.advance_time(Timestamp::from_secs(40));
+        assert!(node.presumes_dead(SensorId(2)));
+        assert!(!node.shares_state_with(SensorId(2)));
+        assert!(node.process(&[SensorId(2)]).is_none(), "presumed-dead neighbours are skipped");
+        // …until it speaks again, at which point it re-syncs from scratch.
+        node.receive(SensorId(2), vec![pt(2, 0, 7.0)]);
+        assert!(!node.presumes_dead(SensorId(2)));
+        assert!(node.process(&[SensorId(2)]).is_some(), "the returned neighbour is re-synced");
+    }
+
+    #[test]
+    fn liveness_timeout_off_never_presumes_death() {
+        let mut node = GlobalNode::new(SensorId(1), NnDistance, 1, window());
+        node.advance_time(Timestamp::from_secs(1));
+        node.add_local_points(vec![pt(1, 0, 1.0)]);
+        let _ = node.process(&[SensorId(2)]);
+        node.advance_time(Timestamp::from_secs(900));
+        assert!(!node.presumes_dead(SensorId(2)));
     }
 
     #[test]

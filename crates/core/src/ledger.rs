@@ -65,6 +65,14 @@ impl QuietLedger {
         self.quiet_at.insert(neighbor, state);
     }
 
+    /// Drops all bookkeeping for a departed neighbour (revision counter and
+    /// quiet memo). If the neighbour later rejoins, it starts from revision
+    /// zero — exactly like a neighbour never heard from.
+    pub fn forget(&mut self, neighbor: SensorId) {
+        self.revisions.remove(&neighbor);
+        self.quiet_at.remove(&neighbor);
+    }
+
     /// Window-slide eviction over one bookkeeping map, bumping the revision
     /// of every neighbour whose set changed.
     pub fn evict_and_bump(&mut self, sets: &mut BTreeMap<SensorId, PointSet>, cutoff: Timestamp) {

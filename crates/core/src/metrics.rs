@@ -350,6 +350,13 @@ pub fn paired_truths<R: RankingFunction + ?Sized>(
 
 /// Returns `true` if every pair of estimates reports the same outlier set —
 /// the agreement property of Theorem 1.
+///
+/// The map's key set defines the population: agreement is judged over
+/// exactly the estimates passed in. Under churn the runners collect
+/// estimates from the **live** node set only (dead nodes are removed from
+/// the simulator and never snapshotted), so this is Theorem 1 restricted to
+/// the surviving network — a dead node's last opinion neither helps nor
+/// hurts.
 pub fn estimates_agree(estimates: &BTreeMap<SensorId, OutlierEstimate>) -> bool {
     let mut iter = estimates.values();
     let Some(first) = iter.next() else {
@@ -540,5 +547,22 @@ mod tests {
         assert!(estimates_agree(&estimates));
         estimates.insert(SensorId(2), wrong);
         assert!(!estimates_agree(&estimates));
+    }
+
+    #[test]
+    fn agreement_is_judged_over_the_live_set_only() {
+        // A dead node's stale estimate must not break agreement: the churn
+        // runners simply never include it. Removing the disagreeing entry
+        // (what remove_node does to the snapshot) restores agreement.
+        let data = local_data();
+        let correct = global_answer(&NnDistance, 1, &data);
+        let stale = top_n_outliers(&NnDistance, 1, &data[&SensorId(1)].iter().cloned().collect());
+        let mut estimates = BTreeMap::new();
+        estimates.insert(SensorId(0), correct.clone());
+        estimates.insert(SensorId(1), correct);
+        estimates.insert(SensorId(2), stale);
+        assert!(!estimates_agree(&estimates));
+        estimates.remove(&SensorId(2));
+        assert!(estimates_agree(&estimates), "agreement over the survivors");
     }
 }

@@ -16,7 +16,7 @@ use crate::detector::OutlierDetector;
 use crate::ledger::{fold_min_timestamp, QuietLedger};
 use crate::message::OutlierBroadcast;
 use crate::sufficient::FixedPointEngine;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, HopCount, PointSet, SensorId, SlidingWindow, Timestamp};
@@ -62,6 +62,16 @@ pub struct SemiGlobalNode<R> {
     /// revision pins engine `h`'s caches to prefix `h` and the seed/support
     /// work is shared across all neighbours of a protocol step.
     engines: Vec<FixedPointEngine>,
+    /// Silence threshold in seconds after which a neighbour is presumed dead
+    /// (`None` = disabled; see [`crate::global::GlobalNode`]).
+    liveness_timeout_secs: Option<f64>,
+    /// The clock of the most recent [`OutlierDetector::advance_time`] call.
+    last_now: Timestamp,
+    /// When each neighbour was last heard from (maintained only while the
+    /// timeout is on).
+    last_heard: BTreeMap<SensorId, Timestamp>,
+    /// Neighbours aged out by the timeout, skipped until they speak again.
+    presumed_dead: BTreeSet<SensorId>,
 }
 
 impl<R: RankingFunction> SemiGlobalNode<R> {
@@ -93,7 +103,42 @@ impl<R: RankingFunction> SemiGlobalNode<R> {
             prefix_cache: RevisionCache::new(),
             ledger: QuietLedger::new(),
             engines: (0..hop_diameter).map(|_| FixedPointEngine::new()).collect(),
+            liveness_timeout_secs: None,
+            last_now: Timestamp::ZERO,
+            last_heard: BTreeMap::new(),
+            presumed_dead: BTreeSet::new(),
         }
+    }
+
+    /// Enables the staleness liveness timeout (see
+    /// [`crate::global::GlobalNode::with_liveness_timeout`]).
+    pub fn with_liveness_timeout(mut self, secs: f64) -> Self {
+        self.liveness_timeout_secs = Some(secs);
+        self
+    }
+
+    /// Whether this node currently retains any per-neighbour protocol state
+    /// for `neighbor` (diagnostics for the churn tests).
+    pub fn shares_state_with(&self, neighbor: SensorId) -> bool {
+        self.shared_with.contains_key(&neighbor)
+            || self.engines.iter().any(|e| e.tracks_neighbor(neighbor))
+            || self.last_heard.contains_key(&neighbor)
+    }
+
+    /// Whether the liveness timeout has aged `neighbor` out.
+    pub fn presumes_dead(&self, neighbor: SensorId) -> bool {
+        self.presumed_dead.contains(&neighbor)
+    }
+
+    /// Drops all per-neighbour state for `neighbor` across every hop
+    /// prefix's engine.
+    fn forget_neighbor(&mut self, neighbor: SensorId) {
+        self.shared_with.remove(&neighbor);
+        self.ledger.forget(neighbor);
+        for engine in &mut self.engines {
+            engine.forget_neighbor(neighbor);
+        }
+        self.last_heard.remove(&neighbor);
     }
 
     /// The hop diameter `d` of the spatial extent of detection.
@@ -160,6 +205,10 @@ impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
     }
 
     fn receive_arcs(&mut self, from: SensorId, points: Vec<Arc<DataPoint>>) {
+        if self.liveness_timeout_secs.is_some() {
+            self.last_heard.insert(from, self.last_now);
+            self.presumed_dead.remove(&from);
+        }
         let shared = self.shared_with.entry(from).or_default();
         let mut fresh: Vec<Arc<DataPoint>> = Vec::new();
         for p in points {
@@ -187,9 +236,41 @@ impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
     }
 
     fn advance_time(&mut self, now: Timestamp) {
+        self.last_now = now;
+        if let Some(timeout) = self.liveness_timeout_secs {
+            let stale: Vec<SensorId> = self
+                .last_heard
+                .iter()
+                .filter(|(_, heard)| now.as_secs_f64() - heard.as_secs_f64() > timeout)
+                .map(|(j, _)| *j)
+                .collect();
+            for j in stale {
+                self.forget_neighbor(j);
+                self.presumed_dead.insert(j);
+                crate::telemetry::STALE_NEIGHBORS_PRUNED.add(1);
+            }
+        }
         self.window.advance_to(now);
         let cutoff = self.window.config().cutoff(now);
         self.ledger.evict_and_bump_gated(&mut self.shared_with, cutoff, &mut self.shared_oldest);
+    }
+
+    fn retain_neighbors(&mut self, live: &[SensorId]) {
+        let tracked: BTreeSet<SensorId> = self
+            .shared_with
+            .keys()
+            .copied()
+            .chain(self.engines.iter().flat_map(|e| e.tracked_neighbors()))
+            .chain(self.last_heard.keys().copied())
+            .chain(self.presumed_dead.iter().copied())
+            .collect();
+        for j in tracked {
+            if !live.contains(&j) {
+                self.forget_neighbor(j);
+                self.presumed_dead.remove(&j);
+                crate::telemetry::STALE_NEIGHBORS_PRUNED.add(1);
+            }
+        }
     }
 
     fn process(&mut self, neighbors: &[SensorId]) -> Option<OutlierBroadcast> {
@@ -209,8 +290,13 @@ impl<R: RankingFunction> OutlierDetector for SemiGlobalNode<R> {
         });
         let mut message = OutlierBroadcast::new();
         for &j in neighbors {
-            if j == self.id {
+            if j == self.id || self.presumed_dead.contains(&j) {
                 continue;
+            }
+            if self.liveness_timeout_secs.is_some() {
+                // First contact attempt starts the liveness clock, so a
+                // neighbour that never answers also ages out.
+                self.last_heard.entry(j).or_insert(self.last_now);
             }
             let state = self.ledger.state(j, revision);
             if self.ledger.is_quiet(j, state) {
@@ -482,5 +568,66 @@ mod tests {
         node.receive(SensorId(2), vec![pt(5, 0, 1000.0).with_hop(2)]);
         // The far value is within the diameter and dominates the estimate.
         assert_eq!(node.estimate().points()[0].features, vec![1000.0]);
+    }
+
+    #[test]
+    fn dead_neighbor_state_is_pruned_and_pins_no_points() {
+        let mut node = SemiGlobalNode::new(SensorId(1), NnDistance, 1, 2, window());
+        node.add_local_points((0..4).map(|e| pt(1, e, e as f64 * 0.1)).collect());
+        let shared = Arc::new(pt(2, 0, 500.0).with_hop(1));
+        node.receive_arcs(SensorId(2), vec![Arc::clone(&shared)]);
+        // Run one exchange round so per-neighbour engine state exists too.
+        let _ = node.process(&[SensorId(2)]);
+        assert!(node.shares_state_with(SensorId(2)));
+
+        node.retain_neighbors(&[]);
+        assert!(!node.shares_state_with(SensorId(2)), "all per-neighbour state dropped");
+        // Flush the window so the held copy is evicted as well, then run one
+        // protocol step against a live neighbour: that rolls the engines'
+        // revision-scoped own-window caches forward. The dead neighbour's
+        // hypothetical-set state would survive that roll — only the explicit
+        // prune above removes it. Afterwards the only strong reference left
+        // must be the test's own.
+        node.advance_time(Timestamp::from_secs(5_000));
+        let _ = node.process(&[SensorId(3)]);
+        assert_eq!(Arc::strong_count(&shared), 1, "dead neighbour pins no data points");
+    }
+
+    #[test]
+    fn retain_neighbors_keeps_live_neighbors_untouched() {
+        let mut node = SemiGlobalNode::new(SensorId(1), NnDistance, 1, 2, window());
+        node.receive(SensorId(2), vec![pt(2, 0, 5.0).with_hop(1)]);
+        node.receive(SensorId(3), vec![pt(3, 0, 6.0).with_hop(1)]);
+        node.retain_neighbors(&[SensorId(2)]);
+        assert!(node.shares_state_with(SensorId(2)), "live neighbour survives");
+        assert!(!node.shares_state_with(SensorId(3)), "dead neighbour pruned");
+    }
+
+    #[test]
+    fn silent_neighbors_age_out_and_resync_on_return() {
+        let mut node = SemiGlobalNode::new(SensorId(1), NnDistance, 1, 2, window())
+            .with_liveness_timeout(30.0);
+        node.add_local_points((0..4).map(|e| pt(1, e, e as f64 * 0.1)).collect());
+        node.advance_time(Timestamp::from_secs(1));
+        // A contact attempt starts the liveness clock for the silent peer.
+        let _ = node.process(&[SensorId(2)]);
+        node.advance_time(Timestamp::from_secs(40));
+        assert!(node.presumes_dead(SensorId(2)), "silent neighbour aged out");
+        // A presumed-dead neighbour is skipped entirely by process.
+        assert!(node.process(&[SensorId(2)]).is_none());
+        // Hearing from it again resurrects it and restarts the exchange.
+        node.receive(SensorId(2), vec![pt(2, 9, 7.0).with_hop(1)]);
+        assert!(!node.presumes_dead(SensorId(2)));
+        assert!(node.process(&[SensorId(2)]).is_some(), "resync resumes from scratch");
+    }
+
+    #[test]
+    fn liveness_timeout_off_never_presumes_death() {
+        let mut node = SemiGlobalNode::new(SensorId(1), NnDistance, 1, 2, window());
+        node.add_local_points(vec![pt(1, 0, 1.0)]);
+        node.advance_time(Timestamp::from_secs(1));
+        let _ = node.process(&[SensorId(2)]);
+        node.advance_time(Timestamp::from_secs(900));
+        assert!(!node.presumes_dead(SensorId(2)), "default behaviour is unchanged");
     }
 }

@@ -27,7 +27,7 @@ use crate::app::{DetectorApp, SamplingSchedule, ScheduleDriven};
 use crate::centralized::CentralizedApp;
 use crate::detector::OutlierDetector;
 use crate::error::CoreError;
-use crate::experiment::{AlgorithmConfig, AnyDetector, ExperimentConfig};
+use crate::experiment::{AlgorithmConfig, AnyDetector, ExperimentConfig, FaultDriver};
 use crate::global::GlobalNode;
 use crate::metrics::{estimates_agree, paired_truths, AccuracyReport, LabelReport};
 use crate::semiglobal::SemiGlobalNode;
@@ -263,7 +263,15 @@ impl StreamingExperiment {
     pub fn run_on_trace(&self, trace: &DeploymentTrace) -> Result<StreamingOutcome, CoreError> {
         let config = &self.config;
         config.validate()?;
-        let specs = trace.sensor_specs();
+        // Nodes whose first fault event is a join start outside the network;
+        // the fault driver adds them when their time comes.
+        let absent = config
+            .fault_plan
+            .as_ref()
+            .map(wsn_netsim::fault::FaultPlan::initially_absent)
+            .unwrap_or_default();
+        let specs: Vec<wsn_data::stream::SensorSpec> =
+            trace.sensor_specs().into_iter().filter(|s| !absent.contains(&s.id)).collect();
         let rounds = trace.round_count();
         if specs.is_empty() || rounds == 0 {
             return Err(CoreError::InvalidConfig(
@@ -300,39 +308,47 @@ impl StreamingExperiment {
                     AlgorithmConfig::SemiGlobal { hop_diameter, .. } => Some(hop_diameter),
                     _ => None,
                 };
-                let grading_topology = topology.clone();
+                let make_app = |id: SensorId| {
+                    let detector = match hop_diameter {
+                        None => AnyDetector::Global(GlobalNode::new(
+                            id,
+                            ranking.clone(),
+                            config.n,
+                            window,
+                        )),
+                        Some(d) => AnyDetector::SemiGlobal(SemiGlobalNode::new(
+                            id,
+                            ranking.clone(),
+                            config.n,
+                            d,
+                            window,
+                        )),
+                    };
+                    let detector = match config.liveness_timeout_secs {
+                        Some(t) => detector.with_liveness_timeout(t),
+                        None => detector,
+                    };
+                    DetectorApp::new(detector, stream_for(id), schedule)
+                };
                 let mut sim: AnySimulator<DetectorApp<AnyDetector>> =
                     crate::app::any_simulator_with_sampling(
                         config.backend,
                         sim_config,
                         topology,
                         &schedule,
-                        |id| {
-                            let detector = match hop_diameter {
-                                None => AnyDetector::Global(GlobalNode::new(
-                                    id,
-                                    ranking.clone(),
-                                    config.n,
-                                    window,
-                                )),
-                                Some(d) => AnyDetector::SemiGlobal(SemiGlobalNode::new(
-                                    id,
-                                    ranking.clone(),
-                                    config.n,
-                                    d,
-                                    window,
-                                )),
-                            };
-                            DetectorApp::new(detector, stream_for(id), schedule)
-                        },
+                        &make_app,
                     );
+                let faults = config.fault_plan.as_ref().map(|plan| {
+                    sim.set_duty_cycles(Arc::new(plan.duty_cycles().clone()));
+                    FaultDriver::new(plan, &schedule, Box::new(make_app))
+                });
                 Ok(drive(
                     &mut sim,
                     &schedule,
                     &ranking,
                     config.n,
                     hop_diameter,
-                    &grading_topology,
+                    faults,
                     &labels,
                     deadline,
                     config.algorithm.label(),
@@ -340,7 +356,6 @@ impl StreamingExperiment {
             }
             AlgorithmConfig::Centralized { .. } => {
                 let sink = wsn_data::lab::default_sink(&specs).expect("at least one sensor exists");
-                let grading_topology = topology.clone();
                 let mut sim: AnySimulator<CentralizedApp<Arc<dyn RankingFunction>>> =
                     crate::app::any_simulator_with_sampling(
                         config.backend,
@@ -365,7 +380,7 @@ impl StreamingExperiment {
                     &ranking,
                     config.n,
                     None,
-                    &grading_topology,
+                    None,
                     &labels,
                     deadline,
                     config.algorithm.label(),
@@ -376,7 +391,8 @@ impl StreamingExperiment {
 }
 
 /// Runs the slide loop on a built simulator: advance to just before each
-/// next sampling round, snapshot every node, grade, and account the slide's
+/// next sampling round, apply any fault-plan events that are due, snapshot
+/// every node, grade over the **live** node set, and account the slide's
 /// marginal cost.
 #[allow(clippy::too_many_arguments)]
 fn drive<A, S>(
@@ -385,7 +401,7 @@ fn drive<A, S>(
     ranking: &Arc<dyn RankingFunction>,
     n: usize,
     hop_diameter: Option<HopCount>,
-    topology: &Topology,
+    mut faults: Option<FaultDriver<'_, A>>,
     labels: &BTreeSet<PointKey>,
     deadline: Timestamp,
     label: String,
@@ -412,6 +428,9 @@ where
         let _slide_span = wsn_obs::span("slide");
         {
             let _sim_span = wsn_obs::span("sim");
+            if let Some(driver) = faults.as_mut() {
+                driver.apply_through(sim, eval_at);
+            }
             sim.run_until(eval_at);
         }
 
@@ -433,7 +452,9 @@ where
             n,
             labels,
             &local_data,
-            hop_diameter.map(|d| (topology, u32::from(d))),
+            // Under churn the radio graph changes between slides; each
+            // slide's d-hop grading scopes come from what is deployed *now*.
+            hop_diameter.map(|d| (sim.topology(), u32::from(d))),
         );
         let accuracy = truth.grade(&estimates);
         let label_report = label_truth.grade(&estimates);
@@ -467,6 +488,11 @@ where
     }
     let quiescent_tail = {
         let _tail_span = wsn_obs::span("tail");
+        // Any fault events past the last slide still happen before the
+        // network is required to settle.
+        if let Some(driver) = faults.as_mut() {
+            driver.finish(sim);
+        }
         sim.run_until_quiescent(deadline)
     };
     let mut data_points_sent = 0;

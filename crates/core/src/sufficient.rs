@@ -432,6 +432,27 @@ impl FixedPointEngine {
         }
     }
 
+    /// Drops the cached hypothetical-set chain of a departed neighbour.
+    /// The neighbour's `Arc<DataPoint>` handles go with it — a dead
+    /// neighbour must not keep window points alive. If the neighbour later
+    /// rejoins, its chain restarts cold, exactly like any neighbour the
+    /// engine has never computed for.
+    pub fn forget_neighbor(&mut self, neighbor: SensorId) {
+        self.neighbors.remove(&neighbor);
+    }
+
+    /// Whether the engine currently holds per-neighbour state for
+    /// `neighbor` (diagnostics: lets tests assert the state-leak contract).
+    pub fn tracks_neighbor(&self, neighbor: SensorId) -> bool {
+        self.neighbors.contains_key(&neighbor)
+    }
+
+    /// The neighbours the engine currently holds cached state for, in
+    /// ascending order.
+    pub fn tracked_neighbors(&self) -> impl Iterator<Item = SensorId> + '_ {
+        self.neighbors.keys().copied()
+    }
+
     /// Tells the engine the window just accepted `point`, moving its
     /// revision to `revision`. Chains exactly like
     /// [`FixedPointEngine::note_shared_points`]: if the engine's own-window

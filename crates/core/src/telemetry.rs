@@ -23,3 +23,8 @@ pub(crate) static POINTS_BROADCAST: wsn_obs::Counter =
 /// Batch size per neighbour entry of a broadcast (the `Z_j \ known` sets).
 pub(crate) static NEIGHBOR_BATCH_POINTS: wsn_obs::Histogram =
     wsn_obs::Histogram::new("detector.points_per_neighbor");
+/// Neighbours pruned by the self-healing paths: dead/out-of-range neighbours
+/// dropped on a neighbourhood change, plus silent neighbours aged out by the
+/// staleness liveness timeout.
+pub(crate) static STALE_NEIGHBORS_PRUNED: wsn_obs::Counter =
+    wsn_obs::Counter::new("detector.stale_neighbors_pruned");

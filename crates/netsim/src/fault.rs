@@ -1,0 +1,271 @@
+//! The fault model: scheduled node deaths, late joins, and per-node
+//! duty-cycle sleep/wake windows.
+//!
+//! A [`FaultPlan`] is a declarative description of everything hostile the
+//! network does to the protocol over a run: which nodes die (battery-first,
+//! like the Intel fixture's mote), which join late or rejoin after dying,
+//! and which radios sleep on a periodic [`DutyCycle`]. The plan is plain
+//! data — the driver (e.g. the streaming experiment runner) walks its
+//! timeline and calls [`crate::sim::Simulator::remove_node`] /
+//! [`crate::sim::Simulator::add_node`] at the scheduled instants, while the
+//! simulator consults the duty cycles at every packet reception.
+//!
+//! # Determinism contract
+//!
+//! Every fault is a **pure function of `(plan, node, time)`** — never of
+//! global draw order, queue contents, or which backend executes the run:
+//!
+//! * **Deaths and joins** carry explicit timestamps in the plan. The driver
+//!   applies them by first running the simulation up to the fault time
+//!   (aligning both backends' clocks) and then performing the topology
+//!   surgery, which allocates the *same* external event sequence numbers on
+//!   the sequential and partitioned backends — the mirrored-seq pattern the
+//!   partitioned coordinator already uses for `remove_node`.
+//! * **Duty-cycle sleep** is evaluated *at reception time, at the
+//!   receiver*: [`DutyCycle::is_awake`] is integer-micros modular
+//!   arithmetic over the reception's own timestamp. A sleeping radio hears
+//!   nothing — no RX energy, no counters, no delivery — and because the
+//!   check runs in the receiver's owning region in both backends, the
+//!   outcome is bit-identical regardless of partitioning.
+//! * **Bursty loss** ([`crate::radio::LossModel::GilbertElliott`]) keys its
+//!   per-link Markov chain on `(seed, sender, receiver, step)`, the same
+//!   counter-keyed trick as the Bernoulli channel: each directed link's
+//!   chain advances once per computed reception in the sender's emission
+//!   order, which is identical in both backends because a sender lives in
+//!   exactly one region.
+//!
+//! Nothing in this module draws randomness; a plan replayed under the same
+//! seed produces the same fault timeline, byte for byte.
+
+use std::collections::BTreeMap;
+use wsn_data::{Position, SensorId, Timestamp};
+
+/// A periodic sleep/wake schedule for one node's radio.
+///
+/// The node is awake during the first `awake_micros` of every
+/// `period_micros`-long cycle, phase-shifted by `offset_micros`. Sleep gates
+/// **reception only**: a sleeping node still samples and transmits (its MCU
+/// runs; only the receive path is powered down), which keeps the protocol's
+/// send side deterministic and models the common sensor-network radio
+/// duty-cycling where listening dominates the energy budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DutyCycle {
+    period_micros: u64,
+    awake_micros: u64,
+    offset_micros: u64,
+}
+
+impl DutyCycle {
+    /// A cycle of `period_micros` with the radio on for the first
+    /// `awake_micros`, phase-shifted by `offset_micros`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero or the awake span exceeds the period.
+    pub fn from_micros(period_micros: u64, awake_micros: u64, offset_micros: u64) -> Self {
+        assert!(period_micros > 0, "duty-cycle period must be positive");
+        assert!(
+            awake_micros <= period_micros,
+            "awake span ({awake_micros} µs) must not exceed the period ({period_micros} µs)"
+        );
+        DutyCycle { period_micros, awake_micros, offset_micros }
+    }
+
+    /// [`DutyCycle::from_micros`] with second-resolution parameters.
+    pub fn from_secs(period_secs: u64, awake_secs: u64, offset_secs: u64) -> Self {
+        DutyCycle::from_micros(
+            period_secs * 1_000_000,
+            awake_secs * 1_000_000,
+            offset_secs * 1_000_000,
+        )
+    }
+
+    /// Whether the radio is listening at instant `at` — pure integer-micros
+    /// modular arithmetic, independent of any simulation state.
+    pub fn is_awake(&self, at: Timestamp) -> bool {
+        (at.as_micros() + self.offset_micros) % self.period_micros < self.awake_micros
+    }
+
+    /// The fraction of time the radio listens.
+    pub fn awake_fraction(&self) -> f64 {
+        self.awake_micros as f64 / self.period_micros as f64
+    }
+}
+
+/// One scheduled topology change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the change happens (simulation time).
+    pub at: Timestamp,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// The kinds of scheduled topology change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// The node's battery dies: it leaves the topology and its links are
+    /// severed (applied via `remove_node`).
+    Death(SensorId),
+    /// The node joins (or rejoins) the network at `position` (applied via
+    /// `add_node`).
+    Join {
+        /// The joining node.
+        id: SensorId,
+        /// Where it appears.
+        position: Position,
+    },
+}
+
+impl FaultAction {
+    /// The node the action concerns.
+    pub fn node(&self) -> SensorId {
+        match self {
+            FaultAction::Death(id) => *id,
+            FaultAction::Join { id, .. } => *id,
+        }
+    }
+}
+
+/// A declarative fault timeline plus per-node duty cycles.
+///
+/// Events are kept sorted by time (stable: events at equal times apply in
+/// insertion order), so drivers can walk the timeline with a cursor.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    duty_cycles: BTreeMap<SensorId, DutyCycle>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no churn, every radio always on.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules `id`'s death at `at`.
+    pub fn with_death(mut self, at: Timestamp, id: SensorId) -> Self {
+        self.insert(FaultEvent { at, action: FaultAction::Death(id) });
+        self
+    }
+
+    /// Schedules `id`'s (re)join at `at`, appearing at `position`.
+    pub fn with_join(mut self, at: Timestamp, id: SensorId, position: Position) -> Self {
+        self.insert(FaultEvent { at, action: FaultAction::Join { id, position } });
+        self
+    }
+
+    /// Puts `id`'s radio on `cycle` for the whole run.
+    pub fn with_duty_cycle(mut self, id: SensorId, cycle: DutyCycle) -> Self {
+        self.duty_cycles.insert(id, cycle);
+        self
+    }
+
+    /// Stable insertion keeping `events` sorted by time.
+    fn insert(&mut self, event: FaultEvent) {
+        let pos = self.events.partition_point(|e| e.at <= event.at);
+        self.events.insert(pos, event);
+    }
+
+    /// The scheduled topology changes, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The per-node duty cycles.
+    pub fn duty_cycles(&self) -> &BTreeMap<SensorId, DutyCycle> {
+        &self.duty_cycles
+    }
+
+    /// Returns `true` if the plan changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.duty_cycles.is_empty()
+    }
+
+    /// The nodes whose **first** scheduled event is a join — late joiners
+    /// that must be excluded from the initial topology (as opposed to
+    /// rejoiners, whose first event is a death). Ascending order.
+    pub fn initially_absent(&self) -> Vec<SensorId> {
+        let mut first: BTreeMap<SensorId, bool> = BTreeMap::new();
+        for event in &self.events {
+            first
+                .entry(event.action.node())
+                .or_insert(matches!(event.action, FaultAction::Join { .. }));
+        }
+        first.into_iter().filter(|(_, joins)| *joins).map(|(id, _)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_cycle_wakes_and_sleeps_on_schedule() {
+        let cycle = DutyCycle::from_micros(100, 40, 0);
+        assert!(cycle.is_awake(Timestamp::from_micros(0)));
+        assert!(cycle.is_awake(Timestamp::from_micros(39)));
+        assert!(!cycle.is_awake(Timestamp::from_micros(40)));
+        assert!(!cycle.is_awake(Timestamp::from_micros(99)));
+        assert!(cycle.is_awake(Timestamp::from_micros(100)));
+        assert!((cycle.awake_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_cycle_offset_shifts_the_phase() {
+        let cycle = DutyCycle::from_micros(100, 40, 60);
+        // With offset 60, micros 40..=79 of each period are the awake span
+        // ((t + 60) mod 100 < 40).
+        assert!(!cycle.is_awake(Timestamp::from_micros(0)));
+        assert!(cycle.is_awake(Timestamp::from_micros(40)));
+        assert!(cycle.is_awake(Timestamp::from_micros(79)));
+        assert!(!cycle.is_awake(Timestamp::from_micros(80)));
+        assert!(!cycle.is_awake(Timestamp::from_micros(100)));
+        assert!(cycle.is_awake(Timestamp::from_micros(140)));
+    }
+
+    #[test]
+    fn duty_cycle_validates_parameters() {
+        assert!(std::panic::catch_unwind(|| DutyCycle::from_micros(0, 0, 0)).is_err());
+        assert!(std::panic::catch_unwind(|| DutyCycle::from_micros(10, 11, 0)).is_err());
+        let always_on = DutyCycle::from_secs(10, 10, 3);
+        assert!(always_on.is_awake(Timestamp::from_secs(12345)));
+    }
+
+    #[test]
+    fn plan_keeps_events_sorted_and_stable() {
+        let p = Position::new(0.0, 0.0);
+        let plan = FaultPlan::new()
+            .with_death(Timestamp::from_secs(20), SensorId(2))
+            .with_death(Timestamp::from_secs(10), SensorId(1))
+            .with_join(Timestamp::from_secs(10), SensorId(3), p)
+            .with_death(Timestamp::from_secs(10), SensorId(4));
+        let order: Vec<(u64, SensorId)> =
+            plan.events().iter().map(|e| (e.at.as_micros(), e.action.node())).collect();
+        assert_eq!(
+            order,
+            vec![
+                (10_000_000, SensorId(1)),
+                (10_000_000, SensorId(3)),
+                (10_000_000, SensorId(4)),
+                (20_000_000, SensorId(2)),
+            ]
+        );
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn initially_absent_distinguishes_joiners_from_rejoiners() {
+        let p = Position::new(0.0, 0.0);
+        let plan = FaultPlan::new()
+            // Node 1 dies then rejoins: present initially.
+            .with_death(Timestamp::from_secs(10), SensorId(1))
+            .with_join(Timestamp::from_secs(30), SensorId(1), p)
+            // Node 2 joins late: absent initially.
+            .with_join(Timestamp::from_secs(20), SensorId(2), p)
+            // Node 3 only dies.
+            .with_death(Timestamp::from_secs(40), SensorId(3));
+        assert_eq!(plan.initially_absent(), vec![SensorId(2)]);
+    }
+}

@@ -16,7 +16,8 @@
 //!   3 µW idle at 3 V ([`energy`]),
 //! * an AODV-style multi-hop routing layer with end-to-end acknowledgements
 //!   for the centralized baseline ([`routing`]),
-//! * optional packet loss ([`radio::LossModel`]), and
+//! * optional packet loss, i.i.d. or bursty ([`radio::LossModel`]),
+//! * scheduled node churn and radio duty-cycling ([`fault`]), and
 //! * per-node energy / traffic statistics ([`stats`]).
 //!
 //! Protocols are written against the [`sim::Application`] trait: the
@@ -41,6 +42,7 @@
 
 pub mod energy;
 pub mod event;
+pub mod fault;
 pub mod mac;
 pub mod packet;
 pub mod radio;
@@ -52,6 +54,7 @@ pub mod topology;
 
 pub use energy::{EnergyModel, EnergyReport};
 pub use event::{EventKey, EventQueue};
+pub use fault::{DutyCycle, FaultAction, FaultEvent, FaultPlan};
 pub use radio::{LossModel, RadioConfig};
 pub use region::{AnySimulator, Partition, PartitionedSimulator, SimBackend, SimHandle};
 pub use sim::{Application, NodeContext, SimConfig, Simulator};

@@ -13,7 +13,8 @@
 use crate::packet::Destination;
 use crate::radio::{LossModel, RadioConfig};
 use crate::topology::Topology;
-use wsn_data::rng::SeededRng;
+use std::collections::BTreeMap;
+use wsn_data::rng::{SeededRng, SplitMix64};
 use wsn_data::SensorId;
 
 /// The outcome of one transmission for one in-range node.
@@ -50,12 +51,127 @@ impl TransmissionOutcome {
     }
 }
 
+/// The per-directed-link Gilbert–Elliott chain state. Links start in the
+/// good state at step 0; the chain advances exactly once per reception
+/// computed on the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct LinkState {
+    /// `true` while the link is in the bad (bursty-loss) state.
+    bad: bool,
+    /// How many transmissions the chain has been advanced over — the counter
+    /// that keys the link's per-step random rolls.
+    step: u64,
+}
+
+/// The four chain parameters of a Gilbert–Elliott link, copied out of the
+/// [`LossModel::GilbertElliott`] variant for one transmission.
+#[derive(Debug, Clone, Copy)]
+struct GilbertElliottParams {
+    p_good_to_bad: f64,
+    p_bad_to_good: f64,
+    drop_good: f64,
+    drop_bad: f64,
+}
+
+/// The Gilbert–Elliott channel memory of one simulator: one Markov chain per
+/// directed `(sender, receiver)` link, advanced in the sender's emission
+/// order.
+///
+/// Determinism: each step's two rolls (drop, transition) are a pure function
+/// of `(seed, sender, receiver, step)` — the same counter-keying trick as
+/// the per-transmission Bernoulli RNG — and a given sender's transmissions
+/// are computed in emission order by exactly one region, so the chain walks
+/// the same path on the sequential and partitioned backends.
+#[derive(Debug, Clone, Default)]
+pub struct LinkChannels {
+    links: BTreeMap<(SensorId, SensorId), LinkState>,
+}
+
+impl LinkChannels {
+    /// Fresh channel memory: every link good, step 0.
+    pub fn new() -> Self {
+        LinkChannels::default()
+    }
+
+    /// Advances the `(sender, receiver)` chain one step and returns whether
+    /// this transmission is lost on the link.
+    fn sample(
+        &mut self,
+        seed: u64,
+        sender: SensorId,
+        receiver: SensorId,
+        params: GilbertElliottParams,
+    ) -> bool {
+        let state = self.links.entry((sender, receiver)).or_default();
+        // Two explicit gen_f64 draws per step (never gen_bool, whose p ≤ 0 /
+        // p ≥ 1 shortcuts skip draws): the draw count per step is fixed, so
+        // the chain's path depends only on the link identity and step count.
+        let mut rng = link_step_rng(seed, sender, receiver, state.step);
+        let drop_roll = rng.gen_f64();
+        let transition_roll = rng.gen_f64();
+        let (drop_probability, p_leave) = if state.bad {
+            (params.drop_bad, params.p_bad_to_good)
+        } else {
+            (params.drop_good, params.p_good_to_bad)
+        };
+        let lost = drop_roll < drop_probability;
+        if transition_roll < p_leave {
+            state.bad = !state.bad;
+        }
+        state.step += 1;
+        lost
+    }
+}
+
+/// The RNG of one Gilbert–Elliott chain step, keyed by the directed link and
+/// the link's step counter.
+fn link_step_rng(seed: u64, sender: SensorId, receiver: SensorId, step: u64) -> SeededRng {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    let link_key = seed
+        .wrapping_add(GOLDEN.wrapping_mul(u64::from(sender.raw())))
+        .wrapping_add(GOLDEN.wrapping_mul(u64::from(receiver.raw()) << 32 | 1));
+    let keyed = SplitMix64::new(link_key).next_u64() ^ step;
+    SeededRng::seed_from_u64(SplitMix64::new(keyed).next_u64())
+}
+
 /// Computes the outcome of a transmission from `sender` over the given
 /// topology and radio configuration, sampling per-receiver losses from `rng`.
+///
+/// Stateless convenience over [`transmit_with_channels`]: under a
+/// Gilbert–Elliott loss model every link's chain starts fresh here, so
+/// long-lived simulations must hold their own [`LinkChannels`].
 pub fn transmit(
     topology: &Topology,
     radio: &RadioConfig,
     rng: &mut SeededRng,
+    sender: SensorId,
+    destination: Destination,
+    payload_bytes: usize,
+) -> TransmissionOutcome {
+    let mut channels = LinkChannels::new();
+    transmit_with_channels(
+        topology,
+        radio,
+        rng,
+        &mut channels,
+        0,
+        sender,
+        destination,
+        payload_bytes,
+    )
+}
+
+/// [`transmit`] with explicit channel memory: Gilbert–Elliott links advance
+/// their persistent per-link chains in `channels` (keyed by `seed`), while
+/// the Reliable and Bernoulli models behave exactly as before and never
+/// touch `channels`.
+#[allow(clippy::too_many_arguments)]
+pub fn transmit_with_channels(
+    topology: &Topology,
+    radio: &RadioConfig,
+    rng: &mut SeededRng,
+    channels: &mut LinkChannels,
+    seed: u64,
     sender: SensorId,
     destination: Destination,
     payload_bytes: usize,
@@ -70,6 +186,14 @@ pub fn transmit(
         let lost = match radio.loss {
             LossModel::Reliable => false,
             LossModel::Bernoulli { drop_probability } => rng.gen_bool(drop_probability),
+            LossModel::GilbertElliott { p_good_to_bad, p_bad_to_good, drop_good, drop_bad } => {
+                channels.sample(
+                    seed,
+                    sender,
+                    receiver,
+                    GilbertElliottParams { p_good_to_bad, p_bad_to_good, drop_good, drop_bad },
+                )
+            }
         };
         receptions.push(ReceptionOutcome {
             receiver,
@@ -151,6 +275,76 @@ mod tests {
         }
         let rate = drops as f64 / trials as f64;
         assert!((rate - 0.3).abs() < 0.05, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_drops_are_deterministic_and_bursty() {
+        let topo = chain(2);
+        // Good state never drops, bad state always does: the observed drop
+        // sequence is exactly the chain's state sequence.
+        let radio =
+            RadioConfig::paper_default().with_loss(LossModel::gilbert_elliott(0.2, 0.3, 0.0, 1.0));
+        let run = |seed: u64| {
+            let mut channels = LinkChannels::new();
+            let mut rng = SeededRng::seed_from_u64(7);
+            (0..400)
+                .map(|_| {
+                    let out = transmit_with_channels(
+                        &topo,
+                        &radio,
+                        &mut rng,
+                        &mut channels,
+                        seed,
+                        SensorId(0),
+                        Destination::Broadcast,
+                        10,
+                    );
+                    out.drop_count() == 1
+                })
+                .collect::<Vec<bool>>()
+        };
+        let drops = run(99);
+        assert_eq!(drops, run(99), "same seed, same chain path");
+        assert_ne!(drops, run(100), "a different seed walks a different path");
+        // The chain visits both states …
+        let drop_count = drops.iter().filter(|d| **d).count();
+        assert!(drop_count > 50 && drop_count < 350, "dropped {drop_count}/400");
+        // … and losses cluster: a drop is far more likely after a drop than
+        // the unconditional rate (the signature i.i.d. loss cannot show).
+        let after_drop = drops.windows(2).filter(|w| w[0]).count();
+        let drop_after_drop = drops.windows(2).filter(|w| w[0] && w[1]).count();
+        let conditional = drop_after_drop as f64 / after_drop as f64;
+        let unconditional = drop_count as f64 / drops.len() as f64;
+        assert!(
+            conditional > unconditional + 0.15,
+            "P(drop|drop) = {conditional:.2} vs P(drop) = {unconditional:.2}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_links_evolve_independently() {
+        let topo = chain(3);
+        let radio =
+            RadioConfig::paper_default().with_loss(LossModel::gilbert_elliott(0.5, 0.5, 0.0, 1.0));
+        let mut channels = LinkChannels::new();
+        let mut rng = SeededRng::seed_from_u64(7);
+        let mut per_link: BTreeMap<SensorId, Vec<bool>> = BTreeMap::new();
+        for _ in 0..200 {
+            let out = transmit_with_channels(
+                &topo,
+                &radio,
+                &mut rng,
+                &mut channels,
+                5,
+                SensorId(1),
+                Destination::Broadcast,
+                10,
+            );
+            for r in &out.receptions {
+                per_link.entry(r.receiver).or_default().push(r.dropped);
+            }
+        }
+        assert_ne!(per_link[&SensorId(0)], per_link[&SensorId(2)], "distinct per-link chains");
     }
 
     #[test]

@@ -22,6 +22,21 @@ pub enum LossModel {
         /// Drop probability in `[0, 1]`.
         drop_probability: f64,
     },
+    /// Bursty correlated loss: each directed link runs a two-state
+    /// Gilbert–Elliott Markov chain (good ↔ bad), advanced once per
+    /// transmission computed on that link, with a state-dependent drop
+    /// probability. Losses cluster in time — the failure mode i.i.d.
+    /// Bernoulli loss cannot model.
+    GilbertElliott {
+        /// Per-transmission probability of moving good → bad.
+        p_good_to_bad: f64,
+        /// Per-transmission probability of moving bad → good.
+        p_bad_to_good: f64,
+        /// Drop probability while the link is in the good state.
+        drop_good: f64,
+        /// Drop probability while the link is in the bad state.
+        drop_bad: f64,
+    },
 }
 
 impl LossModel {
@@ -35,11 +50,44 @@ impl LossModel {
         LossModel::Bernoulli { drop_probability }
     }
 
-    /// The drop probability of this model.
+    /// Creates a Gilbert–Elliott bursty loss model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the four probabilities is outside `[0, 1]`.
+    pub fn gilbert_elliott(
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+        drop_good: f64,
+        drop_bad: f64,
+    ) -> Self {
+        for (name, p) in [
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("drop_good", drop_good),
+            ("drop_bad", drop_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1]");
+        }
+        LossModel::GilbertElliott { p_good_to_bad, p_bad_to_good, drop_good, drop_bad }
+    }
+
+    /// The (steady-state) drop probability of this model. For the
+    /// Gilbert–Elliott chain this is the drop rate weighted by the
+    /// stationary distribution of its two states; a chain that never
+    /// transitions reports the good-state rate (links start good).
     pub fn drop_probability(&self) -> f64 {
         match self {
             LossModel::Reliable => 0.0,
             LossModel::Bernoulli { drop_probability } => *drop_probability,
+            LossModel::GilbertElliott { p_good_to_bad, p_bad_to_good, drop_good, drop_bad } => {
+                let denom = p_good_to_bad + p_bad_to_good;
+                if denom == 0.0 {
+                    return *drop_good;
+                }
+                let bad_fraction = p_good_to_bad / denom;
+                drop_good * (1.0 - bad_fraction) + drop_bad * bad_fraction
+            }
         }
     }
 }
@@ -138,5 +186,21 @@ mod tests {
     #[should_panic(expected = "[0, 1]")]
     fn invalid_drop_probability_is_rejected() {
         let _ = LossModel::bernoulli(1.5);
+    }
+
+    #[test]
+    fn gilbert_elliott_steady_state_drop_rate() {
+        // Spends 1/3 of its time bad: 2/3 · 0.01 + 1/3 · 0.9 ≈ 0.3067.
+        let ge = LossModel::gilbert_elliott(0.1, 0.2, 0.01, 0.9);
+        assert!((ge.drop_probability() - (2.0 / 3.0 * 0.01 + 1.0 / 3.0 * 0.9)).abs() < 1e-12);
+        // A chain that never transitions stays in its initial good state.
+        let frozen = LossModel::gilbert_elliott(0.0, 0.0, 0.05, 1.0);
+        assert_eq!(frozen.drop_probability(), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn invalid_gilbert_elliott_probability_is_rejected() {
+        let _ = LossModel::gilbert_elliott(0.1, 1.2, 0.0, 1.0);
     }
 }

@@ -45,10 +45,12 @@
 //! "bit-for-bit equal".
 
 use crate::event::{EventKey, CLASS_CONTROL, CLASS_START, CLASS_TIMER, EXTERNAL_SOURCE};
+use crate::fault::DutyCycle;
 use crate::sim::{Application, BatchTimerEntry, NetEvent, SimConfig, Simulator, TimerId};
 use crate::stats::{NetworkStats, RegionStats};
 use crate::topology::Topology;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use wsn_data::{GridTiling, Position, SensorId, Timestamp};
 use wsn_pool::WorkerPool;
 
@@ -210,6 +212,18 @@ impl Partition {
     pub fn shape(&self) -> (usize, usize) {
         (self.cols, self.rows)
     }
+
+    /// Adopts a sensor the original tiling did not contain (a late joiner)
+    /// into `region`. The interior/boundary classification is **not**
+    /// recomputed — it describes the initial tiling and is used for
+    /// diagnostics only.
+    pub(crate) fn adopt(&mut self, id: SensorId, region: usize) {
+        debug_assert!(!self.owner.contains_key(&id), "adopt is for previously unowned sensors");
+        self.owner.insert(id, region);
+        if let Err(pos) = self.regions[region].binary_search(&id) {
+            self.regions[region].insert(pos, id);
+        }
+    }
 }
 
 fn extent(values: impl Iterator<Item = f64>) -> (f64, f64) {
@@ -244,6 +258,13 @@ pub trait SimHandle<A: Application> {
     fn schedule_timer_batch(&mut self, entries: Vec<BatchTimerEntry>);
     /// Removes a node and notifies its former neighbours.
     fn remove_node(&mut self, id: SensorId);
+    /// Adds (or re-adds) a node at `position` running `app` — the dual of
+    /// `remove_node`, modelling a late join or a rejoin after battery death.
+    /// Returns the node's new single-hop neighbours in ascending order.
+    fn add_node(&mut self, id: SensorId, position: Position, app: A) -> Vec<SensorId>;
+    /// Installs the per-node radio duty cycles (nodes without an entry are
+    /// always awake).
+    fn set_duty_cycles(&mut self, cycles: Arc<BTreeMap<SensorId, DutyCycle>>);
     /// Visits every application in ascending node order.
     fn for_each_app(&self, f: &mut dyn FnMut(SensorId, &A));
     /// Mutably visits every application in ascending node order.
@@ -274,6 +295,12 @@ impl<A: Application> SimHandle<A> for Simulator<A> {
     }
     fn remove_node(&mut self, id: SensorId) {
         Simulator::remove_node(self, id);
+    }
+    fn add_node(&mut self, id: SensorId, position: Position, app: A) -> Vec<SensorId> {
+        Simulator::add_node(self, id, position, app)
+    }
+    fn set_duty_cycles(&mut self, cycles: Arc<BTreeMap<SensorId, DutyCycle>>) {
+        Simulator::set_duty_cycles(self, cycles);
     }
     fn for_each_app(&self, f: &mut dyn FnMut(SensorId, &A)) {
         for (id, app) in self.apps() {
@@ -498,6 +525,7 @@ where
     /// former neighbours with the same control events (same keys, same
     /// time) the sequential engine schedules.
     pub fn remove_node(&mut self, id: SensorId) {
+        crate::sim::OBS_NODE_DEATHS.add(1);
         let mut former = Vec::new();
         for region in &mut self.regions {
             former = region.as_mut().expect("region present").remove_node_local(id);
@@ -507,6 +535,53 @@ where
         for (i, n) in former.into_iter().enumerate() {
             let key = EventKey::new(now, CLASS_CONTROL, EXTERNAL_SOURCE, base + i as u64, n.raw());
             self.inject(n, key, NetEvent::NeighborhoodChanged);
+        }
+    }
+
+    /// Adds (or re-adds) a node: every region's topology copy is patched,
+    /// the owner region adopts the application, and the node's start event
+    /// plus the neighbour notifications are injected with the same keys (and
+    /// the same external-sequence allocations) the sequential engine assigns.
+    ///
+    /// A **rejoining** node goes back to its original owner region — its
+    /// energy meter and statistics live there and must keep accumulating —
+    /// while a node the initial tiling never contained is adopted by the
+    /// region owning its first (lowest-id) neighbour, falling back to region
+    /// 0 if it joins out of range of everyone.
+    pub fn add_node(&mut self, id: SensorId, position: Position, app: A) -> Vec<SensorId> {
+        crate::sim::OBS_NODE_JOINS.add(1);
+        let mut new_neighbors = Vec::new();
+        for region in &mut self.regions {
+            new_neighbors =
+                region.as_mut().expect("region present").add_node_local(id, position, None);
+        }
+        let owner = match self.partition.owner(id) {
+            Some(r) => r,
+            None => {
+                let r = new_neighbors.first().and_then(|n| self.partition.owner(*n)).unwrap_or(0);
+                self.partition.adopt(id, r);
+                r
+            }
+        };
+        self.regions[owner].as_mut().expect("region present").adopt_component(id, app);
+        let base = self.alloc_external_seqs(1 + new_neighbors.len() as u64);
+        let now = self.now;
+        let start = EventKey::new(now, CLASS_START, EXTERNAL_SOURCE, base, id.raw());
+        self.inject(id, start, NetEvent::Start);
+        for (i, n) in new_neighbors.iter().enumerate() {
+            let key =
+                EventKey::new(now, CLASS_CONTROL, EXTERNAL_SOURCE, base + 1 + i as u64, n.raw());
+            self.inject(*n, key, NetEvent::NeighborhoodChanged);
+        }
+        new_neighbors
+    }
+
+    /// Installs the per-node radio duty cycles: every region receives the
+    /// identical shared map, and each evaluates sleep at reception time for
+    /// the nodes it owns.
+    pub fn set_duty_cycles(&mut self, cycles: Arc<BTreeMap<SensorId, DutyCycle>>) {
+        for region in &mut self.regions {
+            region.as_mut().expect("region present").set_duty_cycles(Arc::clone(&cycles));
         }
     }
 
@@ -710,6 +785,12 @@ where
     fn remove_node(&mut self, id: SensorId) {
         PartitionedSimulator::remove_node(self, id);
     }
+    fn add_node(&mut self, id: SensorId, position: Position, app: A) -> Vec<SensorId> {
+        PartitionedSimulator::add_node(self, id, position, app)
+    }
+    fn set_duty_cycles(&mut self, cycles: Arc<BTreeMap<SensorId, DutyCycle>>) {
+        PartitionedSimulator::set_duty_cycles(self, cycles);
+    }
     fn for_each_app(&self, f: &mut dyn FnMut(SensorId, &A)) {
         PartitionedSimulator::for_each_app(self, f);
     }
@@ -791,6 +872,12 @@ where
     }
     fn remove_node(&mut self, id: SensorId) {
         delegate!(self, s => SimHandle::<A>::remove_node(s, id))
+    }
+    fn add_node(&mut self, id: SensorId, position: Position, app: A) -> Vec<SensorId> {
+        delegate!(self, s => SimHandle::<A>::add_node(s, id, position, app))
+    }
+    fn set_duty_cycles(&mut self, cycles: Arc<BTreeMap<SensorId, DutyCycle>>) {
+        delegate!(self, s => SimHandle::<A>::set_duty_cycles(s, cycles))
     }
     fn for_each_app(&self, f: &mut dyn FnMut(SensorId, &A)) {
         delegate!(self, s => SimHandle::<A>::for_each_app(s, f))
@@ -956,6 +1043,81 @@ mod tests {
         assert_eq!(seq.topology().len(), par.topology().len());
         assert_eq!(seq.network_stats(), par.network_stats());
         assert_eq!(seq.events_processed(), par.events_processed());
+    }
+
+    #[test]
+    fn partitioned_rejoin_after_death_matches_sequential() {
+        let topo = grid_topology(4, 5.0, 6.0);
+        let config = flood_config(LossModel::bernoulli(0.2), 5);
+        let mut seq = Simulator::new(config, topo.clone(), flood_app);
+        let mut par = PartitionedSimulator::new(config, topo, 4, flood_app);
+        for sim in [&mut seq as &mut dyn SimHandle<Flood>, &mut par] {
+            sim.run_until(Timestamp::from_secs(1));
+            sim.remove_node(SensorId(5));
+            sim.run_until(Timestamp::from_secs(2));
+            // Node 5 rejoins at its grid position and broadcasts on a timer:
+            // its emission counter continues where it left off, so the
+            // packet-loss rolls line up across backends.
+            sim.add_node(SensorId(5), Position::new(5.0, 5.0), flood_app(SensorId(5)));
+            sim.schedule_timer(SensorId(5), Timestamp::from_secs(3), 9);
+            sim.run_until(Timestamp::from_secs(5));
+        }
+        assert_eq!(seq.topology().len(), par.topology().len());
+        assert_eq!(seq.network_stats(), par.network_stats());
+        assert_eq!(seq.events_processed(), par.events_processed());
+    }
+
+    #[test]
+    fn partitioned_late_join_of_a_new_node_matches_sequential() {
+        let topo = grid_topology(3, 5.0, 6.0);
+        let config = flood_config(LossModel::Reliable, 1);
+        let mut seq = Simulator::new(config, topo.clone(), flood_app);
+        let mut par = PartitionedSimulator::new(config, topo, 4, flood_app);
+        for sim in [&mut seq as &mut dyn SimHandle<Flood>, &mut par] {
+            sim.run_until(Timestamp::from_secs(1));
+            let linked =
+                sim.add_node(SensorId(100), Position::new(2.5, 2.5), flood_app(SensorId(100)));
+            assert!(!linked.is_empty(), "the joiner lands inside the grid");
+            sim.schedule_timer(SensorId(100), Timestamp::from_secs(2), 7);
+            sim.run_until(Timestamp::from_secs(4));
+        }
+        assert_eq!(seq.topology().len(), 10);
+        assert_eq!(seq.network_stats(), par.network_stats());
+        assert_eq!(seq.events_processed(), par.events_processed());
+        let mut seq_apps = Vec::new();
+        seq.for_each_app(&mut |id, a: &Flood| seq_apps.push((id, a.seen)));
+        let mut par_apps = Vec::new();
+        par.for_each_app(&mut |id, a: &Flood| par_apps.push((id, a.seen)));
+        assert_eq!(seq_apps, par_apps, "the joiner is visited in global id order");
+    }
+
+    #[test]
+    fn duty_cycles_and_bursty_loss_match_sequential() {
+        let topo = grid_topology(4, 5.0, 6.0);
+        let config = flood_config(LossModel::gilbert_elliott(0.3, 0.4, 0.05, 0.9), 2);
+        let cycles: Arc<BTreeMap<SensorId, DutyCycle>> = Arc::new(
+            (0..16)
+                .filter(|i| i % 3 == 0)
+                .map(|i| {
+                    (SensorId(i), DutyCycle::from_micros(40_000, 25_000, u64::from(i) * 1_000))
+                })
+                .collect(),
+        );
+        let mut seq = Simulator::new(config, topo.clone(), flood_app);
+        let mut par = PartitionedSimulator::new(config, topo, 4, flood_app);
+        seq.set_duty_cycles(Arc::clone(&cycles));
+        par.set_duty_cycles(Arc::clone(&cycles));
+        for sim in [&mut seq as &mut dyn SimHandle<Flood>, &mut par] {
+            for t in 1..6u64 {
+                sim.schedule_timer(SensorId(t as u32), Timestamp::from_secs(t), t);
+            }
+            sim.run_until_quiescent(Timestamp::from_secs(30));
+        }
+        let seq_stats = seq.network_stats();
+        assert_eq!(seq_stats, par.network_stats(), "exact float equality");
+        assert_eq!(seq.events_processed(), par.events_processed());
+        assert!(seq_stats.total_packets_dropped_asleep() > 0, "some receptions hit sleepers");
+        assert!(seq_stats.total_packets_dropped() > 0, "the bursty channel dropped packets");
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::event::{
     Component, ComponentContext, EventHandle, EventKey, SimCore, CLASS_CONTROL, CLASS_RECEPTION,
     CLASS_START, CLASS_TIMER, EXTERNAL_SOURCE,
 };
+use crate::fault::DutyCycle;
 use crate::mac;
 use crate::packet::{Destination, OutgoingPacket};
 use crate::radio::RadioConfig;
@@ -39,7 +40,15 @@ use crate::topology::Topology;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use wsn_data::rng::{SeededRng, SplitMix64};
-use wsn_data::{SensorId, Timestamp};
+use wsn_data::{Position, SensorId, Timestamp};
+
+/// Telemetry ([`wsn_obs`]): fault-model activity — node deaths and (re)joins
+/// applied to the simulation, and packets that arrived at duty-cycled
+/// sleeping radios. On the partitioned backend a death/join is counted once,
+/// by the coordinator, not once per region.
+pub(crate) static OBS_NODE_DEATHS: wsn_obs::Counter = wsn_obs::Counter::new("sim.node_deaths");
+pub(crate) static OBS_NODE_JOINS: wsn_obs::Counter = wsn_obs::Counter::new("sim.node_joins");
+static OBS_DROPPED_ASLEEP: wsn_obs::Counter = wsn_obs::Counter::new("sim.dropped_asleep");
 
 /// Identifier an application assigns to a timer it sets.
 pub type TimerId = u64;
@@ -274,6 +283,15 @@ pub struct Simulator<A: Application> {
     /// Receptions addressed to nodes this engine does not own, keyed and
     /// ready for the coordinator to inject into the owner's queue.
     outbox: Vec<(EventKey, NetEvent<A::Message>)>,
+    /// Per-node radio duty cycles (empty = everyone always on), shared by
+    /// every region of a partitioned run. Sleep is evaluated at reception
+    /// time in the receiver's owning engine, so the map being identical
+    /// everywhere keeps the backends bit-identical.
+    duty_cycles: Arc<BTreeMap<SensorId, DutyCycle>>,
+    /// Gilbert–Elliott channel memory for this engine's senders. A sender's
+    /// transmissions are computed by exactly one engine in emission order,
+    /// so per-region channel maps walk the same chains as one global map.
+    link_channels: mac::LinkChannels,
 }
 
 impl<A: Application> Simulator<A> {
@@ -327,12 +345,23 @@ impl<A: Application> Simulator<A> {
             node_stats,
             pending_deliveries: 0,
             outbox: Vec::new(),
+            duty_cycles: Arc::new(BTreeMap::new()),
+            link_channels: mac::LinkChannels::new(),
         }
     }
 
     /// Current simulation time.
     pub fn now(&self) -> Timestamp {
         self.core.now()
+    }
+
+    /// Installs the per-node radio duty cycles. Nodes without an entry are
+    /// always awake. The map is shared ([`Arc`]) so a partitioned run hands
+    /// the identical schedule to every region; sleep is evaluated at
+    /// reception time as a pure function of `(cycle, event time)`, keeping
+    /// the backends bit-identical.
+    pub fn set_duty_cycles(&mut self, cycles: Arc<BTreeMap<SensorId, DutyCycle>>) {
+        self.duty_cycles = cycles;
     }
 
     /// The communication topology.
@@ -455,6 +484,7 @@ impl<A: Application> Simulator<A> {
     /// untouched, so a node failure costs `O(degree)` map updates instead of
     /// a full rebuild over every sensor.
     pub fn remove_node(&mut self, id: SensorId) {
+        OBS_NODE_DEATHS.add(1);
         let former_neighbors = self.remove_node_local(id);
         let base = self.core.alloc_external_seqs(former_neighbors.len() as u64);
         let now = self.core.now();
@@ -462,6 +492,64 @@ impl<A: Application> Simulator<A> {
             let key = EventKey::new(now, CLASS_CONTROL, EXTERNAL_SOURCE, base + i as u64, n.raw());
             self.core.queue_mut().push(key, NetEvent::NeighborhoodChanged);
         }
+    }
+
+    /// Adds (or re-adds) a node to the simulation — the dual of
+    /// [`Simulator::remove_node`], modelling a late join or a rejoin after
+    /// battery death. The node appears at `position`, running `app`; it
+    /// receives an [`Application::on_start`] event at the current time, and
+    /// every new neighbour is notified through
+    /// [`Application::on_neighborhood_change`]. Returns the node's new
+    /// single-hop neighbours in ascending order.
+    ///
+    /// A *rejoining* node (same id as a previously removed one) keeps its
+    /// accumulated energy meter and link statistics — the battery history of
+    /// the mote, not of the software instance.
+    pub fn add_node(&mut self, id: SensorId, position: Position, app: A) -> Vec<SensorId> {
+        OBS_NODE_JOINS.add(1);
+        let new_neighbors = self.add_node_local(id, position, Some(app));
+        let base = self.core.alloc_external_seqs(1 + new_neighbors.len() as u64);
+        let now = self.core.now();
+        let start = EventKey::new(now, CLASS_START, EXTERNAL_SOURCE, base, id.raw());
+        self.core.queue_mut().push(start, NetEvent::Start);
+        for (i, n) in new_neighbors.iter().enumerate() {
+            let key =
+                EventKey::new(now, CLASS_CONTROL, EXTERNAL_SOURCE, base + 1 + i as u64, n.raw());
+            self.core.queue_mut().push(key, NetEvent::NeighborhoodChanged);
+        }
+        new_neighbors
+    }
+
+    /// The topology/adjacency/application surgery of [`Simulator::add_node`],
+    /// without the notification events — the dual of
+    /// [`Simulator::remove_node_local`]. `app` is `None` on regions that do
+    /// not own the joining node (they still need the topology patch for
+    /// fan-out computation). Returns the new neighbours in ascending order.
+    pub(crate) fn add_node_local(
+        &mut self,
+        id: SensorId,
+        position: Position,
+        app: Option<A>,
+    ) -> Vec<SensorId> {
+        let new_neighbors = self.topology.add_sensor(id, position);
+        self.adjacency.insert(id, Arc::new(new_neighbors.clone()));
+        for n in &new_neighbors {
+            self.adjacency.insert(*n, Arc::new(self.topology.neighbors(*n)));
+        }
+        if let Some(app) = app {
+            self.adopt_component(id, app);
+        }
+        new_neighbors
+    }
+
+    /// Installs `app` as the component of `id` and ensures the node has an
+    /// energy meter and statistics entry. Both persist across a death →
+    /// rejoin cycle (`or_insert`/`or_default`), so accounting accumulates
+    /// over the mote's whole lifetime on every backend identically.
+    pub(crate) fn adopt_component(&mut self, id: SensorId, app: A) {
+        self.core.insert_component(id.raw(), NodeComponent { app });
+        self.meters.entry(id).or_default();
+        self.node_stats.entry(id).or_default();
     }
 
     /// The topology/adjacency/application surgery of [`Simulator::remove_node`],
@@ -610,6 +698,21 @@ impl<A: Application> Simulator<A> {
         let target = SensorId(key.target);
         match event {
             NetEvent::Reception { from, payload, payload_bytes, airtime_secs, dropped } => {
+                // A duty-cycled radio that is asleep at the reception instant
+                // hears nothing at all: no receive energy, no overhearing, no
+                // delivery. The check is a pure function of (plan, node,
+                // event time), evaluated here — in the receiver's owning
+                // engine — so both backends agree bit for bit.
+                if let Some(cycle) = self.duty_cycles.get(&target) {
+                    if !cycle.is_awake(key.time) {
+                        if payload.is_some() {
+                            self.pending_deliveries -= 1;
+                        }
+                        self.node_stats.entry(target).or_default().packets_dropped_asleep += 1;
+                        OBS_DROPPED_ASLEEP.add(1);
+                        return;
+                    }
+                }
                 // Every in-range node pays receive energy (promiscuous
                 // listening), whether or not the packet was addressed to it
                 // or survived the loss model.
@@ -684,10 +787,12 @@ impl<A: Application> Simulator<A> {
         let OutgoingPacket { destination, payload, payload_bytes } = packet;
         let seq = self.core.next_emission_seq(sender.raw());
         let mut rng = self.transmission_rng(sender, seq);
-        let outcome = mac::transmit(
+        let outcome = mac::transmit_with_channels(
             &self.topology,
             &self.config.radio,
             &mut rng,
+            &mut self.link_channels,
+            self.config.seed,
             sender,
             destination,
             payload_bytes,
@@ -1026,6 +1131,110 @@ mod tests {
         assert!(!sim.run_until_quiescent(Timestamp::from_secs(10)));
         assert!(sim.queued_events() > 0);
         assert!(sim.run_until_quiescent(Timestamp::from_secs(100)));
+    }
+
+    #[test]
+    fn adding_a_node_schedules_start_and_notifies_new_neighbors() {
+        struct Probe {
+            starts: u32,
+            changes: u32,
+        }
+        impl Application for Probe {
+            type Message = ();
+            fn on_start(&mut self, _ctx: &mut NodeContext<()>) {
+                self.starts += 1;
+            }
+            fn on_message(&mut self, _ctx: &mut NodeContext<()>, _from: SensorId, _m: ()) {}
+            fn on_timer(&mut self, _ctx: &mut NodeContext<()>, _t: TimerId) {}
+            fn on_neighborhood_change(&mut self, _ctx: &mut NodeContext<()>) {
+                self.changes += 1;
+            }
+        }
+        let probe = || Probe { starts: 0, changes: 0 };
+        let mut sim = Simulator::new(SimConfig::default(), chain_topology(3), |_| probe());
+        sim.run_until_quiescent(Timestamp::from_secs(1));
+        sim.remove_node(SensorId(1));
+        sim.run_until(Timestamp::from_secs(1));
+        let neighbors = sim.add_node(SensorId(1), Position::new(5.0, 0.0), probe());
+        assert_eq!(neighbors, vec![SensorId(0), SensorId(2)]);
+        sim.run_until(Timestamp::from_secs(1));
+        assert_eq!(sim.app(SensorId(1)).unwrap().starts, 1, "the rejoined node restarted");
+        // Former neighbours saw both the departure and the rejoin.
+        assert_eq!(sim.app(SensorId(0)).unwrap().changes, 2);
+        assert_eq!(sim.app(SensorId(2)).unwrap().changes, 2);
+        assert_eq!(sim.topology().len(), 3);
+        assert_eq!(sim.adjacency[&SensorId(1)].as_slice(), &[SensorId(0), SensorId(2)]);
+    }
+
+    #[test]
+    fn a_rejoining_node_keeps_its_energy_and_link_history() {
+        let mut sim = flood_sim(3, SimConfig::default());
+        sim.run_until_quiescent(Timestamp::from_secs(1));
+        let before = sim.network_stats();
+        assert!(before.energy[&SensorId(1)].tx_joules > 0.0);
+        assert_eq!(before.nodes[&SensorId(1)].packets_sent, 1);
+        sim.remove_node(SensorId(1));
+        sim.run_until(Timestamp::from_secs(1));
+        sim.add_node(SensorId(1), Position::new(5.0, 0.0), Flood::new(false));
+        assert!(sim.run_until_quiescent(Timestamp::from_secs(2)));
+        let after = sim.network_stats();
+        // The meter and counters survived the death → rejoin cycle: the
+        // battery history belongs to the mote, not the software instance.
+        assert_eq!(after.energy[&SensorId(1)].tx_joules, before.energy[&SensorId(1)].tx_joules);
+        assert_eq!(after.nodes[&SensorId(1)].packets_sent, 1);
+    }
+
+    #[test]
+    fn sleeping_receivers_hear_nothing_and_pay_nothing() {
+        // Node 1 is permanently asleep (awake 0 µs of every 1000 µs): the
+        // flood dies on the first hop, and the sleeping radio is charged no
+        // receive energy for the transmission it never heard.
+        let mut cycles = BTreeMap::new();
+        cycles.insert(SensorId(1), DutyCycle::from_micros(1_000, 0, 0));
+        let mut sim = flood_sim(3, SimConfig::default());
+        sim.set_duty_cycles(Arc::new(cycles));
+        assert!(sim.run_until_quiescent(Timestamp::from_secs(10)));
+        assert!(!sim.app(SensorId(1)).unwrap().seen);
+        assert!(!sim.app(SensorId(2)).unwrap().seen);
+        let stats = sim.network_stats();
+        assert_eq!(stats.nodes[&SensorId(1)].packets_dropped_asleep, 1);
+        assert_eq!(stats.total_packets_dropped_asleep(), 1);
+        assert_eq!(stats.energy[&SensorId(1)].rx_joules, 0.0);
+        assert_eq!(sim.messages_in_flight(), 0, "the sleeping drop settled the delivery");
+    }
+
+    #[test]
+    fn always_awake_duty_cycles_change_nothing() {
+        let cycles: BTreeMap<SensorId, DutyCycle> =
+            (0..5).map(|i| (SensorId(i), DutyCycle::from_micros(1_000, 1_000, 0))).collect();
+        let mut sim = flood_sim(5, SimConfig::default());
+        sim.set_duty_cycles(Arc::new(cycles));
+        assert!(sim.run_until_quiescent(Timestamp::from_secs(10)));
+        for (id, app) in sim.apps() {
+            assert!(app.seen, "node {id} did not receive the flood");
+        }
+        assert_eq!(sim.network_stats().total_packets_dropped_asleep(), 0);
+    }
+
+    #[test]
+    fn gilbert_elliott_loss_is_deterministic_in_the_simulator() {
+        let run = |seed: u64| {
+            let config = SimConfig {
+                radio: RadioConfig::paper_default()
+                    .with_loss(LossModel::gilbert_elliott(0.3, 0.3, 0.05, 0.95)),
+                seed,
+                ..Default::default()
+            };
+            let mut sim = flood_sim(6, config);
+            sim.run_until_quiescent(Timestamp::from_secs(10));
+            let stats = sim.network_stats();
+            (
+                stats.total_packets_sent(),
+                stats.total_packets_dropped(),
+                sim.apps().filter(|(_, a)| a.seen).count(),
+            )
+        };
+        assert_eq!(run(11), run(11));
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub struct NodeStats {
     pub packets_overheard: u64,
     /// Packets addressed to this node that were lost.
     pub packets_dropped: u64,
+    /// Packets that arrived while this node's radio was duty-cycled asleep —
+    /// never heard at all (no receive energy, no overhearing).
+    pub packets_dropped_asleep: u64,
     /// Payload bytes transmitted.
     pub bytes_sent: u64,
     /// Payload bytes received (delivered payloads only).
@@ -41,6 +44,7 @@ impl NodeStats {
         self.packets_received += other.packets_received;
         self.packets_overheard += other.packets_overheard;
         self.packets_dropped += other.packets_dropped;
+        self.packets_dropped_asleep += other.packets_dropped_asleep;
         self.bytes_sent += other.bytes_sent;
         self.bytes_received += other.bytes_received;
     }
@@ -126,6 +130,11 @@ impl NetworkStats {
     /// Total packets addressed-but-lost in the network.
     pub fn total_packets_dropped(&self) -> u64 {
         self.nodes.values().map(|n| n.packets_dropped).sum()
+    }
+
+    /// Total packets that arrived at sleeping radios in the network.
+    pub fn total_packets_dropped_asleep(&self) -> u64 {
+        self.nodes.values().map(|n| n.packets_dropped_asleep).sum()
     }
 
     /// Per-node transmit energy values, in ascending node order.
@@ -306,6 +315,7 @@ mod tests {
                     packets_received: u64::from(i) * 2,
                     packets_overheard: 3,
                     packets_dropped: u64::from(i % 2),
+                    packets_dropped_asleep: u64::from(i % 3),
                     bytes_sent: 10 * u64::from(i),
                     bytes_received: 7,
                 },

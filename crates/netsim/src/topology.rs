@@ -189,6 +189,28 @@ impl Topology {
             set.remove(&id);
         }
     }
+
+    /// Adds (or re-adds) a sensor at `position`, linking it to every sensor
+    /// within radio range — the dual of [`Topology::remove_sensor`], used to
+    /// model late joins and rejoins after failure. Returns the sensor's new
+    /// single-hop neighbours in ascending order.
+    pub fn add_sensor(&mut self, id: SensorId, position: Position) -> Vec<SensorId> {
+        // Re-adding an existing id replaces it wholesale (links included).
+        self.remove_sensor(id);
+        let linked: BTreeSet<SensorId> = self
+            .positions
+            .iter()
+            .filter(|(_, p)| p.distance(&position) <= self.range_m)
+            .map(|(other, _)| *other)
+            .collect();
+        for other in &linked {
+            self.neighbors.get_mut(other).unwrap().insert(id);
+        }
+        let result: Vec<SensorId> = linked.iter().copied().collect();
+        self.positions.insert(id, position);
+        self.neighbors.insert(id, linked);
+        result
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +283,32 @@ mod tests {
         assert_eq!(t.len(), 4);
         assert!(!t.is_connected());
         assert!(!t.neighbors(SensorId(1)).contains(&SensorId(2)));
+    }
+
+    #[test]
+    fn adding_a_sensor_restores_links_in_both_directions() {
+        let mut t = Topology::from_specs(&line_specs(5, 5.0), 6.0);
+        let position = t.position(SensorId(2)).unwrap();
+        t.remove_sensor(SensorId(2));
+        assert!(!t.is_connected());
+        let linked = t.add_sensor(SensorId(2), position);
+        assert_eq!(linked, vec![SensorId(1), SensorId(3)]);
+        assert!(t.is_connected());
+        assert!(t.are_neighbors(SensorId(1), SensorId(2)));
+        assert!(t.are_neighbors(SensorId(2), SensorId(3)));
+        assert_eq!(t, Topology::from_specs(&line_specs(5, 5.0), 6.0));
+    }
+
+    #[test]
+    fn adding_a_sensor_at_a_new_position_relinks_it() {
+        let mut t = Topology::from_specs(&line_specs(3, 5.0), 6.0);
+        // Move sensor 0 next to sensor 2: its old link to 1 must vanish.
+        let linked = t.add_sensor(SensorId(0), Position::new(11.0, 0.0));
+        assert_eq!(linked, vec![SensorId(1), SensorId(2)]);
+        let far = t.add_sensor(SensorId(0), Position::new(1000.0, 0.0));
+        assert!(far.is_empty());
+        assert!(!t.are_neighbors(SensorId(0), SensorId(1)));
+        assert_eq!(t.len(), 3);
     }
 
     #[test]

@@ -54,4 +54,4 @@ pub use injector::{
     SpikeInjector, StuckAtInjector,
 };
 pub use replay::{ReplaySource, TraceReplay};
-pub use scenario::{FieldStack, Scenario};
+pub use scenario::{FaultProfile, FieldStack, Scenario};

@@ -20,9 +20,11 @@ use crate::injector::{
     AdversarialInjector, CorrelatedBurstInjector, DriftInjector, Injector, NoiseFaultInjector,
     SpikeInjector, StuckAtInjector,
 };
+use wsn_data::rng::SeededRng;
 use wsn_data::stream::{DeploymentTrace, SensorSpec};
 use wsn_data::synth::{generate_trace, AnomalyModel, FieldModel, SyntheticTraceConfig};
-use wsn_data::{DataError, DataPoint};
+use wsn_data::{DataError, DataPoint, Timestamp};
+use wsn_netsim::fault::{DutyCycle, FaultPlan};
 use wsn_ranking::NnDistance;
 
 /// Mixing constant for deriving per-injector / per-field sub-seeds.
@@ -37,6 +39,80 @@ pub struct Scenario {
     pub trace: SyntheticTraceConfig,
     /// The injectors, applied in order with derived sub-seeds.
     pub injectors: Vec<Arc<dyn Injector>>,
+    /// Optional dynamic-network profile (churn, duty-cycling). Declarative —
+    /// it becomes a concrete [`FaultPlan`] only once the sensor layout is
+    /// known, via [`FaultProfile::instantiate`].
+    pub faults: Option<FaultProfile>,
+}
+
+/// A layout-independent description of network dynamics: what fraction of
+/// the nodes die, how many of the dead come back, and how aggressively the
+/// radios duty-cycle. [`FaultProfile::instantiate`] turns it into a concrete
+/// [`FaultPlan`] for a given sensor layout and sampling schedule — a pure
+/// function of `(profile, specs, schedule, seed)`, so the same scenario seed
+/// always produces the same churn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Fraction of the deployed nodes that die, spread evenly over the
+    /// middle half of the run.
+    pub death_fraction: f64,
+    /// Fraction of the dead nodes that rejoin, each a quarter of the run
+    /// after its death.
+    pub rejoin_fraction: f64,
+    /// Radio duty cycle applied to every node as `(period_secs, awake
+    /// fraction)`, with a per-node phase offset. `None` keeps every radio
+    /// always on.
+    pub duty_cycle: Option<(f64, f64)>,
+}
+
+impl FaultProfile {
+    /// Instantiates the profile for a concrete layout: victims are drawn
+    /// from a [`SeededRng`] keyed by `seed` alone, death times are staggered
+    /// across rounds `rounds/4 .. rounds/2`, and rejoins follow half a
+    /// death-window later. Deaths land mid-round (on the half-interval) so
+    /// they never race a sampling timer.
+    pub fn instantiate(
+        &self,
+        specs: &[SensorSpec],
+        sample_interval_secs: f64,
+        rounds: usize,
+        seed: u64,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        let mut rng = SeededRng::seed_from_u64(seed ^ MIX);
+        let mut ids: Vec<usize> = (0..specs.len()).collect();
+        rng.shuffle(&mut ids);
+        let deaths = ((specs.len() as f64 * self.death_fraction).round() as usize)
+            .min(specs.len().saturating_sub(1));
+        let rejoins = (deaths as f64 * self.rejoin_fraction).round() as usize;
+        let first_round = rounds / 4;
+        let span = (rounds / 4).max(1);
+        for (k, &victim) in ids.iter().take(deaths).enumerate() {
+            let spec = specs[victim];
+            let death_round = first_round + k % span;
+            let at = Timestamp::from_secs_f64((death_round as f64 + 0.5) * sample_interval_secs);
+            plan = plan.with_death(at, spec.id);
+            if k < rejoins {
+                let back = Timestamp::from_secs_f64(
+                    (death_round as f64 + span as f64 + 0.5) * sample_interval_secs,
+                );
+                plan = plan.with_join(back, spec.id, spec.position);
+            }
+        }
+        if let Some((period_secs, awake_fraction)) = self.duty_cycle {
+            let period = (period_secs * 1e6).round() as u64;
+            let awake = ((period as f64) * awake_fraction.clamp(0.0, 1.0)).round() as u64;
+            for (k, spec) in specs.iter().enumerate() {
+                // Stagger phases so the network is never globally asleep.
+                let offset = (period / specs.len().max(1) as u64) * k as u64;
+                plan = plan.with_duty_cycle(
+                    spec.id,
+                    DutyCycle::from_micros(period.max(1), awake.min(period.max(1)), offset),
+                );
+            }
+        }
+        plan
+    }
 }
 
 impl std::fmt::Debug for Scenario {
@@ -45,6 +121,7 @@ impl std::fmt::Debug for Scenario {
             .field("name", &self.name)
             .field("rounds", &self.trace.rounds)
             .field("injectors", &self.injectors.iter().map(|i| i.name()).collect::<Vec<_>>())
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -62,12 +139,19 @@ impl Scenario {
                 ..Default::default()
             },
             injectors: Vec::new(),
+            faults: None,
         }
     }
 
     /// Appends an injector to the stack.
     pub fn with(mut self, injector: impl Injector + 'static) -> Self {
         self.injectors.push(Arc::new(injector));
+        self
+    }
+
+    /// Attaches a dynamic-network profile (churn / duty-cycling).
+    pub fn with_faults(mut self, faults: FaultProfile) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -149,6 +233,23 @@ impl Scenario {
                 0.5,
                 0.02,
             )),
+            // Dynamic-network rows: the same point-spike workload, but the
+            // network itself is unreliable — nodes die mid-run (some come
+            // back), or every radio sleeps a quarter of the time.
+            Scenario::clean("node_churn", rounds)
+                .with(SpikeInjector { probability: 0.03, magnitude: 50.0 })
+                .with_faults(FaultProfile {
+                    death_fraction: 0.25,
+                    rejoin_fraction: 0.5,
+                    duty_cycle: None,
+                }),
+            Scenario::clean("duty_cycle", rounds)
+                .with(SpikeInjector { probability: 0.03, magnitude: 50.0 })
+                .with_faults(FaultProfile {
+                    death_fraction: 0.0,
+                    rejoin_fraction: 0.0,
+                    duty_cycle: Some((2.0, 0.75)),
+                }),
         ]
     }
 }
@@ -321,6 +422,46 @@ mod tests {
         // produced at least some labelled anomalies at catalog rates; allow
         // slack for unlucky draws but require a clear majority.
         assert!(labelled_scenarios >= 4, "only {labelled_scenarios} scenarios were labelled");
+    }
+
+    #[test]
+    fn fault_profile_instantiates_deterministically_and_in_bounds() {
+        let profile = FaultProfile {
+            death_fraction: 0.25,
+            rejoin_fraction: 0.5,
+            duty_cycle: Some((2.0, 0.6)),
+        };
+        let specs = sensors(12);
+        let plan = profile.instantiate(&specs, 30.0, 16, 9);
+        assert_eq!(plan, profile.instantiate(&specs, 30.0, 16, 9), "same seed, same plan");
+        assert_ne!(plan, profile.instantiate(&specs, 30.0, 16, 10), "seed moves the victims");
+        let deaths = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, wsn_netsim::fault::FaultAction::Death(_)))
+            .count();
+        assert_eq!(deaths, 3, "25% of 12 nodes die");
+        let joins = plan.events().len() - deaths;
+        assert_eq!(joins, 2, "half of the dead rejoin (rounded)");
+        assert_eq!(plan.duty_cycles().len(), 12);
+        for event in plan.events() {
+            let secs = event.at.as_secs_f64();
+            assert!(secs > 0.0 && secs < 16.0 * 30.0, "event at {secs}s is inside the run");
+        }
+        // Every rejoiner was initially present (its first event is a death).
+        assert!(plan.initially_absent().is_empty());
+    }
+
+    #[test]
+    fn catalog_includes_dynamic_network_scenarios() {
+        let scenarios = Scenario::catalog(16);
+        let churn = scenarios.iter().find(|s| s.name == "node_churn").expect("churn row");
+        assert!(churn.faults.is_some());
+        let duty = scenarios.iter().find(|s| s.name == "duty_cycle").expect("duty row");
+        assert!(duty.faults.unwrap().duty_cycle.is_some());
+        // Both still inject labelled anomalies for grading.
+        let trace = churn.generate(&sensors(10), 5).unwrap();
+        assert!(trace.anomaly_fraction() > 0.0);
     }
 
     #[test]

@@ -148,6 +148,78 @@ fn steady_state_streaming_performs_zero_desync_rebuilds() {
     }
 }
 
+/// The fault-model counters: a churned, duty-cycled run must stay
+/// bit-identical between collection on and off (the zero-cost contract
+/// extends to the fault layer), and when telemetry is compiled in, the
+/// counters must report exactly the plan's churn — every scheduled death and
+/// join counted once — plus live evidence of duty-cycle sleep drops and
+/// stale-neighbour pruning.
+#[test]
+fn fault_counters_report_the_plan_and_stay_observationally_free() {
+    use wsn_netsim::fault::FaultAction;
+    use wsn_workload::FaultProfile;
+
+    let _guard = lock();
+    let profile =
+        FaultProfile { death_fraction: 0.25, rejoin_fraction: 0.5, duty_cycle: Some((2.0, 0.75)) };
+    let mut config = ExperimentConfig::small()
+        .with_algorithm(AlgorithmConfig::Global { ranking: RankingChoice::Nn });
+    config.sensor_count = 12;
+    config.trace.rounds = 8;
+    let deployment = wsn_data::lab::LabDeployment::with_sensor_count(
+        config.sensor_count,
+        config.deployment_seed,
+    )
+    .expect("deployment builds");
+    let plan = profile.instantiate(
+        deployment.sensors(),
+        config.trace.sample_interval_secs,
+        config.trace.rounds,
+        3,
+    );
+    let deaths =
+        plan.events().iter().filter(|e| matches!(e.action, FaultAction::Death(_))).count() as u64;
+    let joins =
+        plan.events().iter().filter(|e| matches!(e.action, FaultAction::Join { .. })).count()
+            as u64;
+    assert!(deaths > 0 && joins > 0, "the profile must schedule real churn");
+    let timeout = 2.0 * config.trace.sample_interval_secs;
+    let config = config.with_fault_plan(plan).with_liveness_timeout(timeout);
+
+    wsn_obs::set_enabled(false);
+    let off = run_experiment(&config).expect("uninstrumented faulted run succeeds");
+
+    wsn_obs::reset();
+    wsn_obs::set_enabled(true);
+    let on = run_experiment(&config).expect("instrumented faulted run succeeds");
+    wsn_obs::set_enabled(false);
+
+    assert_eq!(off.stats, on.stats, "stats diverged under faults");
+    assert_eq!(off.accuracy, on.accuracy, "accuracy diverged under faults");
+    assert_eq!(off.labels, on.labels, "labels diverged under faults");
+    assert_eq!(off.quiescent, on.quiescent, "quiescence diverged under faults");
+
+    if wsn_obs::compiled() {
+        let report = wsn_obs::report();
+        assert_eq!(report.counter("sim.node_deaths"), deaths, "every scheduled death counted");
+        assert_eq!(report.counter("sim.node_joins"), joins, "every scheduled join counted");
+        assert_eq!(
+            report.counter("sim.dropped_asleep"),
+            on.stats.total_packets_dropped_asleep(),
+            "the counter and the per-node statistics must agree on sleep drops"
+        );
+        assert!(
+            report.counter("sim.dropped_asleep") > 0,
+            "a 75%-awake network must have slept through some receptions"
+        );
+        assert!(
+            report.counter("detector.stale_neighbors_pruned") > 0,
+            "dead neighbours must age out through the liveness timeout; report: {:?}",
+            report.counters,
+        );
+    }
+}
+
 /// The merged span report is deterministic: two identical instrumented runs
 /// on the partitioned backend (which drains per-thread span buffers from
 /// the worker pool) must agree on every counter value, every span path and
