@@ -102,6 +102,22 @@ for scenario in node_churn duty_cycle; do
         || { echo "fig_scenarios --quick output is missing the $scenario scenario"; exit 1; }
 done
 
+# Crash-resume smoke: the kill-and-resume harness end to end — a faulted
+# partitioned streaming run killed by an injected crash at a checkpoint
+# boundary must resume from disk to the exact never-stopped outcome, and a
+# journaled seed sweep re-run against its own journal must skip every
+# completed cell while reproducing the live sweep's aggregate bit for bit.
+# The journal artifact is gated through json_check (strictly increasing
+# cells, finite metrics) like every other machine-readable output. (The
+# exhaustive versions — kill at every boundary, torn-file refusal, the
+# 256-case resume grid — are the `property_persist` suite in the default
+# test pass above.)
+echo "== crash-resume smoke (kill at a checkpoint, resume, journaled sweep) =="
+rm -f target/crash_resume_journal.jsonl
+WSN_CRASH_RESUME_OUT="$PWD/target/crash_resume_journal.jsonl" \
+    cargo run --release --offline -p wsn-bench --bin crash_resume
+cargo run --release --offline -p wsn-bench --bin json_check -- target/crash_resume_journal.jsonl
+
 # Telemetry gate: build the instrumented configuration, prove it is
 # observationally free (the property suite pairs collection-on and
 # collection-off runs and asserts bit-identical outcomes), then run the

@@ -76,7 +76,12 @@ fn main() -> ExitCode {
             // Short enough that a mid-run death is noticed and pruned by the
             // final sampling round, exercising the stale-neighbour counter.
             .with_liveness_timeout(0.7 * trace_config.sample_interval_secs);
-    let experiment = StreamingExperiment::new(config);
+    // Checkpoint every slide so the crash-safety instrumentation
+    // (`persist.snapshots_written`, `persist.snapshot_bytes`, the
+    // `slide/checkpoint` span) carries live city-scale values in the tables.
+    let checkpoint_dir =
+        std::env::temp_dir().join(format!("fig_telemetry_ckpt_{}", std::process::id()));
+    let experiment = StreamingExperiment::new(config).checkpoint_every_slides(1, &checkpoint_dir);
 
     println!(
         "fig_telemetry: streaming {SENSORS} city sensors ({REGIONS} regions), semi-global NN \
@@ -86,6 +91,24 @@ fn main() -> ExitCode {
     let started = Instant::now();
     let outcome = experiment.run_on_trace(&trace).expect("streaming run failed");
     let wall_ns = started.elapsed().as_nanos() as u64;
+    let _ = std::fs::remove_dir_all(&checkpoint_dir);
+
+    // A tiny sweep journaled twice — the second pass skips every completed
+    // cell — so the resumable-sweep counters (`persist.journal_rows`,
+    // `persist.cells_skipped_on_resume`) also show live values below.
+    let journal_path =
+        std::env::temp_dir().join(format!("fig_telemetry_journal_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&journal_path);
+    let mut tiny = ExperimentConfig::small();
+    tiny.trace.rounds = 2;
+    for _ in 0..2 {
+        wsn_bench::journal::SweepJournal::open(&journal_path)
+            .expect("sweep journal opens")
+            .run_averaged(&tiny, 2)
+            .expect("journaled sweep runs");
+    }
+    let _ = std::fs::remove_file(&journal_path);
+
     let report = wsn_obs::report();
 
     println!(

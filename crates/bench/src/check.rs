@@ -1,13 +1,17 @@
 //! Shared validators for the JSON artifacts this repository commits or
-//! emits in CI: figure reports (`rows`), benchmark suites (`results`) and
-//! telemetry sidecars (`kind: "telemetry"`, see [`crate::telemetry`]).
+//! emits in CI: figure reports (`rows`), benchmark suites (`results`),
+//! telemetry sidecars (`kind: "telemetry"`, see [`crate::telemetry`]),
+//! persistence snapshots (wsn-persist header line, see
+//! [`wsn_core::persist`]) and sweep journals (JSONL rows, see
+//! [`crate::journal`]).
 //!
 //! The `json_check` binary is a thin dispatcher over [`check_file`]; the
-//! validators live here so the three schemas share the finite/non-empty
-//! helpers and the unit tests can exercise every rejection path without
-//! spawning a process.
+//! validators live here so the schemas share the finite/non-empty helpers
+//! and the unit tests can exercise every rejection path without spawning a
+//! process.
 
 use crate::json::JsonValue;
+use wsn_core::persist;
 
 /// Reads and validates one JSON artifact. Returns a one-line success
 /// summary, or a message naming the first violation.
@@ -18,9 +22,23 @@ pub fn check_file(path: &str) -> Result<String, String> {
 }
 
 /// Validates JSON text against whichever schema its shape declares:
-/// `kind == "telemetry"` → telemetry sidecar, a `rows` key → figure report,
-/// a `results` key → benchmark suite. `path` only labels error messages.
+/// a `wsn-persist` header line → persistence snapshot, a first line with a
+/// `cell` key → sweep journal (JSONL), `kind == "telemetry"` → telemetry
+/// sidecar, a `rows` key → figure report, a `results` key → benchmark
+/// suite. `path` only labels error messages.
 pub fn check_text(path: &str, text: &str) -> Result<String, String> {
+    // The persistence formats are line-oriented (header + payload lines,
+    // or one row per line), so they dispatch on the first line before the
+    // whole text is parsed as a single document.
+    let first_line = text.split('\n').next().unwrap_or("");
+    if let Ok(header) = JsonValue::parse(first_line) {
+        if header.get("format").and_then(|f| f.as_str()) == Some("wsn-persist") {
+            return check_snapshot(path, text);
+        }
+        if matches!(header, JsonValue::Object(_)) && header.get("cell").is_some() {
+            return check_journal(path, text);
+        }
+    }
     let value = JsonValue::parse(text).map_err(|e| format!("{path}: {e}"))?;
     if !matches!(value, JsonValue::Object(_)) {
         return Err(format!("{path}: top-level value is not an object"));
@@ -59,6 +77,98 @@ fn check_bench_results(path: &str, entries: &[JsonValue]) -> Result<(), String> 
         }
     }
     Ok(())
+}
+
+/// Persistence snapshots are validated exactly as a loader would before
+/// trusting a byte of payload: header format and version tag, declared
+/// length (a shorter payload is a torn write), FNV-1a checksum, and the
+/// payload parsing at all.
+fn check_snapshot(path: &str, text: &str) -> Result<String, String> {
+    let (header_line, body) =
+        text.split_once('\n').ok_or_else(|| format!("{path}: missing snapshot header line"))?;
+    let header = JsonValue::parse(header_line)
+        .map_err(|e| format!("{path}: unreadable snapshot header: {e}"))?;
+    let version = header
+        .get("version")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("{path}: snapshot header has no version tag"))?;
+    if version != persist::PERSIST_VERSION {
+        return Err(format!(
+            "{path}: snapshot format version is {version}, this binary reads {}",
+            persist::PERSIST_VERSION
+        ));
+    }
+    let kind = header.get("kind").and_then(|k| k.as_str()).unwrap_or("");
+    if kind.is_empty() {
+        return Err(format!("{path}: snapshot header has an empty or missing kind"));
+    }
+    let len = header
+        .get("len")
+        .and_then(|l| l.as_u64())
+        .ok_or_else(|| format!("{path}: snapshot header has no len field"))? as usize;
+    let bytes = body.as_bytes();
+    if bytes.len() < len {
+        return Err(format!(
+            "{path}: torn snapshot: payload holds {} of {len} declared bytes",
+            bytes.len()
+        ));
+    }
+    let declared = header
+        .get("checksum")
+        .and_then(|c| c.as_u64())
+        .ok_or_else(|| format!("{path}: snapshot header has no checksum field"))?;
+    let actual = persist::fnv1a64(&bytes[..len]);
+    if actual != declared {
+        return Err(format!(
+            "{path}: snapshot checksum mismatch: header declares {declared}, payload hashes to {actual}"
+        ));
+    }
+    let payload = std::str::from_utf8(&bytes[..len])
+        .map_err(|e| format!("{path}: snapshot payload is not UTF-8: {e}"))?;
+    JsonValue::parse(payload).map_err(|e| format!("{path}: unparsable snapshot payload: {e}"))?;
+    Ok(format!("{path}: valid wsn-persist {kind} snapshot v{version}, {len} payload bytes"))
+}
+
+/// Sweep journals must hold at least one complete row, with strictly
+/// increasing cell indices (append order), intact provenance and finite
+/// metrics — NaN in an archived row poisons every average recomputed from
+/// it.
+fn check_journal(path: &str, text: &str) -> Result<String, String> {
+    let mut rows = 0usize;
+    let mut previous: Option<f64> = None;
+    for (index, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let row = JsonValue::parse(line)
+            .map_err(|e| format!("{path}: journal line {index} is unparsable: {e}"))?;
+        let cell = finite_nonneg(path, &format!("rows[{index}].cell"), row.get("cell"))?;
+        if previous.is_some_and(|p| p >= cell) {
+            return Err(format!(
+                "{path}: journal cell indices are not strictly increasing at line {index}"
+            ));
+        }
+        previous = Some(cell);
+        finite_nonneg(path, &format!("rows[{index}].config_hash"), row.get("config_hash"))?;
+        finite_nonneg(path, &format!("rows[{index}].seed"), row.get("seed"))?;
+        if row.get("label").and_then(|l| l.as_str()).unwrap_or("").is_empty() {
+            return Err(format!("{path}: rows[{index}] has an empty or missing label"));
+        }
+        let metrics = object_entries(path, &format!("rows[{index}].metrics"), row.get("metrics"))?;
+        if metrics.is_empty() {
+            return Err(format!("{path}: rows[{index}].metrics is empty"));
+        }
+        for (name, value) in metrics {
+            if !matches!(value, JsonValue::Bool(_)) {
+                finite_number(path, &format!("rows[{index}].metrics.{name}"), Some(value))?;
+            }
+        }
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err(format!("{path}: journal holds no rows"));
+    }
+    Ok(format!("{path}: valid sweep journal, {rows} rows, {} bytes", text.len()))
 }
 
 /// Telemetry sidecars must prove the instrumented run actually recorded
@@ -271,6 +381,62 @@ mod tests {
         assert!(check_text("t.json", &bad_total).unwrap_err().contains("sum to"));
         let ragged = telemetry_doc().replace("[1, 1, 1]", "[1, 1]");
         assert!(check_text("t.json", &ragged).unwrap_err().contains("bounds but"));
+    }
+
+    fn snapshot_doc() -> String {
+        let payload = r#"{"x":1}"#;
+        format!(
+            "{{\"format\":\"wsn-persist\",\"kind\":\"checkpoint\",\"version\":{},\"len\":{},\"checksum\":{}}}\n{payload}\n",
+            persist::PERSIST_VERSION,
+            payload.len(),
+            persist::fnv1a64(payload.as_bytes()),
+        )
+    }
+
+    fn journal_doc() -> String {
+        let row = |cell: u64| {
+            format!(
+                r#"{{"cell":{cell},"config_hash":17,"seed":{cell},"label":"Global-NN","toolchain":{{"version":"0.1.0","os":"linux","arch":"x86_64"}},"metrics":{{"accuracy":1.0,"quiescent":true}}}}"#
+            )
+        };
+        format!("{}\n{}\n", row(0), row(1))
+    }
+
+    #[test]
+    fn valid_snapshots_and_journals_pass() {
+        let summary = check_text("s.json", &snapshot_doc()).unwrap();
+        assert!(summary.contains("checkpoint"), "summary was {summary:?}");
+        let summary = check_text("j.jsonl", &journal_doc()).unwrap();
+        assert!(summary.contains("2 rows"), "summary was {summary:?}");
+    }
+
+    #[test]
+    fn torn_and_corrupt_snapshots_are_rejected() {
+        let doc = snapshot_doc();
+        let torn = &doc[..doc.len() - 4];
+        assert!(check_text("s.json", torn).unwrap_err().contains("torn"));
+        let rotted = doc.replace(r#""x":1"#, r#""x":2"#);
+        assert!(check_text("s.json", &rotted).unwrap_err().contains("checksum"));
+        let future = doc.replace(
+            &format!("\"version\":{}", persist::PERSIST_VERSION),
+            &format!("\"version\":{}", persist::PERSIST_VERSION + 1),
+        );
+        assert!(check_text("s.json", &future).unwrap_err().contains("version"));
+        let untagged = doc.replace(&format!("\"version\":{},", persist::PERSIST_VERSION), "");
+        assert!(check_text("s.json", &untagged).unwrap_err().contains("version tag"));
+    }
+
+    #[test]
+    fn journal_rejections_fire() {
+        let out_of_order = journal_doc().replace(r#""cell":1"#, r#""cell":0"#);
+        assert!(check_text("j.jsonl", &out_of_order).unwrap_err().contains("strictly increasing"));
+        let nan_metric = journal_doc().replace(r#""accuracy":1.0"#, r#""accuracy":"oops""#);
+        assert!(check_text("j.jsonl", &nan_metric).unwrap_err().contains("metrics.accuracy"));
+        let unlabelled = journal_doc().replace(r#""label":"Global-NN","#, "");
+        assert!(check_text("j.jsonl", &unlabelled).unwrap_err().contains("label"));
+        let doc = journal_doc();
+        let half_row = &doc[..doc.len() - 30];
+        assert!(check_text("j.jsonl", half_row).unwrap_err().contains("unparsable"));
     }
 
     #[test]

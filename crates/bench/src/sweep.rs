@@ -75,8 +75,9 @@ impl AveragedOutcome {
 }
 
 /// The per-seed configurations of one averaged cell: seed `s` offsets both
-/// the simulation and the trace seed by `s`.
-fn seed_configs(config: &ExperimentConfig, seeds: u64) -> Vec<ExperimentConfig> {
+/// the simulation and the trace seed by `s`. Shared with the journaled
+/// runner ([`crate::journal`]) so both paths run identical cells.
+pub(crate) fn seed_configs(config: &ExperimentConfig, seeds: u64) -> Vec<ExperimentConfig> {
     assert!(seeds > 0, "at least one seed is required");
     (0..seeds)
         .map(|s| {

@@ -185,6 +185,12 @@ impl<D: OutlierDetector> DetectorApp<D> {
         &self.detector
     }
 
+    /// Mutable access to the wrapped detector, for the persistence layer's
+    /// state install on resume (see [`crate::persist`]).
+    pub fn detector_mut(&mut self) -> &mut D {
+        &mut self.detector
+    }
+
     /// The sampling schedule this node runs under (install it on the
     /// simulator with [`install_sampling`]).
     pub fn schedule(&self) -> SamplingSchedule {

@@ -13,9 +13,11 @@ use std::sync::Arc;
 
 use crate::app::SamplingSchedule;
 use crate::cache::RevisionCache;
+use crate::persist::{self, PersistError};
 use wsn_data::stream::SensorStream;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, PointSet, SensorId, SlidingWindow};
+use wsn_json::JsonValue;
 use wsn_netsim::routing::{AodvMessage, AodvRouter};
 use wsn_netsim::sim::{Application, NodeContext, TimerId};
 use wsn_ranking::index::{AnyIndex, IndexStrategy};
@@ -207,6 +209,110 @@ impl<R: RankingFunction> CentralizedApp<R> {
     /// window and every collected report (empty on non-sink nodes).
     pub fn sink_union(&self) -> &PointSet {
         &self.union
+    }
+
+    /// Serializes this node's canonical baseline state for
+    /// [`crate::persist`]: window, the sink's collected windows and union,
+    /// the last returned answer and the report/result counters. Transport
+    /// state (routes, pending acks) is *not* snapshotted — a resumed run
+    /// replays the simulation up to the checkpoint, which reconstructs it
+    /// deterministically.
+    pub fn persist_snapshot(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("kind".into(), JsonValue::from("centralized")),
+            ("id".into(), JsonValue::from(self.id.raw())),
+            ("sink".into(), JsonValue::from(self.sink.raw())),
+            ("n".into(), JsonValue::from(self.n)),
+            ("window".into(), persist::snapshot_window(&self.window)),
+            ("collected".into(), persist::sets_by_id_to_json(&self.collected)),
+            ("union".into(), persist::set_to_json(&self.union)),
+            (
+                "last_result".into(),
+                match &self.last_result {
+                    Some(points) => {
+                        JsonValue::Array(points.iter().map(persist::point_to_json).collect())
+                    }
+                    None => JsonValue::Null,
+                },
+            ),
+            ("reports_sent".into(), JsonValue::from(self.reports_sent)),
+            ("reports_received".into(), JsonValue::from(self.reports_received)),
+            ("results_sent".into(), JsonValue::from(self.results_sent)),
+            ("results_received".into(), JsonValue::from(self.results_received)),
+            ("state_revision".into(), JsonValue::from(self.state_revision)),
+        ])
+    }
+
+    /// Installs a [`CentralizedApp::persist_snapshot`], refusing snapshots
+    /// from a node with a different id, sink, `n` or window length.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Schema`] for malformed dumps,
+    /// [`PersistError::Mismatch`] for configuration disagreements. On error
+    /// the application is left untouched.
+    pub fn persist_restore(&mut self, dump: &JsonValue) -> Result<(), PersistError> {
+        persist::expect_kind(dump, "centralized")?;
+        let id = persist::u32_field(dump, "id")?;
+        if id != self.id.raw() {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot is for sensor {id}, restoring into sensor {}",
+                self.id.raw()
+            )));
+        }
+        let sink = persist::u32_field(dump, "sink")?;
+        if sink != self.sink.raw() {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot reports to sink {sink}, this node to {}",
+                self.sink.raw()
+            )));
+        }
+        let n = persist::usize_field(dump, "n")?;
+        if n != self.n {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot reports top-{n}, this node reports top-{}",
+                self.n
+            )));
+        }
+        let window = persist::restore_window(persist::field(dump, "window")?)?;
+        if window.config().length_micros != self.window.config().length_micros {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot window is {}µs long, this node's is {}µs",
+                window.config().length_micros,
+                self.window.config().length_micros
+            )));
+        }
+        let collected = persist::sets_by_id_from_json(persist::field(dump, "collected")?)?;
+        let union = persist::set_from_json(persist::field(dump, "union")?)?;
+        let last_result = match persist::field(dump, "last_result")? {
+            JsonValue::Null => None,
+            value => Some(
+                value
+                    .as_array()
+                    .ok_or_else(|| {
+                        PersistError::Schema("field \"last_result\" is not null or array".into())
+                    })?
+                    .iter()
+                    .map(persist::point_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        };
+        let reports_sent = persist::u64_field(dump, "reports_sent")?;
+        let reports_received = persist::u64_field(dump, "reports_received")?;
+        let results_sent = persist::u64_field(dump, "results_sent")?;
+        let results_received = persist::u64_field(dump, "results_received")?;
+        let state_revision = persist::u64_field(dump, "state_revision")?;
+        self.window = window;
+        self.collected = collected;
+        self.union = union;
+        self.last_result = last_result;
+        self.reports_sent = reports_sent;
+        self.reports_received = reports_received;
+        self.results_sent = results_sent;
+        self.results_received = results_received;
+        self.state_revision = state_revision;
+        self.index_cache.invalidate();
+        Ok(())
     }
 
     /// Sink only: re-folds the sink's own window into `union` after the
@@ -514,6 +620,34 @@ mod tests {
         let far = stats.nodes[&SensorId(5)].packets_sent;
         assert!(near > far, "near-sink node sent {near}, far node sent {far}");
         assert!(stats.traffic_imbalance() > 1.0);
+    }
+
+    #[test]
+    fn persist_snapshot_round_trips_the_sink_state() {
+        let mut sim = build_sim(4, 3);
+        sim.run_until_quiescent(Timestamp::from_secs(400));
+        let sink = sim.app(SensorId(0)).unwrap();
+        let dump = sink.persist_snapshot();
+        let fresh_app = |id: u32| {
+            let spec = SensorSpec::new(SensorId(id), Position::new(0.0, 0.0));
+            CentralizedApp::new(
+                SensorId(id),
+                SensorId(0),
+                NnDistance,
+                1,
+                WindowConfig::from_samples(8, 10.0).unwrap(),
+                SensorStream::new(spec),
+                SamplingSchedule::new(10.0, 3),
+            )
+        };
+        let mut fresh = fresh_app(0);
+        fresh.persist_restore(&dump).unwrap();
+        assert_eq!(fresh.persist_snapshot(), dump, "restore is lossless");
+        assert_eq!(fresh.sink_union(), sink.sink_union());
+        assert_eq!(fresh.estimate().points()[0].features[0], 500.0);
+        // A different node refuses the sink's snapshot.
+        let mut other = fresh_app(2);
+        assert!(matches!(other.persist_restore(&dump), Err(PersistError::Mismatch(_))));
     }
 
     #[test]

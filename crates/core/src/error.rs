@@ -1,5 +1,6 @@
 //! Error types for the detection algorithms and experiment runner.
 
+use crate::persist::PersistError;
 use std::error::Error;
 use std::fmt;
 use wsn_data::DataError;
@@ -17,6 +18,9 @@ pub enum CoreError {
     /// configured radio range; the algorithms' correctness guarantees need a
     /// connected network (§4.2).
     DisconnectedNetwork,
+    /// Persisted state could not be written, read, verified or installed
+    /// (checkpointing or resume; see [`crate::persist`]).
+    Persist(PersistError),
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +31,7 @@ impl fmt::Display for CoreError {
             CoreError::DisconnectedNetwork => {
                 write!(f, "the communication graph is not connected at the configured radio range")
             }
+            CoreError::Persist(e) => write!(f, "persistence error: {e}"),
         }
     }
 }
@@ -35,6 +40,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Data(e) => Some(e),
+            CoreError::Persist(e) => Some(e),
             _ => None,
         }
     }
@@ -43,6 +49,12 @@ impl Error for CoreError {
 impl From<DataError> for CoreError {
     fn from(e: DataError) -> Self {
         CoreError::Data(e)
+    }
+}
+
+impl From<PersistError> for CoreError {
+    fn from(e: PersistError) -> Self {
+        CoreError::Persist(e)
     }
 }
 

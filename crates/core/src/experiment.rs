@@ -487,6 +487,35 @@ impl AnyDetector {
             AnyDetector::SemiGlobal(d) => AnyDetector::SemiGlobal(d.with_liveness_timeout(secs)),
         }
     }
+
+    /// Serializes the wrapped detector's canonical state (see
+    /// [`crate::persist`]); the variant is recorded in the payload's `kind`
+    /// discriminator.
+    pub fn persist_snapshot(&self) -> wsn_json::JsonValue {
+        match self {
+            AnyDetector::Global(d) => d.persist_snapshot(),
+            AnyDetector::SemiGlobal(d) => d.persist_snapshot(),
+        }
+    }
+
+    /// Installs a snapshot into the wrapped detector. The payload's `kind`
+    /// must match the live variant — a global snapshot never restores into a
+    /// semi-global node or vice versa.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::persist::PersistError::Mismatch`] on a variant or
+    /// configuration disagreement, [`crate::persist::PersistError::Schema`]
+    /// on malformed payloads.
+    pub fn persist_restore(
+        &mut self,
+        dump: &wsn_json::JsonValue,
+    ) -> Result<(), crate::persist::PersistError> {
+        match self {
+            AnyDetector::Global(d) => d.persist_restore(dump),
+            AnyDetector::SemiGlobal(d) => d.persist_restore(dump),
+        }
+    }
 }
 
 impl std::fmt::Debug for AnyDetector {
@@ -556,6 +585,12 @@ where
     /// Applies all remaining events (call before waiting for quiescence).
     pub fn finish<S: SimHandle<A> + ?Sized>(&mut self, sim: &mut S) {
         self.apply_through(sim, Timestamp::from_micros(u64::MAX));
+    }
+
+    /// Index of the next unapplied plan event — the fault-plan cursor a
+    /// checkpoint records and a resume validates (see [`crate::persist`]).
+    pub fn cursor(&self) -> usize {
+        self.next
     }
 }
 

@@ -17,11 +17,13 @@
 use crate::detector::OutlierDetector;
 use crate::ledger::{fold_min_timestamp, QuietLedger};
 use crate::message::OutlierBroadcast;
+use crate::persist::{self, PersistError};
 use crate::sufficient::FixedPointEngine;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, PointSet, SensorId, SlidingWindow, Timestamp};
+use wsn_json::JsonValue;
 use wsn_ranking::{top_n_outliers, OutlierEstimate, RankingFunction};
 
 /// Per-sensor state of the global algorithm.
@@ -169,6 +171,96 @@ impl<R: RankingFunction> GlobalNode<R> {
         features: Vec<f64>,
     ) -> Result<DataPoint, wsn_data::DataError> {
         DataPoint::new(self.id, wsn_data::Epoch(epoch), timestamp, features)
+    }
+
+    /// Serializes this node's complete canonical protocol state for
+    /// [`crate::persist`]: window, per-neighbour shared-knowledge sets,
+    /// quiet ledger, the engine's per-neighbour chains, traffic counters
+    /// and liveness bookkeeping. Derived caches (spatial index, rank
+    /// bounds, seed/support caches) are not included —
+    /// [`GlobalNode::persist_restore`] rebuilds them cold with identical
+    /// outputs.
+    pub fn persist_snapshot(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("kind".into(), JsonValue::from("global")),
+            ("id".into(), JsonValue::from(self.id.raw())),
+            ("n".into(), JsonValue::from(self.n)),
+            ("liveness_timeout_secs".into(), persist::opt_f64_to_json(self.liveness_timeout_secs)),
+            ("window".into(), persist::snapshot_window(&self.window)),
+            ("shared_with".into(), persist::sets_by_id_to_json(&self.shared_with)),
+            (
+                "shared_oldest".into(),
+                persist::opt_u64_to_json(self.shared_oldest.map(|t| t.as_micros())),
+            ),
+            ("points_sent".into(), JsonValue::from(self.points_sent)),
+            ("points_received".into(), JsonValue::from(self.points_received)),
+            ("ledger".into(), persist::ledger_to_json(&self.ledger)),
+            ("engine".into(), persist::engine_to_json(&self.engine)),
+            ("last_now".into(), JsonValue::from(self.last_now.as_micros())),
+            ("last_heard".into(), persist::times_by_id_to_json(&self.last_heard)),
+            ("presumed_dead".into(), persist::ids_to_json(self.presumed_dead.iter().copied())),
+        ])
+    }
+
+    /// Installs a [`GlobalNode::persist_snapshot`] into this node. The node
+    /// must already be configured identically to the snapshotted one (same
+    /// id, `n`, window length and liveness timeout) — mismatches are
+    /// refused, not papered over.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Schema`] for malformed dumps,
+    /// [`PersistError::Mismatch`] when the snapshot belongs to a different
+    /// node or configuration. On error the node is left untouched.
+    pub fn persist_restore(&mut self, dump: &JsonValue) -> Result<(), PersistError> {
+        persist::expect_kind(dump, "global")?;
+        let id = persist::u32_field(dump, "id")?;
+        if id != self.id.raw() {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot is for sensor {id}, restoring into sensor {}",
+                self.id.raw()
+            )));
+        }
+        let n = persist::usize_field(dump, "n")?;
+        if n != self.n {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot reports top-{n}, this node reports top-{}",
+                self.n
+            )));
+        }
+        if persist::opt_f64_field(dump, "liveness_timeout_secs")? != self.liveness_timeout_secs {
+            return Err(PersistError::Mismatch("liveness timeout differs".into()));
+        }
+        let window = persist::restore_window(persist::field(dump, "window")?)?;
+        if window.config().length_micros != self.window.config().length_micros {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot window is {}µs long, this node's is {}µs",
+                window.config().length_micros,
+                self.window.config().length_micros
+            )));
+        }
+        let shared_with = persist::sets_by_id_from_json(persist::field(dump, "shared_with")?)?;
+        let shared_oldest =
+            persist::opt_u64_field(dump, "shared_oldest")?.map(Timestamp::from_micros);
+        let points_sent = persist::u64_field(dump, "points_sent")?;
+        let points_received = persist::u64_field(dump, "points_received")?;
+        let ledger = persist::ledger_from_json(persist::field(dump, "ledger")?)?;
+        let engine_dumps = persist::engine_dumps_from_json(persist::field(dump, "engine")?)?;
+        let last_now = Timestamp::from_micros(persist::u64_field(dump, "last_now")?);
+        let last_heard = persist::times_by_id_from_json(persist::field(dump, "last_heard")?)?;
+        let presumed_dead: BTreeSet<SensorId> =
+            persist::ids_from_json(persist::field(dump, "presumed_dead")?)?.into_iter().collect();
+        self.window = window;
+        self.shared_with = shared_with;
+        self.shared_oldest = shared_oldest;
+        self.points_sent = points_sent;
+        self.points_received = points_received;
+        self.ledger = ledger;
+        self.engine.restore_neighbor_states(engine_dumps);
+        self.last_now = last_now;
+        self.last_heard = last_heard;
+        self.presumed_dead = presumed_dead;
+        Ok(())
     }
 }
 
@@ -595,6 +687,30 @@ mod tests {
         let _ = node.process(&[SensorId(2)]);
         node.advance_time(Timestamp::from_secs(900));
         assert!(!node.presumes_dead(SensorId(2)));
+    }
+
+    #[test]
+    fn persist_snapshot_round_trips_mid_protocol() {
+        let (mut pi, mut pj) = section_5_1_nodes(20, 15);
+        // Freeze the node mid-exchange, with live per-neighbour state.
+        if let Some(m) = pi.process(&[pj.id()]) {
+            pj.receive(pi.id(), m.points_for(pj.id()));
+        }
+        if let Some(m) = pj.process(&[pi.id()]) {
+            pi.receive(pj.id(), m.points_for(pi.id()));
+        }
+        let dump = pi.persist_snapshot();
+        let mut fresh = GlobalNode::new(SensorId(1), NnDistance, 1, window());
+        fresh.persist_restore(&dump).unwrap();
+        assert_eq!(fresh.persist_snapshot(), dump, "restore is lossless");
+        // The restored node continues the protocol identically.
+        assert_eq!(fresh.process(&[pj.id()]), pi.process(&[pj.id()]));
+        assert!(fresh.estimate().same_outliers_as(&pi.estimate()));
+        // A differently configured node refuses the snapshot.
+        let mut other = GlobalNode::new(SensorId(9), NnDistance, 1, window());
+        assert!(matches!(other.persist_restore(&dump), Err(PersistError::Mismatch(_))));
+        let mut other_n = GlobalNode::new(SensorId(1), NnDistance, 2, window());
+        assert!(matches!(other_n.persist_restore(&dump), Err(PersistError::Mismatch(_))));
     }
 
     #[test]

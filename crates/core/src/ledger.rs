@@ -65,6 +65,28 @@ impl QuietLedger {
         self.quiet_at.insert(neighbor, state);
     }
 
+    /// The full bookkeeping state, for the persistence layer
+    /// ([`crate::persist`]): per-neighbour revision counters and quiet memos,
+    /// in neighbour order.
+    #[allow(clippy::type_complexity)]
+    pub fn export(&self) -> (Vec<(SensorId, u64)>, Vec<(SensorId, LedgerState)>) {
+        (
+            self.revisions.iter().map(|(&j, &r)| (j, r)).collect(),
+            self.quiet_at.iter().map(|(&j, &s)| (j, s)).collect(),
+        )
+    }
+
+    /// Rebuilds a ledger from [`QuietLedger::export`]ed parts.
+    pub fn from_parts(
+        revisions: Vec<(SensorId, u64)>,
+        quiet_at: Vec<(SensorId, LedgerState)>,
+    ) -> Self {
+        QuietLedger {
+            revisions: revisions.into_iter().collect(),
+            quiet_at: quiet_at.into_iter().collect(),
+        }
+    }
+
     /// Drops all bookkeeping for a departed neighbour (revision counter and
     /// quiet memo). If the neighbour later rejoins, it starts from revision
     /// zero — exactly like a neighbour never heard from.

@@ -60,6 +60,7 @@ pub mod global;
 mod ledger;
 pub mod message;
 pub mod metrics;
+pub mod persist;
 pub mod semiglobal;
 pub mod streaming;
 pub mod sufficient;
@@ -69,5 +70,6 @@ pub use detector::OutlierDetector;
 pub use error::CoreError;
 pub use global::GlobalNode;
 pub use message::OutlierBroadcast;
+pub use persist::PersistError;
 pub use semiglobal::SemiGlobalNode;
 pub use streaming::{SlideReport, StreamingExperiment, StreamingOutcome};

@@ -15,11 +15,13 @@ use crate::cache::RevisionCache;
 use crate::detector::OutlierDetector;
 use crate::ledger::{fold_min_timestamp, QuietLedger};
 use crate::message::OutlierBroadcast;
+use crate::persist::{self, PersistError};
 use crate::sufficient::FixedPointEngine;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, HopCount, PointSet, SensorId, SlidingWindow, Timestamp};
+use wsn_json::JsonValue;
 use wsn_ranking::index::{AnyIndex, IndexStrategy};
 use wsn_ranking::{top_n_outliers, OutlierEstimate, RankingFunction};
 
@@ -181,6 +183,118 @@ impl<R: RankingFunction> SemiGlobalNode<R> {
             batch.extend(fresh.iter().filter(|p| p.hop <= h as HopCount).cloned());
             engine.note_shared_points(neighbor, &batch, revision);
         }
+    }
+
+    /// Serializes this node's complete canonical protocol state for
+    /// [`crate::persist`] — like
+    /// [`crate::global::GlobalNode::persist_snapshot`], plus the hop
+    /// diameter and one engine chain set per hop prefix. The hop-prefix
+    /// cache is derived state and not included.
+    pub fn persist_snapshot(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("kind".into(), JsonValue::from("semiglobal")),
+            ("id".into(), JsonValue::from(self.id.raw())),
+            ("n".into(), JsonValue::from(self.n)),
+            ("hop_diameter".into(), JsonValue::from(u32::from(self.hop_diameter))),
+            ("liveness_timeout_secs".into(), persist::opt_f64_to_json(self.liveness_timeout_secs)),
+            ("window".into(), persist::snapshot_window(&self.window)),
+            ("shared_with".into(), persist::sets_by_id_to_json(&self.shared_with)),
+            (
+                "shared_oldest".into(),
+                persist::opt_u64_to_json(self.shared_oldest.map(|t| t.as_micros())),
+            ),
+            ("points_sent".into(), JsonValue::from(self.points_sent)),
+            ("points_received".into(), JsonValue::from(self.points_received)),
+            ("ledger".into(), persist::ledger_to_json(&self.ledger)),
+            (
+                "engines".into(),
+                JsonValue::Array(self.engines.iter().map(persist::engine_to_json).collect()),
+            ),
+            ("last_now".into(), JsonValue::from(self.last_now.as_micros())),
+            ("last_heard".into(), persist::times_by_id_to_json(&self.last_heard)),
+            ("presumed_dead".into(), persist::ids_to_json(self.presumed_dead.iter().copied())),
+        ])
+    }
+
+    /// Installs a [`SemiGlobalNode::persist_snapshot`] into this node,
+    /// refusing snapshots from a differently configured node (id, `n`, hop
+    /// diameter, window length, liveness timeout).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Schema`] for malformed dumps,
+    /// [`PersistError::Mismatch`] for configuration disagreements. On error
+    /// the node is left untouched.
+    pub fn persist_restore(&mut self, dump: &JsonValue) -> Result<(), PersistError> {
+        persist::expect_kind(dump, "semiglobal")?;
+        let id = persist::u32_field(dump, "id")?;
+        if id != self.id.raw() {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot is for sensor {id}, restoring into sensor {}",
+                self.id.raw()
+            )));
+        }
+        let n = persist::usize_field(dump, "n")?;
+        if n != self.n {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot reports top-{n}, this node reports top-{}",
+                self.n
+            )));
+        }
+        let hop_diameter = persist::u32_field(dump, "hop_diameter")?;
+        if hop_diameter != u32::from(self.hop_diameter) {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot hop diameter is {hop_diameter}, this node's is {}",
+                self.hop_diameter
+            )));
+        }
+        if persist::opt_f64_field(dump, "liveness_timeout_secs")? != self.liveness_timeout_secs {
+            return Err(PersistError::Mismatch("liveness timeout differs".into()));
+        }
+        let window = persist::restore_window(persist::field(dump, "window")?)?;
+        if window.config().length_micros != self.window.config().length_micros {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot window is {}µs long, this node's is {}µs",
+                window.config().length_micros,
+                self.window.config().length_micros
+            )));
+        }
+        let engine_values = persist::array_field(dump, "engines")?;
+        if engine_values.len() != self.engines.len() {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot holds {} engine chains, this node runs {}",
+                engine_values.len(),
+                self.engines.len()
+            )));
+        }
+        let engine_dumps = engine_values
+            .iter()
+            .map(persist::engine_dumps_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let shared_with = persist::sets_by_id_from_json(persist::field(dump, "shared_with")?)?;
+        let shared_oldest =
+            persist::opt_u64_field(dump, "shared_oldest")?.map(Timestamp::from_micros);
+        let points_sent = persist::u64_field(dump, "points_sent")?;
+        let points_received = persist::u64_field(dump, "points_received")?;
+        let ledger = persist::ledger_from_json(persist::field(dump, "ledger")?)?;
+        let last_now = Timestamp::from_micros(persist::u64_field(dump, "last_now")?);
+        let last_heard = persist::times_by_id_from_json(persist::field(dump, "last_heard")?)?;
+        let presumed_dead: BTreeSet<SensorId> =
+            persist::ids_from_json(persist::field(dump, "presumed_dead")?)?.into_iter().collect();
+        self.window = window;
+        self.shared_with = shared_with;
+        self.shared_oldest = shared_oldest;
+        self.points_sent = points_sent;
+        self.points_received = points_received;
+        self.prefix_cache.invalidate();
+        self.ledger = ledger;
+        for (engine, dumps) in self.engines.iter_mut().zip(engine_dumps) {
+            engine.restore_neighbor_states(dumps);
+        }
+        self.last_now = last_now;
+        self.last_heard = last_heard;
+        self.presumed_dead = presumed_dead;
+        Ok(())
     }
 }
 
@@ -619,6 +733,44 @@ mod tests {
         node.receive(SensorId(2), vec![pt(2, 9, 7.0).with_hop(1)]);
         assert!(!node.presumes_dead(SensorId(2)));
         assert!(node.process(&[SensorId(2)]).is_some(), "resync resumes from scratch");
+    }
+
+    #[test]
+    fn persist_snapshot_round_trips_mid_protocol() {
+        let mut nodes = chain(3, 2);
+        nodes[0].add_local_points(vec![pt(0, 99, -500.0)]);
+        // A couple of exchange rounds leaves live per-neighbour state in
+        // every hop prefix's engine.
+        for _ in 0..2 {
+            for idx in 0..nodes.len() {
+                let neighbors: Vec<SensorId> = [idx.wrapping_sub(1), idx + 1]
+                    .iter()
+                    .filter_map(|&i| nodes.get(i).map(|n| n.id()))
+                    .collect();
+                if let Some(m) = nodes[idx].process(&neighbors) {
+                    let from = nodes[idx].id();
+                    for (nb, node) in nodes.iter_mut().enumerate() {
+                        let pts = m.points_for(node.id());
+                        if nb != idx && !pts.is_empty() {
+                            node.receive(from, pts);
+                        }
+                    }
+                }
+            }
+        }
+        let dump = nodes[1].persist_snapshot();
+        let mut fresh = SemiGlobalNode::new(SensorId(1), NnDistance, 1, 2, window());
+        fresh.persist_restore(&dump).unwrap();
+        assert_eq!(fresh.persist_snapshot(), dump, "restore is lossless");
+        assert_eq!(
+            fresh.process(&[SensorId(0), SensorId(2)]),
+            nodes[1].process(&[SensorId(0), SensorId(2)]),
+            "the restored node continues identically"
+        );
+        assert!(fresh.estimate().same_outliers_as(&nodes[1].estimate()));
+        // A node with a different hop diameter refuses the snapshot.
+        let mut other = SemiGlobalNode::new(SensorId(1), NnDistance, 1, 3, window());
+        assert!(matches!(other.persist_restore(&dump), Err(PersistError::Mismatch(_))));
     }
 
     #[test]

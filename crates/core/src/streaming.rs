@@ -19,8 +19,25 @@
 //! The driver accepts any [`DeploymentTrace`] — synthetic, a `wsn-workload`
 //! scenario, or a replayed Intel trace — and any [`AlgorithmConfig`]
 //! (global, semi-global, centralized).
+//!
+//! # Crash safety
+//!
+//! [`StreamingExperiment::checkpoint_every_slides`] makes the driver write
+//! an atomic, checksummed snapshot of every node's canonical state (plus the
+//! slide reports, delta baseline and fault-plan cursor) every `k` slides;
+//! [`StreamingExperiment::resume_from`] picks a killed run back up from the
+//! latest checkpoint. Because the whole simulation is deterministic (seeded
+//! RNG, intrinsic event order), the resume path **replays** the simulation
+//! up to the checkpoint slide — which reconstructs transport state
+//! (schedules, in-flight messages, AODV routes) exactly — then validates
+//! the replayed detector state against the snapshot bit-for-bit and
+//! installs the snapshot through the live restore path. A resumed run
+//! therefore continues *bit-for-bit identical* to one that was never
+//! stopped, on either backend, under any fault plan; a torn or mismatched
+//! checkpoint is refused with a typed [`PersistError`], never loaded.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::app::{DetectorApp, SamplingSchedule, ScheduleDriven};
@@ -30,12 +47,14 @@ use crate::error::CoreError;
 use crate::experiment::{AlgorithmConfig, AnyDetector, ExperimentConfig, FaultDriver};
 use crate::global::GlobalNode;
 use crate::metrics::{estimates_agree, paired_truths, AccuracyReport, LabelReport};
+use crate::persist::{self, PersistError};
 use crate::semiglobal::SemiGlobalNode;
 use wsn_data::impute::WindowMeanImputer;
 use wsn_data::lab::LabDeployment;
 use wsn_data::stream::{DeploymentTrace, SensorStream};
 use wsn_data::window::WindowConfig;
 use wsn_data::{DataPoint, HopCount, PointKey, SensorId, Timestamp};
+use wsn_json::JsonValue;
 use wsn_netsim::radio::RadioConfig;
 use wsn_netsim::region::{AnySimulator, SimHandle};
 use wsn_netsim::sim::{Application, SimConfig};
@@ -52,6 +71,11 @@ trait StreamingProbe {
     fn streaming_own_points(&self, id: SensorId) -> Vec<DataPoint>;
     /// Cumulative protocol data points this node has broadcast.
     fn streaming_points_sent(&self) -> u64;
+    /// The node's canonical persisted state (see [`crate::persist`]).
+    fn persist_snapshot(&self) -> JsonValue;
+    /// Installs a snapshot previously taken by
+    /// [`StreamingProbe::persist_snapshot`].
+    fn persist_restore(&mut self, dump: &JsonValue) -> Result<(), PersistError>;
 }
 
 impl StreamingProbe for DetectorApp<AnyDetector> {
@@ -65,6 +89,14 @@ impl StreamingProbe for DetectorApp<AnyDetector> {
 
     fn streaming_points_sent(&self) -> u64 {
         self.detector().points_sent()
+    }
+
+    fn persist_snapshot(&self) -> JsonValue {
+        self.detector().persist_snapshot()
+    }
+
+    fn persist_restore(&mut self, dump: &JsonValue) -> Result<(), PersistError> {
+        self.detector_mut().persist_restore(dump)
     }
 }
 
@@ -80,10 +112,18 @@ impl StreamingProbe for CentralizedApp<Arc<dyn RankingFunction>> {
     fn streaming_points_sent(&self) -> u64 {
         0 // the centralized baseline ships windows, not protocol points
     }
+
+    fn persist_snapshot(&self) -> JsonValue {
+        CentralizedApp::persist_snapshot(self)
+    }
+
+    fn persist_restore(&mut self, dump: &JsonValue) -> Result<(), PersistError> {
+        CentralizedApp::persist_restore(self, dump)
+    }
 }
 
 /// The measurements taken at one window slide.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlideReport {
     /// The slide (= sampling round) index, starting at 0.
     pub slide: usize,
@@ -134,10 +174,178 @@ impl Totals {
             data_points,
         }
     }
+
+    fn to_json(self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("packets".into(), JsonValue::from(self.packets)),
+            ("bytes".into(), JsonValue::from(self.bytes)),
+            ("tx_joules".into(), JsonValue::Number(self.tx_joules)),
+            ("rx_joules".into(), JsonValue::Number(self.rx_joules)),
+            ("data_points".into(), JsonValue::from(self.data_points)),
+        ])
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Totals, PersistError> {
+        Ok(Totals {
+            packets: persist::u64_field(value, "packets")?,
+            bytes: persist::u64_field(value, "bytes")?,
+            tx_joules: persist::f64_field(value, "tx_joules")?,
+            rx_joules: persist::f64_field(value, "rx_joules")?,
+            data_points: persist::u64_field(value, "data_points")?,
+        })
+    }
+}
+
+fn accuracy_to_json(report: &AccuracyReport) -> JsonValue {
+    JsonValue::Object(vec![
+        ("total_nodes".into(), JsonValue::from(report.total_nodes)),
+        ("correct_nodes".into(), JsonValue::from(report.correct_nodes)),
+        ("incorrect".into(), persist::ids_to_json(report.incorrect.iter().copied())),
+        ("missing".into(), persist::ids_to_json(report.missing.iter().copied())),
+        ("recall_sum".into(), JsonValue::Number(report.recall_sum)),
+    ])
+}
+
+fn accuracy_from_json(value: &JsonValue) -> Result<AccuracyReport, PersistError> {
+    Ok(AccuracyReport {
+        total_nodes: persist::usize_field(value, "total_nodes")?,
+        correct_nodes: persist::usize_field(value, "correct_nodes")?,
+        incorrect: persist::ids_from_json(persist::field(value, "incorrect")?)?,
+        missing: persist::ids_from_json(persist::field(value, "missing")?)?,
+        recall_sum: persist::f64_field(value, "recall_sum")?,
+    })
+}
+
+fn labels_to_json(report: &LabelReport) -> JsonValue {
+    JsonValue::Object(vec![
+        ("total_nodes".into(), JsonValue::from(report.total_nodes)),
+        ("labelled_nodes".into(), JsonValue::from(report.labelled_nodes)),
+        ("precision_sum".into(), JsonValue::Number(report.precision_sum)),
+        ("recall_sum".into(), JsonValue::Number(report.recall_sum)),
+    ])
+}
+
+fn labels_from_json(value: &JsonValue) -> Result<LabelReport, PersistError> {
+    Ok(LabelReport {
+        total_nodes: persist::usize_field(value, "total_nodes")?,
+        labelled_nodes: persist::usize_field(value, "labelled_nodes")?,
+        precision_sum: persist::f64_field(value, "precision_sum")?,
+        recall_sum: persist::f64_field(value, "recall_sum")?,
+    })
+}
+
+fn slide_to_json(slide: &SlideReport) -> JsonValue {
+    JsonValue::Object(vec![
+        ("slide".into(), JsonValue::from(slide.slide)),
+        ("at".into(), JsonValue::from(slide.at.as_micros())),
+        ("window_points".into(), JsonValue::from(slide.window_points)),
+        ("accuracy".into(), accuracy_to_json(&slide.accuracy)),
+        ("labels".into(), labels_to_json(&slide.labels)),
+        ("estimates_agree".into(), JsonValue::from(slide.estimates_agree)),
+        ("packets_delta".into(), JsonValue::from(slide.packets_delta)),
+        ("bytes_delta".into(), JsonValue::from(slide.bytes_delta)),
+        ("data_points_delta".into(), JsonValue::from(slide.data_points_delta)),
+        ("avg_tx_energy_delta".into(), JsonValue::Number(slide.avg_tx_energy_delta)),
+        ("avg_rx_energy_delta".into(), JsonValue::Number(slide.avg_rx_energy_delta)),
+    ])
+}
+
+fn slide_from_json(value: &JsonValue) -> Result<SlideReport, PersistError> {
+    Ok(SlideReport {
+        slide: persist::usize_field(value, "slide")?,
+        at: Timestamp::from_micros(persist::u64_field(value, "at")?),
+        window_points: persist::usize_field(value, "window_points")?,
+        accuracy: accuracy_from_json(persist::field(value, "accuracy")?)?,
+        labels: labels_from_json(persist::field(value, "labels")?)?,
+        estimates_agree: persist::bool_field(value, "estimates_agree")?,
+        packets_delta: persist::u64_field(value, "packets_delta")?,
+        bytes_delta: persist::u64_field(value, "bytes_delta")?,
+        data_points_delta: persist::u64_field(value, "data_points_delta")?,
+        avg_tx_energy_delta: persist::f64_field(value, "avg_tx_energy_delta")?,
+        avg_rx_energy_delta: persist::f64_field(value, "avg_rx_energy_delta")?,
+    })
+}
+
+/// Where and how often the slide loop writes checkpoints.
+struct CheckpointCtx {
+    every: usize,
+    dir: PathBuf,
+    config_hash: u64,
+}
+
+/// Everything a checkpoint holds, parsed and validated, ready to install.
+struct ResumeState {
+    /// The next round to run (the checkpoint was taken after `cursor`
+    /// slides completed).
+    cursor: usize,
+    /// The fault-plan cursor at checkpoint time.
+    fault_cursor: usize,
+    /// Simulation time at checkpoint time.
+    at: Timestamp,
+    /// Slide reports produced before the checkpoint.
+    slides: Vec<SlideReport>,
+    /// The delta baseline the next slide subtracts from.
+    previous: Totals,
+    /// The convergence latency, if reached before the checkpoint.
+    convergence: Option<usize>,
+    /// Per-node canonical state dumps.
+    nodes: BTreeMap<SensorId, JsonValue>,
+}
+
+/// Reads and preflight-validates `dir/checkpoint.json` against the live
+/// configuration: file header (format, version, checksum) via
+/// [`persist::read_verified`], payload kind, and the configuration hash.
+fn load_checkpoint(dir: &Path, config: &ExperimentConfig) -> Result<ResumeState, CoreError> {
+    let path = dir.join("checkpoint.json");
+    let (kind, payload) = persist::read_verified(&path)?;
+    if kind != "checkpoint" {
+        return Err(PersistError::Mismatch(format!(
+            "expected a checkpoint file, found kind \"{kind}\""
+        ))
+        .into());
+    }
+    let stored_hash = persist::u64_field(&payload, "config_hash")?;
+    let live_hash = persist::config_hash(config);
+    if stored_hash != live_hash {
+        return Err(PersistError::Mismatch(format!(
+            "checkpoint was written by configuration {stored_hash:#x}, this run is {live_hash:#x}"
+        ))
+        .into());
+    }
+    let slides = persist::array_field(&payload, "slides")?
+        .iter()
+        .map(slide_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut nodes = BTreeMap::new();
+    for entry in persist::array_field(&payload, "nodes")? {
+        match entry.as_array() {
+            Some([id, dump]) => {
+                let id = id
+                    .as_u64()
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| PersistError::Schema("node entry id is not a u32".into()))?;
+                nodes.insert(SensorId(id), dump.clone());
+            }
+            _ => {
+                return Err(
+                    PersistError::Schema("node entry is not an [id, dump] pair".into()).into()
+                )
+            }
+        }
+    }
+    Ok(ResumeState {
+        cursor: persist::usize_field(&payload, "cursor")?,
+        fault_cursor: persist::usize_field(&payload, "fault_cursor")?,
+        at: Timestamp::from_micros(persist::u64_field(&payload, "at")?),
+        slides,
+        previous: Totals::from_json(persist::field(&payload, "previous")?)?,
+        convergence: persist::opt_u64_field(&payload, "convergence")?.map(|v| v as usize),
+        nodes,
+    })
 }
 
 /// The full time series a streaming run produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamingOutcome {
     /// The plot label of the algorithm that ran.
     pub label: String,
@@ -218,17 +426,48 @@ impl StreamingOutcome {
 #[derive(Debug, Clone)]
 pub struct StreamingExperiment {
     config: ExperimentConfig,
+    /// `(every, dir)`: write a checkpoint into `dir` every `every` slides.
+    checkpoint: Option<(usize, PathBuf)>,
+    /// Resume from the checkpoint in this directory before running.
+    resume: Option<PathBuf>,
 }
 
 impl StreamingExperiment {
     /// Wraps an experiment configuration for streaming evaluation.
     pub fn new(config: ExperimentConfig) -> Self {
-        StreamingExperiment { config }
+        StreamingExperiment { config, checkpoint: None, resume: None }
     }
 
     /// The wrapped configuration.
     pub fn config(&self) -> &ExperimentConfig {
         &self.config
+    }
+
+    /// Writes a crash-safe checkpoint (`checkpoint.json`, atomic +
+    /// checksummed; see [`crate::persist`]) into `dir` every `every` slides:
+    /// all node state, the slide reports so far, the delta baseline and the
+    /// fault-plan cursor. A run killed at any point can then be picked up
+    /// with [`StreamingExperiment::resume_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn checkpoint_every_slides(mut self, every: usize, dir: impl Into<PathBuf>) -> Self {
+        assert!(every > 0, "the checkpoint cadence must be at least one slide");
+        self.checkpoint = Some((every, dir.into()));
+        self
+    }
+
+    /// Resumes from the latest checkpoint in `dir` instead of starting at
+    /// slide 0: the simulation is replayed (deterministically) up to the
+    /// checkpoint slide, the replayed node state is validated against the
+    /// snapshot, the snapshot is installed, and the run continues
+    /// bit-for-bit as if it had never stopped. A torn, corrupt, or
+    /// mismatched checkpoint fails with [`CoreError::Persist`] before any
+    /// state is touched.
+    pub fn resume_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.resume = Some(dir.into());
+        self
     }
 
     /// Generates the configured deployment and synthetic trace (exactly as
@@ -263,6 +502,15 @@ impl StreamingExperiment {
     pub fn run_on_trace(&self, trace: &DeploymentTrace) -> Result<StreamingOutcome, CoreError> {
         let config = &self.config;
         config.validate()?;
+        // Preflight the checkpoint before any simulation work: a torn file
+        // or a different experiment's state must fail fast, untouched.
+        let resume_state =
+            self.resume.as_deref().map(|dir| load_checkpoint(dir, config)).transpose()?;
+        let persist_ctx = self.checkpoint.as_ref().map(|(every, dir)| CheckpointCtx {
+            every: *every,
+            dir: dir.clone(),
+            config_hash: persist::config_hash(config),
+        });
         // Nodes whose first fault event is a join start outside the network;
         // the fault driver adds them when their time comes.
         let absent = config
@@ -342,7 +590,7 @@ impl StreamingExperiment {
                     sim.set_duty_cycles(Arc::new(plan.duty_cycles().clone()));
                     FaultDriver::new(plan, &schedule, Box::new(make_app))
                 });
-                Ok(drive(
+                drive(
                     &mut sim,
                     &schedule,
                     &ranking,
@@ -352,7 +600,9 @@ impl StreamingExperiment {
                     &labels,
                     deadline,
                     config.algorithm.label(),
-                ))
+                    persist_ctx.as_ref(),
+                    resume_state,
+                )
             }
             AlgorithmConfig::Centralized { .. } => {
                 let sink = wsn_data::lab::default_sink(&specs).expect("at least one sensor exists");
@@ -374,7 +624,7 @@ impl StreamingExperiment {
                             )
                         },
                     );
-                Ok(drive(
+                drive(
                     &mut sim,
                     &schedule,
                     &ranking,
@@ -384,7 +634,9 @@ impl StreamingExperiment {
                     &labels,
                     deadline,
                     config.algorithm.label(),
-                ))
+                    persist_ctx.as_ref(),
+                    resume_state,
+                )
             }
         }
     }
@@ -405,7 +657,9 @@ fn drive<A, S>(
     labels: &BTreeSet<PointKey>,
     deadline: Timestamp,
     label: String,
-) -> StreamingOutcome
+    persist: Option<&CheckpointCtx>,
+    resume: Option<ResumeState>,
+) -> Result<StreamingOutcome, CoreError>
 where
     A: Application + StreamingProbe + ScheduleDriven,
     S: SimHandle<A>,
@@ -414,7 +668,79 @@ where
     let mut previous = Totals::default();
     let mut convergence_latency = None;
     let node_count = sim.topology().len();
-    for round in 0..schedule.rounds {
+    let mut start_round = 0usize;
+    if let Some(state) = resume {
+        // Fast-forward the deterministic simulation through every slide the
+        // checkpoint already covers. Fault events are *applied* (not
+        // skipped) so the transport layer — routes, duty cycles, membership
+        // — is reconstructed exactly; only the collect/grade work is
+        // elided. Replay must land every node on the checkpointed detector
+        // state byte-for-byte, otherwise the checkpoint belongs to a
+        // different run and loading it would silently corrupt the results.
+        let _resume_span = wsn_obs::span("resume");
+        for round in 0..state.cursor {
+            let next_round_start =
+                Timestamp::from_secs_f64((round + 1) as f64 * schedule.sample_interval_secs);
+            let eval_at = Timestamp::from_micros(next_round_start.as_micros().saturating_sub(1));
+            if let Some(driver) = faults.as_mut() {
+                driver.apply_through(sim, eval_at);
+            }
+            sim.run_until(eval_at);
+        }
+        let fault_cursor = faults.as_ref().map(FaultDriver::cursor).unwrap_or(0);
+        if fault_cursor != state.fault_cursor {
+            return Err(PersistError::Mismatch(format!(
+                "replay applied {fault_cursor} fault events but the checkpoint recorded {}",
+                state.fault_cursor
+            ))
+            .into());
+        }
+        if sim.now() != state.at {
+            return Err(PersistError::Mismatch(format!(
+                "replay reached t={} µs but the checkpoint was taken at t={} µs",
+                sim.now().as_micros(),
+                state.at.as_micros()
+            ))
+            .into());
+        }
+        let mut install: Result<(), PersistError> = Ok(());
+        let mut seen = 0usize;
+        sim.for_each_app_mut(&mut |id, app| {
+            if install.is_err() {
+                return;
+            }
+            seen += 1;
+            match state.nodes.get(&id) {
+                None => {
+                    install = Err(PersistError::Mismatch(format!(
+                        "live node {id} has no snapshot in the checkpoint"
+                    )));
+                }
+                Some(dump) => {
+                    if app.persist_snapshot() != *dump {
+                        install = Err(PersistError::Mismatch(format!(
+                            "replayed state of node {id} diverges from the checkpoint"
+                        )));
+                    } else {
+                        install = app.persist_restore(dump);
+                    }
+                }
+            }
+        });
+        install?;
+        if seen != state.nodes.len() {
+            return Err(PersistError::Mismatch(format!(
+                "checkpoint holds {} node snapshots but the simulation has {seen} live apps",
+                state.nodes.len()
+            ))
+            .into());
+        }
+        slides = state.slides;
+        previous = state.previous;
+        convergence_latency = state.convergence;
+        start_round = state.cursor;
+    }
+    for round in start_round..schedule.rounds {
         // Evaluate 1 µs before the next round's earliest (unstaggered)
         // sample, so the slide sees everything of round `round` and nothing
         // of round `round + 1`.
@@ -485,6 +811,53 @@ where
             avg_rx_energy_delta: (totals.rx_joules - previous.rx_joules) / node_count as f64,
         });
         previous = totals;
+        if let Some(ctx) = persist {
+            if (round + 1) % ctx.every == 0 {
+                // Nested under the slide span, so telemetry reports the
+                // checkpoint cost as `slide/checkpoint`.
+                let _ckpt_span = wsn_obs::span("checkpoint");
+                let mut nodes: Vec<JsonValue> = Vec::with_capacity(node_count);
+                sim.for_each_app(&mut |id, app| {
+                    nodes.push(JsonValue::Array(vec![
+                        JsonValue::from(id.0),
+                        app.persist_snapshot(),
+                    ]));
+                });
+                let payload = JsonValue::Object(vec![
+                    ("config_hash".to_string(), JsonValue::from(ctx.config_hash)),
+                    ("cursor".to_string(), JsonValue::from(round + 1)),
+                    (
+                        "fault_cursor".to_string(),
+                        JsonValue::from(faults.as_ref().map(FaultDriver::cursor).unwrap_or(0)),
+                    ),
+                    ("at".to_string(), JsonValue::from(sim.now().as_micros())),
+                    (
+                        "convergence".to_string(),
+                        match convergence_latency {
+                            Some(slide) => JsonValue::from(slide),
+                            None => JsonValue::Null,
+                        },
+                    ),
+                    ("previous".to_string(), previous.to_json()),
+                    (
+                        "slides".to_string(),
+                        JsonValue::Array(slides.iter().map(slide_to_json).collect()),
+                    ),
+                    ("nodes".to_string(), JsonValue::Array(nodes)),
+                ]);
+                std::fs::create_dir_all(&ctx.dir).map_err(|e| {
+                    PersistError::Io(format!("create checkpoint dir {}: {e}", ctx.dir.display()))
+                })?;
+                let bytes = persist::write_atomic(
+                    &ctx.dir.join("checkpoint.json"),
+                    "checkpoint",
+                    &payload,
+                )?;
+                persist::OBS_SNAPSHOTS_WRITTEN.add(1);
+                persist::OBS_SNAPSHOT_BYTES.add(bytes);
+                persist::crash_point("persist.after_checkpoint");
+            }
+        }
     }
     let quiescent_tail = {
         let _tail_span = wsn_obs::span("tail");
@@ -497,7 +870,7 @@ where
     };
     let mut data_points_sent = 0;
     sim.for_each_app(&mut |_, a| data_points_sent += a.streaming_points_sent());
-    StreamingOutcome {
+    Ok(StreamingOutcome {
         label,
         slides,
         convergence_latency_slides: convergence_latency,
@@ -506,7 +879,7 @@ where
         data_points_sent,
         node_count,
         rounds: schedule.rounds,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -599,6 +972,78 @@ mod tests {
         assert!(packets <= outcome.final_stats.total_packets_sent());
         assert!(bytes <= outcome.final_stats.total_bytes_sent());
         assert!(packets > 0);
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wsn-streaming-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn a_killed_run_resumes_bit_for_bit() {
+        let config = spiky_small(AlgorithmConfig::Global { ranking: RankingChoice::Nn });
+        let baseline = StreamingExperiment::new(config.clone()).run().unwrap();
+
+        // Kill the run right after its second checkpoint (slide 4 of 6).
+        let dir = scratch_dir("kill");
+        crate::persist::arm_crash_point("persist.after_checkpoint", 2);
+        let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            StreamingExperiment::new(config.clone()).checkpoint_every_slides(2, &dir).run().unwrap()
+        }));
+        crate::persist::disarm_crash_points();
+        let message = *killed.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains(crate::persist::CRASH_MARKER), "panic was {message:?}");
+
+        // Resuming from the surviving checkpoint reproduces the
+        // uninterrupted run exactly — slides, convergence, final stats.
+        let resumed = StreamingExperiment::new(config).resume_from(&dir).run().unwrap();
+        assert_eq!(resumed, baseline);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resuming_a_finished_run_replays_only_the_tail() {
+        // With every=3 the final checkpoint lands after the last slide
+        // (cursor == rounds), so resume skips the slide loop entirely.
+        let config = spiky_small(AlgorithmConfig::SemiGlobal {
+            ranking: RankingChoice::Nn,
+            hop_diameter: 2,
+        });
+        let dir = scratch_dir("tail");
+        let baseline = StreamingExperiment::new(config.clone())
+            .checkpoint_every_slides(3, &dir)
+            .run()
+            .unwrap();
+        let resumed = StreamingExperiment::new(config).resume_from(&dir).run().unwrap();
+        assert_eq!(resumed, baseline);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_refuses_a_checkpoint_from_a_different_configuration() {
+        let config = spiky_small(AlgorithmConfig::Global { ranking: RankingChoice::Nn });
+        let dir = scratch_dir("mismatch");
+        StreamingExperiment::new(config.clone()).checkpoint_every_slides(2, &dir).run().unwrap();
+
+        let mut other = config.clone();
+        other.n = config.n + 1;
+        let err = StreamingExperiment::new(other).resume_from(&dir).run().unwrap_err();
+        assert!(
+            matches!(err, CoreError::Persist(crate::persist::PersistError::Mismatch(_))),
+            "expected a config-hash mismatch, got {err:?}"
+        );
+
+        // A torn checkpoint is detected, not loaded.
+        let path = dir.join("checkpoint.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 7]).unwrap();
+        let err = StreamingExperiment::new(config).resume_from(&dir).run().unwrap_err();
+        assert!(
+            matches!(err, CoreError::Persist(crate::persist::PersistError::Corrupt(_))),
+            "expected corruption to be refused, got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -197,6 +197,36 @@ impl SlidingWindow {
         self.oldest = self.contents.iter().map(|p| p.timestamp).min();
     }
 
+    /// Reassembles a window from externally persisted parts — the inverse of
+    /// reading [`config`](SlidingWindow::config),
+    /// [`contents`](SlidingWindow::contents), [`now`](SlidingWindow::now) and
+    /// [`revision`](SlidingWindow::revision) off a live window. The cached
+    /// oldest-timestamp gate is rederived from the contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] if any point lies before the
+    /// window's cutoff at `now` — such a point could never have been inside a
+    /// live window, so the parts are corrupt, not merely stale.
+    pub fn from_parts(
+        config: WindowConfig,
+        contents: PointSet,
+        now: Timestamp,
+        revision: u64,
+    ) -> Result<Self, DataError> {
+        let cutoff = config.cutoff(now);
+        if let Some(stale) = contents.iter().find(|p| p.timestamp < cutoff) {
+            return Err(DataError::InvalidParameter(format!(
+                "window point {:?} at {}us lies before the cutoff {}us",
+                stale.key,
+                stale.timestamp.as_micros(),
+                cutoff.as_micros()
+            )));
+        }
+        let oldest = contents.iter().map(|p| p.timestamp).min();
+        Ok(SlidingWindow { config, contents: Arc::new(contents), now, revision, oldest })
+    }
+
     /// Number of points currently held.
     pub fn len(&self) -> usize {
         self.contents.len()
@@ -350,6 +380,31 @@ mod tests {
         let p = Arc::new(pt(1, 0, 1));
         assert!(w.insert_arc(Arc::clone(&p)));
         assert!(Arc::ptr_eq(w.contents().get_arc(&p.key).unwrap(), &p));
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_live_window() {
+        let mut w = SlidingWindow::new(WindowConfig::from_secs(10).unwrap());
+        w.insert(pt(1, 0, 5));
+        w.insert(pt(2, 0, 9));
+        w.advance_to(Timestamp::from_secs(12));
+        let rebuilt =
+            SlidingWindow::from_parts(w.config(), w.contents().clone(), w.now(), w.revision())
+                .unwrap();
+        assert_eq!(rebuilt, w);
+        // The rederived oldest gate still drives evictions correctly.
+        let mut rebuilt = rebuilt;
+        assert_eq!(rebuilt.advance_to(Timestamp::from_secs(16)), 1);
+        assert_eq!(rebuilt.len(), 1);
+    }
+
+    #[test]
+    fn from_parts_rejects_points_behind_the_cutoff() {
+        let config = WindowConfig::from_secs(10).unwrap();
+        let contents: PointSet = vec![pt(1, 0, 5)].into_iter().collect();
+        let err =
+            SlidingWindow::from_parts(config, contents, Timestamp::from_secs(100), 3).unwrap_err();
+        assert!(matches!(err, DataError::InvalidParameter(_)));
     }
 
     #[test]

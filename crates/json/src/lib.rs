@@ -1,26 +1,51 @@
 //! A minimal, dependency-free JSON value model with an emitter and parser.
 //!
-//! The build environment is hermetic (no crates.io access), so the report
-//! layer cannot lean on `serde`; the figure reports and benchmark outputs
-//! only need flat objects, arrays, strings and finite numbers, which this
-//! module covers completely. Numbers are emitted with Rust's shortest
-//! round-trip `f64` formatting, so `parse(emit(v)) == v` for every finite
-//! value.
+//! The build environment is hermetic (no crates.io access), so neither the
+//! report layer nor the persistence layer can lean on `serde`; the figure
+//! reports, benchmark outputs, checkpoint snapshots and sweep journals only
+//! need flat objects, arrays, strings and numbers, which this crate covers
+//! completely.
+//!
+//! # Numbers
+//!
+//! JSON has a single number production, but the workspace carries two kinds
+//! of numeric payload with incompatible exactness requirements: measured
+//! quantities (energies, latencies — naturally `f64`) and identifiers
+//! (seeds, window revisions, event sequence numbers — `u64`/`i64` values
+//! that MUST survive a round trip bit-for-bit, including above 2^53 where
+//! `f64` starts dropping low bits). The model therefore distinguishes:
+//!
+//! * [`JsonValue::Int`] — a lossless integer (carried as `i128`, wide
+//!   enough for every `u64` and `i64`). Emitted as bare digits.
+//! * [`JsonValue::Number`] — an `f64`. Emitted with Rust's shortest
+//!   round-trip formatting, **always** with a decimal point (`1.0`, never
+//!   `1`), so the two emit formats are disjoint.
+//!
+//! The parser maps the grammar back the same way: a numeric literal without
+//! a fraction or exponent becomes an [`JsonValue::Int`] (falling back to
+//! `f64` only when it exceeds `i128`); anything with a `.` or an exponent
+//! becomes a [`JsonValue::Number`]. Together with the emitter convention
+//! this makes `parse(emit(v)) == v` hold *per variant* for every finite
+//! number and every integer.
 //!
 //! # Example
 //!
 //! ```
-//! use wsn_bench::json::JsonValue;
+//! use wsn_json::JsonValue;
 //!
 //! let value = JsonValue::object([
 //!     ("name", JsonValue::from("Figure 4")),
+//!     ("seed", JsonValue::from(u64::MAX)),
 //!     ("rows", JsonValue::Array(vec![JsonValue::from(1.5), JsonValue::from(2.0)])),
 //! ]);
 //! let text = value.to_pretty_string();
 //! let back = JsonValue::parse(&text).unwrap();
 //! assert_eq!(back, value);
-//! assert_eq!(back.get("name").and_then(|v| v.as_str()), Some("Figure 4"));
+//! assert_eq!(back.get("seed").and_then(|v| v.as_u64()), Some(u64::MAX));
 //! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt;
 
@@ -31,7 +56,11 @@ pub enum JsonValue {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number (always carried as `f64`).
+    /// A lossless integer (bare-digit literal). `i128` covers the full
+    /// `u64` and `i64` ranges the workspace serializes.
+    Int(i128),
+    /// A JSON number carried as `f64` (literal with a fraction or
+    /// exponent).
     Number(f64),
     /// A string.
     String(String),
@@ -82,6 +111,30 @@ impl From<bool> for JsonValue {
     }
 }
 
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Int(n as i128)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(n: i64) -> Self {
+        JsonValue::Int(n as i128)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(n: u32) -> Self {
+        JsonValue::Int(n as i128)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Int(n as i128)
+    }
+}
+
 impl JsonValue {
     /// Builds an object from `(key, value)` pairs.
     pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
@@ -104,10 +157,31 @@ impl JsonValue {
         }
     }
 
-    /// The numeric payload, if this is a number.
+    /// The numeric payload as `f64`. Covers both number variants —
+    /// integers are converted (lossily above 2^53), so measurement-style
+    /// consumers keep working regardless of how a literal was classified.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             JsonValue::Number(n) => Some(*n),
+            JsonValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact integer payload as `u64`, if this is an [`JsonValue::Int`]
+    /// in range. Never goes through `f64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The exact integer payload as `i64`, if this is an [`JsonValue::Int`]
+    /// in range. Never goes through `f64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => i64::try_from(*i).ok(),
             _ => None,
         }
     }
@@ -138,6 +212,9 @@ impl JsonValue {
         match self {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                out.push_str(&i.to_string());
+            }
             JsonValue::Number(n) => write_number(out, *n),
             JsonValue::String(s) => write_string(out, s),
             JsonValue::Array(items) => {
@@ -209,11 +286,16 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
 fn write_number(out: &mut String, n: f64) {
     if n.is_finite() {
         // Rust's Display for f64 is the shortest representation that parses
-        // back to the same bits, so numeric round trips are lossless.
+        // back to the same bits, so numeric round trips are lossless. It
+        // never uses exponent notation, so an integral value formats as bare
+        // digits ("1", "602000000000000000000000"); a trailing ".0" keeps
+        // the f64 emit format disjoint from the Int one, which is what lets
+        // the parser restore the exact variant.
         let formatted = format!("{n}");
         out.push_str(&formatted);
-        // `1.0` formats as "1"; that is still valid JSON and parses back
-        // exactly, so nothing more to do.
+        if !formatted.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
     } else {
         // JSON has no NaN/Infinity; represent them as null like serde_json's
         // default behaviour for non-finite floats.
@@ -432,13 +514,16 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             self.pos += 1;
         }
+        let mut integral = true;
         if self.peek() == Some(b'.') {
+            integral = false;
             self.pos += 1;
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -449,6 +534,14 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.error("invalid number"))?;
+        if integral {
+            // Bare-digit literal: keep it exact. Only a literal wider than
+            // i128 (which this workspace never emits) falls back to f64, so
+            // documents written by the pre-Int emitter still parse.
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| JsonError { offset: start, message: "invalid number".into() })
@@ -472,9 +565,68 @@ mod tests {
     fn numbers_round_trip_exactly() {
         for n in [0.0, -0.5, 1.0 / 3.0, 6.02e23, 1.6e-19, f64::MAX, f64::MIN_POSITIVE] {
             let text = JsonValue::Number(n).to_compact_string();
-            let back = JsonValue::parse(&text).unwrap().as_f64().unwrap();
-            assert_eq!(back, n, "value {n} changed through {text}");
+            let parsed = JsonValue::parse(&text).unwrap();
+            assert_eq!(parsed, JsonValue::Number(n), "value {n} changed through {text}");
+            assert_eq!(parsed.as_f64(), Some(n));
         }
+    }
+
+    #[test]
+    fn float_emit_format_is_disjoint_from_integers() {
+        // An integral f64 still emits with a decimal point, so the parser
+        // can tell it apart from a lossless integer literal.
+        assert_eq!(JsonValue::Number(1.0).to_compact_string(), "1.0");
+        assert_eq!(JsonValue::Number(-0.0).to_compact_string(), "-0.0");
+        assert_eq!(JsonValue::Number(6.02e23).to_compact_string(), "602000000000000000000000.0");
+        assert_eq!(JsonValue::Int(1).to_compact_string(), "1");
+    }
+
+    #[test]
+    fn large_integers_round_trip_losslessly() {
+        // The 2^53 boundary where f64 starts dropping low bits, and the
+        // extremes of the integer types the workspace serializes (seeds,
+        // window revisions, event sequence numbers).
+        let boundary = 1u64 << 53;
+        for n in [0, 1, boundary - 1, boundary, boundary + 1, u64::MAX - 1, u64::MAX] {
+            let value = JsonValue::from(n);
+            for text in [value.to_compact_string(), value.to_pretty_string()] {
+                let back = JsonValue::parse(&text).unwrap();
+                assert_eq!(back, value, "u64 {n} changed through {text}");
+                assert_eq!(back.as_u64(), Some(n), "u64 {n} inexact through {text}");
+            }
+        }
+        for n in [i64::MIN, i64::MIN + 1, -(1i64 << 53) - 1, -1, i64::MAX] {
+            let value = JsonValue::from(n);
+            let text = value.to_compact_string();
+            let back = JsonValue::parse(&text).unwrap();
+            assert_eq!(back.as_i64(), Some(n), "i64 {n} inexact through {text}");
+        }
+        // The old f64 path really would have corrupted this.
+        assert_ne!((boundary + 1) as f64 as u64, boundary + 1);
+    }
+
+    #[test]
+    fn integer_accessors_enforce_ranges() {
+        assert_eq!(JsonValue::from(u64::MAX).as_i64(), None);
+        assert_eq!(JsonValue::from(-1i64).as_u64(), None);
+        assert_eq!(JsonValue::from(7u32).as_u64(), Some(7));
+        assert_eq!(JsonValue::from(7usize).as_i64(), Some(7));
+        // Exact accessors never read the lossy f64 variant...
+        assert_eq!(JsonValue::Number(3.0).as_u64(), None);
+        assert_eq!(JsonValue::Number(3.0).as_i64(), None);
+        // ...but the f64 accessor reads integers, so measurement-style
+        // consumers are agnostic to the literal's classification.
+        assert_eq!(JsonValue::from(3u64).as_f64(), Some(3.0));
+        assert_eq!(JsonValue::Null.as_u64(), None);
+    }
+
+    #[test]
+    fn oversized_integer_literals_fall_back_to_f64() {
+        // Wider than i128: the pre-Int emitter wrote f64::MAX like this.
+        let text = format!("{}", f64::MAX);
+        assert!(!text.contains('.'), "f64::MAX formats as bare digits");
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(parsed, JsonValue::Number(f64::MAX));
     }
 
     #[test]
@@ -498,6 +650,7 @@ mod tests {
         let value = JsonValue::object([
             ("s", JsonValue::from("x")),
             ("n", JsonValue::from(2.5)),
+            ("i", JsonValue::from(42u64)),
             ("b", JsonValue::from(true)),
             ("z", JsonValue::Null),
             ("a", JsonValue::Array(vec![JsonValue::from(1.0), JsonValue::Array(vec![])])),

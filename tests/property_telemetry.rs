@@ -220,6 +220,68 @@ fn fault_counters_report_the_plan_and_stay_observationally_free() {
     }
 }
 
+/// The crash-safety layer under the zero-cost contract: checkpointing a
+/// streaming run changes nothing about what it computes, telemetry
+/// collection changes nothing about a checkpointed run, a resume from the
+/// checkpoints reproduces the uninterrupted outcome bit for bit — and when
+/// telemetry is compiled in, the `persist.*` counters and the
+/// `slide/checkpoint` span report exactly the persistence work performed.
+#[test]
+fn checkpointing_is_observationally_free_and_counted() {
+    let _guard = lock();
+    let mut config = ExperimentConfig::small()
+        .with_algorithm(AlgorithmConfig::Global { ranking: RankingChoice::Nn });
+    config.trace.rounds = 6;
+    let dir_off = std::env::temp_dir().join(format!("wsn-tel-ckpt-off-{}", std::process::id()));
+    let dir_on = std::env::temp_dir().join(format!("wsn-tel-ckpt-on-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_off);
+    let _ = std::fs::remove_dir_all(&dir_on);
+
+    wsn_obs::set_enabled(false);
+    let plain = StreamingExperiment::new(config.clone()).run().expect("plain run succeeds");
+    let off = StreamingExperiment::new(config.clone())
+        .checkpoint_every_slides(2, &dir_off)
+        .run()
+        .expect("checkpointed uninstrumented run succeeds");
+
+    wsn_obs::reset();
+    wsn_obs::set_enabled(true);
+    let on = StreamingExperiment::new(config.clone())
+        .checkpoint_every_slides(2, &dir_on)
+        .run()
+        .expect("checkpointed instrumented run succeeds");
+    let resumed = StreamingExperiment::new(config.clone())
+        .resume_from(&dir_on)
+        .run()
+        .expect("instrumented resume succeeds");
+    wsn_obs::set_enabled(false);
+
+    assert_eq!(plain, off, "checkpointing must not change what the run computes");
+    assert_eq!(off, on, "telemetry must not change what a checkpointed run computes");
+    assert_eq!(resumed, plain, "a resumed run must reproduce the uninterrupted outcome");
+
+    if wsn_obs::compiled() {
+        let report = wsn_obs::report();
+        assert_eq!(
+            report.counter("persist.snapshots_written"),
+            3,
+            "6 slides at every=2 must write exactly 3 checkpoints; report: {:?}",
+            report.counters,
+        );
+        assert!(
+            report.counter("persist.snapshot_bytes") > 0,
+            "written checkpoints must account their bytes"
+        );
+        let checkpoint_span =
+            report.span("slide/checkpoint").expect("the checkpoint span must nest under slide");
+        assert_eq!(checkpoint_span.count, 3, "one checkpoint span per checkpoint written");
+        assert!(report.span("resume").is_some(), "the resume fast-forward must be spanned");
+    }
+
+    std::fs::remove_dir_all(&dir_off).expect("off-run checkpoint dir exists");
+    std::fs::remove_dir_all(&dir_on).expect("on-run checkpoint dir exists");
+}
+
 /// The merged span report is deterministic: two identical instrumented runs
 /// on the partitioned backend (which drains per-thread span buffers from
 /// the worker pool) must agree on every counter value, every span path and
