@@ -118,6 +118,21 @@ WSN_CRASH_RESUME_OUT="$PWD/target/crash_resume_journal.jsonl" \
     cargo run --release --offline -p wsn-bench --bin crash_resume
 cargo run --release --offline -p wsn-bench --bin json_check -- target/crash_resume_journal.jsonl
 
+# Fleet smoke: the multi-tenant detection service end to end — a small
+# fleet of grid tenants with per-tenant checkpoints enabled, driven by the
+# fig_fleet throughput binary at --quick scale and gated through json_check
+# (the `kind: "fleet"` schema: positive tenant/shard/slide counts, finite
+# positive tenant-slides/sec). The output goes to a scratch path so a
+# committed full-run results/fig_fleet.json stays intact. (The correctness
+# properties — fleet-over-pool ≡ sequential bit for bit, kill-at-checkpoint
+# resume ≡ never-stopped — are the `property_fleet` suite in the default
+# test pass above.)
+echo "== fleet smoke (fig_fleet --quick, checkpoints on) =="
+rm -f target/fig_fleet_smoke.json
+WSN_FIG_FLEET_OUT="$PWD/target/fig_fleet_smoke.json" \
+    cargo run --release --offline -p wsn-bench --bin fig_fleet -- --quick
+cargo run --release --offline -p wsn-bench --bin json_check -- target/fig_fleet_smoke.json
+
 # Telemetry gate: build the instrumented configuration, prove it is
 # observationally free (the property suite pairs collection-on and
 # collection-off runs and asserts bit-identical outcomes), then run the

@@ -1,0 +1,47 @@
+//! The `fleet` bench group: steady-state throughput of the multi-tenant
+//! detection service ([`wsn_fleet::DetectorFleet`]) on the shared worker
+//! pool.
+//!
+//! Each iteration of an `epoch_step/*` case ingests one epoch's readings for
+//! every tenant and executes one fleet step — `tenants` tenant-slides per
+//! iteration — so tenant-slides/sec is `tenants / (median_ns × 1e-9)`. The
+//! checkpointed variant snapshots **every tenant on every epoch**
+//! (`checkpoint_every_epochs(1, ..)`), the worst-case persistence overhead;
+//! `fig_fleet` reports the same metric at the paper-repro cadence (every 4).
+//! Runs on the std-only harness and writes `BENCH_fleet.json`.
+
+use wsn_bench::fleetload;
+use wsn_bench::harness::Harness;
+use wsn_fleet::DetectorFleet;
+
+/// One steady-state case: a pre-populated fleet advanced one epoch per
+/// iteration. The fleet persists across iterations, so windows fill and the
+/// measured cost is the serving-path steady state, not cold-start.
+fn bench_epoch_step(h: &mut Harness, tenants: u64, checkpoint_dir: Option<std::path::PathBuf>) {
+    let mut fleet = DetectorFleet::new(fleetload::SHARDS);
+    fleetload::populate(&mut fleet, tenants);
+    let name = match &checkpoint_dir {
+        Some(dir) => {
+            fleet.checkpoint_every_epochs(1, dir);
+            format!("{tenants}_tenants_ckpt_on")
+        }
+        None => format!("{tenants}_tenants_ckpt_off"),
+    };
+    let mut epoch = 0u64;
+    h.bench("fleet", &format!("epoch_step/{name}"), move || {
+        let slides = fleetload::run_epoch(&mut fleet, tenants, epoch);
+        assert_eq!(slides, tenants, "every tenant slides exactly once per epoch");
+        epoch += 1;
+    });
+}
+
+fn main() {
+    let mut h = Harness::from_args("fleet");
+    let dir = std::env::temp_dir().join(format!("fleet_bench_ckpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    bench_epoch_step(&mut h, 100, None);
+    bench_epoch_step(&mut h, 1000, None);
+    bench_epoch_step(&mut h, 1000, Some(dir.clone()));
+    let _ = std::fs::remove_dir_all(&dir);
+    h.finish();
+}

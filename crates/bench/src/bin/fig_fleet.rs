@@ -1,0 +1,89 @@
+//! `fig_fleet`: wall-clock throughput of the multi-tenant detection service,
+//! reported as **tenant-slides per second** — the fleet's unit of work (one
+//! tenant advancing one epoch to the protocol fixed point).
+//!
+//! Rows sweep the tenant count with checkpoints off and on (a snapshot of
+//! every tenant each 4 executed slides, the crash-safety cadence); the
+//! workload is the shared [`wsn_bench::fleetload`] stream, so the figures
+//! are comparable with the `fleet` bench group. Writes a
+//! `kind: "fleet"` JSON report to `results/fig_fleet.json` (override with
+//! `WSN_FIG_FLEET_OUT`), validated downstream by `json_check`.
+//!
+//! `--quick` shrinks the sweep for CI smoke runs.
+
+use std::path::Path;
+use std::time::Instant;
+
+use wsn_bench::fleetload;
+use wsn_bench::json::JsonValue;
+use wsn_fleet::DetectorFleet;
+
+fn run_row(tenants: u64, epochs: u64, checkpoint_every: u64, scratch: &Path) -> JsonValue {
+    let shards = fleetload::SHARDS;
+    let mut fleet = DetectorFleet::new(shards);
+    fleetload::populate(&mut fleet, tenants);
+    if checkpoint_every > 0 {
+        fleet.checkpoint_every_epochs(
+            checkpoint_every,
+            scratch.join(format!("t{tenants}_k{checkpoint_every}")),
+        );
+    }
+    let started = Instant::now();
+    let mut slides = 0u64;
+    for epoch in 0..epochs {
+        slides += fleetload::run_epoch(&mut fleet, tenants, epoch);
+    }
+    slides += fleet.flush().expect("final drain succeeds").len() as u64;
+    let elapsed = started.elapsed();
+    let rate = slides as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "  [fig_fleet] tenants={tenants:5} shards={shards} checkpoint_every={checkpoint_every}: \
+         {slides} slides in {:.1} ms -> {rate:.0} tenant-slides/sec",
+        elapsed.as_secs_f64() * 1e3,
+    );
+    JsonValue::Object(vec![
+        ("tenants".to_string(), JsonValue::from(tenants)),
+        ("shards".to_string(), JsonValue::from(shards)),
+        ("epochs".to_string(), JsonValue::from(epochs)),
+        ("slides".to_string(), JsonValue::from(slides)),
+        ("checkpoint_every".to_string(), JsonValue::from(checkpoint_every)),
+        ("elapsed_ms".to_string(), JsonValue::from(elapsed.as_secs_f64() * 1e3)),
+        ("tenant_slides_per_sec".to_string(), JsonValue::from(rate)),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (tenant_counts, epochs): (&[u64], u64) = if quick { (&[50], 4) } else { (&[250, 1000], 8) };
+
+    let scratch = std::env::temp_dir().join(format!("fig_fleet_ckpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut rows = Vec::new();
+    for &tenants in tenant_counts {
+        for checkpoint_every in [0u64, 4] {
+            rows.push(run_row(tenants, epochs, checkpoint_every, &scratch));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let doc = JsonValue::Object(vec![
+        ("kind".to_string(), JsonValue::from("fleet")),
+        (
+            "label".to_string(),
+            JsonValue::from(if quick { "fig_fleet --quick" } else { "fig_fleet" }),
+        ),
+        ("rows".to_string(), JsonValue::Array(rows)),
+    ]);
+    let path =
+        std::env::var("WSN_FIG_FLEET_OUT").unwrap_or_else(|_| "results/fig_fleet.json".into());
+    if let Some(dir) = Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, doc.to_pretty_string() + "\n") {
+        Ok(()) => println!("(wrote {path})"),
+        Err(e) => {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

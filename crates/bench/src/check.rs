@@ -48,6 +48,10 @@ pub fn check_text(path: &str, text: &str) -> Result<String, String> {
             format!("{path}: valid telemetry, {entries} entries, {} bytes", text.len())
         });
     }
+    if value.get("kind").and_then(|k| k.as_str()) == Some("fleet") {
+        return check_fleet(path, &value)
+            .map(|rows| format!("{path}: valid fleet report, {rows} rows, {} bytes", text.len()));
+    }
     let data = value
         .get("rows")
         .or_else(|| value.get("results"))
@@ -77,6 +81,30 @@ fn check_bench_results(path: &str, entries: &[JsonValue]) -> Result<(), String> 
         }
     }
     Ok(())
+}
+
+/// Fleet throughput reports (`kind: "fleet"`, written by the `fig_fleet`
+/// binary) must hold at least one row, each with positive tenant, shard and
+/// slide counts and a finite, positive tenant-slides-per-second figure —
+/// a zero or NaN throughput means the timed loop never ran. Returns the row
+/// count.
+fn check_fleet(path: &str, value: &JsonValue) -> Result<usize, String> {
+    let rows = non_empty_array(path, "rows", value.get("rows").unwrap_or(&JsonValue::Null))?;
+    for (index, row) in rows.iter().enumerate() {
+        for field in ["tenants", "shards", "slides", "tenant_slides_per_sec"] {
+            let n = finite_number(path, &format!("rows[{index}].{field}"), row.get(field))?;
+            if n <= 0.0 {
+                return Err(format!("{path}: rows[{index}].{field} is not positive ({n})"));
+            }
+        }
+        // 0 is legal (checkpoints off); absent or negative is not.
+        finite_nonneg(
+            path,
+            &format!("rows[{index}].checkpoint_every"),
+            row.get("checkpoint_every"),
+        )?;
+    }
+    Ok(rows.len())
 }
 
 /// Persistence snapshots are validated exactly as a loader would before
@@ -437,6 +465,39 @@ mod tests {
         let doc = journal_doc();
         let half_row = &doc[..doc.len() - 30];
         assert!(check_text("j.jsonl", half_row).unwrap_err().contains("unparsable"));
+    }
+
+    fn fleet_doc() -> String {
+        r#"{
+            "kind": "fleet",
+            "label": "fig_fleet",
+            "rows": [
+                { "tenants": 1000, "shards": 8, "epochs": 8, "slides": 8000,
+                  "checkpoint_every": 4, "elapsed_ms": 1200.5,
+                  "tenant_slides_per_sec": 6664.0 }
+            ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn valid_fleet_reports_pass_and_rejections_fire() {
+        let summary = check_text("fl.json", &fleet_doc()).unwrap();
+        assert!(summary.contains("fleet report"), "summary was {summary:?}");
+        let zero_rate = fleet_doc()
+            .replace(r#""tenant_slides_per_sec": 6664.0"#, r#""tenant_slides_per_sec": 0"#);
+        assert!(check_text("fl.json", &zero_rate).unwrap_err().contains("tenant_slides_per_sec"));
+        let no_tenants = fleet_doc().replace(r#""tenants": 1000,"#, "");
+        assert!(check_text("fl.json", &no_tenants).unwrap_err().contains("tenants"));
+        let no_policy = fleet_doc().replace(r#""checkpoint_every": 4,"#, "");
+        assert!(check_text("fl.json", &no_policy).unwrap_err().contains("checkpoint_every"));
+        let empty = fleet_doc().replace(
+            r#"{ "tenants": 1000, "shards": 8, "epochs": 8, "slides": 8000,
+                  "checkpoint_every": 4, "elapsed_ms": 1200.5,
+                  "tenant_slides_per_sec": 6664.0 }"#,
+            "",
+        );
+        assert!(check_text("fl.json", &empty).unwrap_err().contains("empty"));
     }
 
     #[test]

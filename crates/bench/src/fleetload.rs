@@ -1,0 +1,107 @@
+//! Shared tenant workload for the `fleet` bench group and the `fig_fleet`
+//! binary: a fleet of identical small deployments (one 3×3 grid of nine
+//! sensors per tenant, Global-NN, `n = 2`, `w = 8`) fed deterministic
+//! per-tenant reading streams. Both consumers measure the same unit — one
+//! *fleet epoch* is one batch ingested and one slide executed for every
+//! tenant, i.e. `tenants` tenant-slides — so their throughput figures are
+//! directly comparable.
+
+use wsn_core::experiment::{AlgorithmConfig, RankingChoice};
+use wsn_data::rng::SeededRng;
+use wsn_data::stream::SensorSpec;
+use wsn_data::{DataPoint, Epoch, Position, SensorId, Timestamp};
+use wsn_fleet::{DetectorFleet, TenantId, TenantSpec};
+
+/// Sensors per tenant (a 3×3 grid at 10 m spacing, 15 m radio range — every
+/// sensor reaches its grid neighbours, the deployment is connected).
+pub const SENSORS_PER_TENANT: u32 = 9;
+
+/// Seconds between epochs, matching the paper's trace cadence.
+pub const SAMPLE_INTERVAL_SECS: f64 = 31.0;
+
+/// Shard count for the measured fleets. A fixed count (rather than the
+/// pool's worker count) keeps the dispatch order — and therefore the
+/// workload — identical across machines; parallelism still scales with the
+/// pool underneath.
+pub const SHARDS: usize = 8;
+
+/// The per-tenant deployment every workload tenant runs.
+pub fn tenant_spec() -> TenantSpec {
+    let sensors = (0..SENSORS_PER_TENANT)
+        .map(|i| {
+            SensorSpec::new(
+                SensorId(i),
+                Position { x: f64::from(i % 3) * 10.0, y: f64::from(i / 3) * 10.0 },
+            )
+        })
+        .collect();
+    TenantSpec {
+        sensors,
+        transmission_range_m: 15.0,
+        algorithm: AlgorithmConfig::Global { ranking: RankingChoice::Nn },
+        n: 2,
+        window_samples: 8,
+        sample_interval_secs: SAMPLE_INTERVAL_SECS,
+    }
+}
+
+/// Registers `tenants` workload tenants with ids `0..tenants`.
+pub fn populate(fleet: &mut DetectorFleet, tenants: u64) {
+    for t in 0..tenants {
+        fleet.add_tenant(TenantId(t), tenant_spec()).expect("workload tenant registers");
+    }
+}
+
+/// One epoch's readings for one tenant: nine clustered temperature samples
+/// with a deterministic, rare spike so the detectors do real protocol work.
+/// Seeded by `(tenant, epoch)` — every run of every consumer sees the same
+/// stream.
+pub fn epoch_batch(tenant: u64, epoch: u64) -> Vec<DataPoint> {
+    let mut rng = SeededRng::seed_from_u64(tenant.wrapping_mul(1_000_003).wrapping_add(epoch));
+    (0..SENSORS_PER_TENANT)
+        .map(|i| {
+            let mut value = rng.gen_gaussian(20.0, 0.5);
+            if rng.gen_bool(0.02) {
+                value += rng.gen_range(10.0..30.0);
+            }
+            DataPoint::new(
+                SensorId(i),
+                Epoch(epoch),
+                Timestamp::from_secs_f64(epoch as f64 * SAMPLE_INTERVAL_SECS),
+                vec![value],
+            )
+            .expect("workload point is finite")
+        })
+        .collect()
+}
+
+/// Ingests epoch `epoch` for every tenant and executes one fleet step,
+/// returning the number of tenant-slides it produced.
+pub fn run_epoch(fleet: &mut DetectorFleet, tenants: u64, epoch: u64) -> u64 {
+    for t in 0..tenants {
+        fleet.ingest(TenantId(t), epoch_batch(t, epoch)).expect("workload tenant is registered");
+    }
+    fleet.step().expect("fleet step succeeds").len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_epoch_slides_every_tenant_exactly_once() {
+        let mut fleet = DetectorFleet::sequential();
+        populate(&mut fleet, 3);
+        assert_eq!(run_epoch(&mut fleet, 3, 0), 3);
+        assert_eq!(run_epoch(&mut fleet, 3, 1), 3);
+        for t in 0..3 {
+            assert_eq!(fleet.next_epoch(TenantId(t)).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn the_stream_is_deterministic() {
+        assert_eq!(epoch_batch(7, 3), epoch_batch(7, 3));
+        assert_ne!(epoch_batch(7, 3), epoch_batch(8, 3));
+    }
+}

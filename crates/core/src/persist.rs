@@ -306,12 +306,18 @@ pub fn read_verified(path: &Path) -> Result<(String, JsonValue), PersistError> {
 // ---------------------------------------------------------------------------
 // Field accessors (decode side)
 // ---------------------------------------------------------------------------
+// The scalar accessors are `pub`: external persistence layers composing
+// their own payloads around the snapshot dumps (e.g. `wsn-fleet`'s
+// per-tenant checkpoints) parse with the same typed [`PersistError::Schema`]
+// errors this module produces.
 
-pub(crate) fn field<'v>(value: &'v JsonValue, key: &str) -> Result<&'v JsonValue, PersistError> {
+/// Looks up `key` in an object payload, as a typed [`PersistError::Schema`].
+pub fn field<'v>(value: &'v JsonValue, key: &str) -> Result<&'v JsonValue, PersistError> {
     value.get(key).ok_or_else(|| PersistError::Schema(format!("missing field \"{key}\"")))
 }
 
-pub(crate) fn u64_field(value: &JsonValue, key: &str) -> Result<u64, PersistError> {
+/// Reads `key` as an unsigned integer.
+pub fn u64_field(value: &JsonValue, key: &str) -> Result<u64, PersistError> {
     field(value, key)?
         .as_u64()
         .ok_or_else(|| PersistError::Schema(format!("field \"{key}\" is not an unsigned integer")))
@@ -322,7 +328,8 @@ pub(crate) fn u32_field(value: &JsonValue, key: &str) -> Result<u32, PersistErro
         .map_err(|_| PersistError::Schema(format!("field \"{key}\" overflows u32")))
 }
 
-pub(crate) fn usize_field(value: &JsonValue, key: &str) -> Result<usize, PersistError> {
+/// Reads `key` as a `usize`.
+pub fn usize_field(value: &JsonValue, key: &str) -> Result<usize, PersistError> {
     usize::try_from(u64_field(value, key)?)
         .map_err(|_| PersistError::Schema(format!("field \"{key}\" overflows usize")))
 }
@@ -340,16 +347,15 @@ pub(crate) fn bool_field(value: &JsonValue, key: &str) -> Result<bool, PersistEr
     }
 }
 
-pub(crate) fn str_field<'v>(value: &'v JsonValue, key: &str) -> Result<&'v str, PersistError> {
+/// Reads `key` as a string slice.
+pub fn str_field<'v>(value: &'v JsonValue, key: &str) -> Result<&'v str, PersistError> {
     field(value, key)?
         .as_str()
         .ok_or_else(|| PersistError::Schema(format!("field \"{key}\" is not a string")))
 }
 
-pub(crate) fn array_field<'v>(
-    value: &'v JsonValue,
-    key: &str,
-) -> Result<&'v [JsonValue], PersistError> {
+/// Reads `key` as an array slice.
+pub fn array_field<'v>(value: &'v JsonValue, key: &str) -> Result<&'v [JsonValue], PersistError> {
     field(value, key)?
         .as_array()
         .ok_or_else(|| PersistError::Schema(format!("field \"{key}\" is not an array")))
@@ -390,7 +396,7 @@ pub(crate) fn opt_f64_to_json(value: Option<f64>) -> JsonValue {
 }
 
 /// Verifies a payload's embedded `kind` discriminator.
-pub(crate) fn expect_kind(value: &JsonValue, kind: &str) -> Result<(), PersistError> {
+pub fn expect_kind(value: &JsonValue, kind: &str) -> Result<(), PersistError> {
     let found = str_field(value, "kind")?;
     if found != kind {
         return Err(PersistError::Mismatch(format!(

@@ -24,6 +24,7 @@
 //! | [`trace`] | `wsn-trace` | import of the real Intel-lab trace files and lossless CSV archiving of any deployment trace |
 //! | [`workload`] | `wsn-workload` | scenario/anomaly-injection layer: the sensor-fault taxonomy, correlated bursts, adversarial rank-boundary placements, multi-field stacks and Intel-trace replay |
 //! | [`obs`] | `wsn-obs` | zero-cost metrics + span tracing woven through the simulator, detectors and streaming driver; compiled out unless the `telemetry` cargo feature is on |
+//! | [`fleet`] | `wsn-fleet` | the simulator-free serving layer: a [`fleet::DetectorFleet`] multiplexing thousands of independent deployments over the worker pool, with batched ingestion, deterministic sharded dispatch and per-tenant checkpoints |
 //!
 //! # Building and verifying
 //!
@@ -98,6 +99,7 @@
 
 pub use wsn_core as detection;
 pub use wsn_data as data;
+pub use wsn_fleet as fleet;
 pub use wsn_netsim as netsim;
 pub use wsn_obs as obs;
 pub use wsn_ranking as ranking;
@@ -117,6 +119,7 @@ pub mod prelude {
     pub use wsn_core::{CoreError, OutlierBroadcast};
     pub use wsn_data::window::WindowConfig;
     pub use wsn_data::{DataPoint, Epoch, PointSet, SensorId, Timestamp};
+    pub use wsn_fleet::{DetectorFleet, FleetError, TenantId, TenantRuntime, TenantSpec};
     pub use wsn_netsim::{LossModel, NetworkStats, SimConfig, Simulator, Topology};
     pub use wsn_ranking::{
         top_n_outliers, top_n_outliers_indexed, AnyIndex, IndexStrategy, KnnAverageDistance,
